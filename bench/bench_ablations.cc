@@ -1,0 +1,386 @@
+/**
+ * @file
+ * Ablations of the facility's design choices (DESIGN.md section 4):
+ *
+ *  1. Equation 3's idle-sibling stale-sample correction: without it,
+ *     a core whose sibling went idle keeps dividing the chip
+ *     maintenance power by the sibling's stale utilization sample.
+ *  2. Per-segment socket context tags vs naive last-tag inheritance:
+ *     on a persistent connection, pipelined requests are charged to
+ *     the wrong container without per-segment tags.
+ *  3. Observer-effect compensation: without subtracting the
+ *     maintenance-induced events, accounted energy inflates.
+ */
+
+#include <memory>
+
+#include "bench_util.h"
+#include "core/conditioning.h"
+#include "core/profiles.h"
+#include "workloads/apps.h"
+#include "workloads/client.h"
+#include "workloads/event_loop_app.h"
+#include "workloads/experiment.h"
+#include "workloads/microbench.h"
+
+namespace {
+
+using namespace pcon;
+using sim::msec;
+using sim::sec;
+
+std::shared_ptr<core::LinearPowerModel>
+sbModel()
+{
+    static core::LinearPowerModel calibrated = wl::calibrateModel(
+        hw::sandyBridgeConfig(), core::ModelKind::WithChipShare);
+    return std::make_shared<core::LinearPowerModel>(calibrated);
+}
+
+/**
+ * Model with the ground-truth coefficients: isolates the ablated
+ * mechanism from offline-calibration error.
+ */
+std::shared_ptr<core::LinearPowerModel>
+exactSbModel()
+{
+    const hw::GroundTruthParams &t = hw::sandyBridgeConfig().truth;
+    auto model = std::make_shared<core::LinearPowerModel>();
+    model->setIdleW(t.machineIdleW);
+    model->setCoefficient(core::Metric::Core, t.coreBusyW);
+    model->setCoefficient(core::Metric::Ins, t.insW);
+    model->setCoefficient(core::Metric::Float, t.flopW);
+    model->setCoefficient(core::Metric::Cache, t.llcW);
+    model->setCoefficient(core::Metric::Mem, t.memW);
+    model->setCoefficient(core::Metric::ChipShare,
+                          t.chipMaintenanceW);
+    model->setCoefficient(core::Metric::Disk, t.diskActiveW);
+    model->setCoefficient(core::Metric::Net, t.netActiveW);
+    return model;
+}
+
+// ---------------------------------------------------------------
+// Ablation 1: idle-sibling stale-sample correction.
+// ---------------------------------------------------------------
+double
+idleSiblingError(bool correction)
+{
+    core::ContainerManagerConfig mgr_cfg;
+    mgr_cfg.idleSiblingCheck = correction;
+    wl::ServerWorld world(hw::sandyBridgeConfig(), exactSbModel(),
+                          mgr_cfg);
+    // A steady task on core 0; a bursty sibling on core 1 that is
+    // busy briefly and then idles for a long stretch, leaving a
+    // stale "busy" sample behind.
+    os::RequestId steady =
+        world.requests().create("steady", world.sim().now());
+    auto steady_logic = std::make_shared<os::ScriptedLogic>(
+        std::vector<os::ScriptedLogic::Step>{
+            [](os::Kernel &, os::Task &,
+               const os::OpResult &) -> os::Op {
+                return os::ComputeOp{
+                    hw::ActivityVector{1.0, 0, 0, 0}, 1e7};
+            }},
+        true);
+    world.kernel().spawn(steady_logic, "steady", steady, 0);
+
+    auto burst_logic = std::make_shared<os::ScriptedLogic>(
+        std::vector<os::ScriptedLogic::Step>{
+            [](os::Kernel &, os::Task &,
+               const os::OpResult &) -> os::Op {
+                return os::ComputeOp{
+                    hw::ActivityVector{1.0, 0, 0, 0}, 3e6};
+            },
+            [](os::Kernel &, os::Task &,
+               const os::OpResult &) -> os::Op {
+                return os::SleepOp{msec(40)};
+            }},
+        true);
+    world.kernel().spawn(burst_logic, "bursty", os::NoRequest, 1);
+
+    world.run(sec(1));
+    world.beginWindow();
+    world.run(sec(10));
+    return world.validationError();
+}
+
+// ---------------------------------------------------------------
+// Ablation 2: per-segment socket tagging.
+// ---------------------------------------------------------------
+struct TaggingResult
+{
+    double light_energy;
+    double heavy_energy;
+};
+
+TaggingResult
+taggingExperiment(bool per_segment)
+{
+    os::KernelConfig kcfg;
+    kcfg.perSegmentSocketTagging = per_segment;
+    // Hand-built world (ServerWorld fixes the kernel config).
+    sim::Simulation sim;
+    hw::Machine machine(sim, hw::sandyBridgeConfig());
+    os::RequestContextManager requests;
+    os::Kernel kernel(machine, requests, kcfg);
+    auto model = sbModel();
+    core::ContainerManager manager(kernel, model, {});
+    kernel.addHooks(&manager);
+
+    // One worker on a persistent connection. A timer sends a light
+    // and a heavy request back-to-back every round *while the worker
+    // is still computing*, so both messages queue unread: exactly
+    // the hazardous pipelining case of Section 3.3.
+    auto [client_end, server_end] = kernel.socketPair();
+    auto worker = std::make_shared<os::ScriptedLogic>(
+        std::vector<os::ScriptedLogic::Step>{
+            [s = server_end](os::Kernel &, os::Task &,
+                             const os::OpResult &) -> os::Op {
+                return os::RecvOp{s};
+            },
+            [](os::Kernel &, os::Task &,
+               const os::OpResult &r) -> os::Op {
+                // Work proportional to the received bytes: the light
+                // request sends 1e6 "bytes", the heavy one 9e6. (In
+                // naive mode a merged read does the combined work
+                // under one — wrong — request context.)
+                return os::ComputeOp{
+                    hw::ActivityVector{1.0, 0, 0, 0}, r.bytes * 4};
+            },
+            [s = server_end](os::Kernel &, os::Task &,
+                             const os::OpResult &) -> os::Op {
+                return os::SendOp{s, 128};
+            }},
+        true);
+    kernel.spawn(worker, "worker");
+    client_end->setDeliveryCallback([](double, os::RequestId) {});
+
+    // (1e6 + 9e6) * 4 cycles of work per round at 3.1 GHz is ~13 ms,
+    // but rounds arrive every 10 ms: messages pile up behind the
+    // busy worker, so reads regularly face multiple queued segments
+    // with different tags.
+    int rounds = 0;
+    std::function<void()> send_pair = [&] {
+        if (++rounds > 400)
+            return;
+        os::RequestId light = requests.create("light", sim.now());
+        os::RequestId heavy = requests.create("heavy", sim.now());
+        client_end->send(1e6, light);
+        client_end->send(9e6, heavy);
+        sim.schedule(sim::msec(10), send_pair);
+    };
+    send_pair();
+    sim.run(sim::sec(12));
+
+    // Aggregate attributed energy per type across completed records
+    // and still-live containers.
+    double light_total = 0, heavy_total = 0;
+    std::size_t light_n = 0, heavy_n = 0;
+    auto tally = [&](const std::string &type, double energy) {
+        if (type == "light") {
+            light_total += energy;
+            ++light_n;
+        } else if (type == "heavy") {
+            heavy_total += energy;
+            ++heavy_n;
+        }
+    };
+    for (const core::RequestRecord &r : manager.records())
+        tally(r.type, r.totalEnergyJ());
+    for (const auto &[id, container] : manager.live())
+        tally(container->type, container->totalEnergyJ());
+    return {light_total / light_n, heavy_total / heavy_n};
+}
+
+// ---------------------------------------------------------------
+// Ablation 3: observer-effect compensation.
+// ---------------------------------------------------------------
+double
+observerInflation(bool compensate)
+{
+    core::ContainerManagerConfig mgr_cfg;
+    mgr_cfg.injectObserverEffect = true;
+    mgr_cfg.compensateObserverEffect = compensate;
+    // Exaggerate the per-op cost so the effect is visible above the
+    // run-to-run noise (a slow machine with fast sampling).
+    mgr_cfg.observerCost = hw::CounterSnapshot{0, 80000, 60000, 500,
+                                               100, 0};
+    wl::ServerWorld world(hw::sandyBridgeConfig(), sbModel(),
+                          mgr_cfg);
+    wl::RsaCryptoApp app(171);
+    app.deploy(world.kernel());
+    wl::LoadClient client(app, world.kernel(),
+                          wl::LoadClient::forUtilization(
+                              app, world.kernel(), 1.0, 172));
+    client.start();
+    world.run(sec(1));
+    world.beginWindow();
+    world.run(sec(8));
+    client.stop();
+    return world.accountedActiveW();
+}
+
+// ---------------------------------------------------------------
+// Ablation 4: user-level stage-transfer trapping (the paper's
+// future-work mechanism, Section 3.3).
+// ---------------------------------------------------------------
+std::pair<double, double>
+eventLoopAttribution(bool trap)
+{
+    sim::Simulation sim;
+    hw::Machine machine(sim, hw::sandyBridgeConfig());
+    os::RequestContextManager requests;
+    os::KernelConfig kcfg;
+    kcfg.trapUserLevelSwitches = trap;
+    os::Kernel kernel(machine, requests, kcfg);
+    auto model = sbModel();
+    core::ContainerManager manager(kernel, model, {});
+    kernel.addHooks(&manager);
+
+    wl::EventLoopApp app(181);
+    app.deploy(kernel);
+    wl::ClientConfig ccfg;
+    ccfg.mode = wl::ClientConfig::Mode::ClosedLoop;
+    ccfg.concurrency = 12;
+    ccfg.seed = 182;
+    wl::LoadClient client(app, kernel, ccfg);
+    client.start();
+    sim.run(sim::sec(20));
+    client.stop();
+
+    core::ProfileTable profiles;
+    profiles.add(manager.records());
+    return {profiles.profile(wl::EventLoopApp::cheapType())
+                .meanEnergyJ,
+            profiles.profile(wl::EventLoopApp::dearType())
+                .meanEnergyJ};
+}
+
+// ---------------------------------------------------------------
+// Ablation 5: control actuator — duty-cycle modulation (the paper's
+// mechanism) vs per-core DVFS (extension) at the same power cap.
+// ---------------------------------------------------------------
+struct ActuatorRun
+{
+    double activeW;
+    double busyGcycles;
+};
+
+ActuatorRun
+runActuator(core::Actuator actuator, double target_w)
+{
+    const hw::MachineConfig cfg = hw::sandyBridgeConfig();
+    wl::ServerWorld world(cfg, sbModel());
+    core::ConditionerConfig ccfg;
+    ccfg.systemActiveTargetW = target_w;
+    ccfg.actuator = actuator;
+    core::PowerConditioner conditioner(world.kernel(),
+                                       world.manager(), ccfg);
+    world.kernel().addHooks(&conditioner);
+    conditioner.install();
+    conditioner.enable();
+
+    wl::StressApp app(191);
+    app.deploy(world.kernel());
+    wl::LoadClient client(app, world.kernel(),
+                          wl::LoadClient::forUtilization(
+                              app, world.kernel(), 1.0, 192));
+    client.start();
+    world.run(sim::msec(500));
+    world.beginWindow();
+    double busy0 = 0;
+    for (int c = 0; c < world.machine().totalCores(); ++c)
+        busy0 += world.machine().readCounters(c).nonhaltCycles;
+    world.run(sim::sec(8));
+    client.stop();
+
+    ActuatorRun out;
+    out.activeW = world.measuredActiveW();
+    double busy1 = 0;
+    for (int c = 0; c < world.machine().totalCores(); ++c)
+        busy1 += world.machine().readCounters(c).nonhaltCycles;
+    out.busyGcycles = (busy1 - busy0) / 1e9;
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::header("Ablations of power-container design choices");
+
+    bench::section("1. Equation 3 idle-sibling correction "
+                   "(SandyBridge, bursty sibling)");
+    double with_check = idleSiblingError(true);
+    double without_check = idleSiblingError(false);
+    bench::row("validation error, correction ON",
+               {bench::pct(with_check)});
+    bench::row("validation error, correction OFF",
+               {bench::pct(without_check)});
+
+    bench::section("2. Per-segment socket tags "
+                   "(pipelined light+heavy requests)");
+    TaggingResult seg = taggingExperiment(true);
+    TaggingResult naive = taggingExperiment(false);
+    bench::row("per-segment: light / heavy J",
+               {bench::num(seg.light_energy, 3),
+                bench::num(seg.heavy_energy, 3)});
+    bench::row("naive: light / heavy J",
+               {bench::num(naive.light_energy, 3),
+                bench::num(naive.heavy_energy, 3)});
+    bench::row("true heavy/light work ratio", {"9.0"});
+    bench::row("per-segment measured ratio",
+               {bench::num(seg.heavy_energy / seg.light_energy, 1)});
+    bench::row("naive measured ratio",
+               {bench::num(naive.heavy_energy / naive.light_energy,
+                           1)});
+
+    bench::section("3. Observer-effect compensation "
+                   "(exaggerated sampling cost)");
+    double compensated = observerInflation(true);
+    double uncompensated = observerInflation(false);
+    bench::row("accounted power, compensation ON",
+               {bench::num(compensated, 2) + " W"});
+    bench::row("accounted power, compensation OFF",
+               {bench::num(uncompensated, 2) + " W"});
+    bench::row("inflation without compensation",
+               {bench::pct(uncompensated / compensated - 1.0)});
+
+    bench::section("4. User-level stage-transfer trapping "
+                   "(event-driven server; paper's future work)");
+    auto [trap_cheap, trap_dear] = eventLoopAttribution(true);
+    auto [blind_cheap, blind_dear] = eventLoopAttribution(false);
+    double true_ratio = (wl::EventLoopApp::phase1Cycles +
+                         wl::EventLoopApp::dearPhase2Cycles) /
+        (wl::EventLoopApp::phase1Cycles +
+         wl::EventLoopApp::cheapPhase2Cycles);
+    bench::row("true dear/cheap work ratio",
+               {bench::num(true_ratio, 1)});
+    bench::row("trapped: cheap / dear J",
+               {bench::num(trap_cheap, 3), bench::num(trap_dear, 3)});
+    bench::row("trapped measured ratio",
+               {bench::num(trap_dear / trap_cheap, 1)});
+    bench::row("untracked: cheap / dear J",
+               {bench::num(blind_cheap, 3),
+                bench::num(blind_dear, 3)});
+    bench::row("untracked measured ratio",
+               {bench::num(blind_dear / blind_cheap, 1)});
+
+    bench::section("5. Control actuator at a 40 W cap "
+                   "(Stress at peak; extension)");
+    ActuatorRun duty = runActuator(core::Actuator::DutyCycle, 40.0);
+    ActuatorRun dvfs = runActuator(core::Actuator::Dvfs, 40.0);
+    bench::row("duty-cycle: active power",
+               {bench::num(duty.activeW, 1) + " W"});
+    bench::row("duty-cycle: work done",
+               {bench::num(duty.busyGcycles, 1) + " Gcycles"});
+    bench::row("DVFS: active power",
+               {bench::num(dvfs.activeW, 1) + " W"});
+    bench::row("DVFS: work done",
+               {bench::num(dvfs.busyGcycles, 1) + " Gcycles"});
+    bench::row("DVFS throughput advantage",
+               {bench::pct(dvfs.busyGcycles / duty.busyGcycles -
+                           1.0)});
+    return 0;
+}

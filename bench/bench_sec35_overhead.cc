@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Section 3.5: overhead assessment of the power-container facility,
+ * measured on *this implementation* with google-benchmark:
+ *
+ *  - one container maintenance operation (counter read + model
+ *    evaluation + statistics update); the paper measures ~0.95 us on
+ *    a 3.1 GHz SandyBridge;
+ *  - a duty-cycle control register read+write (~0.2 us in the paper);
+ *  - one least-squares model recalibration (~16 us in the paper);
+ *  - the container state size (784 bytes in the paper's kernel).
+ *
+ * Also reports the observer-effect constants: the event counts one
+ * maintenance operation injects and its modeled energy (~10 uJ at
+ * 1/4 chip share in the paper).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/alignment.h"
+#include "core/container_manager.h"
+#include "core/metrics.h"
+#include "linalg/least_squares.h"
+#include "os/kernel.h"
+#include "sim/rng.h"
+#include "workloads/experiment.h"
+
+namespace {
+
+using namespace pcon;
+
+struct OverheadWorld
+{
+    wl::ServerWorld world;
+    os::RequestId request;
+
+    OverheadWorld()
+        : world(hw::sandyBridgeConfig(), makeModel())
+    {
+        request = world.requests().create("bench",
+                                          world.sim().now());
+        auto logic = std::make_shared<os::ScriptedLogic>(
+            std::vector<os::ScriptedLogic::Step>{
+                [](os::Kernel &, os::Task &,
+                   const os::OpResult &) -> os::Op {
+                    return os::ComputeOp{
+                        hw::ActivityVector{1.5, 0.1, 0.02, 0.004},
+                        1e15};
+                }},
+            true);
+        world.kernel().spawn(logic, "subject", request, 0);
+        world.run(sim::msec(1));
+    }
+
+    static std::shared_ptr<core::LinearPowerModel>
+    makeModel()
+    {
+        auto model = std::make_shared<core::LinearPowerModel>();
+        model->setIdleW(26.1);
+        model->setCoefficient(core::Metric::Core, 8.0);
+        model->setCoefficient(core::Metric::Ins, 1.5);
+        model->setCoefficient(core::Metric::Cache, 70.0);
+        model->setCoefficient(core::Metric::Mem, 205.0);
+        model->setCoefficient(core::Metric::ChipShare, 5.6);
+        return model;
+    }
+};
+
+/**
+ * One container maintenance operation: read hardware counters,
+ * compute the chip-share metric and modeled power, update request
+ * statistics. Simulated time advances a little between samples so
+ * each operation processes a real counter delta.
+ */
+void
+BM_ContainerMaintenanceOp(benchmark::State &state)
+{
+    OverheadWorld w;
+    sim::SimTime t = w.world.sim().now();
+    for (auto _ : state) {
+        t += sim::usec(10);
+        w.world.sim().run(t);
+        w.world.manager().sampleNow(0);
+    }
+    state.counters["ops"] = static_cast<double>(
+        w.world.manager().maintenanceOps());
+}
+BENCHMARK(BM_ContainerMaintenanceOp);
+
+/** Duty-cycle control: read the level, write a new one. */
+void
+BM_DutyCycleAdjust(benchmark::State &state)
+{
+    OverheadWorld w;
+    int level = 8;
+    for (auto _ : state) {
+        int current = w.world.machine().dutyLevel(0);
+        benchmark::DoNotOptimize(current);
+        level = level == 8 ? 7 : 8;
+        w.world.kernel().setDutyLevel(0, level);
+    }
+}
+BENCHMARK(BM_DutyCycleAdjust);
+
+/**
+ * One online model recalibration: a non-negative least-squares fit
+ * over a calibration-sized sample set (576 offline + 128 online
+ * samples, 8 features).
+ */
+void
+BM_RecalibrationFit(benchmark::State &state)
+{
+    sim::Rng rng(77);
+    linalg::Matrix design;
+    linalg::Vector target;
+    for (int i = 0; i < 704; ++i) {
+        linalg::Vector row;
+        for (int f = 0; f < 8; ++f)
+            row.push_back(rng.uniform(0.0, f < 2 ? 4.0 : 0.1));
+        design.appendRow(row);
+        target.push_back(rng.uniform(5.0, 60.0));
+    }
+    for (auto _ : state) {
+        linalg::LsqResult fit =
+            linalg::solveNonNegativeLeastSquares(design, target);
+        benchmark::DoNotOptimize(fit.coefficients.data());
+    }
+}
+BENCHMARK(BM_RecalibrationFit);
+
+/** Cross-correlation alignment over a 1024-sample window. */
+void
+BM_AlignmentScan(benchmark::State &state)
+{
+    sim::Rng rng(78);
+    std::vector<double> a, b;
+    for (int i = 0; i < 1024; ++i) {
+        a.push_back(rng.uniform(20.0, 60.0));
+        b.push_back(rng.uniform(20.0, 60.0));
+    }
+    for (auto _ : state) {
+        core::AlignmentScan scan =
+            core::scanAlignment(a, b, sim::msec(1), 0, 64, true);
+        benchmark::DoNotOptimize(scan.bestDelaySamples);
+    }
+}
+BENCHMARK(BM_AlignmentScan);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::printf("Section 3.5 constants of this implementation:\n");
+    std::printf("  sizeof(PowerContainer) = %zu bytes "
+                "(paper: 784 bytes)\n",
+                sizeof(pcon::core::PowerContainer));
+    pcon::core::ContainerManagerConfig cfg;
+    std::printf("  observer effect per maintenance op: %.0f cycles, "
+                "%.0f instructions,\n    %.0f FP ops, %.0f LLC refs, "
+                "%.0f memory transactions\n",
+                cfg.observerCost.nonhaltCycles,
+                cfg.observerCost.instructions, cfg.observerCost.flops,
+                cfg.observerCost.llcRefs, cfg.observerCost.memTxns);
+    // Modeled energy of one op at 1/4 chip share (paper: ~10 uJ).
+    auto model = OverheadWorld::makeModel();
+    pcon::core::Metrics m;
+    double cycles = cfg.observerCost.nonhaltCycles;
+    m.set(pcon::core::Metric::Core, 1.0);
+    m.set(pcon::core::Metric::Ins,
+          cfg.observerCost.instructions / cycles);
+    m.set(pcon::core::Metric::Float,
+          cfg.observerCost.flops / cycles);
+    m.set(pcon::core::Metric::Cache,
+          cfg.observerCost.llcRefs / cycles);
+    m.set(pcon::core::Metric::ChipShare, 0.25);
+    double op_seconds = cycles / 3.1e9;
+    std::printf("  modeled maintenance energy at 1/4 chip share: "
+                "%.1f uJ (paper: ~10 uJ)\n\n",
+                model->estimateActiveW(m) * op_seconds * 1e6);
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

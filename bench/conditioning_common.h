@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Shared setup for the power-conditioning experiments (Figures 11 and
+ * 12): GAE-Vosao at peak load on SandyBridge, with power viruses
+ * injected sporadically (~1 per second, ~100 ms each) starting at the
+ * 10-second mark — with or without container-based fair conditioning.
+ */
+
+#ifndef PCON_BENCH_CONDITIONING_COMMON_H
+#define PCON_BENCH_CONDITIONING_COMMON_H
+
+#include <memory>
+#include <vector>
+
+#include "core/conditioning.h"
+#include "workloads/apps.h"
+#include "workloads/client.h"
+#include "workloads/experiment.h"
+#include "workloads/microbench.h"
+
+namespace pcon {
+namespace bench {
+
+/** Results of one conditioning run. */
+struct ConditioningRun
+{
+    /** 250 ms-averaged package power samples over the run. */
+    std::vector<std::pair<sim::SimTime, double>> packageTrace;
+    /** Per-request throttle stats (empty when unconditioned). */
+    std::vector<core::ThrottleStats> throttleStats;
+};
+
+/** System active power target used in the figure. */
+constexpr double kConditioningTargetW = 50.0;
+
+/** Virus injections start here. */
+constexpr sim::SimTime kVirusStart = sim::sec(10);
+
+/** Total experiment span. */
+constexpr sim::SimTime kRunSpan = sim::sec(22);
+
+inline ConditioningRun
+runConditioningExperiment(bool conditioned, std::uint64_t seed = 111)
+{
+    const hw::MachineConfig cfg = hw::sandyBridgeConfig();
+    auto model = std::make_shared<core::LinearPowerModel>(
+        wl::calibrateModel(cfg, core::ModelKind::WithChipShare));
+    wl::ServerWorld world(cfg, model);
+
+    core::PowerConditioner conditioner(
+        world.kernel(), world.manager(),
+        core::ConditionerConfig{kConditioningTargetW, 1});
+    world.kernel().addHooks(&conditioner);
+    conditioner.install();
+    if (conditioned)
+        conditioner.enable();
+
+    wl::GaeHybridApp app(seed);
+    app.deploy(world.kernel());
+    // Vosao foreground at peak load.
+    wl::ClientConfig ccfg;
+    ccfg.mode = wl::ClientConfig::Mode::ClosedLoop;
+    ccfg.concurrency = 2 * cfg.totalCores();
+    ccfg.seed = seed + 1;
+    ccfg.typeMix = {{"vosao-read", 0.9}, {"vosao-write", 0.1}};
+    wl::LoadClient client(app, world.kernel(), ccfg);
+    client.start();
+
+    // Sporadic power viruses from t = 10 s, ~1/s.
+    auto rng = std::make_shared<sim::Rng>(seed + 2);
+    std::function<void()> inject = [&world, &app, rng, &inject] {
+        os::RequestId id = world.requests().create(
+            wl::GaeHybridApp::virusType(), world.sim().now());
+        app.submit(id, wl::GaeHybridApp::virusType());
+        world.sim().schedule(sim::secF(rng->exponential(1.0)),
+                             inject);
+    };
+    world.sim().scheduleAt(kVirusStart, inject);
+
+    // Trace package power in 250 ms averages.
+    ConditioningRun run;
+    sim::SimTime step = sim::msec(250);
+    for (sim::SimTime t = step; t <= kRunSpan; t += step) {
+        double before = world.machine().packageEnergyJ(0);
+        sim::SimTime t0 = world.sim().now();
+        world.run(t - t0);
+        double watts = (world.machine().packageEnergyJ(0) - before) /
+            sim::toSeconds(world.sim().now() - t0);
+        run.packageTrace.emplace_back(world.sim().now(), watts);
+    }
+    client.stop();
+
+    for (const auto &[id, stats] : conditioner.stats())
+        run.throttleStats.push_back(stats);
+    return run;
+}
+
+} // namespace bench
+} // namespace pcon
+
+#endif // PCON_BENCH_CONDITIONING_COMMON_H

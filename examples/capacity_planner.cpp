@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Capacity planning with request energy profiles (Section 4.2's
+ * prediction machinery as a tool): calibrate once and persist the
+ * model, profile the live mix with power containers, then answer
+ * "what would the power draw be under composition X at rate Y?"
+ * without running X — and flag plans that break a power budget.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "core/model_store.h"
+#include "core/prediction.h"
+#include "core/profiles.h"
+#include "workloads/apps.h"
+#include "workloads/client.h"
+#include "workloads/experiment.h"
+#include "workloads/microbench.h"
+
+using namespace pcon;
+
+int
+main()
+{
+    // 1. Calibrate once and persist; a deployment reloads at boot.
+    const std::string model_path = "sandybridge.model";
+    core::saveModel(wl::calibrateModel(hw::sandyBridgeConfig(),
+                                       core::ModelKind::WithChipShare),
+                    model_path);
+    auto model = std::make_shared<core::LinearPowerModel>(
+        core::loadModelFile(model_path));
+    std::printf("Loaded calibrated model from %s:\n  %s\n\n",
+                model_path.c_str(), model->describe().c_str());
+
+    // 2. Profile the live workload with power containers.
+    wl::ServerWorld world(hw::sandyBridgeConfig(), model);
+    wl::RsaCryptoApp app(3);
+    app.deploy(world.kernel());
+    wl::LoadClient client(app, world.kernel(),
+                          wl::LoadClient::forUtilization(
+                              app, world.kernel(), 0.6, 4));
+    client.start();
+    world.run(sim::sec(2));
+    world.beginWindow();
+    hw::CounterSnapshot c0 = world.machine().readCounters(0);
+    double busy0 = 0, elapsed0 = 0;
+    for (int c = 0; c < world.machine().totalCores(); ++c) {
+        hw::CounterSnapshot s = world.machine().readCounters(c);
+        busy0 += s.nonhaltCycles;
+        elapsed0 += s.elapsedCycles;
+    }
+    sim::SimTime t0 = world.sim().now();
+    world.run(sim::sec(20));
+    client.stop();
+    double window_s = sim::toSeconds(world.sim().now() - t0);
+    (void)c0;
+
+    core::ProfileTable profiles;
+    profiles.add(world.manager().records());
+    core::ObservedWorkload observed;
+    observed.activePowerW = world.measuredActiveW();
+    double busy1 = 0, elapsed1 = 0;
+    for (int c = 0; c < world.machine().totalCores(); ++c) {
+        hw::CounterSnapshot s = world.machine().readCounters(c);
+        busy1 += s.nonhaltCycles;
+        elapsed1 += s.elapsedCycles;
+    }
+    observed.cpuUtilization = (busy1 - busy0) / (elapsed1 - elapsed0);
+    for (const auto &[type, stat] : client.responseStats())
+        observed.composition[type] =
+            static_cast<double>(stat.count()) / window_s;
+
+    std::printf("Observed workload: %.1f W active at %.0f%% "
+                "utilization.\nPer-type profiles:\n",
+                observed.activePowerW,
+                observed.cpuUtilization * 100);
+    for (const auto &[type, p] : profiles.all())
+        std::printf("  %-12s %.4f J/req, %.1f ms CPU\n", type.c_str(),
+                    p.meanEnergyJ, p.meanCpuTimeS * 1e3);
+
+    // 3. Evaluate hypothetical plans against a power budget.
+    core::CompositionPredictor predictor(
+        profiles, observed, world.machine().totalCores());
+    const double budget_w = 38.0;
+    struct Plan
+    {
+        const char *name;
+        core::Composition mix;
+    };
+    const Plan plans[] = {
+        {"status quo +30% volume",
+         {{"rsa-small", 70}, {"rsa-medium", 70}, {"rsa-large", 70}}},
+        {"shift to large keys", {{"rsa-large", 150}}},
+        {"shift to small keys", {{"rsa-small", 400}}},
+        {"mixed heavy", {{"rsa-medium", 120}, {"rsa-large", 120}}},
+    };
+    std::printf("\nPower budget: %.1f W active\n", budget_w);
+    std::printf("%-26s %12s %12s  %s\n", "plan", "pred. power",
+                "pred. util", "verdict");
+    for (const Plan &plan : plans) {
+        double watts = predictor.predictContainers(plan.mix);
+        double util = predictor.predictUtilization(plan.mix);
+        const char *verdict = util > 0.95 ? "OVER CAPACITY"
+            : watts > budget_w           ? "OVER POWER BUDGET"
+                                         : "fits";
+        std::printf("%-26s %10.1f W %11.0f%%  %s\n", plan.name,
+                    watts, util * 100, verdict);
+    }
+    std::remove(model_path.c_str());
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Quickstart: stand up a simulated SandyBridge server, calibrate the
+ * power model offline, deploy a workload, and read per-request power
+ * and energy from the power-container facility.
+ *
+ * Build and run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "core/profiles.h"
+#include "workloads/apps.h"
+#include "workloads/client.h"
+#include "workloads/experiment.h"
+#include "workloads/microbench.h"
+
+using namespace pcon;
+
+int
+main()
+{
+    // 1. Calibrate the event-driven power model offline, exactly as
+    //    Section 4.1 does: microbenchmarks at several load levels,
+    //    least-squares fit.
+    std::printf("Calibrating the SandyBridge power model...\n");
+    double rmse = 0.0;
+    auto model = std::make_shared<core::LinearPowerModel>(
+        wl::calibrateModel(hw::sandyBridgeConfig(),
+                           core::ModelKind::WithChipShare, &rmse));
+    std::printf("  %s\n  fit RMSE %.2f W\n\n",
+                model->describe().c_str(), rmse);
+
+    // 2. Build a server world. The ServerWorld wires the container
+    //    manager into the kernel; every request gets a container.
+    wl::ServerWorld world(hw::sandyBridgeConfig(), model);
+
+    // 3. Deploy an application and drive it at half load.
+    wl::RsaCryptoApp app(/*seed=*/1);
+    app.deploy(world.kernel());
+    wl::LoadClient client(app, world.kernel(),
+                          wl::LoadClient::forUtilization(
+                              app, world.kernel(), 0.5));
+    client.start();
+    world.run(sim::sec(10));
+    client.stop();
+
+    // 4. Per-request accounting: each completed request carries its
+    //    attributed energy, CPU time, and mean power.
+    core::ProfileTable profiles;
+    profiles.add(world.manager().records());
+    std::printf("Completed %llu requests. Per-type profiles:\n",
+                static_cast<unsigned long long>(client.completed()));
+    for (const auto &[type, p] : profiles.all()) {
+        std::printf("  %-12s %6llu reqs   %.4f J/req   %.1f ms CPU   "
+                    "%.1f W mean\n",
+                    type.c_str(),
+                    static_cast<unsigned long long>(p.count),
+                    p.meanEnergyJ, p.meanCpuTimeS * 1e3,
+                    p.meanEnergyJ / p.meanCpuTimeS);
+    }
+
+    // 5. The headline validation (Figure 8): summed request power
+    //    tracks measured system active power.
+    world.beginWindow();
+    client.start();
+    world.run(sim::sec(5));
+    client.stop();
+    std::printf("\nValidation window: measured %.1f W active, "
+                "containers account %.1f W (error %.1f%%)\n",
+                world.measuredActiveW(), world.accountedActiveW(),
+                world.validationError() * 100.0);
+    return 0;
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Measurement/model alignment via signal-processing cross-correlation
+ * (Section 3.2, Equation 4, Figures 2 and 3). Power measurements
+ * arrive with an unknown lag (meter reporting delay plus I/O
+ * latency); the model estimate stream has negligible lag. Correlating
+ * the two at hypothetical delays recovers the lag so delayed
+ * measurements can recalibrate the model against the right windows.
+ */
+
+#ifndef PCON_CORE_ALIGNMENT_H
+#define PCON_CORE_ALIGNMENT_H
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace pcon {
+namespace core {
+
+/** Cross-correlation values over a range of hypothetical delays. */
+struct AlignmentScan
+{
+    /** Sample spacing of both input series. */
+    sim::SimTime period = 0;
+    /** Delay (in samples) of the first entry of `correlation`. */
+    long minDelaySamples = 0;
+    /** Correlation value per hypothetical delay. */
+    std::vector<double> correlation;
+    /** Delay (in samples) with the highest correlation. */
+    long bestDelaySamples = 0;
+    /** Best delay converted to time. */
+    sim::SimTime bestDelay = 0;
+    /** Correlation at the best delay. */
+    double bestCorrelation = 0;
+};
+
+/**
+ * Scan cross-correlation between a measurement series and a model
+ * series sampled at the same period.
+ *
+ * The convention matches Equation 4: a hypothetical delay of d
+ * samples pairs measurement sample at (arrival) index i with the
+ * model sample d positions earlier in wall-clock time. Only
+ * non-negative delays are physical, but the scan accepts a negative
+ * lower bound so the figure's full curve can be produced.
+ *
+ * @param measurement Measurement values, oldest first, arrival-time
+ *        indexed.
+ * @param model Model estimates, oldest first, estimate-time indexed.
+ *        Both series must start at the same wall-clock time.
+ * @param period Sample spacing.
+ * @param min_delay Smallest hypothetical delay to score, in samples.
+ * @param max_delay Largest hypothetical delay to score, in samples.
+ * @param centered Subtract each window's mean before multiplying
+ *        (more robust than the raw Equation 4 product; the raw form
+ *        is available for figure reproduction).
+ */
+AlignmentScan scanAlignment(const std::vector<double> &measurement,
+                            const std::vector<double> &model,
+                            sim::SimTime period, long min_delay,
+                            long max_delay, bool centered = true);
+
+/**
+ * Convenience: estimate the measurement delay (in time) scanning
+ * delays 0..max_delay_samples.
+ */
+sim::SimTime estimateDelay(const std::vector<double> &measurement,
+                           const std::vector<double> &model,
+                           sim::SimTime period, long max_delay_samples);
+
+/**
+ * Mixed-period alignment (Figure 2B): a coarse meter (e.g. Wattsup's
+ * 1 s readings) scanned against a fine model series at sub-period
+ * resolution. For each hypothetical delay (stepped at the fine
+ * period), every measurement sample is compared against the *average*
+ * of the fine model series over the measurement interval it would
+ * correspond to, and the Pearson correlation is reported.
+ *
+ * @param measurement Coarse samples, oldest first.
+ * @param measurement_start Wall-clock time of measurement[0]'s
+ *        arrival.
+ * @param measurement_period Spacing of the coarse samples (also the
+ *        physical averaging interval).
+ * @param model Fine model estimates, oldest first.
+ * @param model_start Wall-clock time of model[0]'s window end.
+ * @param model_period Spacing of the fine series; must divide into
+ *        measurement_period.
+ * @param min_delay / max_delay Hypothetical delay range (absolute
+ *        time, stepped by model_period).
+ */
+AlignmentScan scanAlignmentResampled(
+    const std::vector<double> &measurement,
+    sim::SimTime measurement_start, sim::SimTime measurement_period,
+    const std::vector<double> &model, sim::SimTime model_start,
+    sim::SimTime model_period, sim::SimTime min_delay,
+    sim::SimTime max_delay);
+
+} // namespace core
+} // namespace pcon
+
+#endif // PCON_CORE_ALIGNMENT_H

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Power anomaly detection. The paper's motivation (Section 1):
+ * power viruses "may appear accidentally or be devised maliciously;
+ * isolating per-client power attribution to identify such tasks ...
+ * is highly desirable". With per-request power profiles available,
+ * detection is a fleet-statistics problem: flag requests whose mean
+ * power sits far above the population.
+ */
+
+#ifndef PCON_CORE_ANOMALY_H
+#define PCON_CORE_ANOMALY_H
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/container_manager.h"
+#include "util/stats.h"
+
+namespace pcon {
+namespace core {
+
+/** Detector thresholds. */
+struct AnomalyDetectorConfig
+{
+    /** Flag when mean power exceeds fleet mean + k * stddev. */
+    double sigmaThreshold = 3.0;
+    /** Completed requests required before flagging begins. */
+    std::size_t minBaselineSamples = 30;
+    /** Additional absolute floor (Watts); 0 disables. */
+    double absoluteFloorW = 0;
+    /** Minimum on-CPU time before a live request is judged (ns). */
+    double minCpuTimeNs = 1e6;
+    /**
+     * Floor on the fleet standard deviation used in the threshold
+     * (Watts): a near-uniform fleet otherwise makes 3-sigma so tight
+     * that benign drift (e.g. online model recalibration shifting
+     * estimates by a watt) raises false alarms.
+     */
+    double minStddevW = 0.25;
+};
+
+/** One flagged request. */
+struct PowerAnomaly
+{
+    os::RequestId id = os::NoRequest;
+    std::string type;
+    /** The request's mean power, Watts. */
+    double meanPowerW = 0;
+    /** Fleet mean at flagging time. */
+    double fleetMeanW = 0;
+    /** Fleet standard deviation at flagging time. */
+    double fleetStddevW = 0;
+    /** True when the request was still executing when flagged. */
+    bool live = false;
+};
+
+/**
+ * Scans container records (and live containers) against fleet
+ * statistics. Poll scan() periodically — or after bursts — and act
+ * on the returned anomalies (e.g. hand them to the PowerConditioner
+ * or EnergyQuotaPolicy).
+ */
+class PowerAnomalyDetector
+{
+  public:
+    PowerAnomalyDetector(ContainerManager &manager,
+                         const AnomalyDetectorConfig &cfg = {});
+
+    /**
+     * Absorb new completions into the fleet baseline and return the
+     * requests (completed or live) newly crossing the threshold.
+     * Each request is reported at most once.
+     */
+    std::vector<PowerAnomaly> scan();
+
+    /** Fleet baseline statistics (completed requests' mean power). */
+    const util::RunningStat &fleet() const { return fleet_; }
+
+    /** All requests flagged so far. */
+    const std::vector<PowerAnomaly> &flagged() const
+    {
+        return flagged_;
+    }
+
+  private:
+    bool overThreshold(double mean_power_w) const;
+
+    ContainerManager &manager_;
+    AnomalyDetectorConfig cfg_;
+    util::RunningStat fleet_;
+    std::size_t recordsSeen_ = 0;
+    std::unordered_set<os::RequestId> reported_;
+    std::vector<PowerAnomaly> flagged_;
+};
+
+} // namespace core
+} // namespace pcon
+
+#endif // PCON_CORE_ANOMALY_H

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Offline power model calibration (Section 4.1): collect machine-level
+ * (metric vector, measured active power) samples from calibration
+ * microbenchmarks at several load levels, then least-squares-fit the
+ * model coefficients. Coefficients are physically non-negative, so the
+ * fit uses the non-negative solver.
+ */
+
+#ifndef PCON_CORE_CALIBRATION_H
+#define PCON_CORE_CALIBRATION_H
+
+#include <vector>
+
+#include "core/metrics.h"
+#include "core/power_model.h"
+
+namespace pcon {
+namespace core {
+
+/** One calibration observation. */
+struct CalibrationSample
+{
+    /** Machine-level (summed over cores) metric vector. */
+    Metrics metrics;
+    /** Measured *full* power over the same window, Watts. */
+    double measuredFullW = 0;
+};
+
+/**
+ * Fits LinearPowerModel coefficients from calibration samples. The
+ * idle term is fit as an intercept; active coefficients are fit
+ * non-negative.
+ */
+class Calibrator
+{
+  public:
+    /** Add one observation. */
+    void add(const CalibrationSample &sample);
+
+    /** Add many observations. */
+    void add(const std::vector<CalibrationSample> &samples);
+
+    /** Number of observations so far. */
+    std::size_t sampleCount() const { return samples_.size(); }
+
+    /** Observations collected so far. */
+    const std::vector<CalibrationSample> &samples() const
+    {
+        return samples_;
+    }
+
+    /**
+     * Fit a model of the given kind. fatal() when there are fewer
+     * samples than features.
+     * @return the fitted model with idle + active coefficients and
+     *         the fit RMSE recorded in `rmseW`.
+     */
+    LinearPowerModel fit(ModelKind kind, double *rmse_w = nullptr) const;
+
+    /**
+     * The maximum observed value of each metric across the samples
+     * (the Mmax of the paper's coefficient table in Section 4.1).
+     */
+    Metrics maxObserved() const;
+
+  private:
+    std::vector<CalibrationSample> samples_;
+};
+
+/** Residual diagnostics of a fitted model against a sample set. */
+struct CalibrationReport
+{
+    /** One group's residual summary (samples tagged with its label). */
+    struct GroupStats
+    {
+        std::string label;
+        std::size_t samples = 0;
+        /** Mean signed residual (model - measured), Watts. */
+        double meanResidualW = 0;
+        /** Root-mean-square residual, Watts. */
+        double rmseW = 0;
+        /** Largest absolute residual, Watts. */
+        double worstAbsW = 0;
+    };
+
+    /** Overall RMSE, Watts. */
+    double rmseW = 0;
+    /** Largest absolute residual overall, Watts. */
+    double worstAbsW = 0;
+    /** Label of the group with the worst RMSE. */
+    std::string worstGroup;
+    /** Per-group summaries, worst RMSE first. */
+    std::vector<GroupStats> groups;
+};
+
+/**
+ * Evaluate a model against labeled calibration samples: where does
+ * the event-linear model fit poorly? (McCullough et al. criticize
+ * model-based characterization for exactly such blind spots —
+ * Section 3.2 motivates recalibration with them.)
+ *
+ * @param model Model under evaluation.
+ * @param samples Sample set.
+ * @param labels One label per sample (e.g. the microbenchmark
+ *        pattern that produced it); sizes must match.
+ */
+CalibrationReport
+evaluateCalibration(const LinearPowerModel &model,
+                    const std::vector<CalibrationSample> &samples,
+                    const std::vector<std::string> &labels);
+
+} // namespace core
+} // namespace pcon
+
+#endif // PCON_CORE_CALIBRATION_H

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Fair request power conditioning (Sections 3.4 and 4.3): maintain a
+ * system-wide active power target; at each sampling interrupt,
+ * estimate the running request's *full-speed* power (duty-cycle
+ * scaling is approximately linear), derive its fair per-request
+ * budget from the number of busy cores, and choose a per-core
+ * duty-cycle level so power viruses are throttled while normal
+ * requests run at (almost) full speed.
+ */
+
+#ifndef PCON_CORE_CONDITIONING_H
+#define PCON_CORE_CONDITIONING_H
+
+#include <unordered_map>
+
+#include "core/container_manager.h"
+#include "os/hooks.h"
+#include "os/kernel.h"
+
+namespace pcon {
+namespace core {
+
+/** Which control actuator the conditioner drives. */
+enum class Actuator {
+    /** Processor duty-cycle modulation (the paper's mechanism). */
+    DutyCycle,
+    /**
+     * Per-core DVFS (extension): frequency scales linearly but power
+     * superlinearly, so at the same cap DVFS preserves more
+     * throughput than duty-cycle gating. See the actuator ablation.
+     */
+    Dvfs,
+};
+
+/** Conditioning policy parameters. */
+struct ConditionerConfig
+{
+    /** System active power target, Watts (e.g. 40 W in Figure 11). */
+    double systemActiveTargetW = 40.0;
+    /** Never throttle below this duty level. */
+    int minDutyLevel = 1;
+    /** Control actuator. */
+    Actuator actuator = Actuator::DutyCycle;
+};
+
+/** Per-request throttling observations (for Figure 12). */
+struct ThrottleStats
+{
+    os::RequestId id = os::NoRequest;
+    std::string type;
+    /** Mean estimated full-speed (original) power, Watts. */
+    double originalPowerW = 0;
+    /**
+     * Mean applied speed fraction (1.0 = unthrottled): the duty
+     * fraction under the DutyCycle actuator, the frequency ratio
+     * under Dvfs.
+     */
+    double meanDutyFraction = 1.0;
+    /** Number of adjustment observations. */
+    std::uint64_t observations = 0;
+};
+
+/**
+ * The conditioner. Register with kernel.addHooks() *after* the
+ * ContainerManager so each sampling interrupt sees a fresh power
+ * estimate, and call install() to take over the kernel duty policy.
+ */
+class PowerConditioner : public os::KernelHooks
+{
+  public:
+    PowerConditioner(os::Kernel &kernel, ContainerManager &manager,
+                     const ConditionerConfig &cfg = {});
+
+    /** Install the per-request duty policy on the kernel. */
+    void install();
+
+    /** Begin adjusting (idempotent). */
+    void enable() { enabled_ = true; }
+
+    /** Stop adjusting; requests return to full speed as they run. */
+    void disable() { enabled_ = false; }
+
+    // --- KernelHooks ---
+    void onSamplingInterrupt(int core) override;
+
+    /** Per-request throttle observations accumulated so far. */
+    const std::unordered_map<os::RequestId, ThrottleStats> &stats()
+        const
+    {
+        return stats_;
+    }
+
+    /** Forget per-request stats and duty assignments. */
+    void reset();
+
+    /** Duty level the policy would apply to a request right now. */
+    int levelFor(os::RequestId id) const;
+
+    /** P-state the policy would apply (Dvfs actuator). */
+    int pstateFor(os::RequestId id) const;
+
+  private:
+    void adjust(int core);
+    void adjustDuty(int core, os::RequestId context,
+                    double full_speed_w, double budget_w);
+    void adjustPState(int core, os::RequestId context,
+                      double full_speed_w, double budget_w);
+    void recordStats(os::RequestId context, double full_speed_w,
+                     double speed_fraction);
+    int busyCores() const;
+
+    os::Kernel &kernel_;
+    ContainerManager &manager_;
+    ConditionerConfig cfg_;
+    bool enabled_ = false;
+    std::unordered_map<os::RequestId, int> desiredLevel_;
+    std::unordered_map<os::RequestId, int> desiredPState_;
+    std::unordered_map<os::RequestId, ThrottleStats> stats_;
+};
+
+/**
+ * Baseline for comparison (Section 4.3): a uniform full-machine
+ * duty level that would keep active power at the target, assuming
+ * linear duty/power scaling from the given unthrottled power.
+ */
+int uniformThrottleLevel(double unthrottled_active_w, double target_w,
+                         int duty_denom);
+
+} // namespace core
+} // namespace pcon
+
+#endif // PCON_CORE_CONDITIONING_H

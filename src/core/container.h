@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The per-request power container state (Section 3.3/3.5): cumulative
+ * event counters, modeled energy, CPU time, and the most recent power
+ * estimate for one request context. In the paper this is a 784-byte
+ * kernel structure with locks and a reference count; the simulator is
+ * single-threaded, so the locks are represented by a placeholder pad
+ * and the reference count by explicit lifecycle management in the
+ * ContainerManager.
+ */
+
+#ifndef PCON_CORE_CONTAINER_H
+#define PCON_CORE_CONTAINER_H
+
+#include <cstdint>
+#include <string>
+
+#include "hw/counters.h"
+#include "os/request_context.h"
+#include "sim/time.h"
+
+namespace pcon {
+namespace core {
+
+/** Accounting state for one request context. */
+class PowerContainer
+{
+  public:
+    /** Request this container accounts for (0 = background). */
+    os::RequestId id = os::NoRequest;
+    /** Request type tag copied from the context manager. */
+    std::string type;
+    /** Creation time of the container. */
+    sim::SimTime createdAt = 0;
+
+    /** Cumulative attributed hardware events. */
+    hw::CounterSnapshot events{};
+    /** Modeled CPU/memory active energy attributed so far, Joules. */
+    double cpuEnergyJ = 0;
+    /** Device (disk/NIC) energy attributed so far, Joules. */
+    double ioEnergyJ = 0;
+    /** Cumulative on-CPU (non-halt) time, nanoseconds. */
+    double cpuTimeNs = 0;
+    /** Most recent modeled power while executing, Watts. */
+    double lastPowerW = 0;
+    /** Number of attribution samples folded in. */
+    std::uint64_t sampleCount = 0;
+    /** Number of tasks currently bound (paper's reference count). */
+    std::int32_t refCount = 0;
+
+    /** Total attributed energy (CPU + devices). */
+    double totalEnergyJ() const { return cpuEnergyJ + ioEnergyJ; }
+
+    /**
+     * Mean power over the request's execution: attributed energy per
+     * second of on-CPU time (a request draws no CPU power while
+     * blocked). Zero before any CPU time accrues.
+     */
+    double
+    meanPowerW() const
+    {
+        if (cpuTimeNs <= 0)
+            return 0.0;
+        return cpuEnergyJ / (cpuTimeNs * 1e-9);
+    }
+};
+
+/**
+ * Snapshot of a completed request, recorded at completion time for
+ * the distribution/validation analyses (Figures 6, 7, 13).
+ */
+struct RequestRecord
+{
+    os::RequestId id = os::NoRequest;
+    std::string type;
+    /** Arrival and completion (dispatch-side response) times. */
+    sim::SimTime created = 0;
+    sim::SimTime completed = 0;
+    /** Cumulative attributed hardware events. */
+    hw::CounterSnapshot events{};
+    /** Totals copied from the container at completion. */
+    double cpuEnergyJ = 0;
+    double ioEnergyJ = 0;
+    double cpuTimeNs = 0;
+    double meanPowerW = 0;
+
+    /** End-to-end response time. */
+    sim::SimTime responseTime() const { return completed - created; }
+
+    /** Total attributed energy. */
+    double totalEnergyJ() const { return cpuEnergyJ + ioEnergyJ; }
+};
+
+} // namespace core
+} // namespace pcon
+
+#endif // PCON_CORE_CONTAINER_H

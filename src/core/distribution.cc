@@ -1,0 +1,284 @@
+#include "distribution.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace pcon {
+namespace core {
+
+using util::fatalIf;
+
+RequestDispatcher::RequestDispatcher(
+    DistributionPolicy policy, std::vector<DispatcherMachine> machines,
+    const DispatcherConfig &cfg)
+    : policy_(policy), machines_(std::move(machines)), cfg_(cfg),
+      profiles_(machines_.size()), rng_(cfg.rngSeed),
+      utilWindows_(machines_.size())
+{
+    fatalIf(machines_.empty(), "dispatcher needs machines");
+    for (const DispatcherMachine &m : machines_)
+        fatalIf(m.kernel == nullptr, "dispatcher machine without kernel");
+    fatalIf(cfg.utilizationCap <= 0 || cfg.utilizationCap > 1,
+            "utilization cap must be in (0, 1]");
+    fatalIf(policy == DistributionPolicy::WorkloadAware &&
+                machines_.size() < 2,
+            "WorkloadAware distribution needs at least two machines");
+}
+
+std::map<std::string, double>
+RequestDispatcher::preferredFractions() const
+{
+    std::map<std::string, double> first;
+    for (const auto &[type, fractions] : assignment_)
+        first[type] = fractions.empty() ? 0.0 : fractions.front();
+    return first;
+}
+
+void
+RequestDispatcher::setProfiles(std::size_t machine,
+                               const ProfileTable &table)
+{
+    fatalIf(machine >= machines_.size(), "machine index out of range");
+    profiles_[machine] = table;
+}
+
+void
+RequestDispatcher::setReservedUtilization(double reserved)
+{
+    fatalIf(reserved < 0 || reserved >= 1,
+            "reserved utilization out of [0, 1)");
+    cfg_.reservedUtilization = reserved;
+}
+
+double
+RequestDispatcher::utilization(std::size_t machine)
+{
+    fatalIf(machine >= machines_.size(), "machine index out of range");
+    os::Kernel *kernel = machines_[machine].kernel;
+    hw::Machine &hw_machine = kernel->machine();
+    UtilWindow &window = utilWindows_[machine];
+
+    // Refresh the utilization estimate at most every 10 ms.
+    constexpr sim::SimTime refresh = sim::msec(10);
+    sim::SimTime now = kernel->simulation().now();
+    if (window.at >= 0 && now - window.at < refresh)
+        return window.util;
+
+    double nonhalt = 0, elapsed = 0;
+    for (int c = 0; c < hw_machine.totalCores(); ++c) {
+        hw::CounterSnapshot counters = hw_machine.readCounters(c);
+        nonhalt += counters.nonhaltCycles;
+        elapsed += counters.elapsedCycles;
+    }
+    if (window.at >= 0 && elapsed > window.elapsed) {
+        window.util = (nonhalt - window.nonhalt) /
+            (elapsed - window.elapsed);
+    }
+    window.nonhalt = nonhalt;
+    window.elapsed = elapsed;
+    window.at = now;
+    return window.util;
+}
+
+std::size_t
+RequestDispatcher::dispatch(const std::string &type, sim::SimTime now)
+{
+    recordArrival(type, now);
+    switch (policy_) {
+      case DistributionPolicy::SimpleLoadBalance:
+        return dispatchSimple();
+      case DistributionPolicy::MachineAware:
+        return dispatchMachineAware();
+      case DistributionPolicy::WorkloadAware:
+        return dispatchWorkloadAware(type, now);
+    }
+    util::panic("unknown distribution policy");
+}
+
+std::size_t
+RequestDispatcher::dispatchSimple()
+{
+    // "Directing an equal amount of load to each machine": strict
+    // round-robin, oblivious to capacity and heterogeneity.
+    return roundRobin_++ % machines_.size();
+}
+
+std::size_t
+RequestDispatcher::dispatchLeastUtilized()
+{
+    std::size_t best = 0;
+    double best_util = utilization(0);
+    for (std::size_t m = 1; m < machines_.size(); ++m) {
+        double u = utilization(m);
+        if (u < best_util) {
+            best = m;
+            best_util = u;
+        }
+    }
+    return best;
+}
+
+std::size_t
+RequestDispatcher::dispatchMachineAware()
+{
+    // Machines are listed most efficient first: fill in order up to
+    // the healthy-utilization cap, oblivious to the request type.
+    for (std::size_t m = 0; m < machines_.size(); ++m)
+        if (utilization(m) < cfg_.utilizationCap)
+            return m;
+    return dispatchLeastUtilized();
+}
+
+std::size_t
+RequestDispatcher::dispatchWorkloadAware(const std::string &type,
+                                         sim::SimTime now)
+{
+    // Like machine-aware, first load up the most efficient machine...
+    if (utilization(0) < cfg_.utilizationCap)
+        return 0;
+    // ...but choose *which* requests overflow by workload affinity:
+    // types with a low cross-machine energy ratio (they lose most by
+    // moving) keep claiming the efficient machines; the rest spill
+    // down the efficiency order first.
+    recomputeAssignment(now);
+    auto it = assignment_.find(type);
+    if (it == assignment_.end()) {
+        // Unknown type: overflow to the least efficient machine.
+        return machines_.size() - 1;
+    }
+    const std::vector<double> &fractions = it->second;
+
+    // Fully-affine types never spill from their primary machine: a
+    // short queue on the right machine costs less than execution on
+    // the wrong one (the partition keeps their demand within the
+    // planned budget).
+    for (std::size_t m = 0; m < fractions.size(); ++m)
+        if (fractions[m] >= 0.999)
+            return m;
+
+    // Sample the fraction vector, skipping saturated machines (the
+    // last machine is always eligible).
+    std::vector<double> weights = fractions;
+    for (std::size_t m = 0; m + 1 < weights.size(); ++m)
+        if (weights[m] > 0 && utilization(m) >= kHardCap)
+            weights[m] = 0;
+    double total = 0;
+    for (double w : weights)
+        total += w;
+    if (total <= 0)
+        return machines_.size() - 1;
+    return rng_.weightedIndex(weights);
+}
+
+void
+RequestDispatcher::recordArrival(const std::string &type,
+                                 sim::SimTime now)
+{
+    std::deque<sim::SimTime> &times = arrivals_[type];
+    times.push_back(now);
+    sim::SimTime horizon = now - cfg_.rateWindow;
+    while (!times.empty() && times.front() < horizon)
+        times.pop_front();
+}
+
+double
+RequestDispatcher::estimatedRate(const std::string &type,
+                                 sim::SimTime now) const
+{
+    auto it = arrivals_.find(type);
+    if (it == arrivals_.end() || it->second.empty())
+        return 0.0;
+    (void)now;
+    return static_cast<double>(it->second.size()) /
+        sim::toSeconds(cfg_.rateWindow);
+}
+
+void
+RequestDispatcher::recomputeAssignment(sim::SimTime now)
+{
+    // Preferential placement, cascaded down the efficiency order:
+    // for each machine (most efficient first), rank the types whose
+    // demand is not yet placed by the cross-machine energy ratio
+    // E(this machine) / min E(remaining machines) — the types that
+    // benefit most claim this machine's capacity first; boundary
+    // types split probabilistically; the least efficient machine
+    // absorbs whatever remains.
+    std::size_t n = machines_.size();
+    assignment_.clear();
+
+    // Remaining (unplaced) fraction per type; only types with a
+    // profile on every machine participate.
+    std::map<std::string, double> remaining;
+    for (const auto &[type, profile] : profiles_[0].all()) {
+        bool everywhere = profile.meanEnergyJ > 0;
+        for (std::size_t m = 1; m < n && everywhere; ++m)
+            everywhere = profiles_[m].has(type) &&
+                profiles_[m].profile(type).meanEnergyJ > 0;
+        if (everywhere) {
+            remaining[type] = 1.0;
+            assignment_[type].assign(n, 0.0);
+        }
+    }
+
+    for (std::size_t m = 0; m + 1 < n; ++m) {
+        struct Entry
+        {
+            std::string type;
+            double ratio;
+            double demand; // busy-seconds/s of the unplaced share
+        };
+        std::vector<Entry> entries;
+        for (const auto &[type, share] : remaining) {
+            if (share <= 0)
+                continue;
+            double here = profiles_[m].profile(type).meanEnergyJ;
+            double best_rest = here;
+            for (std::size_t k = m + 1; k < n; ++k)
+                best_rest = std::min(
+                    best_rest,
+                    profiles_[k].profile(type).meanEnergyJ);
+            double rate = estimatedRate(type, now) * share;
+            entries.push_back(
+                Entry{type, here / best_rest,
+                      rate * profiles_[m].profile(type).meanCpuTimeS});
+        }
+        std::sort(entries.begin(), entries.end(),
+                  [](const Entry &a, const Entry &b) {
+                      return a.ratio < b.ratio;
+                  });
+
+        // The affine types may claim this machine all the way to the
+        // saturation guard. Background (reserved) activity yields
+        // roughly half its quiet-time share once the machine is
+        // loaded — it competes round-robin with many runnable
+        // workers — so only the squeezed share is subtracted. (The
+        // reservation estimate applies to the preferred machine.)
+        int cores = machines_[m].kernel->machine().totalCores();
+        double reserved =
+            m == 0 ? 0.5 * cfg_.reservedUtilization : 0.0;
+        double budget = std::max(0.0, kBudgetFill - reserved) * cores;
+        for (const Entry &e : entries) {
+            double placed;
+            if (e.demand <= 0) {
+                placed = budget > 0 ? 1.0 : 0.0;
+            } else if (e.demand <= budget) {
+                placed = 1.0;
+                budget -= e.demand;
+            } else {
+                placed = budget / e.demand;
+                budget = 0.0;
+            }
+            double share = remaining[e.type];
+            assignment_[e.type][m] = share * placed;
+            remaining[e.type] = share * (1.0 - placed);
+        }
+    }
+
+    // The last machine absorbs all unplaced demand.
+    for (auto &[type, share] : remaining)
+        assignment_[type][n - 1] = share;
+}
+
+} // namespace core
+} // namespace pcon

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Heterogeneity-aware request distribution (Sections 3.4 and 4.4).
+ * A dispatcher chooses a machine for each incoming request under one
+ * of three policies:
+ *
+ *  - SimpleLoadBalance: equalize load, oblivious to heterogeneity;
+ *  - MachineAware: fill the most energy-efficient machine to a
+ *    healthy utilization cap first, oblivious to request types;
+ *  - WorkloadAware: additionally use container-derived per-type
+ *    energy profiles to decide *which* requests overflow — types
+ *    whose cross-machine energy ratio is high (they lose least by
+ *    moving) spill to the less efficient machine first.
+ */
+
+#ifndef PCON_CORE_DISTRIBUTION_H
+#define PCON_CORE_DISTRIBUTION_H
+
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/profiles.h"
+#include "os/kernel.h"
+#include "sim/rng.h"
+
+namespace pcon {
+namespace core {
+
+/** The three request distribution policies of Section 4.4. */
+enum class DistributionPolicy {
+    SimpleLoadBalance,
+    MachineAware,
+    WorkloadAware,
+};
+
+/** One machine the dispatcher can target. */
+struct DispatcherMachine
+{
+    /** Display name. */
+    std::string name;
+    /** Kernel (for live load queries). */
+    os::Kernel *kernel = nullptr;
+};
+
+/** Dispatcher tunables. */
+struct DispatcherConfig
+{
+    /**
+     * Utilization the heterogeneity-aware policies fill the
+     * preferred machine to before spilling (the paper uses ~70%).
+     */
+    double utilizationCap = 0.7;
+    /** Sliding window for per-type arrival-rate estimation. */
+    sim::SimTime rateWindow = sim::sec(2);
+    /** Seed for the probabilistic boundary split. */
+    std::uint64_t rngSeed = 99;
+    /**
+     * Utilization of the preferred machine consumed by non-request
+     * activity (e.g. GAE platform background tasks), measured during
+     * a quiet period; the WorkloadAware busy-time budget excludes it.
+     */
+    double reservedUtilization = 0.0;
+};
+
+/**
+ * Chooses a target machine per request. Machines are listed most
+ * energy-efficient first. WorkloadAware requires per-machine profile
+ * tables (from a container-profiled run of each type on each
+ * machine); it supports the paper's two-machine setup and generalizes
+ * to N machines by cascading the affine-first fill down the
+ * efficiency order.
+ */
+class RequestDispatcher
+{
+  public:
+    RequestDispatcher(DistributionPolicy policy,
+                      std::vector<DispatcherMachine> machines,
+                      const DispatcherConfig &cfg = {});
+
+    /**
+     * Provide the learned per-type profiles for one machine (indexed
+     * as in the constructor's machine list).
+     */
+    void setProfiles(std::size_t machine, const ProfileTable &table);
+
+    /** Update the reserved (non-request) utilization estimate. */
+    void setReservedUtilization(double reserved);
+
+    /**
+     * Pick the machine for an incoming request.
+     * @param type Request type tag.
+     * @param now Arrival time (drives rate estimation).
+     * @return index into the machine list.
+     */
+    std::size_t dispatch(const std::string &type, sim::SimTime now);
+
+    /**
+     * Recent CPU utilization of a machine: non-halt over elapsed
+     * cycles across all cores, over a short sliding window. (Queue
+     * lengths overestimate pressure in pooled servers where blocked
+     * workers dominate; instantaneous busy-core counts quantize too
+     * coarsely on small machines.)
+     */
+    double utilization(std::size_t machine);
+
+    /** Active policy. */
+    DistributionPolicy policy() const { return policy_; }
+
+    /**
+     * WorkloadAware internals, exposed for inspection: fraction of
+     * each type currently routed to the most-preferred machine.
+     */
+    std::map<std::string, double> preferredFractions() const;
+
+    /** Full per-type fraction vectors over all machines. */
+    const std::map<std::string, std::vector<double>> &assignment()
+        const
+    {
+        return assignment_;
+    }
+
+  private:
+    /**
+     * Per-arrival saturation guard: with the preferred machine's
+     * recent utilization at/above this, even affine requests spill.
+     * Deliberately lax — short queues on the efficient machine are
+     * cheaper than running affine work on the wrong machine.
+     */
+    static constexpr double kHardCap = 0.98;
+    /** Fraction of the preferred machine's capacity the affine-first
+     *  partition may plan for (leaves headroom against estimate
+     *  error so queues stay bounded). */
+    static constexpr double kBudgetFill = 0.88;
+
+    struct UtilWindow
+    {
+        double nonhalt = 0;
+        double elapsed = 0;
+        sim::SimTime at = -1;
+        double util = 0;
+    };
+
+    std::size_t dispatchSimple();
+    std::size_t dispatchLeastUtilized();
+    std::size_t dispatchMachineAware();
+    std::size_t dispatchWorkloadAware(const std::string &type,
+                                      sim::SimTime now);
+    void recordArrival(const std::string &type, sim::SimTime now);
+    double estimatedRate(const std::string &type,
+                         sim::SimTime now) const;
+    void recomputeAssignment(sim::SimTime now);
+
+    DistributionPolicy policy_;
+    std::vector<DispatcherMachine> machines_;
+    DispatcherConfig cfg_;
+    std::vector<ProfileTable> profiles_;
+    std::map<std::string, std::deque<sim::SimTime>> arrivals_;
+    std::map<std::string, std::vector<double>> assignment_;
+    sim::Rng rng_;
+    std::uint64_t roundRobin_ = 0;
+    std::vector<UtilWindow> utilWindows_;
+    /**
+     * WorkloadAware's admitted busy-seconds budget on the preferred
+     * machine, steered by utilization feedback toward kFillTarget so
+     * demand-estimate and background-squeeze errors wash out.
+     */
+    double adaptiveBudget_ = -1.0;
+};
+
+} // namespace core
+} // namespace pcon
+
+#endif // PCON_CORE_DISTRIBUTION_H

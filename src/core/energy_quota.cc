@@ -1,0 +1,72 @@
+#include "energy_quota.h"
+
+#include "util/logging.h"
+
+namespace pcon {
+namespace core {
+
+EnergyQuotaPolicy::EnergyQuotaPolicy(os::Kernel &kernel,
+                                     ContainerManager &manager,
+                                     const EnergyQuotaConfig &cfg)
+    : kernel_(kernel), manager_(manager), cfg_(cfg)
+{
+    util::fatalIf(cfg.throttledLevel < 1 ||
+                      cfg.throttledLevel >
+                          kernel.machine().config().dutyDenom,
+                  "bad throttled duty level");
+    for (const auto &[type, budget] : cfg.budgetJ)
+        util::fatalIf(budget <= 0, "non-positive budget for ", type);
+}
+
+void
+EnergyQuotaPolicy::install()
+{
+    kernel_.setDutyPolicy(
+        [this](const os::Task &task) { return levelFor(task.context); });
+}
+
+double
+EnergyQuotaPolicy::budgetFor(const std::string &type) const
+{
+    auto it = cfg_.budgetJ.find(type);
+    if (it != cfg_.budgetJ.end())
+        return it->second;
+    return cfg_.defaultBudgetJ;
+}
+
+int
+EnergyQuotaPolicy::levelFor(os::RequestId id) const
+{
+    int full = kernel_.machine().config().dutyDenom;
+    if (!enabled_)
+        return full;
+    return throttled_.count(id) > 0 ? cfg_.throttledLevel : full;
+}
+
+void
+EnergyQuotaPolicy::onSamplingInterrupt(int core)
+{
+    if (!enabled_)
+        return;
+    os::Task *task = kernel_.runningTask(core);
+    if (task == nullptr || task->context == os::NoRequest)
+        return;
+    PowerContainer *container = manager_.container(task->context);
+    if (container == nullptr)
+        return;
+    double budget = budgetFor(container->type);
+    if (budget <= 0 || container->totalEnergyJ() <= budget)
+        return;
+    auto [it, inserted] = throttled_.emplace(task->context, true);
+    (void)it;
+    if (inserted)
+        ++stats_.overBudgetRequests;
+    int level = cfg_.throttledLevel;
+    if (kernel_.machine().dutyLevel(core) != level) {
+        kernel_.setDutyLevel(core, level);
+        ++stats_.throttleActivations;
+    }
+}
+
+} // namespace core
+} // namespace pcon

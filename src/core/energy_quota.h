@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Per-request energy quota enforcement. Section 3.3 motivates
+ * "request-specific power and energy control (e.g., speed throttling)
+ * according to request-level policies on resource usage and
+ * quality-of-service"; the paper's case study conditions *power*.
+ * This policy conditions cumulative *energy*: a request that exceeds
+ * its type's energy budget is slowed to a configurable duty level
+ * (soft enforcement) so runaway requests cannot burn unbounded energy
+ * at full speed while well-behaved requests are untouched.
+ */
+
+#ifndef PCON_CORE_ENERGY_QUOTA_H
+#define PCON_CORE_ENERGY_QUOTA_H
+
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "core/container_manager.h"
+#include "os/hooks.h"
+#include "os/kernel.h"
+
+namespace pcon {
+namespace core {
+
+/** Quota policy parameters. */
+struct EnergyQuotaConfig
+{
+    /** Budget per request type, Joules. */
+    std::map<std::string, double> budgetJ;
+    /** Budget for types not listed (<= 0: unlimited). */
+    double defaultBudgetJ = 0;
+    /** Duty level applied to over-budget requests. */
+    int throttledLevel = 1;
+};
+
+/** Per-request quota observations. */
+struct QuotaStats
+{
+    std::uint64_t overBudgetRequests = 0;
+    std::uint64_t throttleActivations = 0;
+};
+
+/**
+ * The enforcement hooks. Register after the ContainerManager and call
+ * install() to take over the kernel's duty policy. (Compose with
+ * PowerConditioner by installing only one of the two and chaining the
+ * other's levelFor() inside a custom policy if both are needed.)
+ */
+class EnergyQuotaPolicy : public os::KernelHooks
+{
+  public:
+    EnergyQuotaPolicy(os::Kernel &kernel, ContainerManager &manager,
+                      const EnergyQuotaConfig &cfg);
+
+    /** Install the duty policy on the kernel. */
+    void install();
+
+    /** Begin enforcing (idempotent). */
+    void enable() { enabled_ = true; }
+
+    /** Stop enforcing; throttled requests recover at next switch. */
+    void disable() { enabled_ = false; }
+
+    // --- KernelHooks ---
+    void onSamplingInterrupt(int core) override;
+
+    /** Duty level the policy assigns a request right now. */
+    int levelFor(os::RequestId id) const;
+
+    /** True when the request has exceeded its budget. */
+    bool overBudget(os::RequestId id) const
+    {
+        return throttled_.count(id) > 0;
+    }
+
+    /** Enforcement statistics. */
+    const QuotaStats &stats() const { return stats_; }
+
+  private:
+    double budgetFor(const std::string &type) const;
+
+    os::Kernel &kernel_;
+    ContainerManager &manager_;
+    EnergyQuotaConfig cfg_;
+    bool enabled_ = false;
+    std::unordered_map<os::RequestId, bool> throttled_;
+    QuotaStats stats_;
+};
+
+} // namespace core
+} // namespace pcon
+
+#endif // PCON_CORE_ENERGY_QUOTA_H

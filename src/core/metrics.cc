@@ -1,0 +1,40 @@
+#include "metrics.h"
+
+#include "util/logging.h"
+
+namespace pcon {
+namespace core {
+
+Metrics
+Metrics::fromCounterDelta(const hw::CounterSnapshot &delta)
+{
+    Metrics m;
+    if (delta.elapsedCycles <= 0)
+        return m;
+    double elapsed = delta.elapsedCycles;
+    m.set(Metric::Core, delta.nonhaltCycles / elapsed);
+    m.set(Metric::Ins, delta.instructions / elapsed);
+    m.set(Metric::Float, delta.flops / elapsed);
+    m.set(Metric::Cache, delta.llcRefs / elapsed);
+    m.set(Metric::Mem, delta.memTxns / elapsed);
+    return m;
+}
+
+std::string
+Metrics::name(Metric m)
+{
+    switch (m) {
+      case Metric::Core: return "core";
+      case Metric::Ins: return "ins";
+      case Metric::Float: return "float";
+      case Metric::Cache: return "cache";
+      case Metric::Mem: return "mem";
+      case Metric::ChipShare: return "chipshare";
+      case Metric::Disk: return "disk";
+      case Metric::Net: return "net";
+    }
+    util::panic("unknown metric");
+}
+
+} // namespace core
+} // namespace pcon

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The power model's input metrics (Section 3.1). All event metrics
+ * are frequencies per *elapsed* core cycle, so a half-utilized core
+ * contributes half the rates — summing per-core metrics yields the
+ * machine-level metric vector Equation 1/2 is calibrated against.
+ */
+
+#ifndef PCON_CORE_METRICS_H
+#define PCON_CORE_METRICS_H
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "hw/counters.h"
+
+namespace pcon {
+namespace core {
+
+/** Index of each metric in the model's feature vector. */
+enum class Metric : std::size_t {
+    /** Core utilization: non-halt cycles / elapsed cycles. */
+    Core = 0,
+    /** Retired instructions per elapsed cycle. */
+    Ins,
+    /** Floating point operations per elapsed cycle. */
+    Float,
+    /** Last-level cache references per elapsed cycle. */
+    Cache,
+    /** Memory transactions per elapsed cycle. */
+    Mem,
+    /** Share of on-chip maintenance power (Equation 3), 0..1. */
+    ChipShare,
+    /** Disk busy fraction attributable to the principal. */
+    Disk,
+    /** NIC busy fraction attributable to the principal. */
+    Net,
+};
+
+/** Number of metrics in the full model. */
+constexpr std::size_t NumMetrics = 8;
+
+/** A metric vector (one task-window or one machine-level sample). */
+class Metrics
+{
+  public:
+    /** All-zero metrics. */
+    Metrics() { values_.fill(0.0); }
+
+    /** Read one metric. */
+    double
+    get(Metric m) const
+    {
+        return values_[static_cast<std::size_t>(m)];
+    }
+
+    /** Write one metric. */
+    void
+    set(Metric m, double v)
+    {
+        values_[static_cast<std::size_t>(m)] = v;
+    }
+
+    /** Elementwise sum (aggregate cores into a machine vector). */
+    void
+    accumulate(const Metrics &other)
+    {
+        for (std::size_t i = 0; i < NumMetrics; ++i)
+            values_[i] += other.values_[i];
+    }
+
+    /** Raw feature array. */
+    const std::array<double, NumMetrics> &values() const
+    {
+        return values_;
+    }
+
+    /**
+     * Derive the five counter-based metrics from a counter delta.
+     * ChipShare/Disk/Net are not counter-derived and stay zero.
+     */
+    static Metrics fromCounterDelta(const hw::CounterSnapshot &delta);
+
+    /** Human-readable metric name ("core", "ins", ...). */
+    static std::string name(Metric m);
+
+  private:
+    std::array<double, NumMetrics> values_;
+};
+
+} // namespace core
+} // namespace pcon
+
+#endif // PCON_CORE_METRICS_H

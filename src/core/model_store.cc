@@ -1,0 +1,114 @@
+#include "model_store.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace pcon {
+namespace core {
+
+namespace {
+
+constexpr const char *kMagic = "pcon-power-model";
+constexpr int kVersion = 1;
+
+/** Metric from its serialized name; fatal() on unknown names. */
+Metric
+metricFromName(const std::string &name)
+{
+    for (std::size_t i = 0; i < NumMetrics; ++i) {
+        Metric m = static_cast<Metric>(i);
+        if (Metrics::name(m) == name)
+            return m;
+    }
+    util::fatal("unknown metric in model file: '", name, "'");
+}
+
+} // namespace
+
+void
+saveModel(const LinearPowerModel &model, std::ostream &out)
+{
+    out << kMagic << " v" << kVersion << "\n";
+    out << "kind="
+        << (model.kind() == ModelKind::WithChipShare ? "chipshare"
+                                                     : "core-only")
+        << "\n";
+    out << std::setprecision(17);
+    out << "idle=" << model.idleW() << "\n";
+    for (std::size_t i = 0; i < NumMetrics; ++i) {
+        Metric m = static_cast<Metric>(i);
+        out << Metrics::name(m) << "=" << model.coefficient(m)
+            << "\n";
+    }
+}
+
+void
+saveModel(const LinearPowerModel &model, const std::string &path)
+{
+    std::ofstream out(path, std::ios::trunc);
+    util::fatalIf(!out, "cannot write model file: ", path);
+    saveModel(model, out);
+}
+
+LinearPowerModel
+loadModel(std::istream &in)
+{
+    std::string magic, version;
+    in >> magic >> version;
+    util::fatalIf(magic != kMagic,
+                  "not a power model file (bad magic '", magic, "')");
+    util::fatalIf(version != "v1",
+                  "unsupported model file version '", version, "'");
+    std::string line;
+    std::getline(in, line); // consume the header's newline
+
+    LinearPowerModel model;
+    bool kind_seen = false;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::size_t eq = line.find('=');
+        util::fatalIf(eq == std::string::npos,
+                      "malformed model line: '", line, "'");
+        std::string key = line.substr(0, eq);
+        std::string value = line.substr(eq + 1);
+        if (key == "kind") {
+            util::fatalIf(value != "chipshare" && value != "core-only",
+                          "unknown model kind '", value, "'");
+            model = LinearPowerModel(
+                value == "chipshare" ? ModelKind::WithChipShare
+                                     : ModelKind::CoreEventsOnly);
+            kind_seen = true;
+            continue;
+        }
+        // Constructing the model resets coefficients, so the kind
+        // must precede them (as saveModel writes it).
+        util::fatalIf(!kind_seen,
+                      "model file: 'kind=' must precede coefficients");
+        double number = 0;
+        std::istringstream parse(value);
+        parse >> number;
+        util::fatalIf(parse.fail(),
+                      "non-numeric value in model line: '", line, "'");
+        if (key == "idle")
+            model.setIdleW(number);
+        else
+            model.setCoefficient(metricFromName(key), number);
+    }
+    util::fatalIf(!kind_seen, "model file missing 'kind='");
+    return model;
+}
+
+LinearPowerModel
+loadModelFile(const std::string &path)
+{
+    std::ifstream in(path);
+    util::fatalIf(!in, "cannot read model file: ", path);
+    return loadModel(in);
+}
+
+} // namespace core
+} // namespace pcon

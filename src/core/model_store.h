@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Persistence for calibrated power models. Offline calibration is
+ * run "once for each target machine configuration" (Section 3.1);
+ * a deployment stores the fitted coefficients and loads them at boot
+ * instead of recalibrating. Plain-text key=value format, versioned.
+ */
+
+#ifndef PCON_CORE_MODEL_STORE_H
+#define PCON_CORE_MODEL_STORE_H
+
+#include <iosfwd>
+#include <string>
+
+#include "core/power_model.h"
+
+namespace pcon {
+namespace core {
+
+/** Serialize a model to a stream (text, versioned). */
+void saveModel(const LinearPowerModel &model, std::ostream &out);
+
+/** Serialize a model to a file; fatal() when unwritable. */
+void saveModel(const LinearPowerModel &model, const std::string &path);
+
+/**
+ * Parse a model from a stream; fatal() on malformed input,
+ * unsupported version, or unknown metric names.
+ */
+LinearPowerModel loadModel(std::istream &in);
+
+/** Parse a model from a file; fatal() when unreadable. */
+LinearPowerModel loadModelFile(const std::string &path);
+
+} // namespace core
+} // namespace pcon
+
+#endif // PCON_CORE_MODEL_STORE_H

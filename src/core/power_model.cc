@@ -1,0 +1,45 @@
+#include "power_model.h"
+
+#include <sstream>
+
+namespace pcon {
+namespace core {
+
+double
+LinearPowerModel::estimateActiveW(const Metrics &metrics) const
+{
+    double power = 0.0;
+    for (std::size_t i = 0; i < NumMetrics; ++i) {
+        Metric m = static_cast<Metric>(i);
+        if (!usesMetric(m))
+            continue;
+        power += coefficients_[i] * metrics.values()[i];
+    }
+    return power;
+}
+
+bool
+LinearPowerModel::usesMetric(Metric m) const
+{
+    if (m == Metric::ChipShare)
+        return kind_ == ModelKind::WithChipShare;
+    return true;
+}
+
+std::string
+LinearPowerModel::describe() const
+{
+    std::ostringstream out;
+    out << "idle=" << idleW_ << "W";
+    for (std::size_t i = 0; i < NumMetrics; ++i) {
+        Metric m = static_cast<Metric>(i);
+        if (!usesMetric(m))
+            continue;
+        out << " " << Metrics::name(m) << "="
+            << coefficients_[i] << "W";
+    }
+    return out.str();
+}
+
+} // namespace core
+} // namespace pcon

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The event-driven linear power model of Equations 1 and 2. A model
+ * is a coefficient vector over the Metrics features plus an idle
+ * (intercept) term; Approach 1 of the evaluation omits the chip-share
+ * feature, Approach 2 includes it.
+ */
+
+#ifndef PCON_CORE_POWER_MODEL_H
+#define PCON_CORE_POWER_MODEL_H
+
+#include <array>
+#include <string>
+
+#include "core/metrics.h"
+
+namespace pcon {
+namespace core {
+
+/** Which features the model uses. */
+enum class ModelKind {
+    /** Equation 1: core-level events only (no chip share). */
+    CoreEventsOnly,
+    /** Equation 2: adds the shared chip maintenance power term. */
+    WithChipShare,
+};
+
+/**
+ * Linear active-power model: P_active = sum_i C_i * M_i, with a
+ * separate constant idle term for whole-power conversions. Thread of
+ * control: the calibrator writes coefficients once offline; the
+ * online recalibrator may overwrite them while accounting reads them.
+ */
+class LinearPowerModel
+{
+  public:
+    /** Zero model of the given kind. */
+    explicit LinearPowerModel(ModelKind kind = ModelKind::WithChipShare)
+        : kind_(kind)
+    {
+        coefficients_.fill(0.0);
+    }
+
+    /** Feature set. */
+    ModelKind kind() const { return kind_; }
+
+    /** Idle (constant) power term, Watts. */
+    double idleW() const { return idleW_; }
+
+    /** Set the idle term. */
+    void setIdleW(double w) { idleW_ = w; }
+
+    /** Coefficient of one metric, Watts per metric unit. */
+    double
+    coefficient(Metric m) const
+    {
+        return coefficients_[static_cast<std::size_t>(m)];
+    }
+
+    /** Set one coefficient. */
+    void
+    setCoefficient(Metric m, double c)
+    {
+        coefficients_[static_cast<std::size_t>(m)] = c;
+    }
+
+    /**
+     * Estimate active power for a metric vector (Equation 1/2). The
+     * chip-share feature is ignored under CoreEventsOnly.
+     */
+    double estimateActiveW(const Metrics &metrics) const;
+
+    /** Active + idle. */
+    double
+    estimateFullW(const Metrics &metrics) const
+    {
+        return idleW_ + estimateActiveW(metrics);
+    }
+
+    /** True when the model uses this feature. */
+    bool usesMetric(Metric m) const;
+
+    /** One-line textual dump of the coefficients. */
+    std::string describe() const;
+
+  private:
+    ModelKind kind_;
+    double idleW_ = 0.0;
+    std::array<double, NumMetrics> coefficients_;
+};
+
+} // namespace core
+} // namespace pcon
+
+#endif // PCON_CORE_POWER_MODEL_H

@@ -1,0 +1,69 @@
+#include "prediction.h"
+
+#include "util/logging.h"
+
+namespace pcon {
+namespace core {
+
+CompositionPredictor::CompositionPredictor(
+    const ProfileTable &profiles, const ObservedWorkload &observed,
+    int total_cores)
+    : profiles_(profiles), observed_(observed),
+      totalCores_(total_cores)
+{
+    util::fatalIf(total_cores <= 0, "need at least one core");
+    util::fatalIf(observed.activePowerW < 0,
+                  "negative observed power");
+}
+
+double
+CompositionPredictor::totalRate(const Composition &c)
+{
+    double total = 0.0;
+    for (const auto &[type, rate] : c) {
+        util::fatalIf(rate < 0, "negative request rate for ", type);
+        total += rate;
+    }
+    return total;
+}
+
+double
+CompositionPredictor::predictContainers(const Composition &next) const
+{
+    double power = 0.0;
+    for (const auto &[type, rate] : next)
+        power += rate * profiles_.profile(type).meanEnergyJ;
+    return power;
+}
+
+double
+CompositionPredictor::predictRateProportional(
+    const Composition &next) const
+{
+    double orig_rate = totalRate(observed_.composition);
+    util::fatalIf(orig_rate <= 0, "original workload had no requests");
+    return observed_.activePowerW * totalRate(next) / orig_rate;
+}
+
+double
+CompositionPredictor::predictUtilization(const Composition &next) const
+{
+    double busy_seconds_per_second = 0.0;
+    for (const auto &[type, rate] : next)
+        busy_seconds_per_second +=
+            rate * profiles_.profile(type).meanCpuTimeS;
+    return busy_seconds_per_second / totalCores_;
+}
+
+double
+CompositionPredictor::predictUtilizationProportional(
+    const Composition &next) const
+{
+    util::fatalIf(observed_.cpuUtilization <= 0,
+                  "original workload had zero utilization");
+    return observed_.activePowerW * predictUtilization(next) /
+        observed_.cpuUtilization;
+}
+
+} // namespace core
+} // namespace pcon

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Power prediction at new request compositions (Section 4.2,
+ * Figure 10). Given per-type request energy profiles learned on an
+ * original workload, predict system active power for a hypothetical
+ * composition (different type ratios and rates). Two baselines are
+ * provided: request-rate-proportional and CPU-utilization-
+ * proportional.
+ */
+
+#ifndef PCON_CORE_PREDICTION_H
+#define PCON_CORE_PREDICTION_H
+
+#include <map>
+#include <string>
+
+#include "core/profiles.h"
+
+namespace pcon {
+namespace core {
+
+/** A hypothetical workload: request arrival rate per type (req/s). */
+using Composition = std::map<std::string, double>;
+
+/** What was observed while profiling the original workload. */
+struct ObservedWorkload
+{
+    /** Original composition (req/s per type). */
+    Composition composition;
+    /** Measured system active power, Watts. */
+    double activePowerW = 0;
+    /** Mean CPU utilization (busy cores / total cores), 0..1. */
+    double cpuUtilization = 0;
+};
+
+/**
+ * Predicts active power for new compositions from container-derived
+ * per-type energy profiles, alongside the two baselines the paper
+ * compares against.
+ */
+class CompositionPredictor
+{
+  public:
+    /**
+     * @param profiles Per-type profiles from the original run.
+     * @param observed Aggregates of the original run.
+     * @param total_cores Core count (for utilization prediction).
+     */
+    CompositionPredictor(const ProfileTable &profiles,
+                         const ObservedWorkload &observed,
+                         int total_cores);
+
+    /**
+     * Power containers prediction: active power = sum over types of
+     * rate * mean energy per request (Joules/request * req/s = W).
+     */
+    double predictContainers(const Composition &next) const;
+
+    /**
+     * Baseline: power scales with the total request rate, ignoring
+     * per-type differences.
+     */
+    double predictRateProportional(const Composition &next) const;
+
+    /**
+     * Baseline: power scales with predicted CPU utilization, where
+     * utilization is predicted from per-type CPU-time profiles.
+     */
+    double predictUtilizationProportional(const Composition &next) const;
+
+    /** Predicted utilization of a composition (0..1, can exceed 1). */
+    double predictUtilization(const Composition &next) const;
+
+  private:
+    static double totalRate(const Composition &c);
+
+    ProfileTable profiles_;
+    ObservedWorkload observed_;
+    int totalCores_;
+};
+
+} // namespace core
+} // namespace pcon
+
+#endif // PCON_CORE_PREDICTION_H

@@ -1,0 +1,47 @@
+#include "profiles.h"
+
+#include "util/logging.h"
+
+namespace pcon {
+namespace core {
+
+void
+ProfileTable::add(const RequestRecord &record)
+{
+    TypeProfile &p = profiles_[record.type];
+    p.type = record.type;
+    double n = static_cast<double>(p.count);
+    p.meanEnergyJ =
+        (p.meanEnergyJ * n + record.totalEnergyJ()) / (n + 1);
+    p.meanCpuTimeS =
+        (p.meanCpuTimeS * n + record.cpuTimeNs * 1e-9) / (n + 1);
+    p.meanResponseS =
+        (p.meanResponseS * n +
+         sim::toSeconds(record.responseTime())) / (n + 1);
+    ++p.count;
+}
+
+void
+ProfileTable::add(const std::vector<RequestRecord> &records)
+{
+    for (const RequestRecord &r : records)
+        add(r);
+}
+
+const TypeProfile &
+ProfileTable::profile(const std::string &type) const
+{
+    auto it = profiles_.find(type);
+    util::fatalIf(it == profiles_.end(),
+                  "no profile for request type '", type, "'");
+    return it->second;
+}
+
+bool
+ProfileTable::has(const std::string &type) const
+{
+    return profiles_.find(type) != profiles_.end();
+}
+
+} // namespace core
+} // namespace pcon

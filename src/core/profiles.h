@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Per-request-type energy/time profiles learned from completed
+ * request records. These feed both the composition predictor
+ * (Figure 10) and the heterogeneity-aware dispatcher (Figures 13/14):
+ * a profile summarizes what one request of a type costs on a machine.
+ */
+
+#ifndef PCON_CORE_PROFILES_H
+#define PCON_CORE_PROFILES_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/container.h"
+
+namespace pcon {
+namespace core {
+
+/** Aggregate cost of one request type (on one machine). */
+struct TypeProfile
+{
+    std::string type;
+    /** Requests folded into the profile. */
+    std::uint64_t count = 0;
+    /** Mean attributed energy per request, Joules. */
+    double meanEnergyJ = 0;
+    /** Mean on-CPU time per request, seconds. */
+    double meanCpuTimeS = 0;
+    /** Mean end-to-end response time, seconds. */
+    double meanResponseS = 0;
+};
+
+/**
+ * A table of per-type profiles, incrementally updated from request
+ * records.
+ */
+class ProfileTable
+{
+  public:
+    /** Fold one completed request into its type's profile. */
+    void add(const RequestRecord &record);
+
+    /** Fold many records. */
+    void add(const std::vector<RequestRecord> &records);
+
+    /** Profile of a type; fatal() when the type was never seen. */
+    const TypeProfile &profile(const std::string &type) const;
+
+    /** True when the type has at least one record. */
+    bool has(const std::string &type) const;
+
+    /** All profiles, keyed by type. */
+    const std::map<std::string, TypeProfile> &all() const
+    {
+        return profiles_;
+    }
+
+    /** Forget everything. */
+    void clear() { profiles_.clear(); }
+
+  private:
+    std::map<std::string, TypeProfile> profiles_;
+};
+
+} // namespace core
+} // namespace pcon
+
+#endif // PCON_CORE_PROFILES_H

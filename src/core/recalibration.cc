@@ -1,0 +1,316 @@
+#include "recalibration.h"
+
+#include <cmath>
+#include <utility>
+
+#include "core/alignment.h"
+#include "linalg/least_squares.h"
+#include "util/logging.h"
+
+namespace pcon {
+namespace core {
+
+// ------------------------- ModelPowerSampler -----------------------
+
+ModelPowerSampler::ModelPowerSampler(
+    os::Kernel &kernel, std::shared_ptr<LinearPowerModel> model,
+    sim::SimTime period, std::size_t max_windows)
+    : kernel_(kernel), model_(std::move(model)), period_(period),
+      maxWindows_(max_windows)
+{
+    util::fatalIf(period <= 0, "sampler period must be positive");
+    util::fatalIf(!model_, "sampler needs a model");
+    lastCounters_.resize(
+        static_cast<std::size_t>(kernel.machine().totalCores()));
+}
+
+void
+ModelPowerSampler::start()
+{
+    if (running_)
+        return;
+    running_ = true;
+    for (int c = 0; c < kernel_.machine().totalCores(); ++c)
+        lastCounters_[c] = kernel_.machine().readCounters(c);
+    lastDiskBusy_ = kernel_.deviceBusyTime(hw::DeviceKind::Disk);
+    lastNetBusy_ = kernel_.deviceBusyTime(hw::DeviceKind::Net);
+    pending_ = kernel_.simulation().schedule(period_,
+                                             [this] { tick(); });
+}
+
+void
+ModelPowerSampler::stop()
+{
+    if (!running_)
+        return;
+    running_ = false;
+    kernel_.simulation().cancel(pending_);
+    pending_ = sim::InvalidEventId;
+}
+
+std::vector<double>
+ModelPowerSampler::modeledSeries() const
+{
+    std::vector<double> series;
+    series.reserve(windows_.size());
+    for (const Window &w : windows_)
+        series.push_back(w.modeledActiveW);
+    return series;
+}
+
+void
+ModelPowerSampler::tick()
+{
+    if (!running_)
+        return;
+    hw::Machine &machine = kernel_.machine();
+    const hw::MachineConfig &mc = machine.config();
+    int cores = machine.totalCores();
+
+    // Per-core utilizations for the chip-share aggregation; summed
+    // machine-level event metrics.
+    std::vector<double> utils(static_cast<std::size_t>(cores), 0.0);
+    Metrics machine_metrics;
+    for (int c = 0; c < cores; ++c) {
+        hw::CounterSnapshot now_counters = machine.readCounters(c);
+        hw::CounterSnapshot delta =
+            now_counters.minus(lastCounters_[c]);
+        lastCounters_[c] = now_counters;
+        Metrics per_core = Metrics::fromCounterDelta(delta);
+        utils[c] = per_core.get(Metric::Core);
+        machine_metrics.accumulate(per_core);
+    }
+
+    // Equation 3 aggregated over the machine: each core's share uses
+    // this synchronized window's sibling utilizations.
+    double chip_share_sum = 0.0;
+    for (int c = 0; c < cores; ++c) {
+        if (utils[c] <= 0.0)
+            continue;
+        int chip = mc.chipOf(c);
+        int first = chip * mc.coresPerChip;
+        double siblings = 0.0;
+        for (int i = first; i < first + mc.coresPerChip; ++i)
+            if (i != c)
+                siblings += utils[i];
+        chip_share_sum += utils[c] / (1.0 + siblings);
+    }
+    machine_metrics.set(Metric::ChipShare, chip_share_sum);
+
+    sim::SimTime disk_busy =
+        kernel_.deviceBusyTime(hw::DeviceKind::Disk);
+    sim::SimTime net_busy = kernel_.deviceBusyTime(hw::DeviceKind::Net);
+    double period_s = sim::toSeconds(period_);
+    machine_metrics.set(Metric::Disk,
+                        sim::toSeconds(disk_busy - lastDiskBusy_) /
+                            period_s);
+    machine_metrics.set(Metric::Net,
+                        sim::toSeconds(net_busy - lastNetBusy_) /
+                            period_s);
+    lastDiskBusy_ = disk_busy;
+    lastNetBusy_ = net_busy;
+
+    Window window;
+    window.end = kernel_.simulation().now();
+    window.metrics = machine_metrics;
+    window.modeledActiveW = model_->estimateActiveW(machine_metrics);
+    windows_.push_back(window);
+    if (windows_.size() > maxWindows_)
+        windows_.pop_front();
+
+    pending_ = kernel_.simulation().schedule(period_,
+                                             [this] { tick(); });
+}
+
+// ------------------------- OnlineRecalibrator ----------------------
+
+OnlineRecalibrator::OnlineRecalibrator(
+    ModelPowerSampler &sampler, hw::PowerMeter &meter,
+    std::shared_ptr<LinearPowerModel> model,
+    std::vector<CalibrationSample> offline_active,
+    const RecalibratorConfig &cfg)
+    : sampler_(sampler), meter_(meter), model_(std::move(model)),
+      offline_(std::move(offline_active)), cfg_(cfg)
+{
+    util::fatalIf(!model_, "recalibrator needs a model");
+    util::fatalIf(cfg.maxDelaySamples < 1, "bad delay scan range");
+    meter_.subscribe([this](const hw::PowerMeter::Sample &s) {
+        onMeterSample(s);
+    });
+}
+
+void
+OnlineRecalibrator::start()
+{
+    if (running_)
+        return;
+    running_ = true;
+    scheduleAlignTick();
+    scheduleRefitTick();
+}
+
+void
+OnlineRecalibrator::scheduleAlignTick()
+{
+    alignEvent_ = sampler_.kernel().simulation().schedule(
+        cfg_.alignEvery, [this] {
+            if (!running_)
+                return;
+            alignNow();
+            scheduleAlignTick();
+        });
+}
+
+void
+OnlineRecalibrator::scheduleRefitTick()
+{
+    refitEvent_ = sampler_.kernel().simulation().schedule(
+        cfg_.refitEvery, [this] {
+            if (!running_)
+                return;
+            absorbAlignedSamples();
+            refitNow();
+            scheduleRefitTick();
+        });
+}
+
+void
+OnlineRecalibrator::stop()
+{
+    running_ = false;
+}
+
+void
+OnlineRecalibrator::onMeterSample(const hw::PowerMeter::Sample &sample)
+{
+    if (!running_)
+        return;
+    measurements_.push_back(
+        MeasuredSample{sample.deliveredAt, sample.watts});
+    std::size_t bound = static_cast<std::size_t>(
+        cfg_.maxDelaySamples * 4 + 256);
+    while (measurements_.size() > bound)
+        measurements_.pop_front();
+}
+
+void
+OnlineRecalibrator::alignNow()
+{
+    if (measurements_.size() < 8 || sampler_.windows().size() < 8)
+        return;
+    sim::SimTime period = meter_.period();
+    util::panicIf(period != sampler_.period(),
+                  "sampler and meter periods must match");
+
+    std::vector<double> measured;
+    measured.reserve(measurements_.size());
+    for (const MeasuredSample &m : measurements_)
+        measured.push_back(m.watts);
+    std::vector<double> modeled = sampler_.modeledSeries();
+
+    // The two series start at different wall-clock times; fold the
+    // start offset into the scanned delay so the reported delay is
+    // the physical measurement lag.
+    sim::SimTime tm0 = measurements_.front().arrivedAt;
+    sim::SimTime tj0 = sampler_.windows().front().end;
+    long start_offset = static_cast<long>(
+        std::llround(static_cast<double>(tm0 - tj0) /
+                     static_cast<double>(period)));
+    long min_d = -start_offset;
+    long max_d = cfg_.maxDelaySamples - start_offset;
+    if (min_d > max_d)
+        return;
+
+    AlignmentScan scan = scanAlignment(measured, modeled, period,
+                                       min_d, max_d, true);
+    delay_ = (scan.bestDelaySamples + start_offset) * period;
+    aligned_ = true;
+}
+
+void
+OnlineRecalibrator::absorbAlignedSamples()
+{
+    if (!aligned_)
+        return;
+    const std::deque<ModelPowerSampler::Window> &windows =
+        sampler_.windows();
+    if (windows.empty())
+        return;
+    sim::SimTime period = sampler_.period();
+    sim::SimTime first_end = windows.front().end;
+
+    for (const MeasuredSample &m : measurements_) {
+        if (m.arrivedAt <= absorbedUpTo_)
+            continue;
+        sim::SimTime physical_end = m.arrivedAt - delay_;
+        long idx = static_cast<long>(std::llround(
+            static_cast<double>(physical_end - first_end) /
+            static_cast<double>(period)));
+        if (idx < 0 || idx >= static_cast<long>(windows.size()))
+            continue;
+        const ModelPowerSampler::Window &w =
+            windows[static_cast<std::size_t>(idx)];
+        if (std::llabs(w.end - physical_end) > period / 2)
+            continue;
+        CalibrationSample sample;
+        sample.metrics = w.metrics;
+        sample.measuredFullW = m.watts - cfg_.baselineW; // active W
+        online_.push_back(sample);
+        if (online_.size() > cfg_.maxOnlineSamples)
+            online_.pop_front();
+        absorbedUpTo_ = m.arrivedAt;
+    }
+}
+
+void
+OnlineRecalibrator::refitNow()
+{
+    if (online_.size() < cfg_.minOnlineSamples)
+        return;
+
+    // Columns: all active features the model uses (no intercept; the
+    // targets are already active power).
+    std::vector<Metric> cols;
+    for (std::size_t i = 0; i < NumMetrics; ++i) {
+        Metric m = static_cast<Metric>(i);
+        if (model_->usesMetric(m))
+            cols.push_back(m);
+    }
+
+    // Group balancing: scale online rows by sqrt(w) so the online
+    // group carries at least as much total weight as the offline
+    // group (weighted least squares by row scaling).
+    double online_weight = 1.0;
+    if (cfg_.balanceGroups && !offline_.empty() &&
+        online_.size() < offline_.size()) {
+        online_weight = static_cast<double>(offline_.size()) /
+            static_cast<double>(online_.size());
+    }
+    double online_scale = std::sqrt(online_weight);
+
+    linalg::Matrix design;
+    linalg::Vector target;
+    auto add_sample = [&](const CalibrationSample &s, double scale) {
+        linalg::Vector row;
+        row.reserve(cols.size());
+        for (Metric m : cols)
+            row.push_back(s.metrics.get(m) * scale);
+        design.appendRow(row);
+        target.push_back(s.measuredFullW * scale); // active watts
+    };
+    for (const CalibrationSample &s : offline_)
+        add_sample(s, 1.0);
+    for (const CalibrationSample &s : online_)
+        add_sample(s, online_scale);
+    if (design.rows() < cols.size() + 1)
+        return;
+
+    linalg::LsqResult fit =
+        linalg::solveNonNegativeLeastSquares(design, target);
+    for (std::size_t i = 0; i < cols.size(); ++i)
+        model_->setCoefficient(cols[i], fit.coefficients[i]);
+    ++refits_;
+}
+
+} // namespace core
+} // namespace pcon

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Measurement-aligned online model recalibration (Section 3.2).
+ *
+ * ModelPowerSampler periodically reads all cores' counters (plus
+ * device busy times) to form machine-level metric windows and the
+ * model's power-estimate series. OnlineRecalibrator subscribes to a
+ * (delayed) power meter, recovers the delivery delay by
+ * cross-correlation against the model series, pairs aligned
+ * measurement/metric windows into online calibration samples, and
+ * periodically refits the shared model — offline and online samples
+ * weighed equally, as in the paper.
+ */
+
+#ifndef PCON_CORE_RECALIBRATION_H
+#define PCON_CORE_RECALIBRATION_H
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "core/calibration.h"
+#include "core/metrics.h"
+#include "core/power_model.h"
+#include "hw/power_meter.h"
+#include "os/kernel.h"
+
+namespace pcon {
+namespace core {
+
+/**
+ * Periodic machine-level metric and model-power sampler. Keeps a
+ * bounded history of (window end, metrics, modeled power) entries.
+ */
+class ModelPowerSampler
+{
+  public:
+    /** One sampled window. */
+    struct Window
+    {
+        sim::SimTime end = 0;
+        Metrics metrics;
+        /** Modeled active power over the window, Watts. */
+        double modeledActiveW = 0;
+    };
+
+    /**
+     * @param kernel Kernel whose machine to sample.
+     * @param model Model used for the power-estimate series.
+     * @param period Sampling period (match the meter under study).
+     * @param max_windows History bound.
+     */
+    ModelPowerSampler(os::Kernel &kernel,
+                      std::shared_ptr<LinearPowerModel> model,
+                      sim::SimTime period,
+                      std::size_t max_windows = 1 << 16);
+
+    /** Begin sampling at the current time. */
+    void start();
+
+    /** Stop sampling. */
+    void stop();
+
+    /** Sampled windows, oldest first. */
+    const std::deque<Window> &windows() const { return windows_; }
+
+    /** Modeled active power values, oldest first. */
+    std::vector<double> modeledSeries() const;
+
+    /** Sampling period. */
+    sim::SimTime period() const { return period_; }
+
+    /** Kernel being sampled. */
+    os::Kernel &kernel() { return kernel_; }
+
+    /** Drop all history. */
+    void clear() { windows_.clear(); }
+
+  private:
+    void tick();
+
+    os::Kernel &kernel_;
+    std::shared_ptr<LinearPowerModel> model_;
+    sim::SimTime period_;
+    std::size_t maxWindows_;
+    bool running_ = false;
+    sim::EventId pending_ = sim::InvalidEventId;
+    std::vector<hw::CounterSnapshot> lastCounters_;
+    sim::SimTime lastDiskBusy_ = 0;
+    sim::SimTime lastNetBusy_ = 0;
+    std::deque<Window> windows_;
+};
+
+/** Tunables of the online recalibrator. */
+struct RecalibratorConfig
+{
+    /** Largest measurement delay scanned, in meter periods. */
+    long maxDelaySamples = 64;
+    /** How often the delay estimate is refreshed. */
+    sim::SimTime alignEvery = sim::msec(500);
+    /** How often the model is refit from accumulated samples. */
+    sim::SimTime refitEvery = sim::msec(10);
+    /** Online samples required before the first refit. */
+    std::size_t minOnlineSamples = 24;
+    /** Online sample ring bound. */
+    std::size_t maxOnlineSamples = 4096;
+    /**
+     * Baseline subtracted from meter readings to obtain active power
+     * (machine idle for a wall meter, package idle for the on-chip
+     * meter — measured once while the machine idles).
+     */
+    double baselineW = 0;
+    /**
+     * Balance the offline and online sample *groups* in the refit:
+     * when the online set is smaller than the offline set, each
+     * online sample is up-weighted so current measurements can move
+     * the fit even under a slow (1 Hz wall) meter. False weighs every
+     * sample equally regardless of group size.
+     */
+    bool balanceGroups = true;
+};
+
+/**
+ * Aligns delayed meter samples with model estimates and refits the
+ * model's active coefficients online. The idle term is left alone;
+ * offline calibration samples participate with equal weight.
+ */
+class OnlineRecalibrator
+{
+  public:
+    /**
+     * @param sampler Metric/model-series source (must be started).
+     * @param meter Measurement source (must be started).
+     * @param model Shared model whose coefficients are updated.
+     * @param offline_active Offline calibration samples expressed as
+     *        (metrics, active watts) pairs.
+     * @param cfg Tunables.
+     */
+    OnlineRecalibrator(ModelPowerSampler &sampler,
+                       hw::PowerMeter &meter,
+                       std::shared_ptr<LinearPowerModel> model,
+                       std::vector<CalibrationSample> offline_active,
+                       const RecalibratorConfig &cfg);
+
+    /** Begin aligning and refitting. */
+    void start();
+
+    /** Stop (pending meter deliveries are ignored). */
+    void stop();
+
+    /** Current measurement-delay estimate (0 until first alignment). */
+    sim::SimTime estimatedDelay() const { return delay_; }
+
+    /** True once at least one alignment succeeded. */
+    bool aligned() const { return aligned_; }
+
+    /** Number of refits performed. */
+    std::uint64_t refits() const { return refits_; }
+
+    /** Number of online samples currently held. */
+    std::size_t onlineSampleCount() const { return online_.size(); }
+
+  private:
+    struct MeasuredSample
+    {
+        sim::SimTime arrivedAt = 0;
+        double watts = 0;
+    };
+
+    void onMeterSample(const hw::PowerMeter::Sample &sample);
+    void scheduleAlignTick();
+    void scheduleRefitTick();
+    void alignNow();
+    void absorbAlignedSamples();
+    void refitNow();
+
+    ModelPowerSampler &sampler_;
+    hw::PowerMeter &meter_;
+    std::shared_ptr<LinearPowerModel> model_;
+    std::vector<CalibrationSample> offline_;
+    RecalibratorConfig cfg_;
+
+    bool running_ = false;
+    sim::SimTime delay_ = 0;
+    bool aligned_ = false;
+    std::uint64_t refits_ = 0;
+    std::deque<MeasuredSample> measurements_;
+    /** Arrival time of the newest measurement already absorbed. */
+    sim::SimTime absorbedUpTo_ = -1;
+    std::deque<CalibrationSample> online_;
+    sim::EventId alignEvent_ = sim::InvalidEventId;
+    sim::EventId refitEvent_ = sim::InvalidEventId;
+};
+
+} // namespace core
+} // namespace pcon
+
+#endif // PCON_CORE_RECALIBRATION_H

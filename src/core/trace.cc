@@ -1,0 +1,187 @@
+#include "trace.h"
+
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/logging.h"
+
+namespace pcon {
+namespace core {
+
+const char *
+traceKindName(TraceEvent::Kind kind)
+{
+    switch (kind) {
+      case TraceEvent::Kind::SwitchIn: return "on-cpu";
+      case TraceEvent::Kind::SwitchOut: return "off-cpu";
+      case TraceEvent::Kind::ContextInherited: return "inherits-ctx";
+      case TraceEvent::Kind::IoComplete: return "io-complete";
+      case TraceEvent::Kind::Completed: return "completed";
+    }
+    return "?";
+}
+
+RequestTracer::RequestTracer(os::Kernel &kernel,
+                             ContainerManager &manager)
+    : kernel_(kernel), manager_(manager)
+{
+    kernel_.requests().onComplete([this](const os::RequestInfo &info) {
+        if (!tracing(info.id))
+            return;
+        TraceEvent event;
+        event.time = info.completed;
+        event.kind = TraceEvent::Kind::Completed;
+        event.actor = "request";
+        // The container manager's own completion listener ran first
+        // and moved the container into a record: annotate from there.
+        const auto &records = manager_.records();
+        for (auto it = records.rbegin(); it != records.rend(); ++it) {
+            if (it->id == info.id) {
+                event.powerW = it->meanPowerW;
+                event.cumulativeEnergyJ = it->totalEnergyJ();
+                break;
+            }
+        }
+        record(info.id, event);
+        active_[info.id] = false;
+    });
+}
+
+void
+RequestTracer::trace(os::RequestId id)
+{
+    active_[id] = true;
+    traces_[id]; // ensure the vector exists
+}
+
+void
+RequestTracer::stopTracing(os::RequestId id)
+{
+    auto it = active_.find(id);
+    if (it != active_.end())
+        it->second = false;
+}
+
+bool
+RequestTracer::tracing(os::RequestId id) const
+{
+    auto it = active_.find(id);
+    return it != active_.end() && it->second;
+}
+
+const std::vector<TraceEvent> &
+RequestTracer::events(os::RequestId id) const
+{
+    auto it = traces_.find(id);
+    util::fatalIf(it == traces_.end(), "request ", id,
+                  " was never traced");
+    return it->second;
+}
+
+void
+RequestTracer::annotate(os::RequestId id, TraceEvent &event)
+{
+    PowerContainer *c = manager_.container(id);
+    if (c == nullptr)
+        return;
+    event.powerW = c->lastPowerW;
+    event.cumulativeEnergyJ = c->totalEnergyJ();
+}
+
+void
+RequestTracer::record(os::RequestId id, TraceEvent event)
+{
+    traces_[id].push_back(std::move(event));
+}
+
+void
+RequestTracer::onContextSwitch(int core, os::Task *prev,
+                               os::Task *next)
+{
+    if (prev != nullptr && tracing(prev->context)) {
+        TraceEvent event;
+        event.time = kernel_.simulation().now();
+        event.kind = TraceEvent::Kind::SwitchOut;
+        event.actor = prev->name;
+        event.core = core;
+        annotate(prev->context, event);
+        record(prev->context, event);
+    }
+    if (next != nullptr && tracing(next->context)) {
+        TraceEvent event;
+        event.time = kernel_.simulation().now();
+        event.kind = TraceEvent::Kind::SwitchIn;
+        event.actor = next->name;
+        event.core = core;
+        annotate(next->context, event);
+        record(next->context, event);
+    }
+}
+
+void
+RequestTracer::onContextRebind(os::Task &task, os::RequestId old_ctx,
+                               os::RequestId new_ctx)
+{
+    (void)old_ctx;
+    if (!tracing(new_ctx))
+        return;
+    TraceEvent event;
+    event.time = kernel_.simulation().now();
+    event.kind = TraceEvent::Kind::ContextInherited;
+    event.actor = task.name;
+    event.core = task.core;
+    annotate(new_ctx, event);
+    record(new_ctx, event);
+}
+
+void
+RequestTracer::onIoComplete(hw::DeviceKind device,
+                            os::RequestId context,
+                            sim::SimTime busy_time, double bytes)
+{
+    (void)busy_time;
+    if (!tracing(context))
+        return;
+    TraceEvent event;
+    event.time = kernel_.simulation().now();
+    event.kind = TraceEvent::Kind::IoComplete;
+    event.actor = device == hw::DeviceKind::Disk ? "disk" : "net";
+    event.bytes = bytes;
+    annotate(context, event);
+    record(context, event);
+}
+
+std::string
+RequestTracer::render(os::RequestId id) const
+{
+    std::ostringstream out;
+    char line[160];
+    std::snprintf(line, sizeof(line), "%10s  %-16s %-14s %4s %8s %10s\n",
+                  "time(ms)", "actor", "event", "core", "power(W)",
+                  "energy(J)");
+    out << line;
+    for (const TraceEvent &e : events(id)) {
+        std::snprintf(line, sizeof(line),
+                      "%10.2f  %-16s %-14s %4d %8.1f %10.4f\n",
+                      sim::toMillis(e.time), e.actor.c_str(),
+                      traceKindName(e.kind), e.core, e.powerW,
+                      e.cumulativeEnergyJ);
+        out << line;
+    }
+    return out.str();
+}
+
+void
+RequestTracer::writeCsv(os::RequestId id,
+                        const std::string &path) const
+{
+    util::CsvWriter csv(path);
+    csv.row("time_ms", "actor", "event", "core", "power_w",
+            "cumulative_energy_j", "bytes");
+    for (const TraceEvent &e : events(id))
+        csv.row(sim::toMillis(e.time), e.actor, traceKindName(e.kind),
+                e.core, e.powerW, e.cumulativeEnergyJ, e.bytes);
+}
+
+} // namespace core
+} // namespace pcon

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Request execution tracing (Figure 4): capture a request's flow
+ * through a multi-stage server — which task ran it on which core and
+ * when, where its context propagated, its device I/O — annotated with
+ * the container's power and cumulative energy at each boundary. The
+ * paper uses such a capture to illustrate per-stage attribution in
+ * WeBWorK; this class makes it a first-class facility with CSV
+ * export.
+ */
+
+#ifndef PCON_CORE_TRACE_H
+#define PCON_CORE_TRACE_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/container_manager.h"
+#include "os/hooks.h"
+#include "os/kernel.h"
+
+namespace pcon {
+namespace core {
+
+/** One captured event in a request's execution. */
+struct TraceEvent
+{
+    enum class Kind {
+        /** A task bound to the request started running on a core. */
+        SwitchIn,
+        /** It stopped running (blocked, preempted, exited). */
+        SwitchOut,
+        /** A task inherited the request context (socket/fork). */
+        ContextInherited,
+        /** A device I/O of the request completed. */
+        IoComplete,
+        /** The request completed. */
+        Completed,
+    };
+
+    sim::SimTime time = 0;
+    Kind kind = Kind::SwitchIn;
+    /** Task (or device) name. */
+    std::string actor;
+    /** Core involved (-1 when not applicable). */
+    int core = -1;
+    /** Container's most recent power estimate, Watts. */
+    double powerW = 0;
+    /** Container's cumulative energy at this moment, Joules. */
+    double cumulativeEnergyJ = 0;
+    /** Bytes transferred (IoComplete only). */
+    double bytes = 0;
+};
+
+/** Human-readable name of an event kind. */
+const char *traceKindName(TraceEvent::Kind kind);
+
+/**
+ * Captures traces for selected requests. Register with
+ * kernel.addHooks() *after* the ContainerManager so power/energy
+ * annotations are fresh at each boundary.
+ */
+class RequestTracer : public os::KernelHooks
+{
+  public:
+    RequestTracer(os::Kernel &kernel, ContainerManager &manager);
+
+    /** Begin capturing events of this request. */
+    void trace(os::RequestId id);
+
+    /** Stop capturing (events kept). */
+    void stopTracing(os::RequestId id);
+
+    /** True when the request is (still) being captured. */
+    bool tracing(os::RequestId id) const;
+
+    /** Captured events, chronological. */
+    const std::vector<TraceEvent> &events(os::RequestId id) const;
+
+    /** Render the trace as an aligned text table. */
+    std::string render(os::RequestId id) const;
+
+    /** Export the trace as CSV. */
+    void writeCsv(os::RequestId id, const std::string &path) const;
+
+    // --- KernelHooks ---
+    void onContextSwitch(int core, os::Task *prev,
+                         os::Task *next) override;
+    void onContextRebind(os::Task &task, os::RequestId old_ctx,
+                         os::RequestId new_ctx) override;
+    void onIoComplete(hw::DeviceKind device, os::RequestId context,
+                      sim::SimTime busy_time, double bytes) override;
+
+  private:
+    void record(os::RequestId id, TraceEvent event);
+    void annotate(os::RequestId id, TraceEvent &event);
+
+    os::Kernel &kernel_;
+    ContainerManager &manager_;
+    std::map<os::RequestId, std::vector<TraceEvent>> traces_;
+    std::map<os::RequestId, bool> active_;
+};
+
+} // namespace core
+} // namespace pcon
+
+#endif // PCON_CORE_TRACE_H

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The resource-activity signature of a running task: the per-cycle
+ * rates of the architectural events the paper's power model observes
+ * (Section 3.1). A workload is characterized entirely by signatures
+ * like this plus its process/socket structure; the accounting code
+ * never sees anything else.
+ */
+
+#ifndef PCON_HW_ACTIVITY_H
+#define PCON_HW_ACTIVITY_H
+
+namespace pcon {
+namespace hw {
+
+/**
+ * Event rates per non-halt core cycle while a task executes.
+ *
+ * All rates are per *non-halt* cycle, so duty-cycle modulation scales
+ * absolute event frequencies without changing the signature.
+ */
+struct ActivityVector
+{
+    /** Retired instructions per cycle. */
+    double ipc = 1.0;
+    /** Floating point operations per cycle. */
+    double flopsPerCycle = 0.0;
+    /** Last-level cache references per cycle. */
+    double llcPerCycle = 0.0;
+    /** Memory transactions per cycle. */
+    double memPerCycle = 0.0;
+
+    /** Elementwise scale (used to blend phases). */
+    ActivityVector
+    scaled(double f) const
+    {
+        return {ipc * f, flopsPerCycle * f, llcPerCycle * f,
+                memPerCycle * f};
+    }
+};
+
+/** Linear blend a*(1-t) + b*t of two signatures. */
+inline ActivityVector
+blend(const ActivityVector &a, const ActivityVector &b, double t)
+{
+    return {a.ipc * (1 - t) + b.ipc * t,
+            a.flopsPerCycle * (1 - t) + b.flopsPerCycle * t,
+            a.llcPerCycle * (1 - t) + b.llcPerCycle * t,
+            a.memPerCycle * (1 - t) + b.memPerCycle * t};
+}
+
+} // namespace hw
+} // namespace pcon
+
+#endif // PCON_HW_ACTIVITY_H

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Machine configuration: topology, frequency, duty-cycle granularity,
+ * meter characteristics, and the *hidden* ground-truth power
+ * parameters. The accounting layers (os/, core/) must never read
+ * GroundTruthParams — they see only counters, meters, and duty
+ * controls, like the paper's OS sees real hardware.
+ */
+
+#ifndef PCON_HW_CONFIG_H
+#define PCON_HW_CONFIG_H
+
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace pcon {
+namespace hw {
+
+/**
+ * Hidden physical power behaviour of a machine. The linear terms are
+ * what an event-driven model can capture; the interaction term is the
+ * "differing characteristics between calibration and production
+ * workloads" (Section 3.2) that makes online recalibration matter.
+ */
+struct GroundTruthParams
+{
+    /** Whole-machine idle power (Watts); constant floor. */
+    double machineIdleW = 0;
+    /** Per-package idle power, part of the on-chip meter reading. */
+    double packageIdleW = 0;
+    /**
+     * Shared chip maintenance power (Watts): drawn by a package while
+     * at least one of its cores is non-idle (clocking, regulators,
+     * uncore — Figure 1's non-scaling increment).
+     */
+    double chipMaintenanceW = 0;
+    /** Per busy core at full duty: base pipeline/clock power. */
+    double coreBusyW = 0;
+    /** Watts per unit of instructions-per-cycle on a busy core. */
+    double insW = 0;
+    /** Watts per unit of FP-ops-per-cycle on a busy core. */
+    double flopW = 0;
+    /** Watts per unit of LLC-references-per-cycle on a busy core. */
+    double llcW = 0;
+    /** Watts per unit of memory-transactions-per-cycle on a core. */
+    double memW = 0;
+    /**
+     * Nonlinear cache*memory interaction (Watts at the normalization
+     * rates below). Zero during one-dimensional calibration
+     * microbenchmarks, large for simultaneous cache+memory workloads
+     * such as Stress — the unmodeled residual of Figure 8.
+     */
+    double nlCacheMemW = 0;
+    /** LLC rate at which the interaction term is normalized. */
+    double nlLlcNorm = 0.05;
+    /** Memory rate at which the interaction term is normalized. */
+    double nlMemNorm = 0.01;
+    /** Disk device power while servicing requests (Watts). */
+    double diskActiveW = 0;
+    /** NIC power while transferring (Watts). */
+    double netActiveW = 0;
+};
+
+/** Characteristics of one power measurement instrument. */
+struct MeterConfig
+{
+    /** Interval between successive readings. */
+    sim::SimTime period = sim::msec(1);
+    /** Lag between physical interval end and software visibility. */
+    sim::SimTime delay = sim::msec(1);
+    /**
+     * Gaussian measurement noise added to each delivered sample
+     * (Watts). Real meters quantize and jitter; the alignment and
+     * recalibration pipeline must tolerate it.
+     */
+    double noiseStddevW = 0;
+    /** Seed of the meter's private noise generator. */
+    std::uint64_t noiseSeed = 0x7e7e7;
+};
+
+/**
+ * Static description of one machine. Factory functions below provide
+ * the three platforms of the paper's evaluation (Section 4).
+ */
+struct MachineConfig
+{
+    /** Human-readable platform name. */
+    std::string name;
+    /** Number of processor packages. */
+    int chips = 1;
+    /** Cores per package. */
+    int coresPerChip = 4;
+    /** Core clock in GHz. */
+    double freqGhz = 3.0;
+    /**
+     * Duty-cycle denominator: levels are 1..dutyDenom, giving
+     * fractions k/dutyDenom (Intel modulation uses 1/8 or 1/16).
+     */
+    int dutyDenom = 8;
+    /**
+     * Per-core DVFS operating points as frequency ratios of the
+     * nominal clock, fastest first (P0 = 1.0). Voltage scales with
+     * frequency, so power falls superlinearly at lower P-states —
+     * the actuator trade-off the duty-vs-DVFS ablation explores.
+     * (The paper's facility uses duty-cycle modulation only.)
+     */
+    std::vector<double> pstates{1.0, 0.85, 0.7, 0.55};
+    /** True when the package exposes an on-chip energy meter. */
+    bool hasOnChipMeter = false;
+    /** On-chip meter timing (valid when hasOnChipMeter). */
+    MeterConfig onChipMeter{sim::msec(1), sim::msec(1)};
+    /** External wall-power meter timing (always present). */
+    MeterConfig wattsupMeter{sim::sec(1), sim::msec(1200)};
+    /** Hidden physical parameters. */
+    GroundTruthParams truth;
+
+    /** Total core count. */
+    int totalCores() const { return chips * coresPerChip; }
+    /** Core cycles per nanosecond. */
+    double cyclesPerNs() const { return freqGhz; }
+    /** Package index of a global core id (cores numbered per chip). */
+    int chipOf(int core) const { return core / coresPerChip; }
+};
+
+/**
+ * Dual-socket, dual-core-per-socket Intel Xeon 5160 "Woodcrest",
+ * 3.0 GHz (2006-era, power-hungry cores).
+ */
+MachineConfig woodcrestConfig();
+
+/**
+ * Dual-socket, six-core-per-socket Intel Xeon L5640 "Westmere",
+ * 2.26 GHz low-power part with a pronounced unmodeled cache/memory
+ * interaction (Stress runs unusually hot here, per Section 4.2).
+ */
+MachineConfig westmereConfig();
+
+/**
+ * Single-socket quad-core Intel Xeon E31220 "SandyBridge", 3.1 GHz,
+ * with the on-chip package energy meter used throughout Section 4.
+ */
+MachineConfig sandyBridgeConfig();
+
+} // namespace hw
+} // namespace pcon
+
+#endif // PCON_HW_CONFIG_H

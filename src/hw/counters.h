@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Per-core hardware performance counters: the five events the paper's
+ * model samples (elapsed non-halt cycles, retired instructions,
+ * floating point operations, last-level cache references, memory
+ * transactions) plus an elapsed-cycle reference (TSC-like).
+ */
+
+#ifndef PCON_HW_COUNTERS_H
+#define PCON_HW_COUNTERS_H
+
+#include <cstdint>
+
+namespace pcon {
+namespace hw {
+
+/**
+ * A snapshot (or delta) of one core's cumulative counters. Stored as
+ * doubles because the simulator advances fractional cycles; the
+ * magnitudes are far below the 2^53 integer-precision limit for any
+ * realistic run.
+ */
+struct CounterSnapshot
+{
+    /** Elapsed reference cycles (advance whether busy or halted). */
+    double elapsedCycles = 0;
+    /** Non-halt (busy) core cycles. */
+    double nonhaltCycles = 0;
+    /** Retired instructions. */
+    double instructions = 0;
+    /** Floating point operations. */
+    double flops = 0;
+    /** Last-level cache references. */
+    double llcRefs = 0;
+    /** Memory transactions. */
+    double memTxns = 0;
+
+    /** Counter difference (this - earlier). */
+    CounterSnapshot
+    minus(const CounterSnapshot &earlier) const
+    {
+        return {elapsedCycles - earlier.elapsedCycles,
+                nonhaltCycles - earlier.nonhaltCycles,
+                instructions - earlier.instructions,
+                flops - earlier.flops,
+                llcRefs - earlier.llcRefs,
+                memTxns - earlier.memTxns};
+    }
+
+    /** Accumulate another snapshot/delta into this one. */
+    void
+    accumulate(const CounterSnapshot &delta)
+    {
+        elapsedCycles += delta.elapsedCycles;
+        nonhaltCycles += delta.nonhaltCycles;
+        instructions += delta.instructions;
+        flops += delta.flops;
+        llcRefs += delta.llcRefs;
+        memTxns += delta.memTxns;
+    }
+
+    /** Clamp all fields at zero (used by observer-effect subtraction). */
+    void
+    clampNonNegative()
+    {
+        auto clamp = [](double &x) { if (x < 0) x = 0; };
+        clamp(elapsedCycles);
+        clamp(nonhaltCycles);
+        clamp(instructions);
+        clamp(flops);
+        clamp(llcRefs);
+        clamp(memTxns);
+    }
+};
+
+} // namespace hw
+} // namespace pcon
+
+#endif // PCON_HW_COUNTERS_H

@@ -1,0 +1,94 @@
+#include "power_meter.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace pcon {
+namespace hw {
+
+PowerMeter::PowerMeter(Machine &machine, MeterScope scope,
+                       const MeterConfig &timing)
+    : machine_(machine), scope_(scope), timing_(timing),
+      noise_(timing.noiseSeed)
+{
+    util::fatalIf(timing.period <= 0, "meter period must be positive");
+    util::fatalIf(timing.delay < 0, "meter delay cannot be negative");
+    util::fatalIf(timing.noiseStddevW < 0,
+                  "meter noise cannot be negative");
+}
+
+void
+PowerMeter::start()
+{
+    if (running_)
+        return;
+    running_ = true;
+    lastEnergyJ_ = cumulativeEnergyJ();
+    pendingTick_ = machine_.simulation().schedule(
+        timing_.period, [this] { tick(); });
+}
+
+void
+PowerMeter::stop()
+{
+    if (!running_)
+        return;
+    running_ = false;
+    machine_.simulation().cancel(pendingTick_);
+    pendingTick_ = sim::InvalidEventId;
+}
+
+void
+PowerMeter::subscribe(Subscriber fn)
+{
+    subscribers_.push_back(std::move(fn));
+}
+
+void
+PowerMeter::trimHistory(std::size_t keep)
+{
+    while (history_.size() > keep)
+        history_.pop_front();
+}
+
+double
+PowerMeter::cumulativeEnergyJ()
+{
+    if (scope_ == MeterScope::Machine)
+        return machine_.machineEnergyJ();
+    double total = 0.0;
+    for (int chip = 0; chip < machine_.config().chips; ++chip)
+        total += machine_.packageEnergyJ(chip);
+    return total;
+}
+
+void
+PowerMeter::tick()
+{
+    if (!running_)
+        return;
+    sim::Simulation &sim = machine_.simulation();
+    sim::SimTime interval_end = sim.now();
+
+    double energy = cumulativeEnergyJ();
+    double watts = (energy - lastEnergyJ_) /
+        sim::toSeconds(timing_.period);
+    lastEnergyJ_ = energy;
+    if (timing_.noiseStddevW > 0)
+        watts += noise_.normal(0.0, timing_.noiseStddevW);
+
+    Sample sample{interval_end, interval_end + timing_.delay, watts};
+    sim.schedule(timing_.delay, [this, sample] {
+        history_.push_back(sample);
+        if (history_.size() > maxHistory_)
+            history_.pop_front();
+        for (auto &fn : subscribers_)
+            fn(sample);
+    });
+
+    pendingTick_ = sim.schedule(timing_.period, [this] { tick(); });
+}
+
+} // namespace hw
+} // namespace pcon

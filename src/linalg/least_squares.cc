@@ -1,0 +1,255 @@
+#include "least_squares.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace pcon {
+namespace linalg {
+
+using util::fatalIf;
+using util::panicIf;
+
+namespace {
+
+/**
+ * In-place Householder QR of A (rows >= cols assumed after checks),
+ * applying the same transformations to b. On return the upper
+ * triangle of A holds R. Returns false when a diagonal of R is
+ * (near-)zero, i.e. the design is rank deficient.
+ */
+bool
+householderQr(Matrix &a, Vector &b)
+{
+    std::size_t m = a.rows();
+    std::size_t n = a.cols();
+    for (std::size_t k = 0; k < n; ++k) {
+        // Norm of column k below (and including) the diagonal.
+        double col_norm = 0.0;
+        for (std::size_t i = k; i < m; ++i)
+            col_norm += a(i, k) * a(i, k);
+        col_norm = std::sqrt(col_norm);
+        if (col_norm < 1e-12)
+            return false;
+
+        double alpha = a(k, k) > 0 ? -col_norm : col_norm;
+        // Householder vector v = x - alpha*e1, stored locally.
+        std::vector<double> v(m - k);
+        v[0] = a(k, k) - alpha;
+        for (std::size_t i = k + 1; i < m; ++i)
+            v[i - k] = a(i, k);
+        double v_norm2 = 0.0;
+        for (double x : v)
+            v_norm2 += x * x;
+        if (v_norm2 < 1e-24)
+            return false;
+
+        // Apply H = I - 2 v v^T / (v^T v) to A[k:, k:] and b[k:].
+        for (std::size_t j = k; j < n; ++j) {
+            double proj = 0.0;
+            for (std::size_t i = k; i < m; ++i)
+                proj += v[i - k] * a(i, j);
+            proj = 2.0 * proj / v_norm2;
+            for (std::size_t i = k; i < m; ++i)
+                a(i, j) -= proj * v[i - k];
+        }
+        double proj = 0.0;
+        for (std::size_t i = k; i < m; ++i)
+            proj += v[i - k] * b[i];
+        proj = 2.0 * proj / v_norm2;
+        for (std::size_t i = k; i < m; ++i)
+            b[i] -= proj * v[i - k];
+    }
+    return true;
+}
+
+/** Back-substitute R x = c where R is the upper triangle of a. */
+bool
+backSubstitute(const Matrix &a, const Vector &c, Vector &x)
+{
+    std::size_t n = a.cols();
+    x.assign(n, 0.0);
+    for (std::size_t ri = n; ri-- > 0;) {
+        double diag = a(ri, ri);
+        if (std::abs(diag) < 1e-12)
+            return false;
+        double acc = c[ri];
+        for (std::size_t j = ri + 1; j < n; ++j)
+            acc -= a(ri, j) * x[j];
+        x[ri] = acc / diag;
+    }
+    return true;
+}
+
+double
+computeRmse(const Matrix &a, const Vector &b, const Vector &x)
+{
+    if (a.rows() == 0)
+        return 0.0;
+    Vector pred = a * x;
+    double sse = 0.0;
+    for (std::size_t i = 0; i < b.size(); ++i) {
+        double r = pred[i] - b[i];
+        sse += r * r;
+    }
+    return std::sqrt(sse / static_cast<double>(b.size()));
+}
+
+/** Cholesky solve of the SPD system m x = rhs; false if not SPD. */
+bool
+choleskySolve(Matrix m, Vector rhs, Vector &x)
+{
+    std::size_t n = m.rows();
+    panicIf(m.cols() != n || rhs.size() != n, "choleskySolve shape");
+    // Decompose m = L L^T in place (lower triangle).
+    for (std::size_t j = 0; j < n; ++j) {
+        double d = m(j, j);
+        for (std::size_t k = 0; k < j; ++k)
+            d -= m(j, k) * m(j, k);
+        if (d <= 0.0)
+            return false;
+        m(j, j) = std::sqrt(d);
+        for (std::size_t i = j + 1; i < n; ++i) {
+            double s = m(i, j);
+            for (std::size_t k = 0; k < j; ++k)
+                s -= m(i, k) * m(j, k);
+            m(i, j) = s / m(j, j);
+        }
+    }
+    // Forward solve L y = rhs.
+    Vector y(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        double s = rhs[i];
+        for (std::size_t k = 0; k < i; ++k)
+            s -= m(i, k) * y[k];
+        y[i] = s / m(i, i);
+    }
+    // Back solve L^T x = y.
+    x.assign(n, 0.0);
+    for (std::size_t ii = n; ii-- > 0;) {
+        double s = y[ii];
+        for (std::size_t k = ii + 1; k < n; ++k)
+            s -= m(k, ii) * x[k];
+        x[ii] = s / m(ii, ii);
+    }
+    return true;
+}
+
+} // namespace
+
+LsqResult
+solveLeastSquares(const Matrix &a, const Vector &b)
+{
+    fatalIf(a.rows() != b.size(),
+            "least squares: ", a.rows(), " rows vs ", b.size(),
+            " targets");
+    fatalIf(a.rows() < a.cols(),
+            "least squares: underdetermined system (", a.rows(),
+            " samples, ", a.cols(), " features)");
+    fatalIf(a.cols() == 0, "least squares: empty design matrix");
+
+    Matrix qr = a;
+    Vector qtb = b;
+    LsqResult result;
+    if (householderQr(qr, qtb) &&
+        backSubstitute(qr, qtb, result.coefficients)) {
+        result.rmse = computeRmse(a, b, result.coefficients);
+        return result;
+    }
+
+    // Rank-deficient design: fall back to a mild ridge penalty scaled
+    // to the average squared feature magnitude.
+    double scale = 0.0;
+    for (std::size_t r = 0; r < a.rows(); ++r)
+        for (std::size_t c = 0; c < a.cols(); ++c)
+            scale += a(r, c) * a(r, c);
+    scale /= static_cast<double>(std::max<std::size_t>(1, a.rows()));
+    double lambda = std::max(1e-9, 1e-6 * scale);
+    result = solveRidge(a, b, lambda);
+    result.rankDeficient = true;
+    return result;
+}
+
+LsqResult
+solveWeightedLeastSquares(const Matrix &a, const Vector &b,
+                          const Vector &weights)
+{
+    fatalIf(weights.size() != a.rows(),
+            "weighted least squares: weight count mismatch");
+    Matrix wa(a.rows(), a.cols());
+    Vector wb(b.size());
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+        fatalIf(weights[r] < 0.0, "negative sample weight");
+        double s = std::sqrt(weights[r]);
+        for (std::size_t c = 0; c < a.cols(); ++c)
+            wa(r, c) = a(r, c) * s;
+        wb[r] = b[r] * s;
+    }
+    LsqResult result = solveLeastSquares(wa, wb);
+    // Report RMSE on the unweighted problem for interpretability.
+    result.rmse = computeRmse(a, b, result.coefficients);
+    return result;
+}
+
+LsqResult
+solveNonNegativeLeastSquares(const Matrix &a, const Vector &b)
+{
+    // Start from the unconstrained solution; repeatedly clamp negative
+    // coefficients to zero and refit the remaining free columns.
+    LsqResult result = solveLeastSquares(a, b);
+    std::vector<bool> frozen(a.cols(), false);
+    for (std::size_t iter = 0; iter < a.cols(); ++iter) {
+        bool any_negative = false;
+        for (std::size_t c = 0; c < a.cols(); ++c) {
+            if (!frozen[c] && result.coefficients[c] < 0.0) {
+                frozen[c] = true;
+                any_negative = true;
+            }
+        }
+        if (!any_negative)
+            break;
+
+        std::vector<std::size_t> free_cols;
+        for (std::size_t c = 0; c < a.cols(); ++c)
+            if (!frozen[c])
+                free_cols.push_back(c);
+        Vector coeffs(a.cols(), 0.0);
+        if (!free_cols.empty()) {
+            Matrix sub(a.rows(), free_cols.size());
+            for (std::size_t r = 0; r < a.rows(); ++r)
+                for (std::size_t j = 0; j < free_cols.size(); ++j)
+                    sub(r, j) = a(r, free_cols[j]);
+            LsqResult sub_fit = solveLeastSquares(sub, b);
+            for (std::size_t j = 0; j < free_cols.size(); ++j)
+                coeffs[free_cols[j]] = sub_fit.coefficients[j];
+            result.rankDeficient |= sub_fit.rankDeficient;
+        }
+        result.coefficients = coeffs;
+    }
+    for (double &c : result.coefficients)
+        c = std::max(0.0, c);
+    result.rmse = computeRmse(a, b, result.coefficients);
+    return result;
+}
+
+LsqResult
+solveRidge(const Matrix &a, const Vector &b, double lambda)
+{
+    fatalIf(lambda <= 0.0, "ridge lambda must be positive");
+    fatalIf(a.rows() != b.size(), "ridge: shape mismatch");
+    Matrix at = a.transposed();
+    Matrix ata = at * a;
+    for (std::size_t i = 0; i < ata.rows(); ++i)
+        ata(i, i) += lambda;
+    Vector atb = at * b;
+    LsqResult result;
+    if (!choleskySolve(ata, atb, result.coefficients))
+        util::panic("ridge normal equations not SPD despite penalty");
+    result.rmse = computeRmse(a, b, result.coefficients);
+    return result;
+}
+
+} // namespace linalg
+} // namespace pcon

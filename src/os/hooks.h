@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Kernel instrumentation points. The power-container facility (core/)
+ * implements these to sample counters at request context switches,
+ * handle periodic sampling interrupts, and attribute I/O energy —
+ * mirroring where the paper hooks Linux.
+ */
+
+#ifndef PCON_OS_HOOKS_H
+#define PCON_OS_HOOKS_H
+
+#include "hw/machine.h"
+#include "os/request_context.h"
+#include "sim/time.h"
+
+namespace pcon {
+namespace os {
+
+class Task;
+
+/**
+ * Callbacks invoked by the kernel at accounting-relevant moments.
+ * Multiple hook sets may be registered; they run in registration
+ * order. Implementations may call back into the kernel (e.g. to set
+ * duty-cycle levels) except where noted.
+ */
+class KernelHooks
+{
+  public:
+    virtual ~KernelHooks() = default;
+
+    /**
+     * A core is switching tasks. Called before any machine state
+     * changes, so counters read here cover the outgoing interval.
+     * @param core The core switching.
+     * @param prev Outgoing task (nullptr = was idle).
+     * @param next Incoming task (nullptr = going idle).
+     */
+    virtual void
+    onContextSwitch(int core, Task *prev, Task *next)
+    {
+        (void)core; (void)prev; (void)next;
+    }
+
+    /**
+     * A task's bound request context changed (e.g. it read socket
+     * data tagged with a different request). If the task is running,
+     * this is an accounting boundary on its core.
+     */
+    virtual void
+    onContextRebind(Task &task, RequestId old_ctx, RequestId new_ctx)
+    {
+        (void)task; (void)old_ctx; (void)new_ctx;
+    }
+
+    /**
+     * Periodic counter-overflow interrupt on a busy core (threshold
+     * of non-halt cycles reached; suppressed while idle).
+     */
+    virtual void
+    onSamplingInterrupt(int core)
+    {
+        (void)core;
+    }
+
+    /**
+     * A device I/O completed. The kernel identifies the responsible
+     * request as the one bound to the consuming task (Section 3.3).
+     * @param device Which device class.
+     * @param context Request the I/O belongs to.
+     * @param busy_time Device service time attributable to the op.
+     * @param bytes Transferred bytes.
+     */
+    virtual void
+    onIoComplete(hw::DeviceKind device, RequestId context,
+                 sim::SimTime busy_time, double bytes)
+    {
+        (void)device; (void)context; (void)busy_time; (void)bytes;
+    }
+
+    /** A task exited. */
+    virtual void
+    onTaskExit(Task &task)
+    {
+        (void)task;
+    }
+};
+
+} // namespace os
+} // namespace pcon
+
+#endif // PCON_OS_HOOKS_H

@@ -1,0 +1,62 @@
+#include "request_context.h"
+
+#include "util/logging.h"
+
+namespace pcon {
+namespace os {
+
+RequestId
+RequestContextManager::create(const std::string &type, sim::SimTime now)
+{
+    RequestId id = nextId_++;
+    RequestInfo info;
+    info.id = id;
+    info.type = type;
+    info.created = now;
+    auto [it, inserted] = contexts_.emplace(id, std::move(info));
+    util::panicIf(!inserted, "duplicate request id");
+    for (auto &fn : createListeners_)
+        fn(it->second);
+    return id;
+}
+
+void
+RequestContextManager::complete(RequestId id, sim::SimTime now)
+{
+    auto it = contexts_.find(id);
+    util::panicIf(it == contexts_.end(),
+                  "complete() on unknown request ", id);
+    util::panicIf(it->second.done, "request ", id, " completed twice");
+    it->second.done = true;
+    it->second.completed = now;
+    for (auto &fn : completeListeners_)
+        fn(it->second);
+}
+
+const RequestInfo &
+RequestContextManager::info(RequestId id) const
+{
+    auto it = contexts_.find(id);
+    util::panicIf(it == contexts_.end(), "unknown request ", id);
+    return it->second;
+}
+
+bool
+RequestContextManager::exists(RequestId id) const
+{
+    return contexts_.find(id) != contexts_.end();
+}
+
+void
+RequestContextManager::reapCompleted()
+{
+    for (auto it = contexts_.begin(); it != contexts_.end();) {
+        if (it->second.done)
+            it = contexts_.erase(it);
+        else
+            ++it;
+    }
+}
+
+} // namespace os
+} // namespace pcon

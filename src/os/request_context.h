@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Request context identity and lifecycle (Section 3.3). A request
+ * context is the unit the power-container facility accounts against;
+ * it flows across processes via sockets, fork, and IPC. The manager
+ * here owns identity, type tags, and lifecycle notifications; the
+ * accounting state itself (the power container) lives in core/.
+ */
+
+#ifndef PCON_OS_REQUEST_CONTEXT_H
+#define PCON_OS_REQUEST_CONTEXT_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace pcon {
+namespace os {
+
+/** Identifier of a request context; 0 means "no context". */
+using RequestId = std::uint64_t;
+
+/** The null context. */
+constexpr RequestId NoRequest = 0;
+
+/** Static and lifecycle information about one request context. */
+struct RequestInfo
+{
+    /** Unique id. */
+    RequestId id = NoRequest;
+    /** Workload-defined request type tag (e.g. "rsa-large"). */
+    std::string type;
+    /** Creation (arrival) time. */
+    sim::SimTime created = 0;
+    /** Completion time; meaningful when completed. */
+    sim::SimTime completed = 0;
+    /** True once complete() was called. */
+    bool done = false;
+};
+
+/**
+ * Issues request ids and broadcasts lifecycle events. The container
+ * manager subscribes to create/complete to allocate and release
+ * per-request accounting state.
+ */
+class RequestContextManager
+{
+  public:
+    using Listener = std::function<void(const RequestInfo &)>;
+
+    /** Create a new context of the given type at time `now`. */
+    RequestId create(const std::string &type, sim::SimTime now);
+
+    /** Mark a context complete at time `now`; notifies listeners. */
+    void complete(RequestId id, sim::SimTime now);
+
+    /** Look up a context; panics on unknown id. */
+    const RequestInfo &info(RequestId id) const;
+
+    /** True when the id exists (and is not NoRequest). */
+    bool exists(RequestId id) const;
+
+    /** Subscribe to context creation. */
+    void onCreate(Listener fn) { createListeners_.push_back(fn); }
+
+    /** Subscribe to context completion. */
+    void onComplete(Listener fn) { completeListeners_.push_back(fn); }
+
+    /** Number of contexts created so far. */
+    std::size_t createdCount() const { return contexts_.size(); }
+
+    /** Remove completed contexts from the table (space reclamation). */
+    void reapCompleted();
+
+  private:
+    RequestId nextId_ = 1;
+    std::unordered_map<RequestId, RequestInfo> contexts_;
+    std::vector<Listener> createListeners_;
+    std::vector<Listener> completeListeners_;
+};
+
+} // namespace os
+} // namespace pcon
+
+#endif // PCON_OS_REQUEST_CONTEXT_H

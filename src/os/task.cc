@@ -1,0 +1,22 @@
+#include "task.h"
+
+#include "util/logging.h"
+
+namespace pcon {
+namespace os {
+
+Op
+ScriptedLogic::next(Kernel &kernel, Task &self, const OpResult &last)
+{
+    if (index_ >= steps_.size()) {
+        if (!loop_)
+            return ExitOp{};
+        index_ = 0;
+    }
+    util::panicIf(steps_.empty(), "ScriptedLogic with no steps");
+    Step &step = steps_[index_++];
+    return step(kernel, self, last);
+}
+
+} // namespace os
+} // namespace pcon

@@ -1,0 +1,77 @@
+#include "event_queue.h"
+
+#include <memory>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace pcon {
+namespace sim {
+
+EventId
+EventQueue::schedule(SimTime when, Callback cb)
+{
+    EventId id = nextId_++;
+    heap_.push(Entry{when, nextSeq_++, id,
+                     std::make_shared<Callback>(std::move(cb))});
+    ++live_;
+    return id;
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    if (id == InvalidEventId)
+        return false;
+    // Only mark ids that could still be pending; the heap is scanned
+    // lazily. We cannot cheaply verify membership, so track via the
+    // cancelled set and live counter conservatively.
+    auto [it, inserted] = cancelled_.insert(id);
+    (void)it;
+    if (inserted && live_ > 0) {
+        --live_;
+        return true;
+    }
+    return false;
+}
+
+void
+EventQueue::skipCancelled() const
+{
+    while (!heap_.empty()) {
+        auto found = cancelled_.find(heap_.top().id);
+        if (found == cancelled_.end())
+            break;
+        cancelled_.erase(found);
+        heap_.pop();
+    }
+}
+
+bool
+EventQueue::empty() const
+{
+    skipCancelled();
+    return heap_.empty();
+}
+
+SimTime
+EventQueue::nextTime() const
+{
+    skipCancelled();
+    util::panicIf(heap_.empty(), "nextTime on empty event queue");
+    return heap_.top().when;
+}
+
+std::pair<SimTime, EventQueue::Callback>
+EventQueue::pop()
+{
+    skipCancelled();
+    util::panicIf(heap_.empty(), "pop on empty event queue");
+    Entry top = heap_.top();
+    heap_.pop();
+    --live_;
+    return {top.when, std::move(*top.cb)};
+}
+
+} // namespace sim
+} // namespace pcon

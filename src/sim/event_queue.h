@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The discrete-event core: a time-ordered queue of callbacks with
+ * stable FIFO ordering among same-time events and O(log n) cancel
+ * support via event handles.
+ */
+
+#ifndef PCON_SIM_EVENT_QUEUE_H
+#define PCON_SIM_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace pcon {
+namespace sim {
+
+/** Opaque identifier for a scheduled event; used for cancellation. */
+using EventId = std::uint64_t;
+
+/** Sentinel for "no event". */
+constexpr EventId InvalidEventId = 0;
+
+/**
+ * A priority queue of (time, sequence, callback) entries. Events at
+ * equal times fire in scheduling order. Cancellation is lazy: the id
+ * is blacklisted and skipped on pop.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Schedule a callback at absolute time `when`. */
+    EventId schedule(SimTime when, Callback cb);
+
+    /**
+     * Cancel a previously scheduled event.
+     * @return true when the event was pending and is now cancelled.
+     */
+    bool cancel(EventId id);
+
+    /** True when no live events remain. */
+    bool empty() const;
+
+    /** Number of live (non-cancelled) pending events. */
+    std::size_t size() const { return live_; }
+
+    /** Time of the earliest live event; panics when empty. */
+    SimTime nextTime() const;
+
+    /**
+     * Pop and return the earliest live event; panics when empty.
+     * @return pair of fire time and callback.
+     */
+    std::pair<SimTime, Callback> pop();
+
+  private:
+    struct Entry
+    {
+        SimTime when;
+        std::uint64_t seq;
+        EventId id;
+        // The callback lives outside the comparison; shared_ptr keeps
+        // Entry copyable inside priority_queue.
+        std::shared_ptr<Callback> cb;
+
+        bool
+        operator>(const Entry &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            return seq > other.seq;
+        }
+    };
+
+    void skipCancelled() const;
+
+    mutable std::priority_queue<Entry, std::vector<Entry>,
+                                std::greater<Entry>> heap_;
+    mutable std::unordered_set<EventId> cancelled_;
+    std::uint64_t nextSeq_ = 1;
+    EventId nextId_ = 1;
+    std::size_t live_ = 0;
+};
+
+} // namespace sim
+} // namespace pcon
+
+#endif // PCON_SIM_EVENT_QUEUE_H

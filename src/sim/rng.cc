@@ -1,0 +1,157 @@
+#include "rng.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace pcon {
+namespace sim {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t s = seed;
+    for (auto &word : state_)
+        word = splitmix64(s);
+}
+
+std::uint64_t
+Rng::next()
+{
+    std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::int64_t
+Rng::uniformInt(std::int64_t lo, std::int64_t hi)
+{
+    util::panicIf(lo > hi, "uniformInt with lo > hi");
+    std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0)
+        return static_cast<std::int64_t>(next());
+    return lo + static_cast<std::int64_t>(next() % span);
+}
+
+double
+Rng::exponential(double mean)
+{
+    util::panicIf(mean <= 0.0, "exponential mean must be positive");
+    double u = uniform();
+    // Guard against log(0).
+    if (u <= 0.0)
+        u = 0x1.0p-53;
+    return -mean * std::log(u);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    double u1 = uniform();
+    double u2 = uniform();
+    if (u1 <= 0.0)
+        u1 = 0x1.0p-53;
+    double mag = std::sqrt(-2.0 * std::log(u1));
+    return mean + stddev * mag * std::cos(2.0 * M_PI * u2);
+}
+
+double
+Rng::lognormal(double mu, double sigma)
+{
+    return std::exp(normal(mu, sigma));
+}
+
+std::size_t
+Rng::zipf(std::size_t n, double theta)
+{
+    util::panicIf(n == 0, "zipf over an empty domain");
+    if (n != zipfN_ || theta != zipfTheta_) {
+        zipfN_ = n;
+        zipfTheta_ = theta;
+        zipfCdf_.resize(n);
+        double sum = 0.0;
+        for (std::size_t k = 0; k < n; ++k) {
+            sum += 1.0 / std::pow(static_cast<double>(k + 1), theta);
+            zipfCdf_[k] = sum;
+        }
+        for (double &c : zipfCdf_)
+            c /= sum;
+    }
+    double u = uniform();
+    // Binary search the CDF.
+    std::size_t lo = 0, hi = n - 1;
+    while (lo < hi) {
+        std::size_t mid = (lo + hi) / 2;
+        if (zipfCdf_[mid] < u)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+bool
+Rng::chance(double p)
+{
+    return uniform() < p;
+}
+
+std::size_t
+Rng::weightedIndex(const std::vector<double> &weights)
+{
+    util::panicIf(weights.empty(), "weightedIndex over empty weights");
+    double total = 0.0;
+    for (double w : weights) {
+        util::panicIf(w < 0.0, "negative weight");
+        total += w;
+    }
+    util::panicIf(total <= 0.0, "weightedIndex with zero total weight");
+    double u = uniform() * total;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        acc += weights[i];
+        if (u < acc)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+} // namespace sim
+} // namespace pcon

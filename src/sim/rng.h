@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Deterministic random number generation for workloads and load
+ * clients: xoshiro256** core plus the distributions the experiment
+ * drivers need (uniform, exponential, normal, Zipf, lognormal).
+ */
+
+#ifndef PCON_SIM_RNG_H
+#define PCON_SIM_RNG_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace pcon {
+namespace sim {
+
+/**
+ * xoshiro256** generator. Seeded via splitmix64 so any 64-bit seed
+ * yields a well-mixed state. Deterministic across platforms.
+ */
+class Rng
+{
+  public:
+    /** Construct with the given seed. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+    /** Exponential with the given mean (> 0). */
+    double exponential(double mean);
+
+    /** Normal via Box-Muller. */
+    double normal(double mean, double stddev);
+
+    /** Lognormal parameterized by the underlying normal's mu/sigma. */
+    double lognormal(double mu, double sigma);
+
+    /**
+     * Zipf-distributed rank in [0, n): probability of rank k
+     * proportional to 1/(k+1)^theta. Used for search-term and
+     * problem-set popularity skew.
+     */
+    std::size_t zipf(std::size_t n, double theta);
+
+    /** Bernoulli trial with success probability p. */
+    bool chance(double p);
+
+    /** Pick an index according to the given non-negative weights. */
+    std::size_t weightedIndex(const std::vector<double> &weights);
+
+  private:
+    std::array<std::uint64_t, 4> state_;
+
+    // Cached Zipf normalization: recomputing the harmonic sum per draw
+    // would dominate workload generation.
+    std::size_t zipfN_ = 0;
+    double zipfTheta_ = -1.0;
+    std::vector<double> zipfCdf_;
+};
+
+} // namespace sim
+} // namespace pcon
+
+#endif // PCON_SIM_RNG_H

@@ -1,0 +1,55 @@
+#include "simulation.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace pcon {
+namespace sim {
+
+EventId
+Simulation::schedule(SimTime delay, EventQueue::Callback cb)
+{
+    util::panicIf(delay < 0, "negative event delay: ", delay);
+    return events_.schedule(now_ + delay, std::move(cb));
+}
+
+EventId
+Simulation::scheduleAt(SimTime when, EventQueue::Callback cb)
+{
+    util::panicIf(when < now_, "event scheduled in the past: ", when,
+                  " < ", now_);
+    return events_.schedule(when, std::move(cb));
+}
+
+std::uint64_t
+Simulation::run(SimTime until)
+{
+    std::uint64_t executed = 0;
+    while (!events_.empty() && events_.nextTime() <= until) {
+        auto [when, cb] = events_.pop();
+        util::panicIf(when < now_, "event queue went backwards");
+        now_ = when;
+        cb();
+        ++executed;
+    }
+    // Advance the clock to the horizon so back-to-back run() calls
+    // observe contiguous time even across empty stretches.
+    if (until != std::numeric_limits<SimTime>::max() && now_ < until)
+        now_ = until;
+    return executed;
+}
+
+bool
+Simulation::step()
+{
+    if (events_.empty())
+        return false;
+    auto [when, cb] = events_.pop();
+    now_ = when;
+    cb();
+    return true;
+}
+
+} // namespace sim
+} // namespace pcon

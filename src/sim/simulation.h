@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The simulation driver: a clock plus an event queue. All simulated
+ * components schedule work against one Simulation instance.
+ */
+
+#ifndef PCON_SIM_SIMULATION_H
+#define PCON_SIM_SIMULATION_H
+
+#include <functional>
+#include <limits>
+
+#include "sim/event_queue.h"
+#include "sim/time.h"
+
+namespace pcon {
+namespace sim {
+
+/**
+ * Owns the simulated clock and event queue and runs events in time
+ * order. Single-threaded by design: the whole machine cluster is one
+ * deterministic event stream.
+ */
+class Simulation
+{
+  public:
+    /** Current simulated time. */
+    SimTime now() const { return now_; }
+
+    /** Schedule a callback `delay` after now; delay must be >= 0. */
+    EventId schedule(SimTime delay, EventQueue::Callback cb);
+
+    /** Schedule a callback at an absolute time >= now. */
+    EventId scheduleAt(SimTime when, EventQueue::Callback cb);
+
+    /** Cancel a pending event by id. */
+    bool cancel(EventId id) { return events_.cancel(id); }
+
+    /**
+     * Run until the queue drains or the clock would pass `until`.
+     * Events scheduled exactly at `until` are executed.
+     * @return number of events executed.
+     */
+    std::uint64_t run(SimTime until = std::numeric_limits<SimTime>::max());
+
+    /** Execute exactly one event if present. @return true if one ran. */
+    bool step();
+
+    /** True when no events are pending. */
+    bool idle() const { return events_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t pendingEvents() const { return events_.size(); }
+
+  private:
+    SimTime now_ = 0;
+    EventQueue events_;
+};
+
+} // namespace sim
+} // namespace pcon
+
+#endif // PCON_SIM_SIMULATION_H

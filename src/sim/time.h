@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Simulated time representation. All simulation timestamps are signed
+ * 64-bit nanosecond counts from simulation start; helpers convert the
+ * usual units.
+ */
+
+#ifndef PCON_SIM_TIME_H
+#define PCON_SIM_TIME_H
+
+#include <cstdint>
+
+namespace pcon {
+namespace sim {
+
+/** Simulated time in nanoseconds since simulation start. */
+using SimTime = std::int64_t;
+
+/** Nanoseconds. */
+constexpr SimTime
+nsec(std::int64_t n)
+{
+    return n;
+}
+
+/** Microseconds to SimTime. */
+constexpr SimTime
+usec(std::int64_t n)
+{
+    return n * 1000;
+}
+
+/** Milliseconds to SimTime. */
+constexpr SimTime
+msec(std::int64_t n)
+{
+    return n * 1000 * 1000;
+}
+
+/** Seconds to SimTime. */
+constexpr SimTime
+sec(std::int64_t n)
+{
+    return n * 1000 * 1000 * 1000;
+}
+
+/** Fractional seconds to SimTime (rounds to nearest nanosecond). */
+constexpr SimTime
+secF(double s)
+{
+    return static_cast<SimTime>(s * 1e9 + (s >= 0 ? 0.5 : -0.5));
+}
+
+/** SimTime to fractional seconds. */
+constexpr double
+toSeconds(SimTime t)
+{
+    return static_cast<double>(t) * 1e-9;
+}
+
+/** SimTime to fractional milliseconds. */
+constexpr double
+toMillis(SimTime t)
+{
+    return static_cast<double>(t) * 1e-6;
+}
+
+} // namespace sim
+} // namespace pcon
+
+#endif // PCON_SIM_TIME_H

@@ -1,0 +1,42 @@
+#include "csv.h"
+
+#include "logging.h"
+
+namespace pcon {
+namespace util {
+
+CsvWriter::CsvWriter(const std::string &path)
+    : out_(path, std::ios::trunc)
+{
+    fatalIf(!out_, "cannot open CSV output file: ", path);
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            out_ << ',';
+        out_ << escape(cells[i]);
+    }
+    out_ << '\n';
+}
+
+std::string
+CsvWriter::escape(const std::string &cell)
+{
+    bool needs_quotes = cell.find_first_of(",\"\n") != std::string::npos;
+    if (!needs_quotes)
+        return cell;
+    std::string escaped = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            escaped += '"';
+        escaped += c;
+    }
+    escaped += '"';
+    return escaped;
+}
+
+} // namespace util
+} // namespace pcon

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Minimal CSV writer for experiment drivers. Rows are written
+ * immediately; cells containing separators or quotes are escaped.
+ */
+
+#ifndef PCON_UTIL_CSV_H
+#define PCON_UTIL_CSV_H
+
+#include <fstream>
+#include <initializer_list>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace pcon {
+namespace util {
+
+/**
+ * Write comma-separated rows to a file. The file is truncated on
+ * construction and flushed on destruction (RAII).
+ */
+class CsvWriter
+{
+  public:
+    /** Open (truncate) the target file; fatal() when unwritable. */
+    explicit CsvWriter(const std::string &path);
+
+    /** Write one row of preformatted cells. */
+    void writeRow(const std::vector<std::string> &cells);
+
+    /** Convenience: write a row of heterogeneous streamable values. */
+    template <typename... Args>
+    void
+    row(const Args &...args)
+    {
+        std::vector<std::string> cells;
+        cells.reserve(sizeof...(args));
+        (cells.push_back(toCell(args)), ...);
+        writeRow(cells);
+    }
+
+  private:
+    template <typename T>
+    static std::string
+    toCell(const T &value)
+    {
+        std::ostringstream out;
+        out << value;
+        return out.str();
+    }
+
+    static std::string escape(const std::string &cell);
+
+    std::ofstream out_;
+};
+
+} // namespace util
+} // namespace pcon
+
+#endif // PCON_UTIL_CSV_H

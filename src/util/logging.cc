@@ -1,0 +1,52 @@
+#include "logging.h"
+
+#include <iostream>
+
+namespace pcon {
+namespace util {
+
+namespace {
+
+LogLevel &
+thresholdStorage()
+{
+    static LogLevel threshold = LogLevel::Warn;
+    return threshold;
+}
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "debug";
+      case LogLevel::Info: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Error: return "error";
+    }
+    return "?";
+}
+
+} // namespace
+
+LogLevel
+logThreshold()
+{
+    return thresholdStorage();
+}
+
+void
+setLogThreshold(LogLevel level)
+{
+    thresholdStorage() = level;
+}
+
+void
+logMessage(LogLevel level, const std::string &msg)
+{
+    if (static_cast<int>(level) < static_cast<int>(thresholdStorage()))
+        return;
+    std::cerr << "[" << levelName(level) << "] " << msg << "\n";
+}
+
+} // namespace util
+} // namespace pcon

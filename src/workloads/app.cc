@@ -1,0 +1,142 @@
+#include "app.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace pcon {
+namespace wl {
+
+using util::panicIf;
+
+WorkerPoolApp::WorkerPoolApp(std::string name, int pool_size,
+                             double request_bytes,
+                             double response_bytes)
+    : name_(std::move(name)), poolSize_(pool_size),
+      requestBytes_(request_bytes), responseBytes_(response_bytes)
+{}
+
+void
+WorkerPoolApp::deploy(os::Kernel &kernel)
+{
+    panicIf(kernel_ != nullptr, name_, " deployed twice");
+    kernel_ = &kernel;
+    int pool = poolSize_ > 0 ? poolSize_
+                             : 2 * kernel.machine().totalCores();
+    workers_.resize(static_cast<std::size_t>(pool));
+    onDeploy(kernel);
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+        Worker &w = workers_[i];
+        auto [app_end, worker_end] = kernel.socketPair();
+        w.appEnd = app_end;
+        w.workerEnd = worker_end;
+        w.appEnd->setDeliveryCallback(
+            [this, i](double bytes, os::RequestId ctx) {
+                (void)bytes;
+                responseArrived(i, ctx);
+            });
+        w.task = kernel.spawn(
+            std::make_shared<PoolWorkerLogic>(*this, i),
+            name_ + "-worker" + std::to_string(i));
+    }
+}
+
+std::string
+WorkerPoolApp::machineName() const
+{
+    return kernel_ ? kernel_->machine().config().name : std::string();
+}
+
+std::size_t
+WorkerPoolApp::activeRequests() const
+{
+    std::size_t active = 0;
+    for (const Worker &w : workers_)
+        active += w.busy ? 1 : 0;
+    return active;
+}
+
+void
+WorkerPoolApp::submit(os::RequestId id, const std::string &type)
+{
+    panicIf(kernel_ == nullptr, name_, " not deployed");
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+        if (!workers_[i].busy) {
+            dispatch(i, id, type);
+            return;
+        }
+    }
+    pendingQueue_.push_back(PendingRequest{id, type});
+}
+
+void
+WorkerPoolApp::dispatch(std::size_t worker, os::RequestId id,
+                        const std::string &type)
+{
+    Worker &w = workers_[worker];
+    panicIf(w.busy, "dispatch to a busy worker");
+    w.busy = true;
+    w.current = id;
+    w.plan = makePlan(type, worker);
+    // The request message carries the request's context tag into the
+    // worker (the socket tagging path of Section 3.3).
+    w.appEnd->send(requestBytes_, id);
+}
+
+void
+WorkerPoolApp::responseArrived(std::size_t worker,
+                               os::RequestId context)
+{
+    Worker &w = workers_[worker];
+    panicIf(!w.busy, "response from an idle worker");
+    panicIf(context != w.current,
+            "response context mismatch: got ", context, " expected ",
+            w.current);
+    w.busy = false;
+    w.current = os::NoRequest;
+    // Hand the freed worker to a queued request *before* notifying
+    // completion: a closed-loop client submits from the completion
+    // callback and must not race the queue for this worker.
+    if (!pendingQueue_.empty()) {
+        PendingRequest next = pendingQueue_.front();
+        pendingQueue_.pop_front();
+        dispatch(worker, next.id, next.type);
+    }
+    kernel_->requests().complete(context,
+                                 kernel_->simulation().now());
+}
+
+os::Op
+PoolWorkerLogic::next(os::Kernel &kernel, os::Task &self,
+                      const os::OpResult &last)
+{
+    (void)kernel;
+    (void)self;
+    WorkerPoolApp::Worker &w = app_.workers_[index_];
+
+    if (planPos_ == SIZE_MAX) {
+        // Idle: wait for the next request.
+        planPos_ = 0;
+        lastForkedChild_ = os::NoTask;
+        return os::RecvOp{w.workerEnd};
+    }
+
+    if (last.kind == os::OpResult::Kind::Forked)
+        lastForkedChild_ = last.child;
+
+    if (planPos_ < w.plan.size()) {
+        os::Op op = w.plan[planPos_++];
+        // Thread the just-forked child into a placeholder wait.
+        if (auto *wait = std::get_if<os::WaitChildOp>(&op);
+            wait != nullptr && wait->child == os::NoTask)
+            wait->child = lastForkedChild_;
+        return op;
+    }
+
+    // Plan finished: respond and go idle.
+    planPos_ = SIZE_MAX;
+    return os::SendOp{w.workerEnd, app_.responseBytes_};
+}
+
+} // namespace wl
+} // namespace pcon

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Server application framework for the evaluation workloads
+ * (Section 4.2). A ServerApp deploys worker processes on a kernel,
+ * accepts tagged requests through sockets, and completes the request
+ * context when the response message returns — exactly the round trip
+ * the power-container request tracking follows.
+ *
+ * WorkerPoolApp implements the common pool mechanics: a fixed set of
+ * worker processes, each connected to the (external) client side by a
+ * persistent socket. A request is an op *plan* (compute phases, inner
+ * socket hops, forks, device I/O) the worker executes between the
+ * recv of the request and the send of the response.
+ */
+
+#ifndef PCON_WORKLOADS_APP_H
+#define PCON_WORKLOADS_APP_H
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "os/kernel.h"
+#include "sim/rng.h"
+
+namespace pcon {
+namespace wl {
+
+/**
+ * One server application. Lifecycle: construct, deploy() once on a
+ * kernel, then submit() requests; the app completes each request's
+ * context (requests().complete) when its response arrives.
+ */
+class ServerApp
+{
+  public:
+    virtual ~ServerApp() = default;
+
+    /** Install server processes on the kernel. Call exactly once. */
+    virtual void deploy(os::Kernel &kernel) = 0;
+
+    /** Draw a request type according to the workload's type mix. */
+    virtual std::string sampleType(sim::Rng &rng) = 0;
+
+    /**
+     * Inject one request of the given type. The id must come from
+     * the kernel's RequestContextManager; the app completes it when
+     * the response returns.
+     */
+    virtual void submit(os::RequestId id, const std::string &type) = 0;
+
+    /**
+     * Mean on-CPU work per request in core cycles on the deployed
+     * machine (all stages combined). Load clients size arrival rates
+     * from this.
+     */
+    virtual double meanServiceCycles() const = 0;
+
+    /** Workload name ("RSA-crypto", "Solr", ...). */
+    virtual const std::string &name() const = 0;
+};
+
+/**
+ * Pool-of-workers base class. Subclasses provide the per-request op
+ * plan; this class provides the sockets, queuing, dispatch, and
+ * completion plumbing.
+ */
+class WorkerPoolApp : public ServerApp
+{
+  public:
+    /**
+     * @param name Workload name.
+     * @param pool_size Worker process count (0 = 2 x cores).
+     * @param request_bytes Size of request messages.
+     * @param response_bytes Size of response messages.
+     */
+    WorkerPoolApp(std::string name, int pool_size = 0,
+                  double request_bytes = 512,
+                  double response_bytes = 4096);
+
+    void deploy(os::Kernel &kernel) override;
+    void submit(os::RequestId id, const std::string &type) override;
+    const std::string &name() const override { return name_; }
+
+    /** Kernel this app is deployed on (valid after deploy). */
+    os::Kernel &kernel() const { return *kernel_; }
+
+    /** Requests currently queued for a free worker. */
+    std::size_t queuedRequests() const { return pendingQueue_.size(); }
+
+    /** Requests currently executing on workers. */
+    std::size_t activeRequests() const;
+
+  protected:
+    /** Per-worker plumbing and the current request's plan. */
+    struct Worker
+    {
+        os::TaskId task = os::NoTask;
+        os::Socket *appEnd = nullptr;
+        os::Socket *workerEnd = nullptr;
+        std::vector<os::Op> plan;
+        bool busy = false;
+        os::RequestId current = os::NoRequest;
+    };
+
+    /**
+     * Build the op plan one worker executes for a request of `type`.
+     * Called while dispatching; may use worker-specific resources the
+     * subclass created in onDeploy (e.g. a per-worker database
+     * socket).
+     */
+    virtual std::vector<os::Op> makePlan(const std::string &type,
+                                         std::size_t worker) = 0;
+
+    /** Subclass hook: create app-specific resources at deploy time. */
+    virtual void
+    onDeploy(os::Kernel &kernel)
+    {
+        (void)kernel;
+    }
+
+    /** Access to a worker's plumbing (for subclass deploy hooks). */
+    Worker &worker(std::size_t i) { return workers_[i]; }
+
+    /** Number of workers. */
+    std::size_t workerCount() const { return workers_.size(); }
+
+    /** The deployed machine's name ("" before deploy). */
+    std::string machineName() const;
+
+  private:
+    friend class PoolWorkerLogic;
+
+    struct PendingRequest
+    {
+        os::RequestId id;
+        std::string type;
+    };
+
+    void dispatch(std::size_t worker, os::RequestId id,
+                  const std::string &type);
+    void responseArrived(std::size_t worker, os::RequestId context);
+
+    std::string name_;
+    int poolSize_;
+    double requestBytes_;
+    double responseBytes_;
+    os::Kernel *kernel_ = nullptr;
+    std::vector<Worker> workers_;
+    std::deque<PendingRequest> pendingQueue_;
+};
+
+/**
+ * The task logic of one pool worker: loop { recv request; execute the
+ * plan the app prepared; send response }. Fork results are threaded
+ * into subsequent WaitChildOp entries automatically.
+ */
+class PoolWorkerLogic : public os::TaskLogic
+{
+  public:
+    PoolWorkerLogic(WorkerPoolApp &app, std::size_t index)
+        : app_(app), index_(index)
+    {}
+
+    os::Op next(os::Kernel &kernel, os::Task &self,
+                const os::OpResult &last) override;
+
+  private:
+    WorkerPoolApp &app_;
+    std::size_t index_;
+    /** SIZE_MAX = waiting for a request; else next plan position. */
+    std::size_t planPos_ = SIZE_MAX;
+    os::TaskId lastForkedChild_ = os::NoTask;
+};
+
+} // namespace wl
+} // namespace pcon
+
+#endif // PCON_WORKLOADS_APP_H

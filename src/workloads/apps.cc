@@ -1,0 +1,479 @@
+#include "apps.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "workloads/event_loop_app.h"
+
+#include "util/logging.h"
+
+namespace pcon {
+namespace wl {
+
+using hw::ActivityVector;
+using os::ComputeOp;
+using os::IoOp;
+using os::Op;
+
+double
+cycleFactor(const std::map<std::string, double> &factors,
+            const std::string &machine)
+{
+    auto it = factors.find(machine);
+    return it == factors.end() ? 1.0 : it->second;
+}
+
+namespace {
+
+// Resource-activity signatures (per non-halt cycle).
+// Larger RSA keys run denser arithmetic with more cache pressure, so
+// the three request types differ in power density, not just length.
+const ActivityVector kRsaSmallActivity{1.6, 0.0, 0.001, 0.0001};
+const ActivityVector kRsaMediumActivity{1.8, 0.0, 0.002, 0.0002};
+const ActivityVector kRsaLargeActivity{2.4, 0.0, 0.012, 0.0012};
+const ActivityVector kSolrActivity{1.3, 0.0, 0.035, 0.003};
+const ActivityVector kPhpActivity{1.4, 0.0, 0.02, 0.001};
+const ActivityVector kMysqlActivity{1.1, 0.0, 0.05, 0.006};
+const ActivityVector kLatexActivity{1.6, 0.8, 0.025, 0.0012};
+const ActivityVector kDvipngActivity{1.2, 0.0, 0.04, 0.004};
+const ActivityVector kRenderActivity{1.3, 0.0, 0.015, 0.001};
+const ActivityVector kStressActivity{1.5, 0.4, 0.05, 0.01};
+const ActivityVector kVosaoActivity{1.5, 0.0, 0.03, 0.003};
+const ActivityVector kVirusActivity{2.2, 0.0, 0.08, 0.016};
+const ActivityVector kGaeBackgroundActivity{1.4, 0.0, 0.03, 0.002};
+
+// Per-machine cycle factors (SandyBridge = 1.0). Compute-bound work
+// benefits most from the newer microarchitecture; the memory-bound
+// Stress workload barely does.
+const std::map<std::string, double> kRsaFactors{
+    {"Woodcrest", 2.3}, {"Westmere", 1.35}};
+const std::map<std::string, double> kSolrFactors{
+    {"Woodcrest", 1.5}, {"Westmere", 1.2}};
+const std::map<std::string, double> kWwFactors{
+    {"Woodcrest", 1.6}, {"Westmere", 1.25}};
+const std::map<std::string, double> kStressFactors{
+    {"Woodcrest", 0.95}, {"Westmere", 1.0}};
+// GAE's managed-runtime work is less core-bound than raw crypto, so
+// it ports to the older machine with a milder cycle penalty.
+const std::map<std::string, double> kGaeFactors{
+    {"Woodcrest", 1.15}, {"Westmere", 1.1}};
+
+// RSA request cycles by key size (SandyBridge).
+constexpr double kRsaSmallCycles = 18e6;
+constexpr double kRsaMediumCycles = 30e6;
+constexpr double kRsaLargeCycles = 48e6;
+
+constexpr double kSolrMeanCycles = 25e6;
+constexpr double kSolrSigma = 0.9;
+
+constexpr double kStressCycles = 310e6; // ~100 ms at 3.1 GHz
+
+constexpr double kVosaoReadCycles = 12e6;
+constexpr double kVosaoWriteCycles = 18e6;
+constexpr double kVirusCycles = 310e6;  // ~100 ms at 3.1 GHz
+
+} // namespace
+
+// ----------------------------- RSA-crypto --------------------------
+
+RsaCryptoApp::RsaCryptoApp(std::uint64_t seed)
+    : WorkerPoolApp("RSA-crypto"), rng_(seed)
+{}
+
+void
+RsaCryptoApp::onDeploy(os::Kernel &kernel)
+{
+    factor_ = cycleFactor(kRsaFactors, kernel.machine().config().name);
+}
+
+std::string
+RsaCryptoApp::sampleType(sim::Rng &rng)
+{
+    switch (rng.uniformInt(0, 2)) {
+      case 0: return "rsa-small";
+      case 1: return "rsa-medium";
+      default: return "rsa-large";
+    }
+}
+
+double
+RsaCryptoApp::meanServiceCycles() const
+{
+    return (kRsaSmallCycles + kRsaMediumCycles + kRsaLargeCycles) /
+        3.0 * factor_;
+}
+
+std::vector<Op>
+RsaCryptoApp::makePlan(const std::string &type, std::size_t worker)
+{
+    (void)worker;
+    double cycles = kRsaMediumCycles;
+    ActivityVector activity = kRsaMediumActivity;
+    if (type == "rsa-small") {
+        cycles = kRsaSmallCycles;
+        activity = kRsaSmallActivity;
+    } else if (type == "rsa-large") {
+        cycles = kRsaLargeCycles;
+        activity = kRsaLargeActivity;
+    } else {
+        util::fatalIf(type != "rsa-medium",
+                      "unknown RSA request type: ", type);
+    }
+    return {ComputeOp{activity, cycles * factor_}};
+}
+
+// ------------------------------- Solr ------------------------------
+
+SolrApp::SolrApp(std::uint64_t seed)
+    : WorkerPoolApp("Solr"), rng_(seed)
+{}
+
+void
+SolrApp::onDeploy(os::Kernel &kernel)
+{
+    factor_ = cycleFactor(kSolrFactors,
+                          kernel.machine().config().name);
+}
+
+std::string
+SolrApp::sampleType(sim::Rng &rng)
+{
+    (void)rng;
+    return "solr";
+}
+
+double
+SolrApp::meanServiceCycles() const
+{
+    return kSolrMeanCycles * factor_;
+}
+
+std::vector<Op>
+SolrApp::makePlan(const std::string &type, std::size_t worker)
+{
+    (void)worker;
+    util::fatalIf(type != "solr", "unknown Solr request type: ", type);
+    // Long-tailed service time: queries range from single-term hits
+    // to deep multi-term scans of the Wikipedia index.
+    double mu = std::log(kSolrMeanCycles) -
+        kSolrSigma * kSolrSigma / 2.0;
+    double cycles =
+        std::clamp(rng_.lognormal(mu, kSolrSigma), 2e6, 4e8);
+    return {ComputeOp{kSolrActivity, cycles * factor_}};
+}
+
+// ------------------------------ WeBWorK ----------------------------
+
+WeBWorKApp::WeBWorKApp(std::uint64_t seed)
+    : WorkerPoolApp("WeBWorK"), rng_(seed)
+{}
+
+std::string
+WeBWorKApp::bucketType(int bucket)
+{
+    return "ww-b" + std::to_string(bucket);
+}
+
+void
+WeBWorKApp::onDeploy(os::Kernel &kernel)
+{
+    factor_ = cycleFactor(kWwFactors, kernel.machine().config().name);
+    // One persistent MySQL connection and thread per httpd worker.
+    mysqlSockets_.resize(workerCount());
+    mysqlScale_.assign(workerCount(), 1.0);
+    for (std::size_t i = 0; i < workerCount(); ++i) {
+        auto [httpd_end, mysql_end] = kernel.socketPair();
+        mysqlSockets_[i] = httpd_end;
+        // MySQL thread: serve queries forever on this connection.
+        auto logic = std::make_shared<os::ScriptedLogic>(
+            std::vector<os::ScriptedLogic::Step>{
+                [mysql_end = mysql_end](os::Kernel &, os::Task &,
+                                        const os::OpResult &) -> Op {
+                    return os::RecvOp{mysql_end};
+                },
+                [this, i](os::Kernel &, os::Task &,
+                          const os::OpResult &) -> Op {
+                    return ComputeOp{kMysqlActivity,
+                                     rng_.uniform(8e6, 16e6) *
+                                         mysqlScale_[i]};
+                },
+                [mysql_end = mysql_end](os::Kernel &, os::Task &,
+                                        const os::OpResult &) -> Op {
+                    return os::SendOp{mysql_end, 2048};
+                }},
+            /*loop=*/true);
+        kernel.spawn(logic, "mysqld-" + std::to_string(i));
+    }
+}
+
+double
+WeBWorKApp::bucketCycles(int bucket) const
+{
+    // Difficulty scale 0.5 .. 3.25 across buckets. PHP/MySQL/dvipng
+    // stages grow linearly with difficulty; latex typesetting grows
+    // quadratically, so harder problem sets are also relatively more
+    // FP-heavy (different power density, not just longer).
+    double scale = 0.5 + 0.25 * bucket;
+    return (80e6 * scale + 32e6 * scale * scale) * factor_;
+}
+
+std::string
+WeBWorKApp::sampleType(sim::Rng &rng)
+{
+    // Zipfian problem-set popularity.
+    return bucketType(static_cast<int>(rng.zipf(NumBuckets, 1.1)));
+}
+
+double
+WeBWorKApp::meanServiceCycles() const
+{
+    // Zipf(theta=1.1) weighted mean of the bucket scales.
+    double weight_sum = 0.0, mean = 0.0;
+    for (int b = 0; b < NumBuckets; ++b) {
+        double w = 1.0 / std::pow(b + 1, 1.1);
+        weight_sum += w;
+        mean += w * bucketCycles(b);
+    }
+    return mean / weight_sum;
+}
+
+std::vector<Op>
+WeBWorKApp::makePlan(const std::string &type, std::size_t worker)
+{
+    int bucket = -1;
+    for (int b = 0; b < NumBuckets; ++b)
+        if (type == bucketType(b))
+            bucket = b;
+    util::fatalIf(bucket < 0, "unknown WeBWorK request type: ", type);
+    double scale = (0.5 + 0.25 * bucket) * factor_;
+    os::Socket *mysql = mysqlSockets_[worker];
+    mysqlScale_[worker] = scale;
+
+    // Latex grows quadratically with difficulty (see bucketCycles).
+    double plain = (0.5 + 0.25 * bucket);
+    double latex_cycles = 32e6 * plain * plain * factor_;
+
+    // The Figure 4 anatomy: PHP -> MySQL round trip -> PHP -> fork
+    // latex -> fork dvipng -> disk write -> final rendering.
+    return {
+        ComputeOp{kPhpActivity, 24e6 * scale},
+        os::SendOp{mysql, 512},
+        os::RecvOp{mysql},
+        ComputeOp{kPhpActivity, 16e6 * scale},
+        os::ForkOp{std::make_shared<os::ScriptedLogic>(
+                       std::vector<os::ScriptedLogic::Step>{
+                           [latex_cycles](os::Kernel &, os::Task &,
+                                          const os::OpResult &) -> Op {
+                               return ComputeOp{kLatexActivity,
+                                                latex_cycles};
+                           }}),
+                   "latex"},
+        os::WaitChildOp{os::NoTask}, // filled from the fork result
+        os::ForkOp{std::make_shared<os::ScriptedLogic>(
+                       std::vector<os::ScriptedLogic::Step>{
+                           [scale](os::Kernel &, os::Task &,
+                                   const os::OpResult &) -> Op {
+                               return ComputeOp{kDvipngActivity,
+                                                20e6 * scale};
+                           }}),
+                   "dvipng"},
+        os::WaitChildOp{os::NoTask},
+        IoOp{hw::DeviceKind::Disk, 200e3},
+        ComputeOp{kRenderActivity, 8e6 * scale},
+    };
+}
+
+// ------------------------------- Stress ----------------------------
+
+StressApp::StressApp(std::uint64_t seed)
+    : WorkerPoolApp("Stress"), rng_(seed)
+{}
+
+void
+StressApp::onDeploy(os::Kernel &kernel)
+{
+    factor_ = cycleFactor(kStressFactors,
+                          kernel.machine().config().name);
+}
+
+std::string
+StressApp::sampleType(sim::Rng &rng)
+{
+    (void)rng;
+    return "stress";
+}
+
+double
+StressApp::meanServiceCycles() const
+{
+    return kStressCycles * factor_;
+}
+
+std::vector<Op>
+StressApp::makePlan(const std::string &type, std::size_t worker)
+{
+    (void)worker;
+    util::fatalIf(type != "stress", "unknown Stress request type: ",
+                  type);
+    double jitter = rng_.uniform(0.9, 1.1);
+    return {ComputeOp{kStressActivity,
+                      kStressCycles * factor_ * jitter}};
+}
+
+// ----------------------------- GAE-Vosao ---------------------------
+
+GaeVosaoApp::GaeVosaoApp(std::uint64_t seed)
+    : WorkerPoolApp("GAE-Vosao"), rng_(seed)
+{}
+
+void
+GaeVosaoApp::onDeploy(os::Kernel &kernel)
+{
+    factor_ = cycleFactor(kGaeFactors, kernel.machine().config().name);
+    // GAE platform background processing: periodic tasks bound to no
+    // request context. They charge the background container and make
+    // up a large minority of system activity (Figure 9).
+    int background_tasks =
+        std::max(2, kernel.machine().totalCores());
+    for (int i = 0; i < background_tasks; ++i) {
+        auto logic = std::make_shared<os::ScriptedLogic>(
+            std::vector<os::ScriptedLogic::Step>{
+                [this](os::Kernel &, os::Task &,
+                       const os::OpResult &) -> Op {
+                    return ComputeOp{kGaeBackgroundActivity,
+                                     rng_.uniform(6e6, 12e6) *
+                                         factor_};
+                },
+                [this](os::Kernel &, os::Task &,
+                       const os::OpResult &) -> Op {
+                    return os::SleepOp{sim::usec(
+                        rng_.uniformInt(3000, 8000))};
+                }},
+            /*loop=*/true);
+        kernel.spawn(logic, "gae-background-" + std::to_string(i));
+    }
+}
+
+std::string
+GaeVosaoApp::sampleType(sim::Rng &rng)
+{
+    // 9:1 read/write mix.
+    return rng.chance(0.9) ? "vosao-read" : "vosao-write";
+}
+
+double
+GaeVosaoApp::meanServiceCycles() const
+{
+    return (0.9 * kVosaoReadCycles + 0.1 * kVosaoWriteCycles) *
+        factor_;
+}
+
+std::vector<Op>
+GaeVosaoApp::makePlan(const std::string &type, std::size_t worker)
+{
+    (void)worker;
+    double jitter = rng_.uniform(0.7, 1.3);
+    if (type == "vosao-read") {
+        return {ComputeOp{kVosaoActivity,
+                          kVosaoReadCycles * factor_ * jitter}};
+    }
+    util::fatalIf(type != "vosao-write",
+                  "unknown Vosao request type: ", type);
+    return {
+        ComputeOp{kVosaoActivity,
+                  kVosaoWriteCycles * 0.7 * factor_ * jitter},
+        IoOp{hw::DeviceKind::Disk, 50e3}, // datastore write
+        ComputeOp{kVosaoActivity,
+                  kVosaoWriteCycles * 0.3 * factor_ * jitter},
+    };
+}
+
+// ----------------------------- GAE-Hybrid --------------------------
+
+GaeHybridApp::GaeHybridApp(std::uint64_t seed)
+    : WorkerPoolApp("GAE-Hybrid"), rng_(seed)
+{}
+
+void
+GaeHybridApp::onDeploy(os::Kernel &kernel)
+{
+    factor_ = cycleFactor(kGaeFactors, kernel.machine().config().name);
+}
+
+std::string
+GaeHybridApp::sampleType(sim::Rng &rng)
+{
+    // Approximately half the *load* (busy cycles) from viruses: a
+    // virus costs ~24x a mean Vosao request, so ~1 in 25 arrivals.
+    if (rng.chance(0.04))
+        return virusType();
+    return rng.chance(0.9) ? "vosao-read" : "vosao-write";
+}
+
+double
+GaeHybridApp::meanServiceCycles() const
+{
+    double vosao =
+        0.9 * kVosaoReadCycles + 0.1 * kVosaoWriteCycles;
+    return (0.96 * vosao + 0.04 * kVirusCycles) * factor_;
+}
+
+std::vector<Op>
+GaeHybridApp::makePlan(const std::string &type, std::size_t worker)
+{
+    (void)worker;
+    if (type == virusType()) {
+        // ~200 lines of Java rewriting one of every four bytes over a
+        // 16 MB block: pipeline + cache + memory simultaneously hot.
+        double jitter = rng_.uniform(0.9, 1.1);
+        return {ComputeOp{kVirusActivity,
+                          kVirusCycles * factor_ * jitter}};
+    }
+    double jitter = rng_.uniform(0.7, 1.3);
+    if (type == "vosao-read")
+        return {ComputeOp{kVosaoActivity,
+                          kVosaoReadCycles * factor_ * jitter}};
+    util::fatalIf(type != "vosao-write",
+                  "unknown GAE-Hybrid request type: ", type);
+    return {
+        ComputeOp{kVosaoActivity,
+                  kVosaoWriteCycles * 0.7 * factor_ * jitter},
+        IoOp{hw::DeviceKind::Disk, 50e3},
+        ComputeOp{kVosaoActivity,
+                  kVosaoWriteCycles * 0.3 * factor_ * jitter},
+    };
+}
+
+// ------------------------------ factory ----------------------------
+
+std::unique_ptr<ServerApp>
+makeApp(const std::string &name, std::uint64_t seed)
+{
+    if (name == "RSA-crypto")
+        return std::make_unique<RsaCryptoApp>(seed);
+    if (name == "Solr")
+        return std::make_unique<SolrApp>(seed);
+    if (name == "WeBWorK")
+        return std::make_unique<WeBWorKApp>(seed);
+    if (name == "Stress")
+        return std::make_unique<StressApp>(seed);
+    if (name == "GAE-Vosao")
+        return std::make_unique<GaeVosaoApp>(seed);
+    if (name == "GAE-Hybrid")
+        return std::make_unique<GaeHybridApp>(seed);
+    if (name == "EventLoop")
+        return std::make_unique<EventLoopApp>(seed);
+    util::fatal("unknown workload: ", name);
+}
+
+const std::vector<std::string> &
+allWorkloadNames()
+{
+    static const std::vector<std::string> names{
+        "RSA-crypto", "Solr", "WeBWorK",
+        "Stress",     "GAE-Vosao", "GAE-Hybrid"};
+    return names;
+}
+
+} // namespace wl
+} // namespace pcon

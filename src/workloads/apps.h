@@ -1,0 +1,191 @@
+/**
+ * @file
+ * The evaluation workloads of Section 4.2, modeled by their
+ * resource-activity signatures and process/socket structure:
+ *
+ *  - RSA-crypto: synthetic security processing, three key sizes;
+ *  - Solr: full-text search with long-tailed request lengths;
+ *  - WeBWorK: multi-stage Apache/MySQL/latex/dvipng pipeline
+ *    (Figure 4's topology);
+ *  - Stress: simultaneous FP + cache + memory activity, ~100 ms
+ *    requests (high, hard-to-model power);
+ *  - GAE-Vosao: Platform-as-a-Service content management with
+ *    untraceable background processing (Figure 9);
+ *  - GAE-Hybrid: Vosao plus simple power viruses (Section 4.2).
+ *
+ * Per-machine cycle factors model microarchitectural affinity: the
+ * newer SandyBridge core retires the same request in fewer cycles,
+ * much more so for compute-bound work (RSA) than for memory-bound
+ * work (Stress) — the source of Figure 13's energy-ratio spread.
+ */
+
+#ifndef PCON_WORKLOADS_APPS_H
+#define PCON_WORKLOADS_APPS_H
+
+#include <map>
+#include <memory>
+
+#include "workloads/app.h"
+
+namespace pcon {
+namespace wl {
+
+/** Cycle multiplier for an app on a machine (1.0 = SandyBridge). */
+double cycleFactor(const std::map<std::string, double> &factors,
+                   const std::string &machine);
+
+/** RSA-crypto: three request types, one per example key size. */
+class RsaCryptoApp : public WorkerPoolApp
+{
+  public:
+    explicit RsaCryptoApp(std::uint64_t seed = 101);
+
+    std::string sampleType(sim::Rng &rng) override;
+    double meanServiceCycles() const override;
+
+  protected:
+    std::vector<os::Op> makePlan(const std::string &type,
+                                 std::size_t worker) override;
+    void onDeploy(os::Kernel &kernel) override;
+
+  private:
+    double factor_ = 1.0;
+    sim::Rng rng_;
+};
+
+/** Solr search: cache-heavy, long-tailed request service times. */
+class SolrApp : public WorkerPoolApp
+{
+  public:
+    explicit SolrApp(std::uint64_t seed = 102);
+
+    std::string sampleType(sim::Rng &rng) override;
+    double meanServiceCycles() const override;
+
+  protected:
+    std::vector<os::Op> makePlan(const std::string &type,
+                                 std::size_t worker) override;
+    void onDeploy(os::Kernel &kernel) override;
+
+  private:
+    double factor_ = 1.0;
+    sim::Rng rng_;
+};
+
+/**
+ * WeBWorK: httpd workers call a per-worker MySQL thread over a
+ * persistent socket, fork latex and dvipng children, and touch disk —
+ * the Figure 4 request anatomy. Problem-set popularity is Zipfian
+ * over difficulty buckets; each bucket is its own request type so the
+ * Figure 10 composition-change experiment can re-weight them.
+ */
+class WeBWorKApp : public WorkerPoolApp
+{
+  public:
+    /** Number of problem-set difficulty buckets (request types). */
+    static constexpr int NumBuckets = 12;
+
+    explicit WeBWorKApp(std::uint64_t seed = 103);
+
+    std::string sampleType(sim::Rng &rng) override;
+    double meanServiceCycles() const override;
+
+    /** Type tag of one bucket ("ww-b<k>"). */
+    static std::string bucketType(int bucket);
+
+  protected:
+    std::vector<os::Op> makePlan(const std::string &type,
+                                 std::size_t worker) override;
+    void onDeploy(os::Kernel &kernel) override;
+
+  private:
+    double bucketCycles(int bucket) const;
+
+    double factor_ = 1.0;
+    sim::Rng rng_;
+    /** Per-httpd-worker persistent MySQL connections (httpd side). */
+    std::vector<os::Socket *> mysqlSockets_;
+    /** Difficulty scale of each worker's in-flight request (the
+     *  MySQL thread sizes its query work from this). */
+    std::vector<double> mysqlScale_;
+};
+
+/** Stress: Adler-32-style FP+cache+memory churn, ~100 ms requests. */
+class StressApp : public WorkerPoolApp
+{
+  public:
+    explicit StressApp(std::uint64_t seed = 104);
+
+    std::string sampleType(sim::Rng &rng) override;
+    double meanServiceCycles() const override;
+
+  protected:
+    std::vector<os::Op> makePlan(const std::string &type,
+                                 std::size_t worker) override;
+    void onDeploy(os::Kernel &kernel) override;
+
+  private:
+    double factor_ = 1.0;
+    sim::Rng rng_;
+};
+
+/**
+ * GAE-Vosao: 9:1 read/write content management on a GAE-like Java
+ * server, plus platform background tasks that are *not* bound to any
+ * request (they charge the background container, Figure 9).
+ */
+class GaeVosaoApp : public WorkerPoolApp
+{
+  public:
+    explicit GaeVosaoApp(std::uint64_t seed = 105);
+
+    std::string sampleType(sim::Rng &rng) override;
+    double meanServiceCycles() const override;
+
+  protected:
+    std::vector<os::Op> makePlan(const std::string &type,
+                                 std::size_t worker) override;
+    void onDeploy(os::Kernel &kernel) override;
+
+  private:
+    double factor_ = 1.0;
+    sim::Rng rng_;
+};
+
+/**
+ * GAE-Hybrid: GAE-Vosao requests mixed with simple power viruses
+ * (intense simultaneous cache/memory/pipeline activity, ~100 ms per
+ * virus) at roughly half the offered load each.
+ */
+class GaeHybridApp : public WorkerPoolApp
+{
+  public:
+    explicit GaeHybridApp(std::uint64_t seed = 106);
+
+    std::string sampleType(sim::Rng &rng) override;
+    double meanServiceCycles() const override;
+
+    /** The power virus request type tag. */
+    static const char *virusType() { return "gae-virus"; }
+
+  protected:
+    std::vector<os::Op> makePlan(const std::string &type,
+                                 std::size_t worker) override;
+    void onDeploy(os::Kernel &kernel) override;
+
+  private:
+    double factor_ = 1.0;
+    sim::Rng rng_;
+};
+
+/** Construct a workload by its paper name (for experiment drivers). */
+std::unique_ptr<ServerApp> makeApp(const std::string &name,
+                                   std::uint64_t seed);
+
+/** All six workload names in the paper's figure order. */
+const std::vector<std::string> &allWorkloadNames();
+
+} // namespace wl
+} // namespace pcon
+
+#endif // PCON_WORKLOADS_APPS_H

@@ -1,0 +1,257 @@
+#include "cluster.h"
+
+#include <cmath>
+#include <functional>
+
+#include "sim/rng.h"
+#include "workloads/client.h"
+#include "util/logging.h"
+#include "util/stats.h"
+
+namespace pcon {
+namespace wl {
+
+using util::fatalIf;
+
+ClusterExperiment::ClusterExperiment(ClusterExperimentConfig cfg)
+    : cfg_(std::move(cfg))
+{
+    std::size_t n = cfg_.machines.size();
+    fatalIf(n < 2, "cluster experiment needs at least two machines");
+    fatalIf(cfg_.models.size() != n,
+            "need one model per machine");
+    fatalIf(cfg_.apps.empty(), "cluster experiment needs apps");
+    fatalIf(cfg_.appLoadShare.size() != cfg_.apps.size(),
+            "need one load share per app");
+    double share_sum = 0;
+    for (double s : cfg_.appLoadShare) {
+        fatalIf(s <= 0, "app load shares must be positive");
+        share_sum += s;
+    }
+    fatalIf(std::abs(share_sum - 1.0) > 1e-6,
+            "app load shares must sum to 1");
+
+    // Container-profile every app on every machine; meanwhile learn
+    // each app's mean service cycles on the preferred machine for
+    // the arrival mix.
+    profiles_.resize(n);
+    std::vector<double> mean_cycles(cfg_.apps.size(), 0.0);
+    for (std::size_t m = 0; m < n; ++m) {
+        for (std::size_t a = 0; a < cfg_.apps.size(); ++a) {
+            core::ProfileTable table =
+                profileMachine(m, cfg_.apps[a]);
+            // Merge into the machine's combined table by re-adding
+            // each type's means (ProfileTable averages, so one
+            // mean-valued record per type preserves them).
+            for (const auto &[type, profile] : table.all()) {
+                core::RequestRecord record;
+                record.type = type;
+                record.cpuEnergyJ = profile.meanEnergyJ;
+                record.ioEnergyJ = 0;
+                record.cpuTimeNs = profile.meanCpuTimeS * 1e9;
+                record.created = 0;
+                record.completed =
+                    sim::secF(profile.meanResponseS);
+                profiles_[m].add(record);
+            }
+            if (m == 0) {
+                // Mean service cycles on the preferred machine.
+                sim::Simulation scratch_sim;
+                hw::Machine scratch(scratch_sim, cfg_.machines[0]);
+                os::RequestContextManager requests;
+                os::Kernel kernel(scratch, requests);
+                auto app = makeApp(cfg_.apps[a], cfg_.seed);
+                app->deploy(kernel);
+                mean_cycles[a] = app->meanServiceCycles();
+            }
+        }
+    }
+
+    // Arrival probability per app: load share / service cost.
+    arrivalShare_.resize(cfg_.apps.size());
+    double total = 0;
+    for (std::size_t a = 0; a < cfg_.apps.size(); ++a) {
+        arrivalShare_[a] = cfg_.appLoadShare[a] / mean_cycles[a];
+        total += arrivalShare_[a];
+    }
+    for (double &p : arrivalShare_)
+        p /= total;
+
+    slowestCapacity_ = probeCapacity(n - 1);
+}
+
+const core::ProfileTable &
+ClusterExperiment::profiles(std::size_t machine) const
+{
+    fatalIf(machine >= profiles_.size(), "machine out of range");
+    return profiles_[machine];
+}
+
+double
+ClusterExperiment::offeredRatePerSec() const
+{
+    return cfg_.offeredOverSlowestCapacity * slowestCapacity_;
+}
+
+core::ProfileTable
+ClusterExperiment::profileMachine(std::size_t machine,
+                                  const std::string &app_name) const
+{
+    ServerWorld world(cfg_.machines[machine],
+                      std::make_shared<core::LinearPowerModel>(
+                          *cfg_.models[machine]));
+    auto app = makeApp(app_name, cfg_.seed + 31);
+    app->deploy(world.kernel());
+    LoadClient client(*app, world.kernel(),
+                      LoadClient::forUtilization(
+                          *app, world.kernel(), 1.0,
+                          cfg_.seed + 32));
+    client.start();
+    world.run(sim::sec(2));
+    world.manager().clearRecords();
+    world.run(cfg_.profilingSpan);
+    client.stop();
+    core::ProfileTable table;
+    table.add(world.manager().records());
+    return table;
+}
+
+double
+ClusterExperiment::probeCapacity(std::size_t machine) const
+{
+    sim::Simulation sim;
+    ServerWorld world(sim, cfg_.machines[machine],
+                      std::make_shared<core::LinearPowerModel>());
+    std::vector<std::unique_ptr<ServerApp>> apps;
+    for (const std::string &name : cfg_.apps) {
+        apps.push_back(makeApp(name, cfg_.seed + 51));
+        apps.back()->deploy(world.kernel());
+    }
+
+    sim::Rng rng(cfg_.seed + 52);
+    std::uint64_t completed = 0;
+    bool counting = false;
+    auto submit_one = [&] {
+        std::size_t a = rng.weightedIndex(arrivalShare_);
+        std::string type = apps[a]->sampleType(rng);
+        os::RequestId id =
+            world.requests().create(type, sim.now());
+        apps[a]->submit(id, type);
+    };
+    world.requests().onComplete([&](const os::RequestInfo &) {
+        if (counting)
+            ++completed;
+        submit_one();
+    });
+    for (int i = 0;
+         i < 3 * cfg_.machines[machine].totalCores(); ++i)
+        submit_one();
+    sim.run(sim::sec(3));
+    counting = true;
+    sim::SimTime t0 = sim.now();
+    sim.run(t0 + cfg_.probeSpan);
+    return static_cast<double>(completed) /
+        sim::toSeconds(sim.now() - t0);
+}
+
+ClusterPolicyResult
+ClusterExperiment::run(core::DistributionPolicy policy)
+{
+    std::size_t n = cfg_.machines.size();
+    sim::Simulation sim;
+    std::vector<std::unique_ptr<ServerWorld>> worlds;
+    std::vector<core::DispatcherMachine> dispatcher_machines;
+    for (std::size_t m = 0; m < n; ++m) {
+        worlds.push_back(std::make_unique<ServerWorld>(
+            sim, cfg_.machines[m],
+            std::make_shared<core::LinearPowerModel>(
+                *cfg_.models[m])));
+        dispatcher_machines.push_back(
+            {cfg_.machines[m].name, &worlds.back()->kernel()});
+    }
+    // One instance of every app on every machine.
+    std::vector<std::vector<std::unique_ptr<ServerApp>>> apps(n);
+    for (std::size_t m = 0; m < n; ++m) {
+        for (std::size_t a = 0; a < cfg_.apps.size(); ++a) {
+            apps[m].push_back(makeApp(
+                cfg_.apps[a],
+                cfg_.seed + 60 + m * cfg_.apps.size() + a));
+            apps[m].back()->deploy(worlds[m]->kernel());
+        }
+    }
+
+    core::RequestDispatcher dispatcher(policy, dispatcher_machines,
+                                       cfg_.dispatcher);
+    for (std::size_t m = 0; m < n; ++m)
+        dispatcher.setProfiles(m, profiles_[m]);
+
+    // Response tracking (by app), gated to the window.
+    ClusterPolicyResult result;
+    bool measuring = false;
+    std::map<std::string, std::size_t> type_to_app;
+    std::map<std::string, util::RunningStat> response;
+    auto track = [&](const os::RequestInfo &info) {
+        if (!measuring)
+            return;
+        ++result.completed;
+        auto it = type_to_app.find(info.type);
+        if (it == type_to_app.end())
+            return;
+        response[cfg_.apps[it->second]].add(
+            sim::toMillis(info.completed - info.created));
+    };
+    for (std::size_t m = 0; m < n; ++m)
+        worlds[m]->requests().onComplete(track);
+
+    for (const std::string &app_name : cfg_.apps)
+        result.dispatched[app_name].assign(n, 0);
+
+    double rate = offeredRatePerSec();
+    sim::Rng rng(cfg_.seed + 70);
+    std::function<void()> arrive = [&] {
+        std::size_t a = rng.weightedIndex(arrivalShare_);
+        std::string type = apps[0][a]->sampleType(rng);
+        type_to_app.emplace(type, a);
+        std::size_t m = dispatcher.dispatch(type, sim.now());
+        os::RequestId id =
+            worlds[m]->requests().create(type, sim.now());
+        if (measuring)
+            ++result.dispatched[cfg_.apps[a]][m];
+        apps[m][a]->submit(id, type);
+        sim.schedule(sim::secF(rng.exponential(1.0 / rate)), arrive);
+    };
+
+    // Quiet period: measure the preferred machine's non-request
+    // (background) utilization for the workload-aware budget.
+    sim.run(sim::sec(2));
+    dispatcher.utilization(0);
+    sim.run(sim.now() + sim::sec(1));
+    dispatcher.setReservedUtilization(
+        std::min(0.95, dispatcher.utilization(0)));
+
+    sim.schedule(0, arrive);
+    sim.run(sim.now() + cfg_.warmup);
+    measuring = true;
+    std::vector<double> energy0(n);
+    for (std::size_t m = 0; m < n; ++m)
+        energy0[m] = worlds[m]->machine().machineEnergyJ();
+    sim::SimTime t0 = sim.now();
+    sim.run(t0 + cfg_.window);
+    double span = sim::toSeconds(sim.now() - t0);
+
+    result.activeW.resize(n);
+    for (std::size_t m = 0; m < n; ++m) {
+        result.activeW[m] =
+            (worlds[m]->machine().machineEnergyJ() - energy0[m]) /
+                span -
+            cfg_.machines[m].truth.machineIdleW;
+    }
+    for (const std::string &app_name : cfg_.apps)
+        result.responseMs[app_name] =
+            response.count(app_name) ? response[app_name].mean()
+                                     : 0.0;
+    return result;
+}
+
+} // namespace wl
+} // namespace pcon

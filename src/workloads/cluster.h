@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Heterogeneous-cluster experiment harness (Sections 3.4 and 4.4):
+ * several simulated machines share one event stream; applications are
+ * deployed on every machine; per-type energy profiles are learned
+ * with power containers on each machine; and a mixed request stream
+ * is routed by a RequestDispatcher under a chosen policy while
+ * energy and response times are measured. This is the machinery
+ * behind Figure 14 / Table 1, packaged for reuse.
+ */
+
+#ifndef PCON_WORKLOADS_CLUSTER_H
+#define PCON_WORKLOADS_CLUSTER_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/distribution.h"
+#include "core/profiles.h"
+#include "workloads/apps.h"
+#include "workloads/experiment.h"
+
+namespace pcon {
+namespace wl {
+
+/** Configuration of a cluster experiment. */
+struct ClusterExperimentConfig
+{
+    /** Machines, most energy-efficient first. */
+    std::vector<hw::MachineConfig> machines;
+    /** Calibrated model per machine (same order). */
+    std::vector<std::shared_ptr<core::LinearPowerModel>> models;
+    /** Application names deployed on every machine. */
+    std::vector<std::string> apps;
+    /**
+     * Target share of offered *busy-cycle load* per app (summing to
+     * 1); the paper's case study uses ~50/50 GAE-Vosao / RSA-crypto.
+     */
+    std::vector<double> appLoadShare;
+    /**
+     * Offered volume as a multiple of the slowest machine's probed
+     * mixed-workload capacity — the "maximum volume supported under
+     * simple load balance" knob.
+     */
+    double offeredOverSlowestCapacity = 2.2;
+    /** Dispatcher tunables. */
+    core::DispatcherConfig dispatcher{};
+    /** Quiet + warm-up spans before the measurement window. */
+    sim::SimTime warmup = sim::sec(6);
+    /** Measurement window. */
+    sim::SimTime window = sim::sec(25);
+    /** Span of each per-machine profiling run. */
+    sim::SimTime profilingSpan = sim::sec(15);
+    /** Span of the slowest-machine capacity probe. */
+    sim::SimTime probeSpan = sim::sec(10);
+    /** Base seed. */
+    std::uint64_t seed = 140;
+};
+
+/** Results of one policy run. */
+struct ClusterPolicyResult
+{
+    /** Measured active power per machine, Watts. */
+    std::vector<double> activeW;
+    /** Mean response time per app name, milliseconds. */
+    std::map<std::string, double> responseMs;
+    /** Requests dispatched to each machine per app name. */
+    std::map<std::string, std::vector<std::uint64_t>> dispatched;
+    /** Completions inside the window. */
+    std::uint64_t completed = 0;
+
+    /** Sum of per-machine active power. */
+    double
+    totalActiveW() const
+    {
+        double total = 0;
+        for (double w : activeW)
+            total += w;
+        return total;
+    }
+};
+
+/**
+ * The harness. Construction probes the slowest machine's capacity
+ * and container-profiles every app on every machine; run() then
+ * executes one policy end to end.
+ */
+class ClusterExperiment
+{
+  public:
+    explicit ClusterExperiment(ClusterExperimentConfig cfg);
+
+    /** Execute one distribution policy. */
+    ClusterPolicyResult run(core::DistributionPolicy policy);
+
+    /** Learned per-type profiles of one machine. */
+    const core::ProfileTable &profiles(std::size_t machine) const;
+
+    /** Probed mixed-workload capacity of the slowest machine. */
+    double slowestCapacityPerSec() const { return slowestCapacity_; }
+
+    /** Offered request rate used by run(). */
+    double offeredRatePerSec() const;
+
+    /** Arrival probability of each app in the mixed stream. */
+    const std::vector<double> &appArrivalShare() const
+    {
+        return arrivalShare_;
+    }
+
+  private:
+    double probeCapacity(std::size_t machine) const;
+    core::ProfileTable profileMachine(std::size_t machine,
+                                      const std::string &app) const;
+
+    ClusterExperimentConfig cfg_;
+    std::vector<core::ProfileTable> profiles_;
+    std::vector<double> arrivalShare_;
+    double slowestCapacity_ = 0;
+};
+
+} // namespace wl
+} // namespace pcon
+
+#endif // PCON_WORKLOADS_CLUSTER_H

@@ -1,0 +1,146 @@
+#include "event_loop_app.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace pcon {
+namespace wl {
+
+namespace {
+
+const hw::ActivityVector kLoopActivity{1.4, 0.0, 0.02, 0.002};
+
+} // namespace
+
+EventLoopApp::EventLoopApp(std::uint64_t seed) : rng_(seed) {}
+
+void
+EventLoopApp::deploy(os::Kernel &kernel)
+{
+    util::panicIf(kernel_ != nullptr, "EventLoop deployed twice");
+    kernel_ = &kernel;
+    int loops = kernel.machine().totalCores();
+    loops_.resize(static_cast<std::size_t>(loops));
+    for (std::size_t i = 0; i < loops_.size(); ++i) {
+        auto [app_end, loop_end] = kernel.socketPair();
+        loops_[i].appEnd = app_end;
+        loops_[i].loopEnd = loop_end;
+        // Responses flow back but completion is driven by the
+        // application's own bookkeeping (finished()): under the
+        // untracked ablation the kernel-side response tags are wrong
+        // by construction, which is the point of the experiment.
+        app_end->setDeliveryCallback([](double, os::RequestId) {});
+        loops_[i].task = kernel.spawn(
+            std::make_shared<EventLoopLogic>(*this, i),
+            "evloop-" + std::to_string(i));
+    }
+}
+
+std::string
+EventLoopApp::sampleType(sim::Rng &rng)
+{
+    return rng.chance(0.5) ? cheapType() : dearType();
+}
+
+double
+EventLoopApp::meanServiceCycles() const
+{
+    return phase1Cycles +
+        (cheapPhase2Cycles + dearPhase2Cycles) / 2.0;
+}
+
+void
+EventLoopApp::submit(os::RequestId id, const std::string &type)
+{
+    util::panicIf(kernel_ == nullptr, "EventLoop not deployed");
+    double phase2 = cheapPhase2Cycles;
+    if (type == dearType())
+        phase2 = dearPhase2Cycles;
+    else
+        util::fatalIf(type != cheapType(),
+                      "unknown event-loop request type: ", type);
+    phase2_[id] = phase2;
+    Loop &loop = loops_[nextLoop_++ % loops_.size()];
+    loop.appEnd->send(256, id);
+}
+
+void
+EventLoopApp::finished(os::RequestId id)
+{
+    phase2_.erase(id);
+    kernel_->requests().complete(id, kernel_->simulation().now());
+}
+
+os::Op
+EventLoopLogic::next(os::Kernel &kernel, os::Task &self,
+                     const os::OpResult &last)
+{
+    (void)self;
+    (void)kernel;
+    EventLoopApp::Loop &loop = app_.loops_[loop_];
+
+    switch (state_) {
+      case State::Idle:
+        break; // decide below
+
+      case State::Phase1: {
+        // The read phase finished: park the continuation until its
+        // asynchronous backend work "completes".
+        auto it = app_.phase2_.find(current_);
+        double cycles = it != app_.phase2_.end()
+            ? it->second
+            : EventLoopApp::cheapPhase2Cycles;
+        parked_.push_back(Parked{current_, cycles,
+                                 kernel.simulation().now() +
+                                     EventLoopApp::backendDelay});
+        current_ = os::NoRequest;
+        state_ = State::Idle;
+        break;
+      }
+
+      case State::Switching:
+        // The user-level switch happened (trapped or not): run the
+        // resumed continuation.
+        state_ = State::Phase2;
+        return os::ComputeOp{kLoopActivity, parked_.front().cycles};
+
+      case State::Phase2: {
+        // Continuation done: respond and retire the request.
+        os::RequestId done = parked_.front().id;
+        parked_.pop_front();
+        state_ = State::Responding;
+        app_.finished(done);
+        return os::SendOp{loop.loopEnd, 512};
+      }
+
+      case State::Responding:
+        state_ = State::Idle;
+        break;
+    }
+
+    // Idle scheduling: resume the oldest *ready* continuation;
+    // otherwise read new work; otherwise poll-sleep until a parked
+    // continuation becomes ready (event loops multiplex on timers).
+    sim::SimTime now = kernel.simulation().now();
+    if (last.kind == os::OpResult::Kind::Received) {
+        // A new request was read: its tag rebound the task context.
+        current_ = last.context;
+        state_ = State::Phase1;
+        return os::ComputeOp{kLoopActivity,
+                             EventLoopApp::phase1Cycles};
+    }
+    if (!parked_.empty() && parked_.front().readyAt <= now) {
+        state_ = State::Switching;
+        return os::UserSwitchOp{parked_.front().id};
+    }
+    if (!loop.loopEnd->buffered().empty() || parked_.empty())
+        return os::RecvOp{loop.loopEnd};
+    // Parked but not ready, and no pending messages: short timer.
+    return os::SleepOp{
+        std::max<sim::SimTime>(sim::usec(100),
+                               parked_.front().readyAt - now)};
+}
+
+} // namespace wl
+} // namespace pcon

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * An event-driven server (Node/memcached-style): one event-loop
+ * process per core multiplexes many requests through user-level
+ * continuations. A request runs a short phase right after its socket
+ * read (which the kernel's in-band tagging attributes correctly),
+ * parks, and is later *resumed by a user-level switch with no system
+ * call* — the transfer the paper says OS-only tracking cannot see
+ * (Section 3.3). With the kernel's sync-structure trap enabled
+ * (KernelConfig::trapUserLevelSwitches, this repo's implementation of
+ * the paper's future work), resumption rebinds the context and
+ * attribution stays correct; with it disabled, the resumed phase is
+ * charged to whichever request the loop last read.
+ */
+
+#ifndef PCON_WORKLOADS_EVENT_LOOP_APP_H
+#define PCON_WORKLOADS_EVENT_LOOP_APP_H
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "workloads/app.h"
+
+namespace pcon {
+namespace wl {
+
+/** Event-driven server with user-level request multiplexing. */
+class EventLoopApp : public ServerApp
+{
+  public:
+    /** Request types: cheap and dear differ in resumed-phase work. */
+    static constexpr const char *cheapType() { return "evt-cheap"; }
+    static constexpr const char *dearType() { return "evt-dear"; }
+
+    /** Cycles of the initial (post-read) phase. */
+    static constexpr double phase1Cycles = 1e6;
+    /** Resumed-phase cycles for a cheap request. */
+    static constexpr double cheapPhase2Cycles = 4e6;
+    /** Resumed-phase cycles for a dear request. */
+    static constexpr double dearPhase2Cycles = 40e6;
+    /**
+     * Simulated asynchronous backend latency between a request's
+     * park and the readiness of its continuation (the "future" an
+     * event-driven server awaits). While one request waits, the loop
+     * reads and starts others — that interleaving is what makes
+     * user-level resumption invisible to OS-only tracking.
+     */
+    static constexpr sim::SimTime backendDelay = sim::msec(3);
+
+    explicit EventLoopApp(std::uint64_t seed = 201);
+
+    void deploy(os::Kernel &kernel) override;
+    std::string sampleType(sim::Rng &rng) override;
+    void submit(os::RequestId id, const std::string &type) override;
+    double meanServiceCycles() const override;
+    const std::string &name() const override { return name_; }
+
+  private:
+    friend class EventLoopLogic;
+
+    struct Loop
+    {
+        os::TaskId task = os::NoTask;
+        os::Socket *appEnd = nullptr;
+        os::Socket *loopEnd = nullptr;
+    };
+
+    /** The app-side bookkeeping knows the true finisher. */
+    void finished(os::RequestId id);
+
+    std::string name_ = "EventLoop";
+    os::Kernel *kernel_ = nullptr;
+    std::vector<Loop> loops_;
+    std::size_t nextLoop_ = 0;
+    /** Resumed-phase cycles per in-flight request. */
+    std::map<os::RequestId, double> phase2_;
+    sim::Rng rng_;
+};
+
+/**
+ * The event-loop task: alternates between accepting new requests
+ * from the socket (phase 1) and resuming parked continuations via
+ * user-level switches (phase 2).
+ */
+class EventLoopLogic : public os::TaskLogic
+{
+  public:
+    EventLoopLogic(EventLoopApp &app, std::size_t loop)
+        : app_(app), loop_(loop)
+    {}
+
+    os::Op next(os::Kernel &kernel, os::Task &self,
+                const os::OpResult &last) override;
+
+  private:
+    struct Parked
+    {
+        os::RequestId id;
+        double cycles;
+        sim::SimTime readyAt;
+    };
+
+    enum class State {
+        Idle,
+        Phase1,       // computing right after a read
+        Switching,    // issued the user-level switch
+        Phase2,       // computing the resumed continuation
+        Responding,   // sending the response
+    };
+
+    EventLoopApp &app_;
+    std::size_t loop_;
+    State state_ = State::Idle;
+    os::RequestId current_ = os::NoRequest;
+    std::deque<Parked> parked_;
+};
+
+} // namespace wl
+} // namespace pcon
+
+#endif // PCON_WORKLOADS_EVENT_LOOP_APP_H

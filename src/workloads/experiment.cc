@@ -1,0 +1,145 @@
+#include "experiment.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/stats.h"
+
+namespace pcon {
+namespace wl {
+
+ServerWorld::ServerWorld(const hw::MachineConfig &machine_cfg,
+                         std::shared_ptr<core::LinearPowerModel> model,
+                         const core::ContainerManagerConfig &manager_cfg)
+    : ownedSim_(std::make_unique<sim::Simulation>()),
+      sim_(*ownedSim_), machine_(sim_, machine_cfg),
+      kernel_(machine_, requests_), model_(std::move(model)),
+      manager_(kernel_, model_, manager_cfg),
+      wattsup_(machine_, hw::MeterScope::Machine,
+               machine_cfg.wattsupMeter)
+{
+    kernel_.addHooks(&manager_);
+    if (machine_cfg.hasOnChipMeter)
+        onChip_.emplace(machine_, hw::MeterScope::Package,
+                        machine_cfg.onChipMeter);
+}
+
+ServerWorld::ServerWorld(sim::Simulation &external_sim,
+                         const hw::MachineConfig &machine_cfg,
+                         std::shared_ptr<core::LinearPowerModel> model,
+                         const core::ContainerManagerConfig &manager_cfg)
+    : sim_(external_sim), machine_(sim_, machine_cfg),
+      kernel_(machine_, requests_), model_(std::move(model)),
+      manager_(kernel_, model_, manager_cfg),
+      wattsup_(machine_, hw::MeterScope::Machine,
+               machine_cfg.wattsupMeter)
+{
+    kernel_.addHooks(&manager_);
+    if (machine_cfg.hasOnChipMeter)
+        onChip_.emplace(machine_, hw::MeterScope::Package,
+                        machine_cfg.onChipMeter);
+}
+
+hw::PowerMeter &
+ServerWorld::onChipMeter()
+{
+    util::fatalIf(!onChip_.has_value(), machine_.config().name,
+                  " has no on-chip power meter");
+    return *onChip_;
+}
+
+void
+ServerWorld::attachRecalibration(
+    std::vector<core::CalibrationSample> offline_active,
+    const core::RecalibratorConfig &cfg_overrides)
+{
+    util::fatalIf(recalibrator_ != nullptr,
+                  "recalibration already attached");
+    hw::PowerMeter &meter =
+        hasOnChipMeter() ? onChipMeter() : wattsup_;
+    hw::MeterScope scope = hasOnChipMeter() ? hw::MeterScope::Package
+                                            : hw::MeterScope::Machine;
+
+    core::RecalibratorConfig cfg = cfg_overrides;
+    if (cfg.baselineW == 0)
+        cfg.baselineW = measureIdleBaselineW(machine_.config(), scope);
+    if (!hasOnChipMeter()) {
+        // Wall meters report once per second with seconds of lag:
+        // scan a few reporting periods, refit on a matching cadence,
+        // and accept a fit after a handful of coarse samples.
+        core::RecalibratorConfig defaults;
+        if (cfg.maxDelaySamples == defaults.maxDelaySamples)
+            cfg.maxDelaySamples = 8;
+        if (cfg.refitEvery == defaults.refitEvery)
+            cfg.refitEvery = sim::msec(500);
+        if (cfg.minOnlineSamples == defaults.minOnlineSamples)
+            cfg.minOnlineSamples = 6;
+        if (cfg.alignEvery == defaults.alignEvery)
+            cfg.alignEvery = sim::sec(2);
+    }
+
+    sampler_ = std::make_unique<core::ModelPowerSampler>(
+        kernel_, model_, meter.period());
+    recalibrator_ = std::make_unique<core::OnlineRecalibrator>(
+        *sampler_, meter, model_, std::move(offline_active), cfg);
+    sampler_->start();
+    meter.start();
+    recalibrator_->start();
+}
+
+void
+ServerWorld::beginWindow()
+{
+    windowStart_ = sim_.now();
+    windowStartEnergyJ_ = machine_.machineEnergyJ();
+    windowStartAccountedJ_ = manager_.accountedEnergyJ();
+}
+
+double
+ServerWorld::measuredActiveW()
+{
+    double span_s = sim::toSeconds(sim_.now() - windowStart_);
+    util::fatalIf(span_s <= 0, "empty measurement window");
+    double avg_full =
+        (machine_.machineEnergyJ() - windowStartEnergyJ_) / span_s;
+    return avg_full - machine_.config().truth.machineIdleW;
+}
+
+double
+ServerWorld::accountedActiveW()
+{
+    double span_s = sim::toSeconds(sim_.now() - windowStart_);
+    util::fatalIf(span_s <= 0, "empty measurement window");
+    return (manager_.accountedEnergyJ() - windowStartAccountedJ_) /
+        span_s;
+}
+
+double
+ServerWorld::validationError()
+{
+    double measured = measuredActiveW();
+    util::fatalIf(measured <= 0, "no active power in window");
+    return std::abs(accountedActiveW() - measured) / measured;
+}
+
+double
+measureIdleBaselineW(const hw::MachineConfig &machine_cfg,
+                     hw::MeterScope scope)
+{
+    sim::Simulation sim;
+    hw::Machine machine(sim, machine_cfg);
+    sim::SimTime period = scope == hw::MeterScope::Package
+                              ? machine_cfg.onChipMeter.period
+                              : machine_cfg.wattsupMeter.period;
+    hw::PowerMeter meter(machine, scope, {period, 0});
+    util::RunningStat watts;
+    meter.subscribe([&](const hw::PowerMeter::Sample &s) {
+        watts.add(s.watts);
+    });
+    meter.start();
+    sim.run(period * 20);
+    return watts.mean();
+}
+
+} // namespace wl
+} // namespace pcon

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Shared experiment harness: one ServerWorld bundles a simulated
+ * machine, its kernel, the power-container facility, and the power
+ * meters, with helpers to measure validation windows — the common
+ * skeleton of every figure/table reproduction in bench/.
+ */
+
+#ifndef PCON_WORKLOADS_EXPERIMENT_H
+#define PCON_WORKLOADS_EXPERIMENT_H
+
+#include <memory>
+#include <optional>
+
+#include "core/container_manager.h"
+#include "core/recalibration.h"
+#include "hw/machine.h"
+#include "hw/power_meter.h"
+#include "os/kernel.h"
+#include "workloads/microbench.h"
+
+namespace pcon {
+namespace wl {
+
+/**
+ * A complete single-machine experiment world. Construction wires the
+ * container manager into the kernel; meters exist but only start
+ * when asked.
+ */
+class ServerWorld
+{
+  public:
+    /**
+     * @param machine_cfg Platform to instantiate.
+     * @param model Calibrated power model (shared; recalibration
+     *        updates it in place).
+     * @param manager_cfg Container-engine tunables.
+     */
+    ServerWorld(const hw::MachineConfig &machine_cfg,
+                std::shared_ptr<core::LinearPowerModel> model,
+                const core::ContainerManagerConfig &manager_cfg = {});
+
+    /**
+     * Same, on an externally owned simulation — lets several worlds
+     * (a heterogeneous cluster) share one event stream.
+     */
+    ServerWorld(sim::Simulation &external_sim,
+                const hw::MachineConfig &machine_cfg,
+                std::shared_ptr<core::LinearPowerModel> model,
+                const core::ContainerManagerConfig &manager_cfg = {});
+
+    sim::Simulation &sim() { return sim_; }
+    hw::Machine &machine() { return machine_; }
+    os::Kernel &kernel() { return kernel_; }
+    os::RequestContextManager &requests() { return requests_; }
+    core::ContainerManager &manager() { return manager_; }
+    std::shared_ptr<core::LinearPowerModel> model() { return model_; }
+
+    /** The external wall meter (Wattsup-style). */
+    hw::PowerMeter &wattsup() { return wattsup_; }
+
+    /** The on-chip meter; fatal() if this platform has none. */
+    hw::PowerMeter &onChipMeter();
+
+    /** True when the platform exposes an on-chip meter. */
+    bool hasOnChipMeter() const { return onChip_.has_value(); }
+
+    /**
+     * Attach measurement-aligned online recalibration (Approach 3).
+     * Uses the on-chip meter when present, the wall meter otherwise.
+     * @param offline_active Offline calibration samples expressed as
+     *        active power (see toActiveSamples).
+     */
+    void attachRecalibration(
+        std::vector<core::CalibrationSample> offline_active,
+        const core::RecalibratorConfig &cfg_overrides = {});
+
+    /** The recalibrator, when attached. */
+    core::OnlineRecalibrator *recalibrator()
+    {
+        return recalibrator_ ? recalibrator_.get() : nullptr;
+    }
+
+    /** Run the simulation forward by `span`. */
+    void run(sim::SimTime span) { sim_.run(sim_.now() + span); }
+
+    /**
+     * Ground-truth average active power over a measurement window:
+     * open a window now with beginWindow(), run the sim, then call
+     * measuredActiveW().
+     */
+    void beginWindow();
+
+    /** Average measured active power since beginWindow(), Watts. */
+    double measuredActiveW();
+
+    /** Container-accounted average power since beginWindow(), Watts. */
+    double accountedActiveW();
+
+    /**
+     * Figure 8's validation error:
+     * |aggregate profiled request power - measured active power| /
+     * measured active power.
+     */
+    double validationError();
+
+  private:
+    /** Owns the simulation unless an external one was supplied. */
+    std::unique_ptr<sim::Simulation> ownedSim_;
+    sim::Simulation &sim_;
+    hw::Machine machine_;
+    os::RequestContextManager requests_;
+    os::Kernel kernel_;
+    std::shared_ptr<core::LinearPowerModel> model_;
+    core::ContainerManager manager_;
+    hw::PowerMeter wattsup_;
+    std::optional<hw::PowerMeter> onChip_;
+    std::unique_ptr<core::ModelPowerSampler> sampler_;
+    std::unique_ptr<core::OnlineRecalibrator> recalibrator_;
+
+    sim::SimTime windowStart_ = 0;
+    double windowStartEnergyJ_ = 0;
+    double windowStartAccountedJ_ = 0;
+};
+
+/**
+ * Measure a meter's idle reading for a platform (the baseline the
+ * recalibrator subtracts): run an idle instance briefly and average.
+ */
+double measureIdleBaselineW(const hw::MachineConfig &machine_cfg,
+                            hw::MeterScope scope);
+
+} // namespace wl
+} // namespace pcon
+
+#endif // PCON_WORKLOADS_EXPERIMENT_H

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Offline calibration microbenchmarks (Section 4.1): a suite of
+ * patterns that stress different parts of the system — raw CPU spin,
+ * high instruction rate, floating point, last-level cache, memory,
+ * disk I/O, network I/O, and a mixture — each run at 100/75/50/25%
+ * load. Each run collects machine-level (metrics, measured power)
+ * calibration samples via a zero-delay offline wall meter.
+ */
+
+#ifndef PCON_WORKLOADS_MICROBENCH_H
+#define PCON_WORKLOADS_MICROBENCH_H
+
+#include <string>
+#include <vector>
+
+#include "core/calibration.h"
+#include "hw/activity.h"
+#include "hw/config.h"
+
+namespace pcon {
+namespace wl {
+
+/** One calibration microbenchmark pattern. */
+struct MicrobenchPattern
+{
+    std::string name;
+    hw::ActivityVector activity;
+    /** Issue periodic disk ops. */
+    bool disk = false;
+    /** Issue periodic NIC ops. */
+    bool net = false;
+};
+
+/** The eight patterns of Section 4.1. */
+const std::vector<MicrobenchPattern> &calibrationPatterns();
+
+/** Calibration load levels (fraction of peak). */
+const std::vector<double> &calibrationLoadLevels();
+
+/** Tunables for a calibration run. */
+struct CalibrationRunConfig
+{
+    /** Measured span per (pattern, level) run. */
+    sim::SimTime duration = sim::sec(2);
+    /** Sample/metering period. */
+    sim::SimTime samplePeriod = sim::msec(100);
+    /** Leading samples dropped as warm-up. */
+    int warmupSamples = 2;
+    /** Seed for task phase jitter. */
+    std::uint64_t seed = 17;
+};
+
+/**
+ * Run the full suite against a fresh instance of the machine and
+ * return the filled calibrator (one sample per metering window).
+ *
+ * @param labels When non-null, receives one "pattern@level" label
+ *        per collected sample, aligned with the calibrator's sample
+ *        order — input for core::evaluateCalibration.
+ */
+core::Calibrator
+calibrateMachine(const hw::MachineConfig &machine,
+                 const CalibrationRunConfig &cfg = {},
+                 std::vector<std::string> *labels = nullptr);
+
+/**
+ * Fit the standard model for a machine: runs the suite and fits the
+ * requested kind. The paper's Approach 1 uses CoreEventsOnly,
+ * Approaches 2/3 use WithChipShare.
+ */
+core::LinearPowerModel
+calibrateModel(const hw::MachineConfig &machine, core::ModelKind kind,
+               double *rmse_w = nullptr,
+               const CalibrationRunConfig &cfg = {});
+
+/**
+ * Convert full-power calibration samples to active-power samples (for
+ * the online recalibrator, which fits active coefficients only).
+ */
+std::vector<core::CalibrationSample>
+toActiveSamples(const core::Calibrator &calibrator, double idle_w);
+
+} // namespace wl
+} // namespace pcon
+
+#endif // PCON_WORKLOADS_MICROBENCH_H

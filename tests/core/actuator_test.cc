@@ -1,0 +1,175 @@
+/**
+ * @file
+ * The conditioner with the DVFS actuator (extension): same fair
+ * capping policy, different knob. At an equal power cap, DVFS should
+ * preserve more throughput than duty-cycle gating because its power
+ * falls superlinearly with speed.
+ */
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/conditioning.h"
+#include "os/kernel.h"
+#include "sim/simulation.h"
+
+namespace pcon::core {
+namespace {
+
+using hw::ActivityVector;
+using os::ComputeOp;
+using os::Op;
+using os::OpResult;
+using os::RequestId;
+using os::ScriptedLogic;
+using os::SleepOp;
+using os::Task;
+using sim::msec;
+using sim::sec;
+
+hw::MachineConfig
+actuatorMachine()
+{
+    hw::MachineConfig cfg;
+    cfg.name = "act";
+    cfg.chips = 1;
+    cfg.coresPerChip = 2;
+    cfg.freqGhz = 1.0;
+    cfg.dutyDenom = 8;
+    cfg.pstates = {1.0, 0.9, 0.8, 0.7, 0.6, 0.5};
+    cfg.truth.machineIdleW = 10.0;
+    cfg.truth.chipMaintenanceW = 4.0;
+    cfg.truth.coreBusyW = 6.0;
+    cfg.truth.insW = 2.0;
+    cfg.truth.llcW = 50.0;
+    cfg.truth.memW = 200.0;
+    return cfg;
+}
+
+std::shared_ptr<LinearPowerModel>
+actuatorModel()
+{
+    auto model = std::make_shared<LinearPowerModel>();
+    model->setCoefficient(Metric::Core, 6.0);
+    model->setCoefficient(Metric::Ins, 2.0);
+    model->setCoefficient(Metric::Cache, 50.0);
+    model->setCoefficient(Metric::Mem, 200.0);
+    model->setCoefficient(Metric::ChipShare, 4.0);
+    return model;
+}
+
+struct CapRun
+{
+    double avgActiveW;
+    double completedCycles;
+};
+
+CapRun
+runCapped(Actuator actuator, double target_w)
+{
+    sim::Simulation sim;
+    hw::Machine machine(sim, actuatorMachine());
+    os::RequestContextManager requests;
+    os::Kernel kernel(machine, requests);
+    auto model = actuatorModel();
+    ContainerManager manager(kernel, model, {});
+    kernel.addHooks(&manager);
+    ConditionerConfig cfg;
+    cfg.systemActiveTargetW = target_w;
+    cfg.actuator = actuator;
+    PowerConditioner conditioner(kernel, manager, cfg);
+    kernel.addHooks(&conditioner);
+    conditioner.install();
+    conditioner.enable();
+
+    // Two hot requests saturating both cores.
+    ActivityVector hot{1.0, 0.0, 0.05, 0.015};
+    for (int i = 0; i < 2; ++i) {
+        RequestId req =
+            requests.create("hot" + std::to_string(i), sim.now());
+        auto logic = std::make_shared<ScriptedLogic>(
+            std::vector<ScriptedLogic::Step>{
+                [hot](os::Kernel &, Task &, const OpResult &) -> Op {
+                    return ComputeOp{hot, 20e6};
+                },
+                [](os::Kernel &, Task &, const OpResult &) -> Op {
+                    return SleepOp{sim::usec(200)};
+                }},
+            true);
+        kernel.spawn(logic, "hot" + std::to_string(i), req, i);
+    }
+
+    sim.run(msec(300)); // settle the controller
+    double e0 = machine.machineEnergyJ();
+    hw::CounterSnapshot c0 = machine.readCounters(0);
+    hw::CounterSnapshot c1 = machine.readCounters(1);
+    sim::SimTime t0 = sim.now();
+    sim.run(t0 + sec(2));
+    double span = sim::toSeconds(sim.now() - t0);
+
+    CapRun out;
+    out.avgActiveW = (machine.machineEnergyJ() - e0) / span - 10.0;
+    hw::CounterSnapshot d0 = machine.readCounters(0);
+    hw::CounterSnapshot d1 = machine.readCounters(1);
+    out.completedCycles = d0.nonhaltCycles - c0.nonhaltCycles +
+        d1.nonhaltCycles - c1.nonhaltCycles;
+    return out;
+}
+
+TEST(ActuatorComparison, BothActuatorsRespectTheCap)
+{
+    // Unthrottled load: 4 + 2*(6+2+2.5+3) = 31 W. Cap at 22 W.
+    CapRun duty = runCapped(Actuator::DutyCycle, 22.0);
+    CapRun dvfs = runCapped(Actuator::Dvfs, 22.0);
+    EXPECT_LT(duty.avgActiveW, 23.5);
+    EXPECT_LT(dvfs.avgActiveW, 23.5);
+    EXPECT_GT(duty.avgActiveW, 12.0);
+    EXPECT_GT(dvfs.avgActiveW, 12.0);
+}
+
+TEST(ActuatorComparison, DvfsPreservesMoreThroughputAtEqualCap)
+{
+    CapRun duty = runCapped(Actuator::DutyCycle, 22.0);
+    CapRun dvfs = runCapped(Actuator::Dvfs, 22.0);
+    // DVFS power falls superlinearly with speed, so at the same cap
+    // the cores can run at a higher speed fraction.
+    EXPECT_GT(dvfs.completedCycles, duty.completedCycles * 1.1)
+        << "duty W=" << duty.avgActiveW
+        << " dvfs W=" << dvfs.avgActiveW;
+}
+
+TEST(ActuatorComparison, DvfsStatsTrackSpeedFraction)
+{
+    sim::Simulation sim;
+    hw::Machine machine(sim, actuatorMachine());
+    os::RequestContextManager requests;
+    os::Kernel kernel(machine, requests);
+    auto model = actuatorModel();
+    ContainerManager manager(kernel, model, {});
+    kernel.addHooks(&manager);
+    ConditionerConfig cfg;
+    cfg.systemActiveTargetW = 8.0; // force deep throttling
+    cfg.actuator = Actuator::Dvfs;
+    PowerConditioner conditioner(kernel, manager, cfg);
+    kernel.addHooks(&conditioner);
+    conditioner.install();
+    conditioner.enable();
+    RequestId req = requests.create("hog", sim.now());
+    auto logic = std::make_shared<ScriptedLogic>(
+        std::vector<ScriptedLogic::Step>{
+            [](os::Kernel &, Task &, const OpResult &) -> Op {
+                return ComputeOp{ActivityVector{1, 0, 0.05, 0.015},
+                                 1e12};
+            }});
+    kernel.spawn(logic, "hog", req, 0);
+    sim.run(sec(1));
+    EXPECT_GT(conditioner.pstateFor(req), 0);
+    ASSERT_TRUE(conditioner.stats().count(req));
+    EXPECT_LT(conditioner.stats().at(req).meanDutyFraction, 1.0);
+    // The machine is actually running at the chosen P-state.
+    EXPECT_EQ(machine.pstate(0), conditioner.pstateFor(req));
+}
+
+} // namespace
+} // namespace pcon::core

@@ -1,0 +1,168 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/alignment.h"
+#include "sim/rng.h"
+#include "sim/time.h"
+#include "util/logging.h"
+
+namespace pcon::core {
+namespace {
+
+using sim::msec;
+
+/** A fluctuating power-like trace. */
+std::vector<double>
+makeTrace(std::size_t n, sim::Rng &rng)
+{
+    std::vector<double> trace(n);
+    double level = 40.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (rng.chance(0.05))
+            level = rng.uniform(25.0, 60.0); // phase change
+        trace[i] = level + rng.normal(0.0, 0.5);
+    }
+    return trace;
+}
+
+/** measurement[i] = model[i - shift] + noise, clipped to range. */
+std::vector<double>
+shifted(const std::vector<double> &model, long shift, sim::Rng &rng,
+        double noise)
+{
+    std::vector<double> out(model.size(), model.front());
+    for (std::size_t i = 0; i < model.size(); ++i) {
+        long j = static_cast<long>(i) - shift;
+        if (j >= 0 && j < static_cast<long>(model.size()))
+            out[i] = model[j] + rng.normal(0.0, noise);
+    }
+    return out;
+}
+
+TEST(Alignment, RecoversKnownDelay)
+{
+    sim::Rng rng(21);
+    std::vector<double> model = makeTrace(600, rng);
+    for (long true_shift : {0L, 1L, 7L, 40L}) {
+        std::vector<double> meas = shifted(model, true_shift, rng, 0.3);
+        AlignmentScan scan =
+            scanAlignment(meas, model, msec(1), 0, 100, true);
+        EXPECT_EQ(scan.bestDelaySamples, true_shift)
+            << "true shift " << true_shift;
+        EXPECT_EQ(scan.bestDelay, true_shift * msec(1));
+        EXPECT_GT(scan.bestCorrelation, 0.9);
+    }
+}
+
+TEST(Alignment, RawEquationFourAlsoPeaksAtDelay)
+{
+    sim::Rng rng(22);
+    std::vector<double> model = makeTrace(800, rng);
+    std::vector<double> meas = shifted(model, 12, rng, 0.3);
+    AlignmentScan scan =
+        scanAlignment(meas, model, msec(1), 0, 60, false);
+    EXPECT_NEAR(scan.bestDelaySamples, 12, 1);
+}
+
+TEST(Alignment, NegativeDelayRangeSupportsFigureCurve)
+{
+    sim::Rng rng(23);
+    std::vector<double> model = makeTrace(500, rng);
+    std::vector<double> meas = shifted(model, 5, rng, 0.3);
+    AlignmentScan scan =
+        scanAlignment(meas, model, msec(1), -50, 50, true);
+    EXPECT_EQ(scan.minDelaySamples, -50);
+    EXPECT_EQ(scan.correlation.size(), 101u);
+    EXPECT_EQ(scan.bestDelaySamples, 5);
+    // The curve away from the peak is clearly below the peak.
+    double off_peak = scan.correlation[0]; // delay -50
+    EXPECT_LT(off_peak, scan.bestCorrelation - 0.2);
+}
+
+TEST(Alignment, EstimateDelayConvenienceWrapper)
+{
+    sim::Rng rng(24);
+    std::vector<double> model = makeTrace(500, rng);
+    std::vector<double> meas = shifted(model, 9, rng, 0.2);
+    EXPECT_EQ(estimateDelay(meas, model, msec(1), 50), 9 * msec(1));
+}
+
+TEST(Alignment, LongWattsupStyleDelay)
+{
+    // Wattsup-like: 1 s samples delayed by 1.2 "sample periods"
+    // cannot be represented; model 1.2 s delay at 100 ms period.
+    sim::Rng rng(25);
+    std::vector<double> model = makeTrace(400, rng);
+    std::vector<double> meas = shifted(model, 12, rng, 0.4);
+    sim::SimTime delay =
+        estimateDelay(meas, model, msec(100), 40);
+    EXPECT_EQ(delay, msec(1200));
+}
+
+TEST(Alignment, DegenerateInputsAreFatal)
+{
+    std::vector<double> a{1.0, 2.0, 3.0};
+    EXPECT_THROW(scanAlignment(a, a, 0, 0, 5), util::FatalError);
+    EXPECT_THROW(scanAlignment(a, a, msec(1), 5, 0), util::FatalError);
+    std::vector<double> one{1.0};
+    EXPECT_THROW(scanAlignment(one, a, msec(1), 0, 5),
+                 util::FatalError);
+}
+
+TEST(AlignmentResampled, RecoversSubPeriodDelayOfACoarseMeter)
+{
+    // Fine 100 ms model series; coarse 1 s meter averaging the fine
+    // truth over each second and delivering 1.2 s late.
+    sim::Rng rng(31);
+    std::vector<double> fine = makeTrace(600, rng); // 60 s at 100 ms
+    sim::SimTime fine_period = msec(100);
+    sim::SimTime fine_start = fine_period; // window 0 ends at 100 ms
+
+    sim::SimTime coarse_period = sim::sec(1);
+    sim::SimTime delay = msec(1200);
+    std::vector<double> coarse;
+    // Measurement k covers fine windows [10k .. 10k+9] and arrives
+    // at its interval end + delay.
+    for (std::size_t k = 0; 10 * k + 10 <= fine.size(); ++k) {
+        double sum = 0;
+        for (std::size_t j = 10 * k; j < 10 * k + 10; ++j)
+            sum += fine[j];
+        coarse.push_back(sum / 10.0 + rng.normal(0.0, 0.2));
+    }
+    sim::SimTime coarse_start =
+        fine_start + 9 * fine_period + delay; // first arrival
+
+    AlignmentScan scan = scanAlignmentResampled(
+        coarse, coarse_start, coarse_period, fine, fine_start,
+        fine_period, 0, sim::sec(2));
+    EXPECT_EQ(scan.bestDelay, delay);
+    EXPECT_GT(scan.bestCorrelation, 0.95);
+}
+
+TEST(AlignmentResampled, ValidatesInputs)
+{
+    std::vector<double> a(10, 1.0), b(10, 1.0);
+    EXPECT_THROW(scanAlignmentResampled(a, 0, sim::sec(1), b, 0,
+                                        msec(300), 0, sim::sec(1)),
+                 util::FatalError); // 300 ms does not divide 1 s
+    EXPECT_THROW(scanAlignmentResampled(a, 0, sim::sec(1), b, 0,
+                                        msec(100), sim::sec(1), 0),
+                 util::FatalError); // empty range
+    std::vector<double> tiny(2, 1.0);
+    EXPECT_THROW(scanAlignmentResampled(tiny, 0, sim::sec(1), b, 0,
+                                        msec(100), 0, sim::sec(1)),
+                 util::FatalError);
+}
+
+TEST(Alignment, ConstantSeriesYieldsZeroCorrelation)
+{
+    std::vector<double> flat(100, 5.0);
+    AlignmentScan scan = scanAlignment(flat, flat, msec(1), 0, 10);
+    for (double c : scan.correlation)
+        EXPECT_EQ(c, 0.0);
+}
+
+} // namespace
+} // namespace pcon::core

@@ -1,0 +1,184 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/energy_quota.h"
+#include "os/kernel.h"
+#include "sim/simulation.h"
+#include "util/logging.h"
+
+namespace pcon::core {
+namespace {
+
+using hw::ActivityVector;
+using os::ComputeOp;
+using os::Op;
+using os::OpResult;
+using os::RequestId;
+using os::ScriptedLogic;
+using os::Task;
+using sim::msec;
+using sim::sec;
+
+hw::MachineConfig
+quotaMachine()
+{
+    hw::MachineConfig cfg;
+    cfg.name = "quota";
+    cfg.chips = 1;
+    cfg.coresPerChip = 2;
+    cfg.freqGhz = 1.0;
+    cfg.dutyDenom = 8;
+    cfg.truth.machineIdleW = 10.0;
+    cfg.truth.chipMaintenanceW = 4.0;
+    cfg.truth.coreBusyW = 6.0;
+    cfg.truth.insW = 2.0;
+    return cfg;
+}
+
+std::shared_ptr<LinearPowerModel>
+quotaModel()
+{
+    auto model = std::make_shared<LinearPowerModel>();
+    model->setCoefficient(Metric::Core, 6.0);
+    model->setCoefficient(Metric::Ins, 2.0);
+    model->setCoefficient(Metric::ChipShare, 4.0);
+    return model;
+}
+
+struct QuotaWorld
+{
+    sim::Simulation sim;
+    hw::Machine machine;
+    os::RequestContextManager requests;
+    os::Kernel kernel;
+    std::shared_ptr<LinearPowerModel> model;
+    ContainerManager manager;
+
+    QuotaWorld()
+        : machine(sim, quotaMachine()), kernel(machine, requests),
+          model(quotaModel()), manager(kernel, model, {})
+    {
+        kernel.addHooks(&manager);
+    }
+};
+
+std::shared_ptr<os::TaskLogic>
+longCompute(double cycles)
+{
+    return std::make_shared<ScriptedLogic>(
+        std::vector<ScriptedLogic::Step>{
+            [=](os::Kernel &, Task &, const OpResult &) -> Op {
+                return ComputeOp{ActivityVector{1.0, 0, 0, 0},
+                                 cycles};
+            }});
+}
+
+TEST(EnergyQuota, ThrottlesRequestsOverBudget)
+{
+    QuotaWorld w;
+    EnergyQuotaConfig cfg;
+    // Running solo at 12 W, a request burns 0.012 J per ms: a 0.05 J
+    // budget is exceeded after ~4.2 ms.
+    cfg.budgetJ["capped"] = 0.05;
+    cfg.throttledLevel = 2;
+    EnergyQuotaPolicy quota(w.kernel, w.manager, cfg);
+    w.kernel.addHooks(&quota);
+    quota.install();
+    quota.enable();
+
+    RequestId capped = w.requests.create("capped", w.sim.now());
+    w.kernel.spawn(longCompute(40e6), "hog", capped, 0);
+    w.sim.run(msec(8));
+    EXPECT_TRUE(quota.overBudget(capped));
+    EXPECT_EQ(quota.levelFor(capped), 2);
+    EXPECT_EQ(w.machine.dutyLevel(0), 2);
+    EXPECT_EQ(quota.stats().overBudgetRequests, 1u);
+    // The remaining ~35e6 cycles now run 4x slower. (The slack covers
+    // the observer-effect cycles the sampling itself injects.)
+    w.sim.run(sec(1));
+    hw::CounterSnapshot c = w.machine.readCounters(0);
+    EXPECT_NEAR(c.nonhaltCycles, 40e6, 2e5);
+}
+
+TEST(EnergyQuota, LeavesOtherRequestsAtFullSpeed)
+{
+    QuotaWorld w;
+    EnergyQuotaConfig cfg;
+    cfg.budgetJ["capped"] = 0.02;
+    EnergyQuotaPolicy quota(w.kernel, w.manager, cfg);
+    w.kernel.addHooks(&quota);
+    quota.install();
+    quota.enable();
+
+    RequestId capped = w.requests.create("capped", w.sim.now());
+    RequestId free_req = w.requests.create("free", w.sim.now());
+    w.kernel.spawn(longCompute(30e6), "hog", capped, 0);
+    w.kernel.spawn(longCompute(30e6), "ok", free_req, 1);
+    w.sim.run(msec(10));
+    EXPECT_TRUE(quota.overBudget(capped));
+    EXPECT_FALSE(quota.overBudget(free_req));
+    EXPECT_EQ(w.machine.dutyLevel(1), 8);
+    EXPECT_EQ(quota.levelFor(free_req), 8);
+}
+
+TEST(EnergyQuota, DefaultBudgetAppliesToUnlistedTypes)
+{
+    QuotaWorld w;
+    EnergyQuotaConfig cfg;
+    cfg.defaultBudgetJ = 0.03;
+    EnergyQuotaPolicy quota(w.kernel, w.manager, cfg);
+    w.kernel.addHooks(&quota);
+    quota.install();
+    quota.enable();
+    RequestId req = w.requests.create("anything", w.sim.now());
+    w.kernel.spawn(longCompute(30e6), "t", req, 0);
+    w.sim.run(msec(10));
+    EXPECT_TRUE(quota.overBudget(req));
+}
+
+TEST(EnergyQuota, UnlimitedWithoutBudgets)
+{
+    QuotaWorld w;
+    EnergyQuotaConfig cfg; // no budgets, default 0 = unlimited
+    EnergyQuotaPolicy quota(w.kernel, w.manager, cfg);
+    w.kernel.addHooks(&quota);
+    quota.install();
+    quota.enable();
+    RequestId req = w.requests.create("anything", w.sim.now());
+    w.kernel.spawn(longCompute(30e6), "t", req, 0);
+    w.sim.run(msec(50));
+    EXPECT_FALSE(quota.overBudget(req));
+    EXPECT_EQ(w.machine.dutyLevel(0), 8);
+}
+
+TEST(EnergyQuota, DisabledPolicyIsInert)
+{
+    QuotaWorld w;
+    EnergyQuotaConfig cfg;
+    cfg.budgetJ["capped"] = 0.001;
+    EnergyQuotaPolicy quota(w.kernel, w.manager, cfg);
+    w.kernel.addHooks(&quota);
+    quota.install();
+    RequestId req = w.requests.create("capped", w.sim.now());
+    w.kernel.spawn(longCompute(30e6), "t", req, 0);
+    w.sim.run(msec(10));
+    EXPECT_FALSE(quota.overBudget(req));
+    EXPECT_EQ(w.machine.dutyLevel(0), 8);
+}
+
+TEST(EnergyQuota, RejectsBadConfig)
+{
+    QuotaWorld w;
+    EnergyQuotaConfig bad_level;
+    bad_level.throttledLevel = 0;
+    EXPECT_THROW(EnergyQuotaPolicy(w.kernel, w.manager, bad_level),
+                 util::FatalError);
+    EnergyQuotaConfig bad_budget;
+    bad_budget.budgetJ["x"] = -1.0;
+    EXPECT_THROW(EnergyQuotaPolicy(w.kernel, w.manager, bad_budget),
+                 util::FatalError);
+}
+
+} // namespace
+} // namespace pcon::core

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Coverage for smaller API surfaces: the umbrella header, socket
+ * callback precedence, stats-provider defaults, sampler device
+ * metrics, dispatcher rate windows, and policy resets.
+ */
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "pcon.h"
+
+namespace pcon {
+namespace {
+
+using sim::msec;
+using sim::sec;
+
+hw::MachineConfig
+miscConfig()
+{
+    hw::MachineConfig cfg;
+    cfg.name = "misc";
+    cfg.chips = 1;
+    cfg.coresPerChip = 2;
+    cfg.freqGhz = 1.0;
+    cfg.truth.machineIdleW = 10.0;
+    cfg.truth.chipMaintenanceW = 2.0;
+    cfg.truth.coreBusyW = 5.0;
+    cfg.truth.diskActiveW = 2.0;
+    return cfg;
+}
+
+TEST(Misc, SegmentCallbackTakesPrecedenceOverDeliveryCallback)
+{
+    sim::Simulation sim;
+    hw::Machine m(sim, miscConfig());
+    os::RequestContextManager requests;
+    os::Kernel k(m, requests);
+    auto [a, b] = k.socketPair();
+    (void)a;
+    int plain = 0, segment = 0;
+    b->setDeliveryCallback([&](double, os::RequestId) { ++plain; });
+    b->setSegmentCallback([&](const os::Segment &) { ++segment; });
+    a->send(10, os::NoRequest);
+    sim.run(msec(1));
+    EXPECT_EQ(segment, 1);
+    EXPECT_EQ(plain, 0);
+}
+
+TEST(Misc, StatsForIsEmptyWithoutAProvider)
+{
+    sim::Simulation sim;
+    hw::Machine m(sim, miscConfig());
+    os::RequestContextManager requests;
+    os::Kernel k(m, requests);
+    os::RequestStatsTag tag = k.statsFor(123);
+    EXPECT_FALSE(tag.present);
+    EXPECT_EQ(tag.energyJ, 0.0);
+}
+
+TEST(Misc, ModelPowerSamplerTracksDeviceUtilization)
+{
+    sim::Simulation sim;
+    hw::Machine m(sim, miscConfig());
+    os::RequestContextManager requests;
+    os::Kernel k(m, requests);
+    auto model = std::make_shared<core::LinearPowerModel>();
+    model->setCoefficient(core::Metric::Disk, 2.0);
+    core::ModelPowerSampler sampler(k, model, msec(10));
+    sampler.start();
+    // A task hammering the disk: ~100% utilization (1 MB ops at
+    // 100 MB/s, back to back).
+    auto logic = std::make_shared<os::ScriptedLogic>(
+        std::vector<os::ScriptedLogic::Step>{
+            [](os::Kernel &, os::Task &,
+               const os::OpResult &) -> os::Op {
+                return os::IoOp{hw::DeviceKind::Disk, 1e6};
+            }},
+        true);
+    k.spawn(logic, "dd");
+    sim.run(msec(100));
+    ASSERT_GE(sampler.windows().size(), 5u);
+    const auto &w = sampler.windows().back();
+    EXPECT_GT(w.metrics.get(core::Metric::Disk), 0.8);
+    EXPECT_NEAR(w.modeledActiveW,
+                2.0 * w.metrics.get(core::Metric::Disk), 1e-9);
+    sampler.clear();
+    EXPECT_TRUE(sampler.windows().empty());
+}
+
+TEST(Misc, ConditionerResetClearsAssignments)
+{
+    sim::Simulation sim;
+    hw::Machine m(sim, miscConfig());
+    os::RequestContextManager requests;
+    os::Kernel k(m, requests);
+    auto model = std::make_shared<core::LinearPowerModel>();
+    model->setCoefficient(core::Metric::Core, 5.0);
+    core::ContainerManager manager(k, model, {});
+    k.addHooks(&manager);
+    core::PowerConditioner cond(k, manager,
+                                core::ConditionerConfig{2.0, 1});
+    k.addHooks(&cond);
+    cond.install();
+    cond.enable();
+    os::RequestId req = requests.create("hot", sim.now());
+    auto logic = std::make_shared<os::ScriptedLogic>(
+        std::vector<os::ScriptedLogic::Step>{
+            [](os::Kernel &, os::Task &,
+               const os::OpResult &) -> os::Op {
+                return os::ComputeOp{
+                    hw::ActivityVector{1, 0, 0, 0}, 1e12};
+            }});
+    k.spawn(logic, "hot", req, 0);
+    sim.run(msec(100));
+    ASSERT_LT(cond.levelFor(req), 8);
+    ASSERT_FALSE(cond.stats().empty());
+    cond.reset();
+    EXPECT_EQ(cond.levelFor(req), 8);
+    EXPECT_TRUE(cond.stats().empty());
+    // Disabled conditioner reports full speed regardless.
+    cond.disable();
+    EXPECT_EQ(cond.levelFor(req), 8);
+}
+
+TEST(Misc, ProfileTableClearsAndRejectsUnknown)
+{
+    core::ProfileTable table;
+    core::RequestRecord r;
+    r.type = "x";
+    r.cpuEnergyJ = 1.0;
+    r.cpuTimeNs = 1e6;
+    table.add(r);
+    EXPECT_TRUE(table.has("x"));
+    table.clear();
+    EXPECT_FALSE(table.has("x"));
+    EXPECT_TRUE(table.all().empty());
+}
+
+TEST(Misc, DispatcherRateWindowForgetsOldArrivals)
+{
+    sim::Simulation sim;
+    hw::Machine m0(sim, miscConfig());
+    hw::Machine m1(sim, miscConfig());
+    os::RequestContextManager requests;
+    os::Kernel k0(m0, requests), k1(m1, requests);
+    core::RequestDispatcher d(
+        core::DistributionPolicy::SimpleLoadBalance,
+        {{"a", &k0}, {"b", &k1}},
+        core::DispatcherConfig{0.7, sim::sec(1), 1});
+    // Round robin is stateless w.r.t. arrivals, but the recorded
+    // history still trims to the window (exercised via dispatch).
+    for (int i = 0; i < 10; ++i)
+        d.dispatch("t", sim::msec(i));
+    std::size_t first = d.dispatch("t", sim::sec(10));
+    std::size_t second = d.dispatch("t", sim::sec(10));
+    EXPECT_NE(first, second); // still alternating
+}
+
+TEST(Misc, RequestStatsTagRoundTripsThroughCluster)
+{
+    // Cross-machine: server kernel's container stats ride the reply
+    // across a latency link to an outside consumer on another kernel.
+    sim::Simulation sim;
+    hw::Machine ma(sim, miscConfig());
+    hw::Machine mb(sim, miscConfig());
+    os::RequestContextManager requests;
+    os::Kernel ka(ma, requests);
+    os::Kernel kb(mb, requests);
+    auto model = std::make_shared<core::LinearPowerModel>();
+    model->setCoefficient(core::Metric::Core, 5.0);
+    model->setCoefficient(core::Metric::ChipShare, 2.0);
+    core::ContainerManager manager_b(kb, model, {});
+    kb.addHooks(&manager_b);
+
+    auto [ea, eb] = os::Kernel::connect(ka, kb, sim::usec(100));
+    auto server = std::make_shared<os::ScriptedLogic>(
+        std::vector<os::ScriptedLogic::Step>{
+            [eb = eb](os::Kernel &, os::Task &,
+                      const os::OpResult &) -> os::Op {
+                return os::RecvOp{eb};
+            },
+            [](os::Kernel &, os::Task &,
+               const os::OpResult &) -> os::Op {
+                return os::ComputeOp{
+                    hw::ActivityVector{1, 0, 0, 0}, 4e6};
+            },
+            [eb = eb](os::Kernel &, os::Task &,
+                      const os::OpResult &) -> os::Op {
+                return os::SendOp{eb, 64};
+            }},
+        true);
+    kb.spawn(server, "remote");
+
+    os::RequestStatsTag got;
+    ea->setSegmentCallback(
+        [&](const os::Segment &seg) { got = seg.stats; });
+    os::RequestId req = requests.create("r", sim.now());
+    ea->send(32, req);
+    sim.run(sec(1));
+    ASSERT_TRUE(got.present);
+    // 4e6 cycles at 1 GHz and 7 W modeled -> 0.028 J.
+    EXPECT_NEAR(got.cpuTimeNs, 4e6, 1e4);
+    EXPECT_NEAR(got.energyJ, 0.028, 0.002);
+}
+
+} // namespace
+} // namespace pcon

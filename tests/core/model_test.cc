@@ -1,0 +1,230 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/calibration.h"
+#include "core/metrics.h"
+#include "core/power_model.h"
+#include "sim/rng.h"
+#include "util/logging.h"
+
+namespace pcon::core {
+namespace {
+
+TEST(Metrics, FromCounterDeltaDividesByElapsed)
+{
+    hw::CounterSnapshot delta{1000.0, 500.0, 800.0, 40.0, 10.0, 2.0};
+    Metrics m = Metrics::fromCounterDelta(delta);
+    EXPECT_DOUBLE_EQ(m.get(Metric::Core), 0.5);
+    EXPECT_DOUBLE_EQ(m.get(Metric::Ins), 0.8);
+    EXPECT_DOUBLE_EQ(m.get(Metric::Float), 0.04);
+    EXPECT_DOUBLE_EQ(m.get(Metric::Cache), 0.01);
+    EXPECT_DOUBLE_EQ(m.get(Metric::Mem), 0.002);
+    EXPECT_DOUBLE_EQ(m.get(Metric::ChipShare), 0.0);
+}
+
+TEST(Metrics, ZeroElapsedYieldsZeroMetrics)
+{
+    hw::CounterSnapshot delta{0.0, 100.0, 100.0, 0.0, 0.0, 0.0};
+    Metrics m = Metrics::fromCounterDelta(delta);
+    for (std::size_t i = 0; i < NumMetrics; ++i)
+        EXPECT_EQ(m.values()[i], 0.0);
+}
+
+TEST(Metrics, AccumulateSumsElementwise)
+{
+    Metrics a, b;
+    a.set(Metric::Core, 0.5);
+    a.set(Metric::Mem, 0.001);
+    b.set(Metric::Core, 0.25);
+    b.set(Metric::ChipShare, 1.0);
+    a.accumulate(b);
+    EXPECT_DOUBLE_EQ(a.get(Metric::Core), 0.75);
+    EXPECT_DOUBLE_EQ(a.get(Metric::Mem), 0.001);
+    EXPECT_DOUBLE_EQ(a.get(Metric::ChipShare), 1.0);
+}
+
+TEST(Metrics, NamesAreStable)
+{
+    EXPECT_EQ(Metrics::name(Metric::Core), "core");
+    EXPECT_EQ(Metrics::name(Metric::ChipShare), "chipshare");
+    EXPECT_EQ(Metrics::name(Metric::Net), "net");
+}
+
+TEST(PowerModel, EstimateIsLinearInMetrics)
+{
+    LinearPowerModel model(ModelKind::WithChipShare);
+    model.setIdleW(20.0);
+    model.setCoefficient(Metric::Core, 10.0);
+    model.setCoefficient(Metric::Ins, 2.0);
+    model.setCoefficient(Metric::ChipShare, 5.0);
+    Metrics m;
+    m.set(Metric::Core, 1.0);
+    m.set(Metric::Ins, 1.5);
+    m.set(Metric::ChipShare, 0.5);
+    EXPECT_DOUBLE_EQ(model.estimateActiveW(m), 10.0 + 3.0 + 2.5);
+    EXPECT_DOUBLE_EQ(model.estimateFullW(m), 35.5);
+}
+
+TEST(PowerModel, CoreEventsOnlyIgnoresChipShare)
+{
+    LinearPowerModel model(ModelKind::CoreEventsOnly);
+    model.setCoefficient(Metric::Core, 10.0);
+    model.setCoefficient(Metric::ChipShare, 100.0);
+    Metrics m;
+    m.set(Metric::Core, 1.0);
+    m.set(Metric::ChipShare, 1.0);
+    EXPECT_DOUBLE_EQ(model.estimateActiveW(m), 10.0);
+    EXPECT_FALSE(model.usesMetric(Metric::ChipShare));
+    EXPECT_TRUE(model.usesMetric(Metric::Mem));
+}
+
+TEST(PowerModel, DescribeListsCoefficients)
+{
+    LinearPowerModel model;
+    model.setIdleW(26.1);
+    model.setCoefficient(Metric::Core, 8.0);
+    std::string text = model.describe();
+    EXPECT_NE(text.find("idle=26.1W"), std::string::npos);
+    EXPECT_NE(text.find("core=8W"), std::string::npos);
+}
+
+TEST(Calibrator, RecoversKnownLinearTruth)
+{
+    // Synthetic machine: idle 25 W, core 8 W/unit, ins 2 W/unit,
+    // chipshare 6 W/unit; calibration sweeps load levels.
+    sim::Rng rng(5);
+    Calibrator cal;
+    for (int i = 0; i < 200; ++i) {
+        double util = rng.uniform(0.0, 4.0);   // up to 4 cores
+        double ipc = util * rng.uniform(0.5, 2.0);
+        double chips = util > 0 ? (util > 2.0 ? 2.0 : 1.0) : 0.0;
+        CalibrationSample s;
+        s.metrics.set(Metric::Core, util);
+        s.metrics.set(Metric::Ins, ipc);
+        s.metrics.set(Metric::ChipShare, chips);
+        s.measuredFullW = 25.0 + 8.0 * util + 2.0 * ipc + 6.0 * chips +
+            rng.normal(0.0, 0.1);
+        cal.add(s);
+    }
+    double rmse = 0.0;
+    LinearPowerModel model = cal.fit(ModelKind::WithChipShare, &rmse);
+    EXPECT_NEAR(model.idleW(), 25.0, 0.5);
+    EXPECT_NEAR(model.coefficient(Metric::Core), 8.0, 0.3);
+    EXPECT_NEAR(model.coefficient(Metric::Ins), 2.0, 0.2);
+    EXPECT_NEAR(model.coefficient(Metric::ChipShare), 6.0, 0.5);
+    EXPECT_LT(rmse, 0.2);
+}
+
+TEST(Calibrator, CoreOnlyFitAbsorbsMaintenanceElsewhere)
+{
+    // Without the chipshare feature, the fit must push maintenance
+    // power into the other coefficients — the source of Approach 1's
+    // validation error.
+    sim::Rng rng(6);
+    Calibrator cal;
+    for (int i = 0; i < 200; ++i) {
+        double util = rng.uniform(0.1, 4.0);
+        double chips = util > 2.0 ? 2.0 : 1.0;
+        CalibrationSample s;
+        s.metrics.set(Metric::Core, util);
+        s.metrics.set(Metric::ChipShare, chips);
+        s.measuredFullW = 25.0 + 8.0 * util + 6.0 * chips;
+        cal.add(s);
+    }
+    LinearPowerModel m1 = cal.fit(ModelKind::CoreEventsOnly);
+    LinearPowerModel m2 = cal.fit(ModelKind::WithChipShare);
+    // The chip-share model explains the data better.
+    double rmse1 = 0.0, rmse2 = 0.0;
+    cal.fit(ModelKind::CoreEventsOnly, &rmse1);
+    cal.fit(ModelKind::WithChipShare, &rmse2);
+    EXPECT_LT(rmse2, rmse1);
+    EXPECT_DOUBLE_EQ(m1.coefficient(Metric::ChipShare), 0.0);
+    EXPECT_GT(m2.coefficient(Metric::ChipShare), 3.0);
+}
+
+TEST(Calibrator, MaxObservedTracksPerMetricMaxima)
+{
+    Calibrator cal;
+    CalibrationSample a, b;
+    a.metrics.set(Metric::Core, 1.0);
+    a.metrics.set(Metric::Mem, 0.02);
+    b.metrics.set(Metric::Core, 3.0);
+    b.metrics.set(Metric::Mem, 0.01);
+    cal.add(a);
+    cal.add(b);
+    Metrics max = cal.maxObserved();
+    EXPECT_DOUBLE_EQ(max.get(Metric::Core), 3.0);
+    EXPECT_DOUBLE_EQ(max.get(Metric::Mem), 0.02);
+}
+
+TEST(CalibrationReport, GroupsResidualsAndRanksWorstFirst)
+{
+    // Model: P = 10 + 5*Mcore. Group "clean" matches it; group
+    // "hot" draws 4 W more than the model says.
+    LinearPowerModel model;
+    model.setIdleW(10.0);
+    model.setCoefficient(Metric::Core, 5.0);
+    std::vector<CalibrationSample> samples;
+    std::vector<std::string> labels;
+    for (int i = 0; i < 10; ++i) {
+        CalibrationSample s;
+        s.metrics.set(Metric::Core, 0.1 * i);
+        s.measuredFullW = 10.0 + 0.5 * i;
+        samples.push_back(s);
+        labels.push_back("clean");
+        s.measuredFullW += 4.0;
+        samples.push_back(s);
+        labels.push_back("hot");
+    }
+    CalibrationReport report =
+        evaluateCalibration(model, samples, labels);
+    ASSERT_EQ(report.groups.size(), 2u);
+    EXPECT_EQ(report.worstGroup, "hot");
+    EXPECT_EQ(report.groups[0].label, "hot");
+    EXPECT_NEAR(report.groups[0].meanResidualW, -4.0, 1e-9);
+    EXPECT_NEAR(report.groups[0].rmseW, 4.0, 1e-9);
+    EXPECT_NEAR(report.groups[1].rmseW, 0.0, 1e-9);
+    EXPECT_NEAR(report.worstAbsW, 4.0, 1e-9);
+    EXPECT_NEAR(report.rmseW, 4.0 / std::sqrt(2.0), 1e-9);
+}
+
+TEST(CalibrationReport, ValidatesInputs)
+{
+    LinearPowerModel model;
+    std::vector<CalibrationSample> one(1);
+    EXPECT_THROW(evaluateCalibration(model, one, {}),
+                 util::FatalError);
+    EXPECT_THROW(evaluateCalibration(model, {}, {}),
+                 util::FatalError);
+}
+
+TEST(Calibrator, TooFewSamplesIsFatal)
+{
+    Calibrator cal;
+    CalibrationSample s;
+    cal.add(s);
+    EXPECT_THROW(cal.fit(ModelKind::WithChipShare), util::FatalError);
+}
+
+TEST(Calibrator, CoefficientsAreNonNegative)
+{
+    // Anti-correlated noise could pull a plain fit negative; the
+    // calibrator must clamp at zero (physical power costs).
+    sim::Rng rng(7);
+    Calibrator cal;
+    for (int i = 0; i < 60; ++i) {
+        double util = rng.uniform(0.0, 1.0);
+        CalibrationSample s;
+        s.metrics.set(Metric::Core, util);
+        s.metrics.set(Metric::Float, rng.uniform(0.0, 0.2));
+        s.measuredFullW = 10.0 + 5.0 * util; // Float is pure noise
+        cal.add(s);
+    }
+    LinearPowerModel model = cal.fit(ModelKind::WithChipShare);
+    for (std::size_t i = 0; i < NumMetrics; ++i)
+        EXPECT_GE(model.coefficient(static_cast<Metric>(i)), 0.0);
+}
+
+} // namespace
+} // namespace pcon::core

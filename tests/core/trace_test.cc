@@ -1,0 +1,193 @@
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/trace.h"
+#include "os/kernel.h"
+#include "sim/simulation.h"
+#include "util/logging.h"
+
+namespace pcon::core {
+namespace {
+
+using hw::ActivityVector;
+using os::ComputeOp;
+using os::Op;
+using os::OpResult;
+using os::RequestId;
+using os::ScriptedLogic;
+using os::Task;
+using sim::msec;
+using sim::sec;
+
+struct TraceWorld
+{
+    sim::Simulation sim;
+    hw::Machine machine;
+    os::RequestContextManager requests;
+    os::Kernel kernel;
+    std::shared_ptr<LinearPowerModel> model;
+    ContainerManager manager;
+    RequestTracer tracer;
+
+    TraceWorld()
+        : machine(sim, config()), kernel(machine, requests),
+          model(makeModel()), manager(kernel, model, {}),
+          tracer(kernel, manager)
+    {
+        kernel.addHooks(&manager);
+        kernel.addHooks(&tracer);
+    }
+
+    static hw::MachineConfig
+    config()
+    {
+        hw::MachineConfig cfg;
+        cfg.name = "trace";
+        cfg.chips = 1;
+        cfg.coresPerChip = 2;
+        cfg.freqGhz = 1.0;
+        cfg.truth.machineIdleW = 10.0;
+        cfg.truth.chipMaintenanceW = 4.0;
+        cfg.truth.coreBusyW = 6.0;
+        cfg.truth.insW = 2.0;
+        cfg.truth.diskActiveW = 3.0;
+        return cfg;
+    }
+
+    static std::shared_ptr<LinearPowerModel>
+    makeModel()
+    {
+        auto model = std::make_shared<LinearPowerModel>();
+        model->setCoefficient(Metric::Core, 6.0);
+        model->setCoefficient(Metric::Ins, 2.0);
+        model->setCoefficient(Metric::ChipShare, 4.0);
+        model->setCoefficient(Metric::Disk, 3.0);
+        return model;
+    }
+};
+
+std::shared_ptr<os::TaskLogic>
+forkAndIo()
+{
+    auto child = std::make_shared<ScriptedLogic>(
+        std::vector<ScriptedLogic::Step>{
+            [](os::Kernel &, Task &, const OpResult &) -> Op {
+                return ComputeOp{ActivityVector{1, 0, 0, 0}, 2e6};
+            }});
+    return std::make_shared<ScriptedLogic>(
+        std::vector<ScriptedLogic::Step>{
+            [](os::Kernel &, Task &, const OpResult &) -> Op {
+                return ComputeOp{ActivityVector{1, 0, 0, 0}, 3e6};
+            },
+            [child](os::Kernel &, Task &, const OpResult &) -> Op {
+                return os::ForkOp{child, "child"};
+            },
+            [](os::Kernel &, Task &, const OpResult &r) -> Op {
+                return os::WaitChildOp{r.child};
+            },
+            [](os::Kernel &, Task &, const OpResult &) -> Op {
+                return os::IoOp{hw::DeviceKind::Disk, 5e5};
+            }});
+}
+
+TEST(RequestTracer, CapturesStagesOfAForkedRequest)
+{
+    TraceWorld w;
+    RequestId req = w.requests.create("traced", w.sim.now());
+    w.tracer.trace(req);
+    w.kernel.spawn(forkAndIo(), "parent", req);
+    w.sim.run(sec(1));
+    w.requests.complete(req, w.sim.now());
+
+    const std::vector<TraceEvent> &events = w.tracer.events(req);
+    ASSERT_GE(events.size(), 6u);
+    // Chronological order.
+    for (std::size_t i = 1; i < events.size(); ++i)
+        EXPECT_GE(events[i].time, events[i - 1].time);
+
+    int switch_in = 0, inherits = 0, io = 0, completed = 0;
+    bool saw_child = false;
+    for (const TraceEvent &e : events) {
+        switch (e.kind) {
+          case TraceEvent::Kind::SwitchIn: ++switch_in; break;
+          case TraceEvent::Kind::ContextInherited: ++inherits; break;
+          case TraceEvent::Kind::IoComplete: ++io; break;
+          case TraceEvent::Kind::Completed: ++completed; break;
+          default: break;
+        }
+        if (e.actor == "child")
+            saw_child = true;
+    }
+    EXPECT_GE(switch_in, 2);   // parent + child at least
+    EXPECT_EQ(io, 1);
+    EXPECT_EQ(completed, 1);
+    EXPECT_TRUE(saw_child);    // the fork propagated the context
+    (void)inherits;
+    // The final event carries the request's total energy.
+    EXPECT_GT(events.back().cumulativeEnergyJ, 0.0);
+    // Energy annotations never decrease along the trace.
+    double last = 0;
+    for (const TraceEvent &e : events) {
+        if (e.cumulativeEnergyJ > 0) {
+            EXPECT_GE(e.cumulativeEnergyJ, last - 1e-12);
+            last = e.cumulativeEnergyJ;
+        }
+    }
+}
+
+TEST(RequestTracer, OnlyTracedRequestsAreCaptured)
+{
+    TraceWorld w;
+    RequestId traced = w.requests.create("a", w.sim.now());
+    RequestId untraced = w.requests.create("b", w.sim.now());
+    w.tracer.trace(traced);
+    w.kernel.spawn(forkAndIo(), "t1", traced, 0);
+    w.kernel.spawn(forkAndIo(), "t2", untraced, 1);
+    w.sim.run(sec(1));
+    EXPECT_FALSE(w.tracer.events(traced).empty());
+    EXPECT_THROW(w.tracer.events(untraced), util::FatalError);
+}
+
+TEST(RequestTracer, StopTracingFreezesTheEventList)
+{
+    TraceWorld w;
+    RequestId req = w.requests.create("a", w.sim.now());
+    w.tracer.trace(req);
+    w.kernel.spawn(forkAndIo(), "t", req);
+    w.sim.run(msec(2));
+    w.tracer.stopTracing(req);
+    std::size_t frozen = w.tracer.events(req).size();
+    w.sim.run(sec(1));
+    EXPECT_EQ(w.tracer.events(req).size(), frozen);
+}
+
+TEST(RequestTracer, RenderAndCsvContainTheStages)
+{
+    TraceWorld w;
+    RequestId req = w.requests.create("a", w.sim.now());
+    w.tracer.trace(req);
+    w.kernel.spawn(forkAndIo(), "parent", req);
+    w.sim.run(sec(1));
+    w.requests.complete(req, w.sim.now());
+
+    std::string text = w.tracer.render(req);
+    EXPECT_NE(text.find("parent"), std::string::npos);
+    EXPECT_NE(text.find("io-complete"), std::string::npos);
+    EXPECT_NE(text.find("completed"), std::string::npos);
+
+    std::string path = ::testing::TempDir() + "/trace_test.csv";
+    w.tracer.writeCsv(req, path);
+    std::ifstream in(path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    EXPECT_NE(buf.str().find("time_ms,actor,event"),
+              std::string::npos);
+    EXPECT_NE(buf.str().find("io-complete"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace pcon::core

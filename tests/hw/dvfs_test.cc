@@ -1,0 +1,121 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "hw/machine.h"
+#include "os/kernel.h"
+#include "sim/simulation.h"
+#include "util/logging.h"
+
+namespace pcon::hw {
+namespace {
+
+using sim::msec;
+using sim::Simulation;
+
+MachineConfig
+dvfsConfig()
+{
+    MachineConfig cfg;
+    cfg.name = "dvfs";
+    cfg.chips = 1;
+    cfg.coresPerChip = 2;
+    cfg.freqGhz = 2.0;
+    cfg.pstates = {1.0, 0.8, 0.6};
+    cfg.truth.machineIdleW = 10.0;
+    cfg.truth.chipMaintenanceW = 4.0;
+    cfg.truth.coreBusyW = 10.0;
+    cfg.truth.insW = 2.0;
+    return cfg;
+}
+
+TEST(Dvfs, PStateScalesFrequencyAndCounters)
+{
+    Simulation sim;
+    Machine m(sim, dvfsConfig());
+    m.setRunning(0, ActivityVector{1.5, 0, 0, 0});
+    m.setPState(0, 1); // ratio 0.8
+    EXPECT_EQ(m.pstate(0), 1);
+    EXPECT_DOUBLE_EQ(m.pstateRatio(0), 0.8);
+    EXPECT_DOUBLE_EQ(m.workRateHz(0), 2e9 * 0.8);
+    sim.run(msec(5));
+    CounterSnapshot c = m.readCounters(0);
+    // Elapsed (TSC) at nominal rate; non-halt at the scaled clock.
+    EXPECT_NEAR(c.elapsedCycles, 2.0 * 5e6, 1.0);
+    EXPECT_NEAR(c.nonhaltCycles, 2.0 * 5e6 * 0.8, 1.0);
+    EXPECT_NEAR(c.instructions, 2.0 * 5e6 * 0.8 * 1.5, 2.0);
+}
+
+TEST(Dvfs, PowerScalesSuperlinearlyWithFrequency)
+{
+    Simulation sim;
+    Machine m(sim, dvfsConfig());
+    m.setRunning(0, ActivityVector{1.0, 0, 0, 0});
+    double full = m.trueActivePowerW(); // 4 + 12 = 16 W
+    m.setPState(0, 2);                  // ratio 0.6
+    double scaled = m.trueActivePowerW();
+    // Maintenance unscaled; core part scaled by r*v^2 with
+    // v = 0.6 + 0.4*0.6 = 0.84: 12 * 0.6 * 0.7056 = 5.08.
+    double expected = 4.0 + 12.0 * Machine::pstatePowerScale(0.6);
+    EXPECT_NEAR(scaled, expected, 1e-9);
+    // Power drops faster than frequency.
+    double power_drop = (full - 4.0 - (scaled - 4.0)) / (full - 4.0);
+    EXPECT_GT(power_drop, 1.0 - 0.6);
+}
+
+TEST(Dvfs, PowerScaleIsIdentityAtNominal)
+{
+    EXPECT_DOUBLE_EQ(Machine::pstatePowerScale(1.0), 1.0);
+    EXPECT_LT(Machine::pstatePowerScale(0.5), 0.5);
+}
+
+TEST(Dvfs, InvalidPStatesRejected)
+{
+    Simulation sim;
+    Machine m(sim, dvfsConfig());
+    EXPECT_THROW(m.setPState(0, 3), util::FatalError);
+    EXPECT_THROW(m.setPState(0, -1), util::FatalError);
+    MachineConfig bad = dvfsConfig();
+    bad.pstates = {0.8, 0.6}; // must start at 1.0
+    EXPECT_THROW(Machine(sim, bad), util::FatalError);
+    bad.pstates = {1.0, 0.0};
+    EXPECT_THROW(Machine(sim, bad), util::FatalError);
+}
+
+TEST(Dvfs, KernelResyncsComputeAcrossPStateChange)
+{
+    Simulation sim;
+    Machine machine(sim, dvfsConfig());
+    os::RequestContextManager requests;
+    os::Kernel kernel(machine, requests);
+    // 8e6 cycles at 2 GHz: 4 ms at P0. Drop to ratio 0.6 at t=2 ms:
+    // 4e6 cycles remain at 1.2e9 Hz -> ~3.33 more ms.
+    auto logic = std::make_shared<os::ScriptedLogic>(
+        std::vector<os::ScriptedLogic::Step>{
+            [](os::Kernel &, os::Task &,
+               const os::OpResult &) -> os::Op {
+                return os::ComputeOp{ActivityVector{1, 0, 0, 0}, 8e6};
+            }});
+    os::TaskId id = kernel.spawn(logic, "t", os::NoRequest, 0);
+    sim.schedule(msec(2), [&] { kernel.setPState(0, 2); });
+    sim.run(msec(5));
+    EXPECT_EQ(kernel.findTask(id)->state, os::TaskState::Running);
+    sim.run(msec(6));
+    EXPECT_EQ(kernel.findTask(id)->state, os::TaskState::Exited);
+}
+
+TEST(Dvfs, DutyAndPStateCompose)
+{
+    Simulation sim;
+    Machine m(sim, dvfsConfig());
+    m.setRunning(0, ActivityVector{1.0, 0, 0, 0});
+    m.setDutyLevel(0, 4); // 1/2
+    m.setPState(0, 1);    // 0.8
+    EXPECT_DOUBLE_EQ(m.workRateHz(0), 2e9 * 0.5 * 0.8);
+    double expected = 4.0 +
+        12.0 * 0.5 * Machine::pstatePowerScale(0.8);
+    EXPECT_NEAR(m.trueActivePowerW(), expected, 1e-9);
+}
+
+} // namespace
+} // namespace pcon::hw

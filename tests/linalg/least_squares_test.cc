@@ -1,0 +1,171 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/least_squares.h"
+#include "sim/rng.h"
+#include "util/logging.h"
+
+namespace pcon::linalg {
+namespace {
+
+TEST(LeastSquares, RecoversExactLinearSystem)
+{
+    // y = 2 + 3 x1 - 0.5 x2, no noise.
+    Matrix a;
+    Vector b;
+    for (int i = 0; i < 10; ++i) {
+        double x1 = i, x2 = i * i * 0.1;
+        a.appendRow({1.0, x1, x2});
+        b.push_back(2.0 + 3.0 * x1 - 0.5 * x2);
+    }
+    LsqResult fit = solveLeastSquares(a, b);
+    ASSERT_EQ(fit.coefficients.size(), 3u);
+    EXPECT_NEAR(fit.coefficients[0], 2.0, 1e-9);
+    EXPECT_NEAR(fit.coefficients[1], 3.0, 1e-9);
+    EXPECT_NEAR(fit.coefficients[2], -0.5, 1e-9);
+    EXPECT_NEAR(fit.rmse, 0.0, 1e-9);
+    EXPECT_FALSE(fit.rankDeficient);
+}
+
+TEST(LeastSquares, NoisyFitIsCloseAndRmsePositive)
+{
+    sim::Rng rng(7);
+    Matrix a;
+    Vector b;
+    for (int i = 0; i < 400; ++i) {
+        double x1 = rng.uniform(0.0, 4.0);
+        double x2 = rng.uniform(-1.0, 1.0);
+        a.appendRow({1.0, x1, x2});
+        b.push_back(1.5 + 0.8 * x1 + 2.0 * x2 +
+                    rng.normal(0.0, 0.05));
+    }
+    LsqResult fit = solveLeastSquares(a, b);
+    EXPECT_NEAR(fit.coefficients[0], 1.5, 0.05);
+    EXPECT_NEAR(fit.coefficients[1], 0.8, 0.03);
+    EXPECT_NEAR(fit.coefficients[2], 2.0, 0.03);
+    EXPECT_GT(fit.rmse, 0.0);
+    EXPECT_LT(fit.rmse, 0.1);
+}
+
+TEST(LeastSquares, RankDeficientFallsBackToRidge)
+{
+    // Second column is an exact copy of the first.
+    Matrix a;
+    Vector b;
+    for (int i = 1; i <= 6; ++i) {
+        a.appendRow({double(i), double(i)});
+        b.push_back(4.0 * i);
+    }
+    LsqResult fit = solveLeastSquares(a, b);
+    EXPECT_TRUE(fit.rankDeficient);
+    // Ridge splits the weight; predictions should still be accurate.
+    EXPECT_NEAR(fit.coefficients[0] + fit.coefficients[1], 4.0, 1e-3);
+    EXPECT_LT(fit.rmse, 1e-2);
+}
+
+TEST(LeastSquares, ShapeErrorsAreFatal)
+{
+    Matrix a(3, 2);
+    Vector b{1.0, 2.0};
+    EXPECT_THROW(solveLeastSquares(a, b), util::FatalError);
+    Matrix under(1, 2);
+    Vector b1{1.0};
+    EXPECT_THROW(solveLeastSquares(under, b1), util::FatalError);
+    Matrix empty(3, 0);
+    Vector b3{1.0, 2.0, 3.0};
+    EXPECT_THROW(solveLeastSquares(empty, b3), util::FatalError);
+}
+
+TEST(WeightedLeastSquares, ZeroWeightIgnoresSample)
+{
+    // Two clean samples fix the line; one wild outlier has weight 0.
+    Matrix a;
+    a.appendRow({1.0, 0.0});
+    a.appendRow({1.0, 1.0});
+    a.appendRow({1.0, 2.0});
+    Vector b{1.0, 3.0, 100.0};
+    Vector w{1.0, 1.0, 0.0};
+    LsqResult fit = solveWeightedLeastSquares(a, b, w);
+    EXPECT_NEAR(fit.coefficients[0], 1.0, 1e-9);
+    EXPECT_NEAR(fit.coefficients[1], 2.0, 1e-9);
+}
+
+TEST(WeightedLeastSquares, HeavyWeightDominates)
+{
+    Matrix a;
+    Vector b;
+    // Two inconsistent clusters: y = x and y = 2x.
+    for (int i = 1; i <= 5; ++i) {
+        a.appendRow({double(i)});
+        b.push_back(double(i));
+        a.appendRow({double(i)});
+        b.push_back(2.0 * i);
+    }
+    Vector w(10, 1.0);
+    for (std::size_t i = 0; i < 10; i += 2)
+        w[i] = 1e6; // favor y = x samples
+    LsqResult fit = solveWeightedLeastSquares(a, b, w);
+    EXPECT_NEAR(fit.coefficients[0], 1.0, 1e-3);
+}
+
+TEST(WeightedLeastSquares, NegativeWeightIsFatal)
+{
+    Matrix a;
+    a.appendRow({1.0});
+    a.appendRow({2.0});
+    Vector b{1.0, 2.0};
+    Vector w{1.0, -1.0};
+    EXPECT_THROW(solveWeightedLeastSquares(a, b, w), util::FatalError);
+}
+
+TEST(NonNegativeLeastSquares, ClampsNegativeCoefficients)
+{
+    // Optimal unconstrained fit has a negative coefficient on x2.
+    sim::Rng rng(11);
+    Matrix a;
+    Vector b;
+    for (int i = 0; i < 200; ++i) {
+        double x1 = rng.uniform(0.0, 1.0);
+        double x2 = rng.uniform(0.0, 1.0);
+        a.appendRow({x1, x2});
+        b.push_back(2.0 * x1 - 0.7 * x2);
+    }
+    LsqResult fit = solveNonNegativeLeastSquares(a, b);
+    EXPECT_GE(fit.coefficients[0], 0.0);
+    EXPECT_GE(fit.coefficients[1], 0.0);
+    EXPECT_NEAR(fit.coefficients[1], 0.0, 1e-9);
+}
+
+TEST(NonNegativeLeastSquares, AgreesWithUnconstrainedWhenPositive)
+{
+    Matrix a;
+    Vector b;
+    for (int i = 0; i < 20; ++i) {
+        double x1 = 0.1 * i, x2 = std::sin(i);
+        a.appendRow({1.0, x1, x2 * x2});
+        b.push_back(0.5 + 1.5 * x1 + 2.5 * x2 * x2);
+    }
+    LsqResult nn = solveNonNegativeLeastSquares(a, b);
+    LsqResult un = solveLeastSquares(a, b);
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_NEAR(nn.coefficients[i], un.coefficients[i], 1e-8);
+}
+
+TEST(Ridge, ShrinksTowardZeroAsLambdaGrows)
+{
+    Matrix a;
+    Vector b;
+    for (int i = 1; i <= 8; ++i) {
+        a.appendRow({double(i)});
+        b.push_back(3.0 * i);
+    }
+    LsqResult small = solveRidge(a, b, 1e-9);
+    LsqResult big = solveRidge(a, b, 1e6);
+    EXPECT_NEAR(small.coefficients[0], 3.0, 1e-6);
+    EXPECT_LT(big.coefficients[0], 1.0);
+    EXPECT_THROW(solveRidge(a, b, 0.0), util::FatalError);
+}
+
+} // namespace
+} // namespace pcon::linalg

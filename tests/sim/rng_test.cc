@@ -1,0 +1,146 @@
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.h"
+#include "util/logging.h"
+#include "util/stats.h"
+
+namespace pcon::sim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitIntervalWithCorrectMean)
+{
+    Rng rng(3);
+    util::RunningStat s;
+    for (int i = 0; i < 20000; ++i) {
+        double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        s.add(u);
+    }
+    EXPECT_NEAR(s.mean(), 0.5, 0.01);
+    EXPECT_NEAR(s.variance(), 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(4);
+    for (int i = 0; i < 1000; ++i) {
+        double u = rng.uniform(3.0, 7.0);
+        ASSERT_GE(u, 3.0);
+        ASSERT_LT(u, 7.0);
+    }
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange)
+{
+    Rng rng(5);
+    std::map<std::int64_t, int> counts;
+    for (int i = 0; i < 6000; ++i)
+        ++counts[rng.uniformInt(-2, 3)];
+    EXPECT_EQ(counts.size(), 6u);
+    for (auto &[v, c] : counts) {
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 3);
+        EXPECT_GT(c, 700);
+    }
+    EXPECT_THROW(rng.uniformInt(3, 2), util::PanicError);
+}
+
+TEST(Rng, ExponentialHasRequestedMean)
+{
+    Rng rng(6);
+    util::RunningStat s;
+    for (int i = 0; i < 40000; ++i)
+        s.add(rng.exponential(2.5));
+    EXPECT_NEAR(s.mean(), 2.5, 0.05);
+    EXPECT_GE(s.min(), 0.0);
+    EXPECT_THROW(rng.exponential(0.0), util::PanicError);
+}
+
+TEST(Rng, NormalMomentsMatch)
+{
+    Rng rng(7);
+    util::RunningStat s;
+    for (int i = 0; i < 40000; ++i)
+        s.add(rng.normal(10.0, 3.0));
+    EXPECT_NEAR(s.mean(), 10.0, 0.1);
+    EXPECT_NEAR(s.stddev(), 3.0, 0.1);
+}
+
+TEST(Rng, ZipfSkewsTowardLowRanks)
+{
+    Rng rng(8);
+    std::vector<int> counts(100, 0);
+    for (int i = 0; i < 50000; ++i)
+        ++counts[rng.zipf(100, 1.0)];
+    EXPECT_GT(counts[0], counts[9]);
+    EXPECT_GT(counts[9], counts[99]);
+    // Rank-0 frequency for theta=1, n=100: 1/H_100 ~ 0.193.
+    double p0 = counts[0] / 50000.0;
+    EXPECT_NEAR(p0, 0.193, 0.02);
+    EXPECT_THROW(rng.zipf(0, 1.0), util::PanicError);
+}
+
+TEST(Rng, ZipfCacheHandlesParameterChange)
+{
+    Rng rng(9);
+    // Alternate parameters; results must stay in range.
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_LT(rng.zipf(10, 0.8), 10u);
+        EXPECT_LT(rng.zipf(50, 1.2), 50u);
+    }
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng rng(10);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, WeightedIndexFollowsWeights)
+{
+    Rng rng(11);
+    std::vector<double> w{1.0, 0.0, 3.0};
+    std::vector<int> counts(3, 0);
+    for (int i = 0; i < 20000; ++i)
+        ++counts[rng.weightedIndex(w)];
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_NEAR(counts[0] / 20000.0, 0.25, 0.02);
+    EXPECT_NEAR(counts[2] / 20000.0, 0.75, 0.02);
+    EXPECT_THROW(rng.weightedIndex({}), util::PanicError);
+    EXPECT_THROW(rng.weightedIndex({0.0, 0.0}), util::PanicError);
+    EXPECT_THROW(rng.weightedIndex({-1.0, 2.0}), util::PanicError);
+}
+
+TEST(Rng, LognormalIsPositive)
+{
+    Rng rng(12);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_GT(rng.lognormal(0.0, 1.0), 0.0);
+}
+
+} // namespace
+} // namespace pcon::sim

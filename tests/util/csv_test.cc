@@ -1,0 +1,56 @@
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/csv.h"
+#include "util/logging.h"
+
+namespace pcon::util {
+namespace {
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+class CsvTest : public ::testing::Test
+{
+  protected:
+    std::string path_ = ::testing::TempDir() + "/pcon_csv_test.csv";
+
+    void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(CsvTest, WritesPlainRows)
+{
+    {
+        CsvWriter w(path_);
+        w.row("a", 1, 2.5);
+        w.row("b", -3);
+    }
+    EXPECT_EQ(slurp(path_), "a,1,2.5\nb,-3\n");
+}
+
+TEST_F(CsvTest, EscapesSeparatorsAndQuotes)
+{
+    {
+        CsvWriter w(path_);
+        w.row("x,y", "he said \"hi\"", "multi\nline");
+    }
+    EXPECT_EQ(slurp(path_),
+              "\"x,y\",\"he said \"\"hi\"\"\",\"multi\nline\"\n");
+}
+
+TEST_F(CsvTest, UnwritablePathIsFatal)
+{
+    EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv"), FatalError);
+}
+
+} // namespace
+} // namespace pcon::util

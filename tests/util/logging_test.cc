@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+namespace pcon::util {
+namespace {
+
+TEST(Logging, ConcatStreamsAllArguments)
+{
+    EXPECT_EQ(concat("a", 1, "-", 2.5), "a1-2.5");
+    EXPECT_EQ(concat(), "");
+}
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("bug ", 42), PanicError);
+    try {
+        panic("bug ", 42);
+    } catch (const PanicError &e) {
+        EXPECT_STREQ(e.what(), "panic: bug 42");
+    }
+}
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("bad config"), FatalError);
+}
+
+TEST(Logging, PanicIfOnlyFiresWhenTrue)
+{
+    EXPECT_NO_THROW(panicIf(false, "nope"));
+    EXPECT_THROW(panicIf(true, "yes"), PanicError);
+}
+
+TEST(Logging, FatalIfOnlyFiresWhenTrue)
+{
+    EXPECT_NO_THROW(fatalIf(false, "nope"));
+    EXPECT_THROW(fatalIf(true, "yes"), FatalError);
+}
+
+TEST(Logging, ThresholdRoundTrips)
+{
+    LogLevel old = logThreshold();
+    setLogThreshold(LogLevel::Debug);
+    EXPECT_EQ(logThreshold(), LogLevel::Debug);
+    setLogThreshold(old);
+}
+
+TEST(Logging, PanicErrorIsLogicError)
+{
+    // panic = library bug; fatal = user error. The hierarchy encodes it.
+    EXPECT_THROW(panic("x"), std::logic_error);
+    EXPECT_THROW(fatal("x"), std::runtime_error);
+}
+
+} // namespace
+} // namespace pcon::util

@@ -1,0 +1,99 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+#include "workloads/cluster.h"
+
+namespace pcon::wl {
+namespace {
+
+ClusterExperimentConfig
+smallClusterConfig()
+{
+    ClusterExperimentConfig cfg;
+    cfg.machines = {hw::sandyBridgeConfig(), hw::woodcrestConfig()};
+    // Rough but serviceable models (accounting quality is not under
+    // test here; the harness mechanics are).
+    auto model = std::make_shared<core::LinearPowerModel>();
+    model->setCoefficient(core::Metric::Core, 6.0);
+    model->setCoefficient(core::Metric::Ins, 2.0);
+    model->setCoefficient(core::Metric::ChipShare, 5.0);
+    cfg.models = {model,
+                  std::make_shared<core::LinearPowerModel>(*model)};
+    cfg.apps = {"GAE-Vosao", "RSA-crypto"};
+    cfg.appLoadShare = {0.5, 0.5};
+    cfg.warmup = sim::sec(2);
+    cfg.window = sim::sec(6);
+    cfg.profilingSpan = sim::sec(4);
+    cfg.probeSpan = sim::sec(3);
+    return cfg;
+}
+
+TEST(ClusterExperiment, ValidatesConfiguration)
+{
+    ClusterExperimentConfig cfg = smallClusterConfig();
+    cfg.machines.pop_back();
+    cfg.models.pop_back();
+    EXPECT_THROW(ClusterExperiment{cfg}, util::FatalError);
+
+    cfg = smallClusterConfig();
+    cfg.appLoadShare = {0.3, 0.3}; // doesn't sum to 1
+    EXPECT_THROW(ClusterExperiment{cfg}, util::FatalError);
+
+    cfg = smallClusterConfig();
+    cfg.models.pop_back();
+    EXPECT_THROW(ClusterExperiment{cfg}, util::FatalError);
+}
+
+TEST(ClusterExperiment, ProbesCapacityAndLearnsProfiles)
+{
+    ClusterExperiment experiment(smallClusterConfig());
+    EXPECT_GT(experiment.slowestCapacityPerSec(), 20.0);
+    EXPECT_GT(experiment.offeredRatePerSec(),
+              experiment.slowestCapacityPerSec());
+    // Per-machine profiles cover both apps' request types.
+    for (std::size_t m = 0; m < 2; ++m) {
+        const core::ProfileTable &p = experiment.profiles(m);
+        EXPECT_TRUE(p.has("vosao-read")) << m;
+        EXPECT_TRUE(p.has("rsa-large")) << m;
+        EXPECT_GT(p.profile("rsa-large").meanEnergyJ, 0.0);
+    }
+    // RSA is far cheaper on the newer machine.
+    double ratio = experiment.profiles(0)
+                       .profile("rsa-large")
+                       .meanEnergyJ /
+        experiment.profiles(1).profile("rsa-large").meanEnergyJ;
+    EXPECT_LT(ratio, 0.5);
+    // Arrival shares put more arrivals on the cheaper-per-request
+    // app (equal load shares, different cycle costs).
+    ASSERT_EQ(experiment.appArrivalShare().size(), 2u);
+    EXPECT_GT(experiment.appArrivalShare()[0],
+              experiment.appArrivalShare()[1]);
+}
+
+TEST(ClusterExperiment, PoliciesProduceTheExpectedOrdering)
+{
+    ClusterExperiment experiment(smallClusterConfig());
+    ClusterPolicyResult simple =
+        experiment.run(core::DistributionPolicy::SimpleLoadBalance);
+    ClusterPolicyResult aware =
+        experiment.run(core::DistributionPolicy::WorkloadAware);
+
+    EXPECT_GT(simple.completed, 100u);
+    EXPECT_GT(aware.completed, 100u);
+    ASSERT_EQ(simple.activeW.size(), 2u);
+    EXPECT_GT(simple.totalActiveW(), 0.0);
+    // Workload-aware total energy is no worse than the oblivious
+    // split, and it keeps (almost all) RSA off the old machine.
+    EXPECT_LE(aware.totalActiveW(), simple.totalActiveW() * 1.02);
+    const auto &aware_rsa = aware.dispatched.at("RSA-crypto");
+    const auto &simple_rsa = simple.dispatched.at("RSA-crypto");
+    EXPECT_LT(aware_rsa[1], simple_rsa[1] / 4 + 1);
+    // Response stats exist for both apps.
+    EXPECT_GT(aware.responseMs.at("GAE-Vosao"), 0.0);
+    EXPECT_GT(aware.responseMs.at("RSA-crypto"), 0.0);
+}
+
+} // namespace
+} // namespace pcon::wl

@@ -1,0 +1,138 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/profiles.h"
+#include "workloads/client.h"
+#include "workloads/event_loop_app.h"
+#include "workloads/experiment.h"
+
+namespace pcon::wl {
+namespace {
+
+using sim::sec;
+
+hw::MachineConfig
+loopMachine()
+{
+    hw::MachineConfig cfg = hw::sandyBridgeConfig();
+    cfg.chips = 1;
+    cfg.coresPerChip = 2;
+    return cfg;
+}
+
+std::shared_ptr<core::LinearPowerModel>
+loopModel()
+{
+    auto model = std::make_shared<core::LinearPowerModel>();
+    model->setCoefficient(core::Metric::Core, 5.0);
+    model->setCoefficient(core::Metric::Ins, 1.5);
+    model->setCoefficient(core::Metric::Cache, 70.0);
+    model->setCoefficient(core::Metric::Mem, 205.0);
+    model->setCoefficient(core::Metric::ChipShare, 5.6);
+    return model;
+}
+
+/** Per-type mean attributed energy after a run. */
+std::pair<double, double>
+runEventLoop(bool trap_user_switches, std::uint64_t seed)
+{
+    sim::Simulation sim;
+    hw::Machine machine(sim, loopMachine());
+    os::RequestContextManager requests;
+    os::KernelConfig kcfg;
+    kcfg.trapUserLevelSwitches = trap_user_switches;
+    os::Kernel kernel(machine, requests, kcfg);
+    auto model = loopModel();
+    core::ContainerManager manager(kernel, model, {});
+    kernel.addHooks(&manager);
+
+    EventLoopApp app(seed);
+    app.deploy(kernel);
+    ClientConfig ccfg;
+    ccfg.mode = ClientConfig::Mode::ClosedLoop;
+    ccfg.concurrency = 8;
+    ccfg.seed = seed + 1;
+    LoadClient client(app, kernel, ccfg);
+    client.start();
+    sim.run(sec(20));
+    client.stop();
+
+    core::ProfileTable profiles;
+    profiles.add(manager.records());
+    return {profiles.profile(EventLoopApp::cheapType()).meanEnergyJ,
+            profiles.profile(EventLoopApp::dearType()).meanEnergyJ};
+}
+
+TEST(EventLoopApp, ServesRequestsAndCompletesThem)
+{
+    sim::Simulation sim;
+    hw::Machine machine(sim, loopMachine());
+    os::RequestContextManager requests;
+    os::Kernel kernel(machine, requests);
+    auto model = loopModel();
+    core::ContainerManager manager(kernel, model, {});
+    kernel.addHooks(&manager);
+    EventLoopApp app(5);
+    app.deploy(kernel);
+    ClientConfig ccfg;
+    ccfg.concurrency = 6;
+    LoadClient client(app, kernel, ccfg);
+    client.start();
+    sim.run(sec(5));
+    client.stop();
+    EXPECT_GT(client.completed(), 100u);
+    EXPECT_EQ(manager.records().size(), client.completed());
+}
+
+TEST(EventLoopApp, TrappedSwitchesAttributeResumedPhasesCorrectly)
+{
+    auto [cheap, dear] = runEventLoop(true, 31);
+    // True work ratio: (1e6+40e6)/(1e6+4e6) = 8.2; power identical,
+    // so energy ratio must be close to that.
+    EXPECT_GT(dear / cheap, 6.0);
+    EXPECT_LT(dear / cheap, 10.5);
+}
+
+TEST(EventLoopApp, UntrackedSwitchesSmearAttribution)
+{
+    // The paper's published system cannot see user-level transfers:
+    // resumed phases are charged to whichever request the loop last
+    // read, flattening the cheap/dear distinction.
+    auto [cheap, dear] = runEventLoop(false, 32);
+    EXPECT_LT(dear / cheap, 4.0);
+}
+
+TEST(EventLoopApp, KernelOpRebindsOnlyWhenTrapped)
+{
+    for (bool trap : {true, false}) {
+        sim::Simulation sim;
+        hw::Machine machine(sim, loopMachine());
+        os::RequestContextManager requests;
+        os::KernelConfig kcfg;
+        kcfg.trapUserLevelSwitches = trap;
+        os::Kernel kernel(machine, requests, kcfg);
+        os::RequestId a = requests.create("a", 0);
+        os::RequestId b = requests.create("b", 0);
+        os::RequestId observed = os::NoRequest;
+        auto logic = std::make_shared<os::ScriptedLogic>(
+            std::vector<os::ScriptedLogic::Step>{
+                [b](os::Kernel &, os::Task &,
+                    const os::OpResult &) -> os::Op {
+                    return os::UserSwitchOp{b};
+                },
+                [&observed](os::Kernel &, os::Task &self,
+                            const os::OpResult &r) -> os::Op {
+                    EXPECT_EQ(r.kind,
+                              os::OpResult::Kind::UserSwitched);
+                    observed = self.context;
+                    return os::ExitOp{};
+                }});
+        kernel.spawn(logic, "switcher", a);
+        sim.run(sim::msec(1));
+        EXPECT_EQ(observed, trap ? b : a);
+    }
+}
+
+} // namespace
+} // namespace pcon::wl
