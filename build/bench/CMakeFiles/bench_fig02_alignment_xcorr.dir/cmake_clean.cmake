@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_alignment_xcorr.dir/bench_fig02_alignment_xcorr.cc.o"
+  "CMakeFiles/bench_fig02_alignment_xcorr.dir/bench_fig02_alignment_xcorr.cc.o.d"
+  "bench_fig02_alignment_xcorr"
+  "bench_fig02_alignment_xcorr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_alignment_xcorr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig06_request_power_dist.
+# This may be replaced when dependencies are built.

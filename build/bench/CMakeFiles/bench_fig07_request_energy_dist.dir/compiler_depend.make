@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig07_request_energy_dist.
+# This may be replaced when dependencies are built.

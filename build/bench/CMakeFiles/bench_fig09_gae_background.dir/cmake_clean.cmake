@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_gae_background.dir/bench_fig09_gae_background.cc.o"
+  "CMakeFiles/bench_fig09_gae_background.dir/bench_fig09_gae_background.cc.o.d"
+  "bench_fig09_gae_background"
+  "bench_fig09_gae_background.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_gae_background.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_energy_heterogeneity.dir/bench_fig13_energy_heterogeneity.cc.o"
+  "CMakeFiles/bench_fig13_energy_heterogeneity.dir/bench_fig13_energy_heterogeneity.cc.o.d"
+  "bench_fig13_energy_heterogeneity"
+  "bench_fig13_energy_heterogeneity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_energy_heterogeneity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec41_calibration.dir/bench_sec41_calibration.cc.o"
+  "CMakeFiles/bench_sec41_calibration.dir/bench_sec41_calibration.cc.o.d"
+  "bench_sec41_calibration"
+  "bench_sec41_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec41_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

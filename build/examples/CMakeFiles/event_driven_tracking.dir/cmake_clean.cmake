@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_driven_tracking.dir/event_driven_tracking.cpp.o"
+  "CMakeFiles/event_driven_tracking.dir/event_driven_tracking.cpp.o.d"
+  "event_driven_tracking"
+  "event_driven_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_driven_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_cap.dir/power_cap.cpp.o"
+  "CMakeFiles/power_cap.dir/power_cap.cpp.o.d"
+  "power_cap"
+  "power_cap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_cap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webwork_trace.dir/webwork_trace.cpp.o"
+  "CMakeFiles/webwork_trace.dir/webwork_trace.cpp.o.d"
+  "webwork_trace"
+  "webwork_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webwork_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/alignment.cc" "src/core/CMakeFiles/pcon_core.dir/alignment.cc.o" "gcc" "src/core/CMakeFiles/pcon_core.dir/alignment.cc.o.d"
+  "/root/repo/src/core/anomaly.cc" "src/core/CMakeFiles/pcon_core.dir/anomaly.cc.o" "gcc" "src/core/CMakeFiles/pcon_core.dir/anomaly.cc.o.d"
+  "/root/repo/src/core/calibration.cc" "src/core/CMakeFiles/pcon_core.dir/calibration.cc.o" "gcc" "src/core/CMakeFiles/pcon_core.dir/calibration.cc.o.d"
+  "/root/repo/src/core/conditioning.cc" "src/core/CMakeFiles/pcon_core.dir/conditioning.cc.o" "gcc" "src/core/CMakeFiles/pcon_core.dir/conditioning.cc.o.d"
+  "/root/repo/src/core/container_manager.cc" "src/core/CMakeFiles/pcon_core.dir/container_manager.cc.o" "gcc" "src/core/CMakeFiles/pcon_core.dir/container_manager.cc.o.d"
+  "/root/repo/src/core/distribution.cc" "src/core/CMakeFiles/pcon_core.dir/distribution.cc.o" "gcc" "src/core/CMakeFiles/pcon_core.dir/distribution.cc.o.d"
+  "/root/repo/src/core/energy_quota.cc" "src/core/CMakeFiles/pcon_core.dir/energy_quota.cc.o" "gcc" "src/core/CMakeFiles/pcon_core.dir/energy_quota.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/core/CMakeFiles/pcon_core.dir/metrics.cc.o" "gcc" "src/core/CMakeFiles/pcon_core.dir/metrics.cc.o.d"
+  "/root/repo/src/core/model_store.cc" "src/core/CMakeFiles/pcon_core.dir/model_store.cc.o" "gcc" "src/core/CMakeFiles/pcon_core.dir/model_store.cc.o.d"
+  "/root/repo/src/core/power_model.cc" "src/core/CMakeFiles/pcon_core.dir/power_model.cc.o" "gcc" "src/core/CMakeFiles/pcon_core.dir/power_model.cc.o.d"
+  "/root/repo/src/core/prediction.cc" "src/core/CMakeFiles/pcon_core.dir/prediction.cc.o" "gcc" "src/core/CMakeFiles/pcon_core.dir/prediction.cc.o.d"
+  "/root/repo/src/core/profiles.cc" "src/core/CMakeFiles/pcon_core.dir/profiles.cc.o" "gcc" "src/core/CMakeFiles/pcon_core.dir/profiles.cc.o.d"
+  "/root/repo/src/core/recalibration.cc" "src/core/CMakeFiles/pcon_core.dir/recalibration.cc.o" "gcc" "src/core/CMakeFiles/pcon_core.dir/recalibration.cc.o.d"
+  "/root/repo/src/core/trace.cc" "src/core/CMakeFiles/pcon_core.dir/trace.cc.o" "gcc" "src/core/CMakeFiles/pcon_core.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/pcon_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/pcon_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/pcon_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pcon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pcon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

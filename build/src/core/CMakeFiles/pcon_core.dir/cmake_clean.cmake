@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcon_core.dir/alignment.cc.o"
+  "CMakeFiles/pcon_core.dir/alignment.cc.o.d"
+  "CMakeFiles/pcon_core.dir/anomaly.cc.o"
+  "CMakeFiles/pcon_core.dir/anomaly.cc.o.d"
+  "CMakeFiles/pcon_core.dir/calibration.cc.o"
+  "CMakeFiles/pcon_core.dir/calibration.cc.o.d"
+  "CMakeFiles/pcon_core.dir/conditioning.cc.o"
+  "CMakeFiles/pcon_core.dir/conditioning.cc.o.d"
+  "CMakeFiles/pcon_core.dir/container_manager.cc.o"
+  "CMakeFiles/pcon_core.dir/container_manager.cc.o.d"
+  "CMakeFiles/pcon_core.dir/distribution.cc.o"
+  "CMakeFiles/pcon_core.dir/distribution.cc.o.d"
+  "CMakeFiles/pcon_core.dir/energy_quota.cc.o"
+  "CMakeFiles/pcon_core.dir/energy_quota.cc.o.d"
+  "CMakeFiles/pcon_core.dir/metrics.cc.o"
+  "CMakeFiles/pcon_core.dir/metrics.cc.o.d"
+  "CMakeFiles/pcon_core.dir/model_store.cc.o"
+  "CMakeFiles/pcon_core.dir/model_store.cc.o.d"
+  "CMakeFiles/pcon_core.dir/power_model.cc.o"
+  "CMakeFiles/pcon_core.dir/power_model.cc.o.d"
+  "CMakeFiles/pcon_core.dir/prediction.cc.o"
+  "CMakeFiles/pcon_core.dir/prediction.cc.o.d"
+  "CMakeFiles/pcon_core.dir/profiles.cc.o"
+  "CMakeFiles/pcon_core.dir/profiles.cc.o.d"
+  "CMakeFiles/pcon_core.dir/recalibration.cc.o"
+  "CMakeFiles/pcon_core.dir/recalibration.cc.o.d"
+  "CMakeFiles/pcon_core.dir/trace.cc.o"
+  "CMakeFiles/pcon_core.dir/trace.cc.o.d"
+  "libpcon_core.a"
+  "libpcon_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcon_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcon_hw.dir/config.cc.o"
+  "CMakeFiles/pcon_hw.dir/config.cc.o.d"
+  "CMakeFiles/pcon_hw.dir/machine.cc.o"
+  "CMakeFiles/pcon_hw.dir/machine.cc.o.d"
+  "CMakeFiles/pcon_hw.dir/power_meter.cc.o"
+  "CMakeFiles/pcon_hw.dir/power_meter.cc.o.d"
+  "libpcon_hw.a"
+  "libpcon_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcon_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

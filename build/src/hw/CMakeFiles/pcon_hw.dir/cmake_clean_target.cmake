@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpcon_hw.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcon_linalg.dir/least_squares.cc.o"
+  "CMakeFiles/pcon_linalg.dir/least_squares.cc.o.d"
+  "CMakeFiles/pcon_linalg.dir/matrix.cc.o"
+  "CMakeFiles/pcon_linalg.dir/matrix.cc.o.d"
+  "libpcon_linalg.a"
+  "libpcon_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcon_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

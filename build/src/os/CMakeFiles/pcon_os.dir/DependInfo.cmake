@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/device.cc" "src/os/CMakeFiles/pcon_os.dir/device.cc.o" "gcc" "src/os/CMakeFiles/pcon_os.dir/device.cc.o.d"
+  "/root/repo/src/os/kernel.cc" "src/os/CMakeFiles/pcon_os.dir/kernel.cc.o" "gcc" "src/os/CMakeFiles/pcon_os.dir/kernel.cc.o.d"
+  "/root/repo/src/os/request_context.cc" "src/os/CMakeFiles/pcon_os.dir/request_context.cc.o" "gcc" "src/os/CMakeFiles/pcon_os.dir/request_context.cc.o.d"
+  "/root/repo/src/os/task.cc" "src/os/CMakeFiles/pcon_os.dir/task.cc.o" "gcc" "src/os/CMakeFiles/pcon_os.dir/task.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/pcon_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pcon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pcon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

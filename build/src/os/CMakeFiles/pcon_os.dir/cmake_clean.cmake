@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcon_os.dir/device.cc.o"
+  "CMakeFiles/pcon_os.dir/device.cc.o.d"
+  "CMakeFiles/pcon_os.dir/kernel.cc.o"
+  "CMakeFiles/pcon_os.dir/kernel.cc.o.d"
+  "CMakeFiles/pcon_os.dir/request_context.cc.o"
+  "CMakeFiles/pcon_os.dir/request_context.cc.o.d"
+  "CMakeFiles/pcon_os.dir/task.cc.o"
+  "CMakeFiles/pcon_os.dir/task.cc.o.d"
+  "libpcon_os.a"
+  "libpcon_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcon_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

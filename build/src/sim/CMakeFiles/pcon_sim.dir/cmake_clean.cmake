@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcon_sim.dir/event_queue.cc.o"
+  "CMakeFiles/pcon_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/pcon_sim.dir/rng.cc.o"
+  "CMakeFiles/pcon_sim.dir/rng.cc.o.d"
+  "CMakeFiles/pcon_sim.dir/simulation.cc.o"
+  "CMakeFiles/pcon_sim.dir/simulation.cc.o.d"
+  "libpcon_sim.a"
+  "libpcon_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcon_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcon_util.dir/csv.cc.o"
+  "CMakeFiles/pcon_util.dir/csv.cc.o.d"
+  "CMakeFiles/pcon_util.dir/logging.cc.o"
+  "CMakeFiles/pcon_util.dir/logging.cc.o.d"
+  "CMakeFiles/pcon_util.dir/stats.cc.o"
+  "CMakeFiles/pcon_util.dir/stats.cc.o.d"
+  "libpcon_util.a"
+  "libpcon_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcon_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/app.cc" "src/workloads/CMakeFiles/pcon_workloads.dir/app.cc.o" "gcc" "src/workloads/CMakeFiles/pcon_workloads.dir/app.cc.o.d"
+  "/root/repo/src/workloads/apps.cc" "src/workloads/CMakeFiles/pcon_workloads.dir/apps.cc.o" "gcc" "src/workloads/CMakeFiles/pcon_workloads.dir/apps.cc.o.d"
+  "/root/repo/src/workloads/client.cc" "src/workloads/CMakeFiles/pcon_workloads.dir/client.cc.o" "gcc" "src/workloads/CMakeFiles/pcon_workloads.dir/client.cc.o.d"
+  "/root/repo/src/workloads/cluster.cc" "src/workloads/CMakeFiles/pcon_workloads.dir/cluster.cc.o" "gcc" "src/workloads/CMakeFiles/pcon_workloads.dir/cluster.cc.o.d"
+  "/root/repo/src/workloads/event_loop_app.cc" "src/workloads/CMakeFiles/pcon_workloads.dir/event_loop_app.cc.o" "gcc" "src/workloads/CMakeFiles/pcon_workloads.dir/event_loop_app.cc.o.d"
+  "/root/repo/src/workloads/experiment.cc" "src/workloads/CMakeFiles/pcon_workloads.dir/experiment.cc.o" "gcc" "src/workloads/CMakeFiles/pcon_workloads.dir/experiment.cc.o.d"
+  "/root/repo/src/workloads/microbench.cc" "src/workloads/CMakeFiles/pcon_workloads.dir/microbench.cc.o" "gcc" "src/workloads/CMakeFiles/pcon_workloads.dir/microbench.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pcon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/pcon_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/pcon_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pcon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/pcon_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pcon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

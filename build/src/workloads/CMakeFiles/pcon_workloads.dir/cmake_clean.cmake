@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcon_workloads.dir/app.cc.o"
+  "CMakeFiles/pcon_workloads.dir/app.cc.o.d"
+  "CMakeFiles/pcon_workloads.dir/apps.cc.o"
+  "CMakeFiles/pcon_workloads.dir/apps.cc.o.d"
+  "CMakeFiles/pcon_workloads.dir/client.cc.o"
+  "CMakeFiles/pcon_workloads.dir/client.cc.o.d"
+  "CMakeFiles/pcon_workloads.dir/cluster.cc.o"
+  "CMakeFiles/pcon_workloads.dir/cluster.cc.o.d"
+  "CMakeFiles/pcon_workloads.dir/event_loop_app.cc.o"
+  "CMakeFiles/pcon_workloads.dir/event_loop_app.cc.o.d"
+  "CMakeFiles/pcon_workloads.dir/experiment.cc.o"
+  "CMakeFiles/pcon_workloads.dir/experiment.cc.o.d"
+  "CMakeFiles/pcon_workloads.dir/microbench.cc.o"
+  "CMakeFiles/pcon_workloads.dir/microbench.cc.o.d"
+  "libpcon_workloads.a"
+  "libpcon_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcon_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

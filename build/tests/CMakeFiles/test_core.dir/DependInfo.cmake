@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/actuator_test.cc" "tests/CMakeFiles/test_core.dir/core/actuator_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/actuator_test.cc.o.d"
+  "/root/repo/tests/core/alignment_test.cc" "tests/CMakeFiles/test_core.dir/core/alignment_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/alignment_test.cc.o.d"
+  "/root/repo/tests/core/anomaly_test.cc" "tests/CMakeFiles/test_core.dir/core/anomaly_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/anomaly_test.cc.o.d"
+  "/root/repo/tests/core/container_manager_test.cc" "tests/CMakeFiles/test_core.dir/core/container_manager_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/container_manager_test.cc.o.d"
+  "/root/repo/tests/core/energy_quota_test.cc" "tests/CMakeFiles/test_core.dir/core/energy_quota_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/energy_quota_test.cc.o.d"
+  "/root/repo/tests/core/misc_test.cc" "tests/CMakeFiles/test_core.dir/core/misc_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/misc_test.cc.o.d"
+  "/root/repo/tests/core/model_store_test.cc" "tests/CMakeFiles/test_core.dir/core/model_store_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/model_store_test.cc.o.d"
+  "/root/repo/tests/core/model_test.cc" "tests/CMakeFiles/test_core.dir/core/model_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/model_test.cc.o.d"
+  "/root/repo/tests/core/policy_test.cc" "tests/CMakeFiles/test_core.dir/core/policy_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/policy_test.cc.o.d"
+  "/root/repo/tests/core/recalibration_test.cc" "tests/CMakeFiles/test_core.dir/core/recalibration_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/recalibration_test.cc.o.d"
+  "/root/repo/tests/core/trace_test.cc" "tests/CMakeFiles/test_core.dir/core/trace_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/trace_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/pcon_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pcon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/pcon_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/pcon_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/pcon_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pcon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pcon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

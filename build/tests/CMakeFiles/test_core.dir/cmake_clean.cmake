@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/actuator_test.cc.o"
+  "CMakeFiles/test_core.dir/core/actuator_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/alignment_test.cc.o"
+  "CMakeFiles/test_core.dir/core/alignment_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/anomaly_test.cc.o"
+  "CMakeFiles/test_core.dir/core/anomaly_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/container_manager_test.cc.o"
+  "CMakeFiles/test_core.dir/core/container_manager_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/energy_quota_test.cc.o"
+  "CMakeFiles/test_core.dir/core/energy_quota_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/misc_test.cc.o"
+  "CMakeFiles/test_core.dir/core/misc_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/model_store_test.cc.o"
+  "CMakeFiles/test_core.dir/core/model_store_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/model_test.cc.o"
+  "CMakeFiles/test_core.dir/core/model_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/policy_test.cc.o"
+  "CMakeFiles/test_core.dir/core/policy_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/recalibration_test.cc.o"
+  "CMakeFiles/test_core.dir/core/recalibration_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/trace_test.cc.o"
+  "CMakeFiles/test_core.dir/core/trace_test.cc.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property.dir/property/alignment_property_test.cc.o"
+  "CMakeFiles/test_property.dir/property/alignment_property_test.cc.o.d"
+  "CMakeFiles/test_property.dir/property/conservation_test.cc.o"
+  "CMakeFiles/test_property.dir/property/conservation_test.cc.o.d"
+  "CMakeFiles/test_property.dir/property/duty_cycle_test.cc.o"
+  "CMakeFiles/test_property.dir/property/duty_cycle_test.cc.o.d"
+  "CMakeFiles/test_property.dir/property/model_property_test.cc.o"
+  "CMakeFiles/test_property.dir/property/model_property_test.cc.o.d"
+  "CMakeFiles/test_property.dir/property/scheduler_fuzz_test.cc.o"
+  "CMakeFiles/test_property.dir/property/scheduler_fuzz_test.cc.o.d"
+  "test_property"
+  "test_property.pdb"
+  "test_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
