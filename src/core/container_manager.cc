@@ -1,6 +1,9 @@
 #include "container_manager.h"
 
+#include <cmath>
+
 #include "os/task.h"
+#include "util/audit.h"
 #include "util/logging.h"
 
 namespace pcon {
@@ -102,6 +105,10 @@ ContainerManager::onIoComplete(hw::DeviceKind device,
         device == hw::DeviceKind::Disk ? Metric::Disk : Metric::Net;
     double energy =
         model_->coefficient(metric) * sim::toSeconds(busy_time);
+    PCON_AUDIT_MSG(busy_time >= 0 && std::isfinite(energy) &&
+                       energy >= 0,
+                   "device attribution charged ", energy, " J over ",
+                   busy_time, " ns of busy time");
     PowerContainer &target = containerOrBackground(context);
     target.ioEnergyJ += energy;
     accountedEnergyJ_ += energy;
@@ -132,6 +139,10 @@ ContainerManager::sampleCore(int core)
 
     hw::CounterSnapshot current = machine.readCounters(core);
     hw::CounterSnapshot delta = current.minus(ca.lastSnapshot);
+    PCON_AUDIT_MSG(delta.elapsedCycles >= 0,
+                   "counter window on core ", core,
+                   " ran backwards by ", -delta.elapsedCycles,
+                   " cycles");
 
     if (cfg_.compensateObserverEffect) {
         delta = delta.minus(ca.pendingObserver);
@@ -142,6 +153,11 @@ ContainerManager::sampleCore(int core)
     if (delta.elapsedCycles > 0) {
         Metrics metrics = Metrics::fromCounterDelta(delta);
         double util = metrics.get(Metric::Core);
+        // Uncompensated observer-effect injections (the Section 3.5
+        // ablation) can push a fully-busy window a hair past 1.0.
+        PCON_AUDIT_MSG(util >= 0 && util <= 1.1,
+                       "core utilization ", util,
+                       " outside [0, 1] on core ", core);
         if (cfg_.useChipShare)
             metrics.set(Metric::ChipShare, chipShare(core, util));
 
@@ -149,6 +165,11 @@ ContainerManager::sampleCore(int core)
             double power_w = model_->estimateActiveW(metrics);
             double window_s = sim::toSeconds(now - ca.windowStart);
             double energy = power_w * window_s;
+            PCON_AUDIT_MSG(window_s >= 0 && std::isfinite(energy) &&
+                               energy >= 0,
+                           "attribution window on core ", core,
+                           " charged ", energy, " J over ", window_s,
+                           " s");
             ca.active->cpuEnergyJ += energy;
             accountedEnergyJ_ += energy;
             ca.active->cpuTimeNs += delta.nonhaltCycles /

@@ -1,6 +1,9 @@
 #include "power_model.h"
 
+#include <cmath>
 #include <sstream>
+
+#include "util/audit.h"
 
 namespace pcon {
 namespace core {
@@ -15,6 +18,8 @@ LinearPowerModel::estimateActiveW(const Metrics &metrics) const
             continue;
         power += coefficients_[i] * metrics.values()[i];
     }
+    PCON_AUDIT_MSG(std::isfinite(power),
+                   "model estimate diverged (", describe(), ")");
     return power;
 }
 

@@ -5,6 +5,7 @@
 
 #include "core/alignment.h"
 #include "linalg/least_squares.h"
+#include "util/audit.h"
 #include "util/logging.h"
 
 namespace pcon {
@@ -307,8 +308,18 @@ OnlineRecalibrator::refitNow()
 
     linalg::LsqResult fit =
         linalg::solveNonNegativeLeastSquares(design, target);
-    for (std::size_t i = 0; i < cols.size(); ++i)
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+        // A self-calibrating model that drifts negative silently
+        // corrupts every downstream attribution (the SmartWatts
+        // failure mode); the solver guarantees non-negativity, so a
+        // violation here is a solver or plumbing bug.
+        PCON_AUDIT_MSG(std::isfinite(fit.coefficients[i]) &&
+                           fit.coefficients[i] >= 0.0,
+                       "refit produced coefficient ",
+                       fit.coefficients[i], " for metric ",
+                       Metrics::name(cols[i]));
         model_->setCoefficient(cols[i], fit.coefficients[i]);
+    }
     ++refits_;
 }
 

@@ -1,5 +1,8 @@
 #include "machine.h"
 
+#include <cmath>
+
+#include "util/audit.h"
 #include "util/logging.h"
 
 namespace pcon {
@@ -289,13 +292,37 @@ Machine::sync()
     }
 
     // Energy: integrate the ground-truth power over the interval.
-    machineEnergyJ_ += truePowerW() * dt_s;
+    double power_w = truePowerW();
+    PCON_AUDIT_MSG(std::isfinite(power_w) &&
+                       power_w >= cfg_.truth.machineIdleW,
+                   "ground-truth power ", power_w,
+                   " W fell below the idle floor ",
+                   cfg_.truth.machineIdleW, " W");
+    machineEnergyJ_ += power_w * dt_s;
     for (int chip = 0; chip < cfg_.chips; ++chip)
         packageEnergyJ_[chip] += truePackagePowerW(chip) * dt_s;
     if (diskBusy_ > 0)
         diskEnergyJ_ += cfg_.truth.diskActiveW * dt_s;
     if (netBusy_ > 0)
         netEnergyJ_ += cfg_.truth.netActiveW * dt_s;
+    PCON_AUDIT_MSG(std::isfinite(machineEnergyJ_) &&
+                       machineEnergyJ_ >= 0,
+                   "cumulative machine energy corrupt: ",
+                   machineEnergyJ_, " J");
+
+    // Per-core rate bound: duty modulation and DVFS can only slow a
+    // core, never push non-halt cycles past the elapsed reference
+    // (injected observer events are the one sanctioned exception and
+    // stay orders of magnitude below this slack).
+    PCON_AUDIT_SLOW(
+        [this] {
+            for (const auto &core : cores_)
+                if (core.counters.nonhaltCycles >
+                    core.counters.elapsedCycles * 1.05 + 1e7)
+                    return false;
+            return true;
+        }(),
+        "a core's non-halt cycles outran its elapsed reference");
 
     lastSync_ = now;
 }

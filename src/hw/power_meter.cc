@@ -1,7 +1,9 @@
 #include "power_meter.h"
 
+#include <cmath>
 #include <utility>
 
+#include "util/audit.h"
 #include "util/logging.h"
 
 namespace pcon {
@@ -72,12 +74,19 @@ PowerMeter::tick()
     sim::SimTime interval_end = sim.now();
 
     double energy = cumulativeEnergyJ();
+    // The measured store is an integral of non-negative power, so a
+    // backwards step means the hardware model lost energy.
+    PCON_AUDIT_MSG(energy >= lastEnergyJ_,
+                   "meter observed cumulative energy shrink from ",
+                   lastEnergyJ_, " J to ", energy, " J");
     double watts = (energy - lastEnergyJ_) /
         sim::toSeconds(timing_.period);
     lastEnergyJ_ = energy;
     if (timing_.noiseStddevW > 0)
         watts += noise_.normal(0.0, timing_.noiseStddevW);
 
+    PCON_AUDIT_MSG(std::isfinite(watts),
+                   "meter produced a non-finite sample");
     Sample sample{interval_end, interval_end + timing_.delay, watts};
     sim.schedule(timing_.delay, [this, sample] {
         history_.push_back(sample);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "util/audit.h"
 #include "util/logging.h"
 
 namespace pcon {
@@ -236,6 +237,7 @@ std::size_t
 Kernel::liveTaskCount() const
 {
     std::size_t live = 0;
+    // NOLINT-DETERMINISM(pure count, iteration order irrelevant)
     for (const auto &[id, task] : tasks_)
         if (task->state != TaskState::Exited)
             ++live;
@@ -320,10 +322,26 @@ Kernel::switchTo(int core, Task *next)
     cs.current = next;
     next->state = TaskState::Running;
     next->core = core;
-    if (dutyPolicy_)
-        machine_.setDutyLevel(core, dutyPolicy_(*next));
-    if (pstatePolicy_)
-        machine_.setPState(core, pstatePolicy_(*next));
+    if (dutyPolicy_) {
+        int level = dutyPolicy_(*next);
+        PCON_AUDIT_MSG(level >= 1 &&
+                           level <= machine_.config().dutyDenom,
+                       "duty policy returned level ", level,
+                       " outside 1..", machine_.config().dutyDenom,
+                       " for task ", next->name);
+        machine_.setDutyLevel(core, level);
+    }
+    if (pstatePolicy_) {
+        int pstate = pstatePolicy_(*next);
+        PCON_AUDIT_MSG(
+            pstate >= 0 &&
+                pstate <
+                    static_cast<int>(machine_.config().pstates.size()),
+            "P-state policy returned ", pstate, " outside 0..",
+            machine_.config().pstates.size() - 1, " for task ",
+            next->name);
+        machine_.setPState(core, pstate);
+    }
     if (next->computing) {
         machine_.setRunning(core, next->activity);
         armCompute(core);
@@ -644,6 +662,11 @@ Kernel::armSampler(int core)
         return; // interrupts suppressed while the core idles
     cs.samplerRateHz = machine_.workRateHz(core);
     cs.samplerArmedAt = simulation().now();
+    PCON_AUDIT_MSG(cs.samplerRateHz > 0 &&
+                       cs.samplerRemainingCycles >= 0,
+                   "sampler deadline corrupt on core ", core,
+                   ": rate ", cs.samplerRateHz, " Hz, remaining ",
+                   cs.samplerRemainingCycles, " cycles");
     sim::SimTime delay = sim::secF(cs.samplerRemainingCycles /
                                    cs.samplerRateHz);
     cs.samplerEvent = simulation().schedule(

@@ -47,6 +47,9 @@
 #include "core/recalibration.h"
 #include "core/trace.h"
 
+// Correctness auditing (contracts + runtime invariant checks).
+#include "audit/invariant_auditor.h"
+
 // Workloads and experiment harnesses.
 #include "workloads/app.h"
 #include "workloads/apps.h"
@@ -59,6 +62,7 @@
 // Utilities.
 #include "linalg/least_squares.h"
 #include "linalg/matrix.h"
+#include "util/audit.h"
 #include "util/csv.h"
 #include "util/logging.h"
 #include "util/stats.h"

@@ -32,11 +32,19 @@ Simulation::run(SimTime until)
         now_ = when;
         cb();
         ++executed;
+        ++eventsExecuted_;
+        if (!auditors_.empty())
+            maybeAudit();
     }
     // Advance the clock to the horizon so back-to-back run() calls
     // observe contiguous time even across empty stretches.
     if (until != std::numeric_limits<SimTime>::max() && now_ < until)
         now_ = until;
+    // Close the run with a final sweep so violations in the tail
+    // (after the last cadence boundary) still surface in this call.
+    if (executed > 0)
+        for (AuditorEntry &entry : auditors_)
+            entry.auditor->audit(now_);
     return executed;
 }
 
@@ -48,7 +56,46 @@ Simulation::step()
     auto [when, cb] = events_.pop();
     now_ = when;
     cb();
+    ++eventsExecuted_;
+    if (!auditors_.empty())
+        maybeAudit();
     return true;
+}
+
+void
+Simulation::addAuditor(Auditor *auditor, std::uint64_t every_events)
+{
+    util::fatalIf(auditor == nullptr, "addAuditor(nullptr)");
+    util::fatalIf(every_events == 0, "auditor cadence must be >= 1");
+    for (const AuditorEntry &entry : auditors_)
+        util::fatalIf(entry.auditor == auditor,
+                      "auditor registered twice");
+    auditors_.push_back(
+        AuditorEntry{auditor, every_events,
+                     eventsExecuted_ + every_events});
+}
+
+bool
+Simulation::removeAuditor(Auditor *auditor)
+{
+    for (auto it = auditors_.begin(); it != auditors_.end(); ++it) {
+        if (it->auditor == auditor) {
+            auditors_.erase(it);
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Simulation::maybeAudit()
+{
+    for (AuditorEntry &entry : auditors_) {
+        if (eventsExecuted_ >= entry.nextDue) {
+            entry.auditor->audit(now_);
+            entry.nextDue = eventsExecuted_ + entry.every;
+        }
+    }
 }
 
 } // namespace sim

@@ -7,14 +7,32 @@
 #ifndef PCON_SIM_SIMULATION_H
 #define PCON_SIM_SIMULATION_H
 
+#include <cstdint>
 #include <functional>
 #include <limits>
+#include <vector>
 
 #include "sim/event_queue.h"
 #include "sim/time.h"
 
 namespace pcon {
 namespace sim {
+
+/**
+ * A pluggable cross-module invariant checker. Implementations verify
+ * physical contracts (energy conservation, monotonicity, actuator
+ * bounds) and panic() on violation; the simulation invokes them at a
+ * configurable event cadence so violations surface near their cause
+ * instead of at end-of-run assertions.
+ */
+class Auditor
+{
+  public:
+    virtual ~Auditor() = default;
+
+    /** Check all invariants at the current simulated time. */
+    virtual void audit(SimTime now) = 0;
+};
 
 /**
  * Owns the simulated clock and event queue and runs events in time
@@ -52,9 +70,35 @@ class Simulation
     /** Number of pending events. */
     std::size_t pendingEvents() const { return events_.size(); }
 
+    /**
+     * Register an invariant auditor, invoked after every
+     * `every_events` executed events (and once when the run loop
+     * drains). Auditors run in registration order. The caller keeps
+     * ownership and must removeAuditor() before destroying it.
+     */
+    void addAuditor(Auditor *auditor, std::uint64_t every_events = 4096);
+
+    /** Deregister an auditor. @return true when it was registered. */
+    bool removeAuditor(Auditor *auditor);
+
+    /** Total events executed since construction. */
+    std::uint64_t eventsExecuted() const { return eventsExecuted_; }
+
   private:
+    struct AuditorEntry
+    {
+        Auditor *auditor;
+        std::uint64_t every;
+        std::uint64_t nextDue;
+    };
+
+    /** Run every auditor whose event cadence has elapsed. */
+    void maybeAudit();
+
     SimTime now_ = 0;
     EventQueue events_;
+    std::uint64_t eventsExecuted_ = 0;
+    std::vector<AuditorEntry> auditors_;
 };
 
 } // namespace sim

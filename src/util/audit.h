@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Compile-time-gated invariant contracts (the audit layer).
+ *
+ * PCON_AUDIT / PCON_AUDIT_MSG check internal physical invariants —
+ * energy conservation, counter monotonicity, actuator bounds — on hot
+ * paths. A failed audit is a bug in this library, so it reports via
+ * util::panic() and throws PanicError.
+ *
+ * The checks are gated by the PCON_AUDIT_LEVEL preprocessor value
+ * (normally injected by CMake's -DPCON_AUDIT_LEVEL option):
+ *
+ *   0  all audits compile out; condition expressions are NOT
+ *      evaluated (zero overhead, release builds);
+ *   1  cheap O(1) contracts on hot paths (default);
+ *   2  adds expensive O(cores)/O(containers) sweeps via
+ *      PCON_AUDIT_SLOW (debug / CI builds).
+ *
+ * Only macros depend on the level: this header defines no
+ * level-dependent symbols with linkage, so translation units compiled
+ * at different levels can link together (the level-0 compile-out test
+ * relies on this).
+ */
+
+#ifndef PCON_UTIL_AUDIT_H
+#define PCON_UTIL_AUDIT_H
+
+#include "util/logging.h"
+
+#ifndef PCON_AUDIT_LEVEL
+#define PCON_AUDIT_LEVEL 1
+#endif
+
+// Stringification helpers (two-step so macro arguments expand).
+#define PCON_AUDIT_STR2(x) #x
+#define PCON_AUDIT_STR(x) PCON_AUDIT_STR2(x)
+
+#if PCON_AUDIT_LEVEL >= 1
+
+/**
+ * Panic unless `cond` holds. Use for cheap O(1) contracts on hot
+ * paths; compiled out (condition unevaluated) at audit level 0.
+ */
+#define PCON_AUDIT(cond)                                               \
+    do {                                                               \
+        if (!(cond))                                                   \
+            ::pcon::util::panic("audit failed: " #cond " at "          \
+                                __FILE__                               \
+                                ":" PCON_AUDIT_STR(__LINE__));         \
+    } while (false)
+
+/**
+ * Panic unless `cond` holds, streaming the extra arguments into the
+ * message (same formatting as util::panic). The message arguments are
+ * only evaluated on failure.
+ */
+#define PCON_AUDIT_MSG(cond, ...)                                      \
+    do {                                                               \
+        if (!(cond))                                                   \
+            ::pcon::util::panic("audit failed: " #cond " at "          \
+                                __FILE__                               \
+                                ":" PCON_AUDIT_STR(__LINE__) ": ",     \
+                                __VA_ARGS__);                          \
+    } while (false)
+
+#else // PCON_AUDIT_LEVEL == 0
+
+#define PCON_AUDIT(cond) ((void)0)
+#define PCON_AUDIT_MSG(cond, ...) ((void)0)
+
+#endif
+
+#if PCON_AUDIT_LEVEL >= 2
+
+/** Like PCON_AUDIT_MSG but only enabled at audit level >= 2. */
+#define PCON_AUDIT_SLOW(cond, ...) PCON_AUDIT_MSG(cond, __VA_ARGS__)
+
+#else
+
+#define PCON_AUDIT_SLOW(cond, ...) ((void)0)
+
+#endif
+
+#endif // PCON_UTIL_AUDIT_H

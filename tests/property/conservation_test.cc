@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include "audit/invariant_auditor.h"
 #include "core/container_manager.h"
 #include "os/kernel.h"
 #include "sim/rng.h"
@@ -92,6 +93,14 @@ TEST_P(ConservationTest, AccountedMatchesMeasuredActiveEnergy)
     auto model = exactModel(cfg);
     ContainerManager manager(kernel, model, {});
     kernel.addHooks(&manager);
+
+    // The full invariant suite rides along: any conservation,
+    // monotonicity, or bounds violation fails the property sweep at
+    // the audit cadence, not just at the end-of-run comparison.
+    pcon::audit::InvariantAuditorConfig audit_cfg;
+    audit_cfg.everyEvents = 1024;
+    pcon::audit::InvariantAuditor auditor(kernel, audit_cfg);
+    auditor.watch(manager);
 
     auto rng = std::make_shared<sim::Rng>(s.seed);
     for (int i = 0; i < s.tasks; ++i) {

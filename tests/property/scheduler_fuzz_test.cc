@@ -16,6 +16,7 @@
 
 #include <gtest/gtest.h>
 
+#include "audit/invariant_auditor.h"
 #include "core/container_manager.h"
 #include "os/kernel.h"
 #include "sim/rng.h"
@@ -145,6 +146,17 @@ TEST_P(SchedulerFuzzTest, StormDrainsWithInvariantsIntact)
     model->setCoefficient(core::Metric::Net, 2.0);
     core::ContainerManager manager(kernel, model, {});
     kernel.addHooks(&manager);
+
+    // Fuzz under the invariant auditor so a storm that corrupts the
+    // accounting panics at the violation, not 120 simulated seconds
+    // later. The fuzz model is deliberately coarse (no flop/llc/mem
+    // terms), so keep the end-of-run conservation comparison below
+    // as the accuracy gate and widen the auditor's tolerance.
+    pcon::audit::InvariantAuditorConfig audit_cfg;
+    audit_cfg.everyEvents = 2048;
+    audit_cfg.conservationRelTol = 0.30;
+    pcon::audit::InvariantAuditor auditor(kernel, audit_cfg);
+    auditor.watch(manager);
 
     auto rng = std::make_shared<sim::Rng>(fc.seed);
     std::vector<TaskId> ids;

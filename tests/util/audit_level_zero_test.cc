@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Proof that PCON_AUDIT_LEVEL=0 compiles the audit layer out. This
+ * translation unit overrides the build-wide level before including
+ * the header (audit.h defines no level-dependent symbols with
+ * linkage, so mixing levels across TUs is safe), then verifies that
+ * failing contracts neither throw nor even evaluate their condition
+ * or message expressions — i.e. the release-mode overhead is zero.
+ */
+
+#ifdef PCON_AUDIT_LEVEL
+#undef PCON_AUDIT_LEVEL
+#endif
+#define PCON_AUDIT_LEVEL 0
+
+#include "util/audit.h"
+
+#include <gtest/gtest.h>
+
+namespace pcon::util {
+namespace {
+
+static_assert(PCON_AUDIT_LEVEL == 0,
+              "this TU must compile with audits off");
+
+TEST(AuditLevelZeroTest, FailingContractsAreCompiledOut)
+{
+    EXPECT_NO_THROW(PCON_AUDIT(false));
+    EXPECT_NO_THROW(PCON_AUDIT_MSG(false, "never seen"));
+    EXPECT_NO_THROW(PCON_AUDIT_SLOW(false, "never seen"));
+}
+
+TEST(AuditLevelZeroTest, ConditionIsNotEvaluated)
+{
+    int evaluated = 0;
+    PCON_AUDIT(++evaluated != 0);
+    PCON_AUDIT_MSG(++evaluated != 0, "cost ", ++evaluated);
+    PCON_AUDIT_SLOW(++evaluated != 0, "cost ", ++evaluated);
+    EXPECT_EQ(evaluated, 0);
+}
+
+} // namespace
+} // namespace pcon::util

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Contract-macro behaviour with audits enabled: failures panic with a
+ * useful message, successes evaluate nothing beyond the condition.
+ * The level is pinned per-TU (audit.h is macro-only, so this is safe)
+ * so the test stays meaningful even in a PCON_AUDIT_LEVEL=0 build.
+ */
+
+#ifdef PCON_AUDIT_LEVEL
+#undef PCON_AUDIT_LEVEL
+#endif
+#define PCON_AUDIT_LEVEL 1
+
+#include "util/audit.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace pcon::util {
+namespace {
+
+static_assert(PCON_AUDIT_LEVEL == 1,
+              "this TU pins the audit layer on");
+
+TEST(AuditMacroTest, PassingConditionIsQuiet)
+{
+    EXPECT_NO_THROW(PCON_AUDIT(1 + 1 == 2));
+    EXPECT_NO_THROW(PCON_AUDIT_MSG(true, "never formatted"));
+}
+
+TEST(AuditMacroTest, FailureThrowsPanicError)
+{
+    EXPECT_THROW(PCON_AUDIT(false), PanicError);
+    EXPECT_THROW(PCON_AUDIT_MSG(2 < 1, "impossible"), PanicError);
+}
+
+TEST(AuditMacroTest, MessageNamesConditionAndLocation)
+{
+    try {
+        PCON_AUDIT(1 == 2);
+        FAIL() << "audit did not throw";
+    } catch (const PanicError &e) {
+        std::string what = e.what();
+        EXPECT_NE(what.find("audit failed"), std::string::npos);
+        EXPECT_NE(what.find("1 == 2"), std::string::npos);
+        EXPECT_NE(what.find("audit_macro_test.cc"),
+                  std::string::npos);
+    }
+}
+
+TEST(AuditMacroTest, MessageArgumentsAreStreamed)
+{
+    try {
+        PCON_AUDIT_MSG(false, "energy=", 42, " J on core ", 3);
+        FAIL() << "audit did not throw";
+    } catch (const PanicError &e) {
+        std::string what = e.what();
+        EXPECT_NE(what.find("energy=42 J on core 3"),
+                  std::string::npos);
+    }
+}
+
+TEST(AuditMacroTest, MessageArgumentsOnlyEvaluatedOnFailure)
+{
+    int formatted = 0;
+    auto describe = [&formatted] {
+        ++formatted;
+        return std::string("detail");
+    };
+    PCON_AUDIT_MSG(true, describe());
+    EXPECT_EQ(formatted, 0);
+    EXPECT_THROW(PCON_AUDIT_MSG(false, describe()), PanicError);
+    EXPECT_EQ(formatted, 1);
+}
+
+TEST(AuditMacroTest, ConditionEvaluatedExactlyOnce)
+{
+    int evaluated = 0;
+    PCON_AUDIT(++evaluated > 0);
+    EXPECT_EQ(evaluated, 1);
+}
+
+} // namespace
+} // namespace pcon::util
