@@ -12,6 +12,7 @@
 #include <memory>
 
 #include "core/trace.h"
+#include "telemetry/perfetto.h"
 #include "workloads/apps.h"
 #include "workloads/experiment.h"
 #include "workloads/microbench.h"
@@ -27,6 +28,14 @@ main()
     wl::ServerWorld world(hw::sandyBridgeConfig(), model);
     core::RequestTracer tracer(world.kernel(), world.manager());
     world.kernel().addHooks(&tracer);
+    // A Perfetto view of the same run: per-core scheduling, the fork
+    // rebinds, device I/O, and per-container power counters.
+    telemetry::PerfettoExporter perfetto(world.kernel());
+    world.kernel().addHooks(&perfetto);
+    for (int i = 1; i <= 200; ++i)
+        world.sim().schedule(sim::msec(10) * i, [&world, &perfetto] {
+            perfetto.samplePower(world.manager());
+        });
 
     wl::WeBWorKApp app(/*seed=*/7);
     app.deploy(world.kernel());
@@ -55,6 +64,12 @@ main()
                 record.meanPowerW);
 
     tracer.writeCsv(request, "webwork_trace.csv");
-    std::printf("\nTrace exported to webwork_trace.csv\n");
+    perfetto.finish();
+    perfetto.write("webwork_trace_perfetto.json");
+    std::printf("\nTrace exported to webwork_trace.csv; Perfetto "
+                "trace (%zu slices, %zu tracks) to\n"
+                "webwork_trace_perfetto.json — open it in "
+                "ui.perfetto.dev\n",
+                perfetto.sliceCount(), perfetto.trackCount());
     return 0;
 }

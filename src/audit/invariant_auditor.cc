@@ -81,17 +81,25 @@ InvariantAuditor::watchModel(const core::LinearPowerModel &model)
 void
 InvariantAuditor::audit(sim::SimTime now)
 {
-    checkClockMonotone(now);
-    if (cfg_.checkCounters)
-        checkCounterInvariants();
-    if (cfg_.checkActuators)
-        checkActuatorBounds();
-    if (cfg_.checkEnergy)
-        checkEnergyAccounts();
-    if (cfg_.checkModel)
-        checkModels();
-    for (ManagerState &state : managers_)
-        checkManager(state);
+    try {
+        checkClockMonotone(now);
+        if (cfg_.checkCounters)
+            checkCounterInvariants();
+        if (cfg_.checkActuators)
+            checkActuatorBounds();
+        if (cfg_.checkEnergy)
+            checkEnergyAccounts();
+        if (cfg_.checkModel)
+            checkModels();
+        for (ManagerState &state : managers_)
+            checkManager(state);
+    } catch (const util::PanicError &) {
+        // Count the violation (telemetry) and re-raise: catching is
+        // the caller's decision, visibility is not.
+        ++violations_;
+        ++auditsRun_;
+        throw;
+    }
     ++auditsRun_;
 }
 

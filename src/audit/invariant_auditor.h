@@ -102,6 +102,13 @@ class InvariantAuditor : public sim::Auditor
     /** Number of audit passes performed so far. */
     std::uint64_t auditsRun() const { return auditsRun_; }
 
+    /**
+     * Number of audit passes that detected a violation (each also
+     * threw util::PanicError; nonzero only when a caller caught it
+     * and carried on, e.g. a fuzzer or a telemetry-observed soak).
+     */
+    std::uint64_t violationsDetected() const { return violations_; }
+
   private:
     struct ManagerState
     {
@@ -136,6 +143,7 @@ class InvariantAuditor : public sim::Auditor
     std::vector<ManagerState> managers_;
     std::vector<const core::LinearPowerModel *> models_;
     std::uint64_t auditsRun_ = 0;
+    std::uint64_t violations_ = 0;
 };
 
 } // namespace audit

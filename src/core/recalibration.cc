@@ -321,6 +321,21 @@ OnlineRecalibrator::refitNow()
         model_->setCoefficient(cols[i], fit.coefficients[i]);
     }
     ++refits_;
+    if (!refitObservers_.empty()) {
+        RefitEvent event;
+        event.time = sampler_.kernel().simulation().now();
+        event.index = refits_;
+        event.onlineSamples = online_.size();
+        for (const RefitObserver &fn : refitObservers_)
+            fn(event);
+    }
+}
+
+void
+OnlineRecalibrator::onRefit(RefitObserver fn)
+{
+    util::fatalIf(!fn, "null refit observer");
+    refitObservers_.push_back(std::move(fn));
 }
 
 } // namespace core

@@ -128,6 +128,19 @@ struct RecalibratorConfig
 class OnlineRecalibrator
 {
   public:
+    /** What a completed refit looked like (observer payload). */
+    struct RefitEvent
+    {
+        /** Simulated time of the refit. */
+        sim::SimTime time = 0;
+        /** 1-based refit ordinal (equals refits() afterwards). */
+        std::uint64_t index = 0;
+        /** Online samples that participated. */
+        std::size_t onlineSamples = 0;
+    };
+
+    using RefitObserver = std::function<void(const RefitEvent &)>;
+
     /**
      * @param sampler Metric/model-series source (must be started).
      * @param meter Measurement source (must be started).
@@ -160,6 +173,12 @@ class OnlineRecalibrator
     /** Number of online samples currently held. */
     std::size_t onlineSampleCount() const { return online_.size(); }
 
+    /**
+     * Subscribe to completed refits (telemetry/trace export).
+     * Observers run in subscription order after the model updates.
+     */
+    void onRefit(RefitObserver fn);
+
   private:
     struct MeasuredSample
     {
@@ -188,6 +207,7 @@ class OnlineRecalibrator
     /** Arrival time of the newest measurement already absorbed. */
     sim::SimTime absorbedUpTo_ = -1;
     std::deque<CalibrationSample> online_;
+    std::vector<RefitObserver> refitObservers_;
     sim::EventId alignEvent_ = sim::InvalidEventId;
     sim::EventId refitEvent_ = sim::InvalidEventId;
 };

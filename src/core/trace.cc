@@ -43,39 +43,35 @@ RequestTracer::RequestTracer(os::Kernel &kernel,
             }
         }
         record(info.id, event);
-        active_[info.id] = false;
+        active_.erase(info.id);
     });
 }
 
 void
 RequestTracer::trace(os::RequestId id)
 {
-    active_[id] = true;
+    active_.insert(id);
     traces_[id]; // ensure the vector exists
 }
 
 void
 RequestTracer::stopTracing(os::RequestId id)
 {
-    auto it = active_.find(id);
-    if (it != active_.end())
-        it->second = false;
+    active_.erase(id);
 }
 
 bool
 RequestTracer::tracing(os::RequestId id) const
 {
-    auto it = active_.find(id);
-    return it != active_.end() && it->second;
+    return active_.count(id) != 0;
 }
 
 const std::vector<TraceEvent> &
 RequestTracer::events(os::RequestId id) const
 {
+    static const std::vector<TraceEvent> empty;
     auto it = traces_.find(id);
-    util::fatalIf(it == traces_.end(), "request ", id,
-                  " was never traced");
-    return it->second;
+    return it == traces_.end() ? empty : it->second;
 }
 
 void

@@ -13,6 +13,7 @@
 #define PCON_CORE_TRACE_H
 
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -75,7 +76,11 @@ class RequestTracer : public os::KernelHooks
     /** True when the request is (still) being captured. */
     bool tracing(os::RequestId id) const;
 
-    /** Captured events, chronological. */
+    /**
+     * Captured events, chronological. A request that was never
+     * traced yields a stable reference to an empty vector; the
+     * getter never mutates tracer state.
+     */
     const std::vector<TraceEvent> &events(os::RequestId id) const;
 
     /** Render the trace as an aligned text table. */
@@ -99,7 +104,8 @@ class RequestTracer : public os::KernelHooks
     os::Kernel &kernel_;
     ContainerManager &manager_;
     std::map<os::RequestId, std::vector<TraceEvent>> traces_;
-    std::map<os::RequestId, bool> active_;
+    /** Requests currently being captured. */
+    std::set<os::RequestId> active_;
 };
 
 } // namespace core

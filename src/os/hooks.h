@@ -84,6 +84,19 @@ class KernelHooks
     {
         (void)task;
     }
+
+    /**
+     * A core's power actuators were written: the duty-cycle level
+     * and/or P-state changed (per-request policy application at a
+     * context switch, or an explicit kernel actuation). Both current
+     * values are reported. Observability hook: implementations must
+     * not actuate from inside it (setDutyLevel/setPState re-enter).
+     */
+    virtual void
+    onActuation(int core, int duty_level, int pstate)
+    {
+        (void)core; (void)duty_level; (void)pstate;
+    }
 };
 
 } // namespace os

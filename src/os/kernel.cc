@@ -322,6 +322,7 @@ Kernel::switchTo(int core, Task *next)
     cs.current = next;
     next->state = TaskState::Running;
     next->core = core;
+    bool actuated = false;
     if (dutyPolicy_) {
         int level = dutyPolicy_(*next);
         PCON_AUDIT_MSG(level >= 1 &&
@@ -330,6 +331,7 @@ Kernel::switchTo(int core, Task *next)
                        " outside 1..", machine_.config().dutyDenom,
                        " for task ", next->name);
         machine_.setDutyLevel(core, level);
+        actuated = true;
     }
     if (pstatePolicy_) {
         int pstate = pstatePolicy_(*next);
@@ -341,7 +343,12 @@ Kernel::switchTo(int core, Task *next)
             machine_.config().pstates.size() - 1, " for task ",
             next->name);
         machine_.setPState(core, pstate);
+        actuated = true;
     }
+    if (actuated)
+        for (auto *h : hooks_)
+            h->onActuation(core, machine_.dutyLevel(core),
+                           machine_.pstate(core));
     if (next->computing) {
         machine_.setRunning(core, next->activity);
         armCompute(core);
@@ -713,6 +720,9 @@ Kernel::setDutyLevel(int core, int level)
     if (computing)
         armCompute(core);
     armSampler(core);
+    for (auto *h : hooks_)
+        h->onActuation(core, machine_.dutyLevel(core),
+                       machine_.pstate(core));
 }
 
 void
@@ -729,6 +739,9 @@ Kernel::setPState(int core, int pstate)
     if (computing)
         armCompute(core);
     armSampler(core);
+    for (auto *h : hooks_)
+        h->onActuation(core, machine_.dutyLevel(core),
+                       machine_.pstate(core));
 }
 
 // ----------------------------- sockets ----------------------------

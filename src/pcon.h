@@ -50,6 +50,14 @@
 // Correctness auditing (contracts + runtime invariant checks).
 #include "audit/invariant_auditor.h"
 
+// Telemetry: metrics registry, periodic sampling, Perfetto export,
+// and self-measured accounting overhead.
+#include "telemetry/instrumentation.h"
+#include "telemetry/overhead.h"
+#include "telemetry/perfetto.h"
+#include "telemetry/registry.h"
+#include "telemetry/sampler.h"
+
 // Workloads and experiment harnesses.
 #include "workloads/app.h"
 #include "workloads/apps.h"

@@ -1,0 +1,168 @@
+#include "overhead.h"
+
+// NOLINT-DETERMINISM(host-side self-measurement; results feed
+// telemetry histograms only, never simulation state)
+#include <chrono>
+
+#include "linalg/least_squares.h"
+#include "linalg/matrix.h"
+#include "util/logging.h"
+
+namespace pcon {
+namespace telemetry {
+
+namespace {
+
+/** Cycle-scale bucket bounds shared by all overhead histograms. */
+std::vector<double>
+cycleBounds()
+{
+    return {50,    100,   200,    500,    1000,   2000,  5000,
+            10000, 20000, 50000,  100000, 500000, 1e6};
+}
+
+} // namespace
+
+OverheadProfiler::OverheadProfiler(Registry &registry,
+                                   double cpu_freq_hz)
+    : cyclesPerNs_(cpu_freq_hz * 1e-9)
+{
+    util::fatalIf(cpu_freq_hz <= 0, "cpu frequency must be positive");
+    calls_ = &registry.counter("overhead.hook_calls");
+    switchCycles_ = &registry.histogram(
+        "overhead.context_switch_cycles", cycleBounds());
+    windowCycles_ = &registry.histogram(
+        "overhead.sampling_window_cycles", cycleBounds());
+    rebindCycles_ =
+        &registry.histogram("overhead.rebind_cycles", cycleBounds());
+    ioCycles_ = &registry.histogram("overhead.io_complete_cycles",
+                                    cycleBounds());
+    actuationCycles_ = &registry.histogram(
+        "overhead.actuation_cycles", cycleBounds());
+    refitCycles_ =
+        &registry.histogram("overhead.refit_cycles", cycleBounds());
+}
+
+void
+OverheadProfiler::wrap(os::KernelHooks *inner)
+{
+    util::fatalIf(inner == nullptr, "wrap(nullptr)");
+    util::fatalIf(inner == this, "profiler cannot wrap itself");
+    inner_.push_back(inner);
+}
+
+template <typename F>
+void
+OverheadProfiler::timed(Histogram &hist, F &&fn)
+{
+    // Measures this implementation's bookkeeping cost only; the
+    // result never alters simulation state.
+    // NOLINT-DETERMINISM(host monotonic clock; telemetry-only)
+    auto start = std::chrono::steady_clock::now();
+    fn();
+    // NOLINT-DETERMINISM(host monotonic clock; see above)
+    auto end = std::chrono::steady_clock::now();
+    double ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end -
+                                                             start)
+            .count());
+    hist.observe(ns * cyclesPerNs_);
+}
+
+void
+OverheadProfiler::onContextSwitch(int core, os::Task *prev,
+                                  os::Task *next)
+{
+    calls_->add();
+    timed(*switchCycles_, [&] {
+        for (os::KernelHooks *h : inner_)
+            h->onContextSwitch(core, prev, next);
+    });
+}
+
+void
+OverheadProfiler::onContextRebind(os::Task &task,
+                                  os::RequestId old_ctx,
+                                  os::RequestId new_ctx)
+{
+    calls_->add();
+    timed(*rebindCycles_, [&] {
+        for (os::KernelHooks *h : inner_)
+            h->onContextRebind(task, old_ctx, new_ctx);
+    });
+}
+
+void
+OverheadProfiler::onSamplingInterrupt(int core)
+{
+    calls_->add();
+    timed(*windowCycles_, [&] {
+        for (os::KernelHooks *h : inner_)
+            h->onSamplingInterrupt(core);
+    });
+}
+
+void
+OverheadProfiler::onIoComplete(hw::DeviceKind device,
+                               os::RequestId context,
+                               sim::SimTime busy_time, double bytes)
+{
+    calls_->add();
+    timed(*ioCycles_, [&] {
+        for (os::KernelHooks *h : inner_)
+            h->onIoComplete(device, context, busy_time, bytes);
+    });
+}
+
+void
+OverheadProfiler::onTaskExit(os::Task &task)
+{
+    calls_->add();
+    for (os::KernelHooks *h : inner_)
+        h->onTaskExit(task);
+}
+
+void
+OverheadProfiler::onActuation(int core, int duty_level, int pstate)
+{
+    calls_->add();
+    timed(*actuationCycles_, [&] {
+        for (os::KernelHooks *h : inner_)
+            h->onActuation(core, duty_level, pstate);
+    });
+}
+
+void
+OverheadProfiler::profileRefit(std::size_t rows, std::size_t features,
+                               int repetitions)
+{
+    util::fatalIf(rows == 0 || features == 0,
+                  "refit profile needs a non-empty problem");
+    // A deterministic, well-conditioned synthetic problem of the
+    // requested shape; only the host time to solve it is recorded.
+    linalg::Matrix design;
+    linalg::Vector target;
+    for (std::size_t r = 0; r < rows; ++r) {
+        linalg::Vector row;
+        row.reserve(features);
+        double acc = 0;
+        for (std::size_t f = 0; f < features; ++f) {
+            double v = 0.1 +
+                static_cast<double>((r * 31 + f * 17) % 97) / 97.0;
+            row.push_back(v);
+            acc += v * (1.0 + static_cast<double>(f));
+        }
+        design.appendRow(row);
+        target.push_back(acc);
+    }
+    for (int i = 0; i < repetitions; ++i) {
+        timed(*refitCycles_, [&] {
+            linalg::LsqResult fit =
+                linalg::solveNonNegativeLeastSquares(design, target);
+            (void)fit;
+        });
+    }
+}
+
+} // namespace telemetry
+} // namespace pcon

@@ -1,0 +1,372 @@
+#include "perfetto.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "os/task.h"
+#include "util/logging.h"
+
+namespace pcon {
+namespace telemetry {
+
+namespace {
+
+/** Shortest round-trippable decimal rendering of a double. */
+std::string
+numJson(double v)
+{
+    char buf[40];
+    // Integral values print plainly ("10", not "1e+01").
+    if (v == static_cast<double>(static_cast<long long>(v)) &&
+        v > -1e15 && v < 1e15) {
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+        return buf;
+    }
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    for (int prec = 1; prec < 17; ++prec) {
+        char probe[40];
+        std::snprintf(probe, sizeof(probe), "%.*g", prec, v);
+        if (std::strtod(probe, nullptr) == v)
+            return probe;
+    }
+    return buf;
+}
+
+/** Nanoseconds -> trace-event microseconds (3 exact decimals). */
+std::string
+tsJson(sim::SimTime ns)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.3f",
+                  static_cast<double>(ns) / 1000.0);
+    return buf;
+}
+
+/** JSON string escape (quotes, backslashes, control characters). */
+std::string
+escapeJson(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+constexpr std::int32_t kPidCores = 1;
+constexpr std::int32_t kPidContainers = 2;
+constexpr std::int32_t kPidDevices = 3;
+constexpr std::int32_t kPidRecal = 4;
+
+} // namespace
+
+PerfettoExporter::PerfettoExporter(os::Kernel &kernel,
+                                   const PerfettoConfig &cfg)
+    : kernel_(kernel), cfg_(cfg),
+      open_(static_cast<std::size_t>(kernel.machine().totalCores()))
+{}
+
+bool
+PerfettoExporter::full() const
+{
+    return cfg_.maxEvents != 0 && events_.size() >= cfg_.maxEvents;
+}
+
+void
+PerfettoExporter::push(Event e)
+{
+    if (full())
+        return;
+    events_.push_back(std::move(e));
+}
+
+void
+PerfettoExporter::closeSlice(int core, sim::SimTime end)
+{
+    OpenSlice &slice = open_[static_cast<std::size_t>(core)];
+    if (!slice.open)
+        return;
+    Event e;
+    e.phase = Event::Phase::Slice;
+    e.ts = slice.start;
+    e.dur = end - slice.start;
+    e.pid = kPidCores;
+    e.tid = core;
+    e.name = slice.name;
+    e.argName = "ctx";
+    e.argValue = static_cast<double>(slice.context);
+    e.hasArg = true;
+    push(std::move(e));
+    ++slices_;
+    slice.open = false;
+}
+
+void
+PerfettoExporter::onContextSwitch(int core, os::Task *prev,
+                                  os::Task *next)
+{
+    if (!cfg_.trackScheduling)
+        return;
+    sim::SimTime now = kernel_.simulation().now();
+    if (prev != nullptr)
+        closeSlice(core, now);
+    if (next != nullptr) {
+        OpenSlice &slice = open_[static_cast<std::size_t>(core)];
+        slice.open = true;
+        slice.start = now;
+        slice.name = next->name;
+        slice.context = next->context;
+    }
+}
+
+void
+PerfettoExporter::onContextRebind(os::Task &task,
+                                  os::RequestId old_ctx,
+                                  os::RequestId new_ctx)
+{
+    if (!cfg_.trackRebinds)
+        return;
+    (void)old_ctx;
+    Event e;
+    e.phase = Event::Phase::Instant;
+    e.ts = kernel_.simulation().now();
+    e.pid = kPidCores;
+    e.tid = task.core >= 0 ? task.core : 0;
+    e.name = "rebind " + task.name;
+    e.argName = "ctx";
+    e.argValue = static_cast<double>(new_ctx);
+    e.hasArg = true;
+    push(std::move(e));
+    ++instants_;
+    // A rebind of the running task also splits its slice so the new
+    // binding is visible on the core track.
+    if (cfg_.trackScheduling && task.core >= 0) {
+        OpenSlice &slice = open_[static_cast<std::size_t>(task.core)];
+        if (slice.open && slice.name == task.name) {
+            sim::SimTime now = kernel_.simulation().now();
+            closeSlice(task.core, now);
+            slice.open = true;
+            slice.start = now;
+            slice.name = task.name;
+            slice.context = new_ctx;
+        }
+    }
+}
+
+void
+PerfettoExporter::onIoComplete(hw::DeviceKind device,
+                               os::RequestId context,
+                               sim::SimTime busy_time, double bytes)
+{
+    if (!cfg_.trackIo)
+        return;
+    (void)busy_time;
+    Event e;
+    e.phase = Event::Phase::Instant;
+    e.ts = kernel_.simulation().now();
+    e.pid = kPidDevices;
+    e.tid = device == hw::DeviceKind::Disk ? 0 : 1;
+    e.name = "io ctx=" + std::to_string(context);
+    e.argName = "bytes";
+    e.argValue = bytes;
+    e.hasArg = true;
+    push(std::move(e));
+    ++instants_;
+}
+
+void
+PerfettoExporter::onActuation(int core, int duty_level, int pstate)
+{
+    if (!cfg_.trackActuations)
+        return;
+    std::string base = "core" + std::to_string(core);
+    Event duty;
+    duty.phase = Event::Phase::Counter;
+    duty.ts = kernel_.simulation().now();
+    duty.pid = kPidCores;
+    duty.name = base + ".duty";
+    duty.argName = "level";
+    duty.argValue = duty_level;
+    duty.hasArg = true;
+    counterTracks_.emplace(duty.name, true);
+    push(std::move(duty));
+    Event ps;
+    ps.phase = Event::Phase::Counter;
+    ps.ts = kernel_.simulation().now();
+    ps.pid = kPidCores;
+    ps.name = base + ".pstate";
+    ps.argName = "pstate";
+    ps.argValue = pstate;
+    ps.hasArg = true;
+    counterTracks_.emplace(ps.name, true);
+    push(std::move(ps));
+    counters_ += 2;
+}
+
+void
+PerfettoExporter::samplePower(core::ContainerManager &manager)
+{
+    sim::SimTime now = kernel_.simulation().now();
+    // Sorted id order keeps the trace byte-identical across runs
+    // (live() is an unordered map).
+    std::vector<os::RequestId> ids;
+    ids.reserve(manager.live().size() + 1);
+    ids.push_back(manager.background().id);
+    for (const auto &kv : manager.live())
+        ids.push_back(kv.first);
+    std::sort(ids.begin(), ids.end());
+    for (os::RequestId id : ids) {
+        core::PowerContainer &c = manager.containerOrBackground(id);
+        std::string base = "container." + std::to_string(id);
+        containersSeen_.emplace(id, c.type);
+        Event power;
+        power.phase = Event::Phase::Counter;
+        power.ts = now;
+        power.pid = kPidContainers;
+        power.name = base + ".power_w";
+        power.argName = "w";
+        power.argValue = c.lastPowerW;
+        power.hasArg = true;
+        counterTracks_.emplace(power.name, true);
+        push(std::move(power));
+        Event energy;
+        energy.phase = Event::Phase::Counter;
+        energy.ts = now;
+        energy.pid = kPidContainers;
+        energy.name = base + ".energy_j";
+        energy.argName = "j";
+        energy.argValue = c.totalEnergyJ();
+        energy.hasArg = true;
+        counterTracks_.emplace(energy.name, true);
+        push(std::move(energy));
+        counters_ += 2;
+    }
+}
+
+void
+PerfettoExporter::noteRefit(std::uint64_t refit_index,
+                            std::size_t online_samples)
+{
+    Event e;
+    e.phase = Event::Phase::Instant;
+    e.ts = kernel_.simulation().now();
+    e.pid = kPidRecal;
+    e.tid = 0;
+    e.name = "refit " + std::to_string(refit_index);
+    e.argName = "online_samples";
+    e.argValue = static_cast<double>(online_samples);
+    e.hasArg = true;
+    push(std::move(e));
+    ++instants_;
+}
+
+void
+PerfettoExporter::finish()
+{
+    sim::SimTime now = kernel_.simulation().now();
+    for (int core = 0; core < static_cast<int>(open_.size()); ++core)
+        closeSlice(core, now);
+}
+
+std::size_t
+PerfettoExporter::trackCount() const
+{
+    // Cores + disk + net + recalibration thread tracks, plus one
+    // counter track per distinct counter name.
+    return open_.size() + 2 + 1 + counterTracks_.size();
+}
+
+std::string
+PerfettoExporter::json() const
+{
+    std::ostringstream out;
+    out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    auto emit = [&](const std::string &obj) {
+        if (!first)
+            out << ",\n";
+        first = false;
+        out << obj;
+    };
+
+    auto meta = [&](const char *what, std::int32_t pid,
+                    std::int32_t tid, bool has_tid,
+                    const std::string &name) {
+        std::ostringstream m;
+        m << "{\"name\":\"" << what << "\",\"ph\":\"M\",\"pid\":"
+          << pid;
+        if (has_tid)
+            m << ",\"tid\":" << tid;
+        m << ",\"args\":{\"name\":\"" << escapeJson(name) << "\"}}";
+        emit(m.str());
+    };
+
+    meta("process_name", kPidCores, 0, false, "cores");
+    meta("process_name", kPidContainers, 0, false, "containers");
+    meta("process_name", kPidDevices, 0, false, "devices");
+    meta("process_name", kPidRecal, 0, false, "recalibration");
+    for (std::size_t core = 0; core < open_.size(); ++core)
+        meta("thread_name", kPidCores,
+             static_cast<std::int32_t>(core), true,
+             "core" + std::to_string(core));
+    meta("thread_name", kPidDevices, 0, true, "disk");
+    meta("thread_name", kPidDevices, 1, true, "net");
+    meta("thread_name", kPidRecal, 0, true, "refits");
+
+    for (const Event &e : events_) {
+        std::ostringstream obj;
+        obj << "{\"name\":\"" << escapeJson(e.name) << "\"";
+        switch (e.phase) {
+          case Event::Phase::Slice:
+            obj << ",\"cat\":\"sched\",\"ph\":\"X\",\"ts\":"
+                << tsJson(e.ts) << ",\"dur\":" << tsJson(e.dur)
+                << ",\"pid\":" << e.pid << ",\"tid\":" << e.tid;
+            break;
+          case Event::Phase::Instant:
+            obj << ",\"cat\":\"event\",\"ph\":\"i\",\"ts\":"
+                << tsJson(e.ts) << ",\"pid\":" << e.pid
+                << ",\"tid\":" << e.tid << ",\"s\":\"t\"";
+            break;
+          case Event::Phase::Counter:
+            obj << ",\"ph\":\"C\",\"ts\":" << tsJson(e.ts)
+                << ",\"pid\":" << e.pid;
+            break;
+        }
+        if (e.hasArg)
+            obj << ",\"args\":{\"" << e.argName
+                << "\":" << numJson(e.argValue) << "}";
+        obj << "}";
+        emit(obj.str());
+    }
+    out << "]}";
+    return out.str();
+}
+
+void
+PerfettoExporter::write(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::trunc);
+    util::fatalIf(!out, "cannot open '", path, "' for writing");
+    out << json() << "\n";
+}
+
+} // namespace telemetry
+} // namespace pcon

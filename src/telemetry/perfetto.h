@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Chrome trace-event (Perfetto-loadable) export of a simulated run:
+ * per-core scheduling slices, request-context rebinds, device I/O,
+ * duty-cycle/P-state actuations, per-container power and energy
+ * counter tracks, and recalibration refit markers. The emitted JSON
+ * loads directly in ui.perfetto.dev (or chrome://tracing) with one
+ * track per core plus one counter track per container.
+ *
+ * Track layout (trace-event pid/tid namespaces):
+ *   pid 1 "cores"          tid = core index; "X" slices per scheduled
+ *                          task, "i" instants for rebinds, "C"
+ *                          counters `core<N>.duty` / `core<N>.pstate`.
+ *   pid 2 "containers"     "C" counter tracks
+ *                          `container.<id>.power_w` and
+ *                          `container.<id>.energy_j` (id 0 is the
+ *                          background container).
+ *   pid 3 "devices"        tid 0 disk, tid 1 net; "i" instants per
+ *                          completed I/O with byte counts.
+ *   pid 4 "recalibration"  tid 0; "i" instants per model refit.
+ */
+
+#ifndef PCON_TELEMETRY_PERFETTO_H
+#define PCON_TELEMETRY_PERFETTO_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/container_manager.h"
+#include "os/hooks.h"
+#include "os/kernel.h"
+
+namespace pcon {
+namespace telemetry {
+
+/** Which event families the exporter records. */
+struct PerfettoConfig
+{
+    /** Per-core task scheduling slices. */
+    bool trackScheduling = true;
+    /** Request-context rebind instants. */
+    bool trackRebinds = true;
+    /** Device I/O completion instants. */
+    bool trackIo = true;
+    /** Duty/P-state counter tracks. */
+    bool trackActuations = true;
+    /** Event cap; recording stops silently past it (0 = unbounded). */
+    std::size_t maxEvents = 1 << 22;
+};
+
+/**
+ * Records kernel and facility activity as trace events. Register with
+ * kernel.addHooks() (after the ContainerManager if you want power
+ * annotations to be fresh); call samplePower() periodically — e.g.
+ * from a registry collector — for container counter tracks, and
+ * finish() before rendering so open scheduling slices are closed.
+ */
+class PerfettoExporter : public os::KernelHooks
+{
+  public:
+    explicit PerfettoExporter(os::Kernel &kernel,
+                              const PerfettoConfig &cfg = {});
+
+    // --- KernelHooks ---
+    void onContextSwitch(int core, os::Task *prev,
+                         os::Task *next) override;
+    void onContextRebind(os::Task &task, os::RequestId old_ctx,
+                         os::RequestId new_ctx) override;
+    void onIoComplete(hw::DeviceKind device, os::RequestId context,
+                      sim::SimTime busy_time, double bytes) override;
+    void onActuation(int core, int duty_level, int pstate) override;
+
+    /**
+     * Append one power/energy counter sample per live container
+     * (plus the background container), in ascending container id
+     * order. Call at a steady cadence for readable counter tracks.
+     */
+    void samplePower(core::ContainerManager &manager);
+
+    /** Record a model refit marker (wire to OnlineRecalibrator). */
+    void noteRefit(std::uint64_t refit_index,
+                   std::size_t online_samples);
+
+    /** Close slices still open (cores running at capture end). */
+    void finish();
+
+    /** Render the full trace as Chrome trace-event JSON. */
+    std::string json() const;
+
+    /** Write json() to a file. */
+    void write(const std::string &path) const;
+
+    /** Completed scheduling slices recorded. */
+    std::size_t sliceCount() const { return slices_; }
+
+    /** Instant events recorded (rebinds + I/O + refits). */
+    std::size_t instantCount() const { return instants_; }
+
+    /** Counter samples recorded (actuations + container power). */
+    std::size_t counterCount() const { return counters_; }
+
+    /** All recorded events (excludes track metadata). */
+    std::size_t eventCount() const { return events_.size(); }
+
+    /**
+     * Distinct tracks the render will declare: one per core, one per
+     * device, one for refits, plus one counter track per
+     * container/actuator counter name seen.
+     */
+    std::size_t trackCount() const;
+
+  private:
+    struct Event
+    {
+        enum class Phase { Slice, Instant, Counter };
+        Phase phase = Phase::Instant;
+        /** Start (slices) or sample time, nanoseconds. */
+        sim::SimTime ts = 0;
+        /** Slice duration, nanoseconds. */
+        sim::SimTime dur = 0;
+        std::int32_t pid = 1;
+        std::int32_t tid = 0;
+        std::string name;
+        /** Single numeric argument: {argName: argValue}. */
+        std::string argName;
+        double argValue = 0;
+        bool hasArg = false;
+    };
+
+    struct OpenSlice
+    {
+        bool open = false;
+        sim::SimTime start = 0;
+        std::string name;
+        os::RequestId context = os::NoRequest;
+    };
+
+    bool full() const;
+    void push(Event e);
+    void closeSlice(int core, sim::SimTime end);
+
+    os::Kernel &kernel_;
+    PerfettoConfig cfg_;
+    std::vector<Event> events_;
+    std::vector<OpenSlice> open_;
+    /** Counter track names seen -> declared once in metadata. */
+    std::map<std::string, bool> counterTracks_;
+    /** Container ids seen by samplePower (track bookkeeping). */
+    std::map<os::RequestId, std::string> containersSeen_;
+    std::size_t slices_ = 0;
+    std::size_t instants_ = 0;
+    std::size_t counters_ = 0;
+};
+
+} // namespace telemetry
+} // namespace pcon
+
+#endif // PCON_TELEMETRY_PERFETTO_H

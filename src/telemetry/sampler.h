@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Periodic registry snapshotting driven by the simulation event
+ * queue. Each tick runs the registry's collectors, flattens every
+ * instrument to named scalar columns (histograms expand to
+ * count/sum/mean/quantile columns), and appends one snapshot to a
+ * bounded in-memory time-series with CSV and JSON export.
+ */
+
+#ifndef PCON_TELEMETRY_SAMPLER_H
+#define PCON_TELEMETRY_SAMPLER_H
+
+#include <deque>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/simulation.h"
+#include "telemetry/registry.h"
+
+namespace pcon {
+namespace telemetry {
+
+/** Sampler tunables. */
+struct SamplerConfig
+{
+    /** Snapshot period. */
+    sim::SimTime period = sim::msec(10);
+    /** History bound; the oldest snapshot is dropped past this. */
+    std::size_t maxSnapshots = 1 << 16;
+};
+
+/**
+ * Snapshots a Registry at a fixed simulated-time period. start() arms
+ * the first tick one period from now; each tick re-arms the next, so
+ * the series is evenly spaced in simulated time.
+ */
+class Sampler
+{
+  public:
+    /** One snapshot: name-sorted (column, value) pairs at a time. */
+    struct Snapshot
+    {
+        sim::SimTime time = 0;
+        std::vector<std::pair<std::string, double>> values;
+    };
+
+    Sampler(sim::Simulation &sim, Registry &registry,
+            const SamplerConfig &cfg = {});
+
+    ~Sampler();
+
+    Sampler(const Sampler &) = delete;
+    Sampler &operator=(const Sampler &) = delete;
+
+    /** Begin periodic snapshotting (idempotent). */
+    void start();
+
+    /** Stop; history is kept. */
+    void stop();
+
+    /** Take one snapshot immediately (collectors run first). */
+    void snapshotNow();
+
+    /** Snapshots, oldest first. */
+    const std::deque<Snapshot> &snapshots() const
+    {
+        return snapshots_;
+    }
+
+    /** Drop all history. */
+    void clear() { snapshots_.clear(); }
+
+    /** Sampling period. */
+    sim::SimTime period() const { return cfg_.period; }
+
+    /**
+     * Export as CSV: a `time_ms` column plus the name-sorted union of
+     * all columns ever seen; cells missing from a snapshot (metrics
+     * registered later) are left empty.
+     */
+    void writeCsv(const std::string &path) const;
+
+    /** Render the series as a JSON document (see docs). */
+    std::string json() const;
+
+    /** Write json() to a file. */
+    void writeJson(const std::string &path) const;
+
+    /**
+     * Flatten one registry entry into (column, value) pairs: the bare
+     * name for counters/gauges; `name.count`, `name.sum`,
+     * `name.mean`, `name.p50`, `name.p95`, and `name.p99` for
+     * histograms.
+     */
+    static void flatten(
+        const Registry::Entry &entry,
+        std::vector<std::pair<std::string, double>> &out);
+
+  private:
+    void tick();
+
+    sim::Simulation &sim_;
+    Registry &registry_;
+    SamplerConfig cfg_;
+    bool running_ = false;
+    sim::EventId pending_ = sim::InvalidEventId;
+    std::deque<Snapshot> snapshots_;
+};
+
+} // namespace telemetry
+} // namespace pcon
+
+#endif // PCON_TELEMETRY_SAMPLER_H

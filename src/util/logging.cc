@@ -14,6 +14,13 @@ thresholdStorage()
     return threshold;
 }
 
+LogCounts &
+countsStorage()
+{
+    static LogCounts counts;
+    return counts;
+}
+
 const char *
 levelName(LogLevel level)
 {
@@ -40,9 +47,28 @@ setLogThreshold(LogLevel level)
     thresholdStorage() = level;
 }
 
+const LogCounts &
+logCounts()
+{
+    return countsStorage();
+}
+
+void
+resetLogCounts()
+{
+    countsStorage() = LogCounts{};
+}
+
 void
 logMessage(LogLevel level, const std::string &msg)
 {
+    LogCounts &counts = countsStorage();
+    switch (level) {
+      case LogLevel::Debug: ++counts.debug; break;
+      case LogLevel::Info: ++counts.info; break;
+      case LogLevel::Warn: ++counts.warn; break;
+      case LogLevel::Error: ++counts.error; break;
+    }
     if (static_cast<int>(level) < static_cast<int>(thresholdStorage()))
         return;
     std::cerr << "[" << levelName(level) << "] " << msg << "\n";

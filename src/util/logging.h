@@ -11,6 +11,7 @@
 #ifndef PCON_UTIL_LOGGING_H
 #define PCON_UTIL_LOGGING_H
 
+#include <cstdint>
 #include <cstdlib>
 #include <sstream>
 #include <stdexcept>
@@ -38,6 +39,29 @@ void setLogThreshold(LogLevel level);
 
 /** Emit one message at the given severity (newline appended). */
 void logMessage(LogLevel level, const std::string &msg);
+
+/**
+ * Process-wide per-severity counts of every logMessage() call,
+ * including those below the emission threshold — a noisy run is
+ * noisy whether or not anyone was watching stderr. The telemetry
+ * layer publishes these as registry metrics.
+ */
+struct LogCounts
+{
+    std::uint64_t debug = 0;
+    std::uint64_t info = 0;
+    std::uint64_t warn = 0;
+    std::uint64_t error = 0;
+
+    /** All calls at any severity. */
+    std::uint64_t total() const { return debug + info + warn + error; }
+};
+
+/** Current cumulative counts. */
+const LogCounts &logCounts();
+
+/** Zero the counts (test isolation). */
+void resetLogCounts();
 
 /** Raised by panic(): an internal invariant was violated. */
 class PanicError : public std::logic_error

@@ -148,7 +148,11 @@ TEST(RequestTracer, OnlyTracedRequestsAreCaptured)
     w.kernel.spawn(forkAndIo(), "t2", untraced, 1);
     w.sim.run(sec(1));
     EXPECT_FALSE(w.tracer.events(traced).empty());
-    EXPECT_THROW(w.tracer.events(untraced), util::FatalError);
+    // An untraced request yields a stable empty vector, not a fatal.
+    const std::vector<TraceEvent> &none = w.tracer.events(untraced);
+    EXPECT_TRUE(none.empty());
+    EXPECT_EQ(&none, &w.tracer.events(untraced));
+    EXPECT_FALSE(w.tracer.tracing(untraced));
 }
 
 TEST(RequestTracer, StopTracingFreezesTheEventList)

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "os/hooks.h"
+#include "os/task.h"
+#include "telemetry/overhead.h"
+#include "telemetry/registry.h"
+
+namespace pcon::telemetry {
+namespace {
+
+/** Counts every callback so forwarding can be asserted exactly. */
+struct RecordingHooks : os::KernelHooks
+{
+    int switches = 0;
+    int rebinds = 0;
+    int interrupts = 0;
+    int ios = 0;
+    int exits = 0;
+    int actuations = 0;
+
+    void onContextSwitch(int, os::Task *, os::Task *) override
+    {
+        ++switches;
+    }
+    void onContextRebind(os::Task &, os::RequestId,
+                         os::RequestId) override
+    {
+        ++rebinds;
+    }
+    void onSamplingInterrupt(int) override { ++interrupts; }
+    void onIoComplete(hw::DeviceKind, os::RequestId, sim::SimTime,
+                      double) override
+    {
+        ++ios;
+    }
+    void onTaskExit(os::Task &) override { ++exits; }
+    void onActuation(int, int, int) override { ++actuations; }
+};
+
+TEST(OverheadProfiler, ForwardsEveryHookToEveryInnerSet)
+{
+    Registry reg;
+    OverheadProfiler profiler(reg, 1e9);
+    RecordingHooks first;
+    RecordingHooks second;
+    profiler.wrap(&first);
+    profiler.wrap(&second);
+
+    os::Task task;
+    profiler.onContextSwitch(0, &task, &task);
+    profiler.onContextSwitch(1, nullptr, &task);
+    profiler.onContextRebind(task, os::NoRequest, os::RequestId(1));
+    profiler.onSamplingInterrupt(0);
+    profiler.onIoComplete(hw::DeviceKind::Disk, os::RequestId(1),
+                          sim::msec(1), 4096);
+    profiler.onTaskExit(task);
+    profiler.onActuation(0, 4, 1);
+
+    for (const RecordingHooks *inner : {&first, &second}) {
+        EXPECT_EQ(inner->switches, 2);
+        EXPECT_EQ(inner->rebinds, 1);
+        EXPECT_EQ(inner->interrupts, 1);
+        EXPECT_EQ(inner->ios, 1);
+        EXPECT_EQ(inner->exits, 1);
+        EXPECT_EQ(inner->actuations, 1);
+    }
+    EXPECT_EQ(profiler.forwardedCalls(), 7u);
+}
+
+TEST(OverheadProfiler, RecordsNonzeroCyclesPerHookFamily)
+{
+    Registry reg;
+    OverheadProfiler profiler(reg, 2.4e9);
+    RecordingHooks inner;
+    profiler.wrap(&inner);
+
+    os::Task task;
+    for (int i = 0; i < 32; ++i) {
+        profiler.onContextSwitch(i % 2, &task, &task);
+        profiler.onSamplingInterrupt(i % 2);
+        profiler.onIoComplete(hw::DeviceKind::Net, os::RequestId(1),
+                              sim::usec(10), 128);
+    }
+
+    ASSERT_TRUE(reg.has("overhead.context_switch_cycles"));
+    ASSERT_TRUE(reg.has("overhead.sampling_window_cycles"));
+    ASSERT_TRUE(reg.has("overhead.io_complete_cycles"));
+    ASSERT_TRUE(reg.has("overhead.hook_calls"));
+    EXPECT_EQ(reg.kindOf("overhead.context_switch_cycles"),
+              InstrumentKind::Histogram);
+    EXPECT_EQ(reg.kindOf("overhead.hook_calls"),
+              InstrumentKind::Counter);
+}
+
+TEST(OverheadProfiler, HistogramsAccumulateObservations)
+{
+    Registry reg;
+    OverheadProfiler profiler(reg, 1e9);
+    RecordingHooks inner;
+    profiler.wrap(&inner);
+    os::Task task;
+    for (int i = 0; i < 16; ++i)
+        profiler.onContextSwitch(0, &task, &task);
+
+    for (const auto &entry : reg.entries()) {
+        if (entry.name != "overhead.context_switch_cycles")
+            continue;
+        ASSERT_EQ(entry.kind, InstrumentKind::Histogram);
+        EXPECT_EQ(entry.histogram->count(), 16u);
+        // Host timing is nonnegative and the mean is finite.
+        EXPECT_GE(entry.histogram->sum(), 0.0);
+        EXPECT_GE(entry.histogram->mean(), 0.0);
+        return;
+    }
+    FAIL() << "overhead.context_switch_cycles not registered";
+}
+
+TEST(OverheadProfiler, ProfileRefitRecordsFits)
+{
+    Registry reg;
+    OverheadProfiler profiler(reg, 1e9);
+    profiler.profileRefit(64, 6, 5);
+    for (const auto &entry : reg.entries()) {
+        if (entry.name != "overhead.refit_cycles")
+            continue;
+        ASSERT_EQ(entry.kind, InstrumentKind::Histogram);
+        EXPECT_EQ(entry.histogram->count(), 5u);
+        // A 64x6 NNLS fit takes real work: strictly positive cost.
+        EXPECT_GT(entry.histogram->sum(), 0.0);
+        return;
+    }
+    FAIL() << "overhead.refit_cycles not registered";
+}
+
+TEST(OverheadProfiler, WorksWithNoInnerHooks)
+{
+    Registry reg;
+    OverheadProfiler profiler(reg, 1e9);
+    os::Task task;
+    profiler.onContextSwitch(0, &task, nullptr);
+    profiler.onActuation(1, 2, 3);
+    EXPECT_EQ(profiler.forwardedCalls(), 2u);
+}
+
+} // namespace
+} // namespace pcon::telemetry

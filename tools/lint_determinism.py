@@ -20,13 +20,17 @@ default) for reproducibility hazards:
                    output or event ordering breaks reproducibility.
   ptr-keyed-order  std::{map,set} keyed by a raw pointer type, whose
                    iteration order depends on allocation addresses.
+  metric-name      a telemetry registry counter()/gauge()/histogram()
+                   registration whose string-literal name does not
+                   match the metric grammar [a-z0-9_.]+. Names are
+                   stable keys for dashboards and golden exports.
 
 Suppress a deliberate, order-insensitive use by appending
 `// NOLINT-DETERMINISM(reason)` on the offending line or the line
 directly above it. The reason is mandatory.
 
 Usage:
-  tools/lint_determinism.py [--root REPO] [DIR ...]
+  tools/lint_determinism.py [--root REPO] [--metric-names-only] [DIR ...]
 
 Exits 0 when clean, 1 with a findings report otherwise.
 """
@@ -36,7 +40,7 @@ import pathlib
 import re
 import sys
 
-DEFAULT_SCOPE = ["src/sim", "src/core", "src/hw"]
+DEFAULT_SCOPE = ["src/sim", "src/core", "src/hw", "src/telemetry"]
 SOURCE_SUFFIXES = {".h", ".hh", ".hpp", ".cc", ".cpp", ".cxx"}
 
 SUPPRESS_RE = re.compile(r"NOLINT-DETERMINISM\(([^)]+)\)")
@@ -91,6 +95,39 @@ DECL_RE = re.compile(
     r"[^;{}()]*>(?:\s*&)?\s+(\w+)\s*[;{=]"
 )
 RANGE_FOR_RE = re.compile(r"for\s*\([^;)]*:\s*\*?\s*([A-Za-z_]\w*)\s*\)")
+
+# Registry registrations whose name is a string literal. Matched
+# against the *blanked* line (so commented-out code never trips it);
+# the literal itself is recovered from the raw line at the same
+# offset.
+METRIC_CALL_RE = re.compile(r"(?<![\w:])(?:counter|gauge|histogram)\s*\(")
+METRIC_NAME_RE = re.compile(r"[a-z0-9_.]+")
+
+
+def metric_name_findings(raw_line, blanked_line):
+    """Metric-grammar violations on one line: every
+    counter()/gauge()/histogram() call whose first argument is a
+    string literal must name a metric matching [a-z0-9_.]+."""
+    bad = []
+    for match in METRIC_CALL_RE.finditer(blanked_line):
+        at = match.end()
+        while at < len(raw_line) and raw_line[at].isspace():
+            at += 1
+        if at >= len(raw_line) or raw_line[at] != '"':
+            continue  # non-literal name: not statically checkable
+        end = raw_line.find('"', at + 1)
+        if end < 0:
+            continue
+        name = raw_line[at + 1 : end]
+        if not METRIC_NAME_RE.fullmatch(name):
+            bad.append(
+                (
+                    "metric-name",
+                    f"metric name '{name}' violates the grammar "
+                    f"[a-z0-9_.]+",
+                )
+            )
+    return bad
 
 
 def blank_comments_and_strings(text: str) -> str:
@@ -201,6 +238,12 @@ def main() -> int:
         "script)",
     )
     parser.add_argument(
+        "--metric-names-only",
+        action="store_true",
+        help="only run the metric-name grammar check (used by the "
+        "lint_metric_names ctest over a wider scope)",
+    )
+    parser.add_argument(
         "scope",
         nargs="*",
         default=DEFAULT_SCOPE,
@@ -229,19 +272,22 @@ def main() -> int:
         rel = path.relative_to(root)
         for idx, line in enumerate(blanked_lines):
             hits = []
-            for name, regex, why in PATTERN_HAZARDS:
-                if regex.search(line):
-                    hits.append((name, why))
-            for match in RANGE_FOR_RE.finditer(line):
-                if match.group(1) in unordered_names:
-                    hits.append(
-                        (
-                            "unordered-iter",
-                            f"range-for over unordered container "
-                            f"'{match.group(1)}'; hash order is not "
-                            f"reproducible",
+            if not args.metric_names_only:
+                for name, regex, why in PATTERN_HAZARDS:
+                    if regex.search(line):
+                        hits.append((name, why))
+                for match in RANGE_FOR_RE.finditer(line):
+                    if match.group(1) in unordered_names:
+                        hits.append(
+                            (
+                                "unordered-iter",
+                                f"range-for over unordered container "
+                                f"'{match.group(1)}'; hash order is "
+                                f"not reproducible",
+                            )
                         )
-                    )
+            if idx < len(raw_lines):
+                hits.extend(metric_name_findings(raw_lines[idx], line))
             for name, why in hits:
                 reason = suppressed(raw_lines, idx)
                 if reason:
