@@ -1,5 +1,6 @@
 #include "alignment.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/logging.h"
@@ -11,40 +12,57 @@ namespace {
 
 /**
  * Correlation of measurement[i] against model[i - d] over the
- * overlapping index range. Centered form returns the Pearson
+ * overlapping index range, restricted to indices whose mask entry is
+ * true (null mask = all valid). Centered form returns the Pearson
  * coefficient; raw form returns Equation 4's plain product sum.
+ * `pairs` receives the number of participating index pairs.
  */
 double
 correlationAtDelay(const std::vector<double> &measurement,
+                   const std::vector<bool> *valid,
                    const std::vector<double> &model, long d,
-                   bool centered)
+                   bool centered, std::size_t *pairs)
 {
     long m_size = static_cast<long>(measurement.size());
     long k_size = static_cast<long>(model.size());
     long lo = std::max<long>(0, d);
     long hi = std::min(m_size, k_size + d);
-    if (hi - lo < 2)
+    auto ok = [&](long i) {
+        return valid == nullptr ||
+            (*valid)[static_cast<std::size_t>(i)];
+    };
+    long count = 0;
+    for (long i = lo; i < hi; ++i)
+        if (ok(i))
+            ++count;
+    *pairs = static_cast<std::size_t>(count > 0 ? count : 0);
+    if (count < 2)
         return 0.0;
 
     if (!centered) {
         double sum = 0.0;
         for (long i = lo; i < hi; ++i)
-            sum += measurement[i] * model[i - d];
+            if (ok(i))
+                sum += measurement[i] * model[i - d];
         // Normalize by overlap length so short overlaps at the scan
         // edges are not unfairly favored or penalized.
-        return sum / static_cast<double>(hi - lo);
+        return sum / static_cast<double>(count);
     }
 
     double mean_a = 0.0, mean_b = 0.0;
     for (long i = lo; i < hi; ++i) {
+        if (!ok(i))
+            continue;
         mean_a += measurement[i];
         mean_b += model[i - d];
     }
-    double n = static_cast<double>(hi - lo);
+    double n = static_cast<double>(count);
     mean_a /= n;
     mean_b /= n;
     double cov = 0.0, var_a = 0.0, var_b = 0.0;
     for (long i = lo; i < hi; ++i) {
+        if (!ok(i))
+            continue;
         double da = measurement[i] - mean_a;
         double db = model[i - d] - mean_b;
         cov += da * db;
@@ -54,6 +72,39 @@ correlationAtDelay(const std::vector<double> &measurement,
     if (var_a <= 0.0 || var_b <= 0.0)
         return 0.0;
     return cov / std::sqrt(var_a * var_b);
+}
+
+/** Shared scan loop of the dense and sparse entry points. */
+AlignmentScan
+scanAlignmentImpl(const std::vector<double> &measurement,
+                  const std::vector<bool> *valid,
+                  const std::vector<double> &model, sim::SimTime period,
+                  long min_delay, long max_delay, bool centered)
+{
+    AlignmentScan scan;
+    scan.period = period;
+    scan.minDelaySamples = min_delay;
+    scan.correlation.reserve(
+        static_cast<std::size_t>(max_delay - min_delay + 1));
+
+    bool first = true;
+    for (long d = min_delay; d <= max_delay; ++d) {
+        std::size_t pairs = 0;
+        double corr = correlationAtDelay(measurement, valid, model, d,
+                                         centered, &pairs);
+        scan.correlation.push_back(corr);
+        if (first || corr > scan.bestCorrelation) {
+            scan.bestCorrelation = corr;
+            scan.bestDelaySamples = d;
+            scan.pairsAtBest = pairs;
+            first = false;
+        }
+    }
+    scan.bestDelay = scan.bestDelaySamples * period;
+    if (centered && scan.pairsAtBest >= 4)
+        scan.confidence =
+            std::min(1.0, std::max(0.0, scan.bestCorrelation));
+    return scan;
 }
 
 } // namespace
@@ -69,25 +120,26 @@ scanAlignment(const std::vector<double> &measurement,
     util::fatalIf(measurement.size() < 2 || model.size() < 2,
                   "alignment needs at least two samples per series");
 
-    AlignmentScan scan;
-    scan.period = period;
-    scan.minDelaySamples = min_delay;
-    scan.correlation.reserve(
-        static_cast<std::size_t>(max_delay - min_delay + 1));
+    return scanAlignmentImpl(measurement, nullptr, model, period,
+                             min_delay, max_delay, centered);
+}
 
-    bool first = true;
-    for (long d = min_delay; d <= max_delay; ++d) {
-        double corr =
-            correlationAtDelay(measurement, model, d, centered);
-        scan.correlation.push_back(corr);
-        if (first || corr > scan.bestCorrelation) {
-            scan.bestCorrelation = corr;
-            scan.bestDelaySamples = d;
-            first = false;
-        }
-    }
-    scan.bestDelay = scan.bestDelaySamples * period;
-    return scan;
+AlignmentScan
+scanAlignmentSparse(const std::vector<double> &measurement,
+                    const std::vector<bool> &valid,
+                    const std::vector<double> &model,
+                    sim::SimTime period, long min_delay, long max_delay,
+                    bool centered)
+{
+    util::fatalIf(period <= 0, "alignment period must be positive");
+    util::fatalIf(min_delay > max_delay,
+                  "empty alignment delay range");
+    util::fatalIf(valid.size() != measurement.size(),
+                  "alignment mask length mismatch");
+    util::fatalIf(measurement.size() < 2 || model.size() < 2,
+                  "alignment needs at least two samples per series");
+    return scanAlignmentImpl(measurement, &valid, model, period,
+                             min_delay, max_delay, centered);
 }
 
 sim::SimTime
@@ -176,9 +228,13 @@ scanAlignmentResampled(const std::vector<double> &measurement,
             scan.bestCorrelation = corr;
             scan.bestDelay = d;
             scan.bestDelaySamples = d / model_period;
+            scan.pairsAtBest = xs.size();
             first = false;
         }
     }
+    if (scan.pairsAtBest >= 4)
+        scan.confidence =
+            std::min(1.0, std::max(0.0, scan.bestCorrelation));
     return scan;
 }
 

@@ -34,6 +34,16 @@ struct AlignmentScan
     sim::SimTime bestDelay = 0;
     /** Correlation at the best delay. */
     double bestCorrelation = 0;
+    /** Sample pairs that overlapped at the best delay. */
+    std::size_t pairsAtBest = 0;
+    /**
+     * How much to trust bestDelay, in [0, 1]: the peak Pearson
+     * coefficient clamped to [0, 1], forced to 0 when fewer than four
+     * pairs overlapped or the scan was uncentered. A flat or
+     * degenerate signal scores 0 — callers must not treat such a
+     * delay as recovered (graceful degradation, not fabrication).
+     */
+    double confidence = 0;
 };
 
 /**
@@ -61,6 +71,19 @@ AlignmentScan scanAlignment(const std::vector<double> &measurement,
                             const std::vector<double> &model,
                             sim::SimTime period, long min_delay,
                             long max_delay, bool centered = true);
+
+/**
+ * Like scanAlignment, but tolerant of gaps: `valid[i]` marks whether
+ * measurement[i] holds a real sample; invalid slots (dropped meter
+ * readings, outages) are excluded from every correlation window.
+ * With an all-true mask the result is bit-identical to
+ * scanAlignment. Both vectors must be the same length.
+ */
+AlignmentScan scanAlignmentSparse(
+    const std::vector<double> &measurement,
+    const std::vector<bool> &valid, const std::vector<double> &model,
+    sim::SimTime period, long min_delay, long max_delay,
+    bool centered = true);
 
 /**
  * Convenience: estimate the measurement delay (in time) scanning

@@ -203,16 +203,39 @@ OnlineRecalibrator::alignNow()
     util::panicIf(period != sampler_.period(),
                   "sampler and meter periods must match");
 
-    std::vector<double> measured;
-    measured.reserve(measurements_.size());
+    // Faults can drop, duplicate, or jitter deliveries, so arrivals
+    // are not necessarily one per period: grid the measurements onto
+    // period-spaced slots by arrival time and mask out the holes
+    // instead of assuming sample i arrived i periods after the first.
+    sim::SimTime tm0 = measurements_.front().arrivedAt;
     for (const MeasuredSample &m : measurements_)
-        measured.push_back(m.watts);
+        tm0 = std::min(tm0, m.arrivedAt);
+    auto slot = [&](const MeasuredSample &m) {
+        return static_cast<long>(
+            std::llround(static_cast<double>(m.arrivedAt - tm0) /
+                         static_cast<double>(period)));
+    };
+    long span = 0;
+    for (const MeasuredSample &m : measurements_)
+        span = std::max(span, slot(m));
+    if (span + 1 > (1L << 20))
+        return; // pathological spread; keep the last good alignment
+    std::vector<double> measured(static_cast<std::size_t>(span + 1),
+                                 0.0);
+    std::vector<bool> have(static_cast<std::size_t>(span + 1), false);
+    for (const MeasuredSample &m : measurements_) {
+        std::size_t idx = static_cast<std::size_t>(slot(m));
+        // First delivery wins a slot: duplicates are ignored here.
+        if (!have[idx] && std::isfinite(m.watts)) {
+            measured[idx] = m.watts;
+            have[idx] = true;
+        }
+    }
     std::vector<double> modeled = sampler_.modeledSeries();
 
     // The two series start at different wall-clock times; fold the
     // start offset into the scanned delay so the reported delay is
     // the physical measurement lag.
-    sim::SimTime tm0 = measurements_.front().arrivedAt;
     sim::SimTime tj0 = sampler_.windows().front().end;
     long start_offset = static_cast<long>(
         std::llround(static_cast<double>(tm0 - tj0) /
@@ -222,8 +245,17 @@ OnlineRecalibrator::alignNow()
     if (min_d > max_d)
         return;
 
-    AlignmentScan scan = scanAlignment(measured, modeled, period,
-                                       min_d, max_d, true);
+    AlignmentScan scan = scanAlignmentSparse(measured, have, modeled,
+                                             period, min_d, max_d,
+                                             true);
+    lastAlignmentConfidence_ = scan.confidence;
+    if (scan.confidence < cfg_.minAlignmentConfidence) {
+        // Report, don't fabricate: a flat or fault-riddled signal
+        // keeps the previous delay estimate (and stays unaligned if
+        // no scan ever succeeded).
+        ++lowConfidenceAlignments_;
+        return;
+    }
     delay_ = (scan.bestDelaySamples + start_offset) * period;
     aligned_ = true;
 }
@@ -247,12 +279,22 @@ OnlineRecalibrator::absorbAlignedSamples()
         long idx = static_cast<long>(std::llround(
             static_cast<double>(physical_end - first_end) /
             static_cast<double>(period)));
-        if (idx < 0 || idx >= static_cast<long>(windows.size()))
+        if (idx >= static_cast<long>(windows.size()))
+            continue; // window not sampled yet; retry next tick
+        if (idx < 0 || !std::isfinite(m.watts)) {
+            // Permanently unmatchable (pre-history) or corrupt:
+            // consume it so a faulty meter cannot wedge absorption.
+            ++samplesRejected_;
+            absorbedUpTo_ = m.arrivedAt;
             continue;
+        }
         const ModelPowerSampler::Window &w =
             windows[static_cast<std::size_t>(idx)];
-        if (std::llabs(w.end - physical_end) > period / 2)
+        if (std::llabs(w.end - physical_end) > period / 2) {
+            ++samplesRejected_;
+            absorbedUpTo_ = m.arrivedAt;
             continue;
+        }
         CalibrationSample sample;
         sample.metrics = w.metrics;
         sample.measuredFullW = m.watts - cfg_.baselineW; // active W
@@ -266,8 +308,14 @@ OnlineRecalibrator::absorbAlignedSamples()
 void
 OnlineRecalibrator::refitNow()
 {
-    if (online_.size() < cfg_.minOnlineSamples)
+    if (online_.size() < cfg_.minOnlineSamples) {
+        // Degrade by refusing: with too little aligned data the
+        // last-good model keeps serving. Counted only once data has
+        // started flowing so an idle warm-up is not noise.
+        if (!online_.empty())
+            ++refitsSkipped_;
         return;
+    }
 
     // Columns: all active features the model uses (no intercept; the
     // targets are already active power).
@@ -303,23 +351,32 @@ OnlineRecalibrator::refitNow()
         add_sample(s, 1.0);
     for (const CalibrationSample &s : online_)
         add_sample(s, online_scale);
-    if (design.rows() < cols.size() + 1)
+    if (design.rows() < cols.size() + 1) {
+        ++refitsSkipped_;
         return;
+    }
 
     linalg::LsqResult fit =
         linalg::solveNonNegativeLeastSquares(design, target);
+    // Sanity-check the whole solution before applying any of it: a
+    // self-calibrating model that drifts negative, non-finite, or
+    // absurdly large silently corrupts every downstream attribution
+    // (the SmartWatts failure mode). Under fault injection a
+    // degenerate design can legitimately produce such a fit — reject
+    // it wholesale and keep serving the last good model.
     for (std::size_t i = 0; i < cols.size(); ++i) {
-        // A self-calibrating model that drifts negative silently
-        // corrupts every downstream attribution (the SmartWatts
-        // failure mode); the solver guarantees non-negativity, so a
-        // violation here is a solver or plumbing bug.
-        PCON_AUDIT_MSG(std::isfinite(fit.coefficients[i]) &&
-                           fit.coefficients[i] >= 0.0,
-                       "refit produced coefficient ",
-                       fit.coefficients[i], " for metric ",
-                       Metrics::name(cols[i]));
-        model_->setCoefficient(cols[i], fit.coefficients[i]);
+        double c = fit.coefficients[i];
+        if (!std::isfinite(c) || c < 0.0 || c > cfg_.maxCoefficientW) {
+            ++refitsRejected_;
+            util::warn("refit rejected: coefficient ", c,
+                       " for metric ", Metrics::name(cols[i]),
+                       " fails sanity bounds; keeping last good "
+                       "model");
+            return;
+        }
     }
+    for (std::size_t i = 0; i < cols.size(); ++i)
+        model_->setCoefficient(cols[i], fit.coefficients[i]);
     ++refits_;
     if (!refitObservers_.empty()) {
         RefitEvent event;

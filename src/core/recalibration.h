@@ -118,6 +118,21 @@ struct RecalibratorConfig
      * sample equally regardless of group size.
      */
     bool balanceGroups = true;
+    /**
+     * Smallest alignment confidence (peak Pearson coefficient, see
+     * AlignmentScan::confidence) at which a scanned delay replaces
+     * the current estimate. Below it the scan is counted as
+     * low-confidence and the last good delay is kept — a flat or
+     * fault-riddled signal must not fabricate an alignment.
+     */
+    double minAlignmentConfidence = 0.35;
+    /**
+     * Upper sanity bound on any single refit coefficient, Watts per
+     * unit metric. A fit that exceeds it (degenerate design under
+     * faults, runaway extrapolation) is rejected wholesale and the
+     * last good model kept.
+     */
+    double maxCoefficientW = 1000.0;
 };
 
 /**
@@ -173,6 +188,29 @@ class OnlineRecalibrator
     /** Number of online samples currently held. */
     std::size_t onlineSampleCount() const { return online_.size(); }
 
+    // --- Graceful-degradation observability -------------------------
+
+    /** Refit ticks skipped: data present but insufficient/degenerate. */
+    std::uint64_t refitsSkipped() const { return refitsSkipped_; }
+
+    /** Refits whose solution failed sanity bounds and was discarded. */
+    std::uint64_t refitsRejected() const { return refitsRejected_; }
+
+    /** Meter samples discarded (non-finite or unmatched windows). */
+    std::uint64_t samplesRejected() const { return samplesRejected_; }
+
+    /** Alignment scans discarded for low confidence. */
+    std::uint64_t lowConfidenceAlignments() const
+    {
+        return lowConfidenceAlignments_;
+    }
+
+    /** Confidence of the most recent alignment scan (0 before any). */
+    double lastAlignmentConfidence() const
+    {
+        return lastAlignmentConfidence_;
+    }
+
     /**
      * Subscribe to completed refits (telemetry/trace export).
      * Observers run in subscription order after the model updates.
@@ -203,6 +241,11 @@ class OnlineRecalibrator
     sim::SimTime delay_ = 0;
     bool aligned_ = false;
     std::uint64_t refits_ = 0;
+    std::uint64_t refitsSkipped_ = 0;
+    std::uint64_t refitsRejected_ = 0;
+    std::uint64_t samplesRejected_ = 0;
+    std::uint64_t lowConfidenceAlignments_ = 0;
+    double lastAlignmentConfidence_ = 0;
     std::deque<MeasuredSample> measurements_;
     /** Arrival time of the newest measurement already absorbed. */
     sim::SimTime absorbedUpTo_ = -1;

@@ -1,0 +1,58 @@
+#include "remote_accounting.h"
+
+#include <cmath>
+
+namespace pcon {
+namespace core {
+
+bool
+RemoteRequestLedger::observe(os::RequestId id,
+                             const os::RequestStatsTag &tag)
+{
+    if (!tag.present) {
+        ++rejectedAbsent_;
+        return false;
+    }
+    if (!std::isfinite(tag.cpuTimeNs) || !std::isfinite(tag.energyJ) ||
+        !std::isfinite(tag.lastPowerW) || tag.cpuTimeNs < 0 ||
+        tag.energyJ < 0) {
+        ++rejectedCorrupt_;
+        return false;
+    }
+    Entry &e = entries_[id];
+    // Cumulative values are monotone at the sender, so a tag that
+    // advances neither is a duplicate or a reordering of one already
+    // merged: drop it whole rather than regress lastPowerW.
+    if (e.updates > 0 && tag.cpuTimeNs <= e.cpuTimeNs &&
+        tag.energyJ <= e.energyJ) {
+        ++rejectedStale_;
+        return false;
+    }
+    if (tag.cpuTimeNs > e.cpuTimeNs)
+        e.cpuTimeNs = tag.cpuTimeNs;
+    if (tag.energyJ > e.energyJ)
+        e.energyJ = tag.energyJ;
+    e.lastPowerW = tag.lastPowerW;
+    ++e.updates;
+    ++accepted_;
+    return true;
+}
+
+RemoteRequestLedger::Entry
+RemoteRequestLedger::entry(os::RequestId id) const
+{
+    auto it = entries_.find(id);
+    return it == entries_.end() ? Entry{} : it->second;
+}
+
+double
+RemoteRequestLedger::totalEnergyJ() const
+{
+    double total = 0;
+    for (const auto &kv : entries_)
+        total += kv.second.energyJ;
+    return total;
+}
+
+} // namespace core
+} // namespace pcon

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Dispatcher-side accounting from piggybacked request statistics
+ * (Section 3.4). Response messages carry each request's *cumulative*
+ * runtime/energy/power on the remote machine; because the values are
+ * cumulative, the correct merge under an unreliable network is a
+ * monotone max — a lost message only delays the next update, a
+ * duplicated or reordered one is absorbed, and a stale or absent tag
+ * must never run a ledger backwards.
+ */
+
+#ifndef PCON_CORE_REMOTE_ACCOUNTING_H
+#define PCON_CORE_REMOTE_ACCOUNTING_H
+
+#include <cstdint>
+#include <map>
+
+#include "os/socket.h"
+
+namespace pcon {
+namespace core {
+
+/**
+ * Per-request cumulative remote statistics, merged monotonically
+ * from (possibly lost, duplicated, reordered, or stale) tagged
+ * messages. The invariant: cpuTimeNs and energyJ never decrease.
+ */
+class RemoteRequestLedger
+{
+  public:
+    /** One request's merged remote view. */
+    struct Entry
+    {
+        /** Largest cumulative on-CPU time seen, nanoseconds. */
+        double cpuTimeNs = 0;
+        /** Largest cumulative attributed energy seen, Joules. */
+        double energyJ = 0;
+        /** Power estimate from the freshest accepted tag, Watts. */
+        double lastPowerW = 0;
+        /** Tags merged into this entry. */
+        std::uint64_t updates = 0;
+    };
+
+    /**
+     * Merge one observed tag. Absent tags (present = false), tags
+     * with non-finite or negative values, and out-of-date tags (both
+     * cumulative values at or below what is already known, i.e. a
+     * reordered or duplicated message) never decrement the entry.
+     * @return true when the entry advanced.
+     */
+    bool observe(os::RequestId id, const os::RequestStatsTag &tag);
+
+    /** Merged view of one request (zero entry when unknown). */
+    Entry entry(os::RequestId id) const;
+
+    /** Sum of merged cumulative energy over all requests, Joules. */
+    double totalEnergyJ() const;
+
+    /** Requests with at least one accepted tag. */
+    std::size_t size() const { return entries_.size(); }
+
+    /** Tags ignored because present was false. */
+    std::uint64_t rejectedAbsent() const { return rejectedAbsent_; }
+
+    /** Tags ignored as duplicates or stale reorderings. */
+    std::uint64_t rejectedStale() const { return rejectedStale_; }
+
+    /** Tags ignored for non-finite or negative values. */
+    std::uint64_t rejectedCorrupt() const { return rejectedCorrupt_; }
+
+    /** Tags accepted (entry advanced). */
+    std::uint64_t accepted() const { return accepted_; }
+
+    /** Drop one request's entry (request fully retired). */
+    void forget(os::RequestId id) { entries_.erase(id); }
+
+  private:
+    // Ordered map: iteration order (totalEnergyJ) must be
+    // deterministic.
+    std::map<os::RequestId, Entry> entries_;
+    std::uint64_t rejectedAbsent_ = 0;
+    std::uint64_t rejectedStale_ = 0;
+    std::uint64_t rejectedCorrupt_ = 0;
+    std::uint64_t accepted_ = 0;
+};
+
+} // namespace core
+} // namespace pcon
+
+#endif // PCON_CORE_REMOTE_ACCOUNTING_H

@@ -1,0 +1,250 @@
+#include "fault_plan.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace pcon {
+namespace fault {
+
+namespace {
+
+/** Trim ASCII whitespace from both ends. */
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = s.find_first_not_of(" \t\r");
+    if (b == std::string::npos)
+        return "";
+    std::size_t e = s.find_last_not_of(" \t\r");
+    return s.substr(b, e - b + 1);
+}
+
+/** Parse a duration token with an ns/us/ms/s suffix. */
+sim::SimTime
+parseDuration(const std::string &token, int line_no)
+{
+    const char *begin = token.c_str();
+    char *end = nullptr;
+    double value = std::strtod(begin, &end);
+    std::string suffix = trim(std::string(end));
+    double scale = 0;
+    if (suffix == "ns")
+        scale = 1;
+    else if (suffix == "us")
+        scale = 1e3;
+    else if (suffix == "ms")
+        scale = 1e6;
+    else if (suffix == "s")
+        scale = 1e9;
+    util::fatalIf(end == begin || scale == 0 || value < 0,
+                  "fault plan line ", line_no, ": bad duration '",
+                  token, "' (want <number><ns|us|ms|s>)");
+    return static_cast<sim::SimTime>(value * scale);
+}
+
+/** Parse a plain number. */
+double
+parseNumber(const std::string &token, int line_no)
+{
+    const char *begin = token.c_str();
+    char *end = nullptr;
+    double value = std::strtod(begin, &end);
+    util::fatalIf(end == begin || !trim(std::string(end)).empty(),
+                  "fault plan line ", line_no, ": bad number '",
+                  token, "'");
+    return value;
+}
+
+/** Render a duration with the coarsest exact suffix. */
+std::string
+renderDuration(sim::SimTime t)
+{
+    auto whole = [&](std::int64_t unit) { return t % unit == 0; };
+    std::ostringstream out;
+    if (t != 0 && whole(1000000000))
+        out << t / 1000000000 << "s";
+    else if (t != 0 && whole(1000000))
+        out << t / 1000000 << "ms";
+    else if (t != 0 && whole(1000))
+        out << t / 1000 << "us";
+    else
+        out << t << "ns";
+    return out.str();
+}
+
+} // namespace
+
+FaultPlan
+FaultPlan::canonical()
+{
+    FaultPlan plan;
+    plan.seed = 42;
+    plan.meter.dropProbability = 0.1;
+    plan.meter.outages.push_back({sim::sec(3), sim::sec(2)});
+    plan.sockets.lossProbability = 0.01;
+    return plan;
+}
+
+FaultPlan
+FaultPlan::parse(const std::string &text)
+{
+    FaultPlan plan;
+    std::istringstream in(text);
+    std::string raw;
+    int line_no = 0;
+    while (std::getline(in, raw)) {
+        ++line_no;
+        std::string line = raw;
+        std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+        std::size_t eq = line.find('=');
+        util::fatalIf(eq == std::string::npos, "fault plan line ",
+                      line_no, ": expected 'key = value', got '",
+                      trim(raw), "'");
+        std::string key = trim(line.substr(0, eq));
+        std::string value = trim(line.substr(eq + 1));
+        util::fatalIf(value.empty(), "fault plan line ", line_no,
+                      ": empty value for '", key, "'");
+
+        if (key == "seed") {
+            plan.seed = static_cast<std::uint64_t>(
+                parseNumber(value, line_no));
+        } else if (key == "meter.drop") {
+            plan.meter.dropProbability = parseNumber(value, line_no);
+        } else if (key == "meter.duplicate") {
+            plan.meter.duplicateProbability =
+                parseNumber(value, line_no);
+        } else if (key == "meter.jitter") {
+            plan.meter.jitterProbability = parseNumber(value, line_no);
+        } else if (key == "meter.max_jitter") {
+            plan.meter.maxJitter = parseDuration(value, line_no);
+        } else if (key == "meter.quantize_w") {
+            plan.meter.quantizeStepW = parseNumber(value, line_no);
+        } else if (key == "meter.outage") {
+            std::size_t space = value.find(' ');
+            util::fatalIf(space == std::string::npos,
+                          "fault plan line ", line_no,
+                          ": meter.outage wants '<start> <duration>'");
+            plan.meter.outages.push_back(
+                {parseDuration(trim(value.substr(0, space)), line_no),
+                 parseDuration(trim(value.substr(space + 1)),
+                               line_no)});
+        } else if (key == "counters.stuck_core") {
+            plan.counters.stuckCore =
+                static_cast<int>(parseNumber(value, line_no));
+        } else if (key == "counters.stuck_from") {
+            plan.counters.stuckFrom = parseDuration(value, line_no);
+        } else if (key == "counters.stuck_for") {
+            plan.counters.stuckFor = parseDuration(value, line_no);
+        } else if (key == "counters.saturate_cycles") {
+            plan.counters.saturateCycles =
+                parseNumber(value, line_no);
+        } else if (key == "socket.loss") {
+            plan.sockets.lossProbability = parseNumber(value, line_no);
+        } else if (key == "socket.duplicate") {
+            plan.sockets.duplicateProbability =
+                parseNumber(value, line_no);
+        } else if (key == "socket.reorder") {
+            plan.sockets.reorderProbability =
+                parseNumber(value, line_no);
+        } else if (key == "socket.reorder_delay") {
+            plan.sockets.reorderDelay = parseDuration(value, line_no);
+        } else if (key == "socket.stale_tag") {
+            plan.sockets.staleTagProbability =
+                parseNumber(value, line_no);
+        } else if (key == "task.kill") {
+            plan.tasks.killAt.push_back(
+                parseDuration(value, line_no));
+        } else if (key == "task.fork_storm_at") {
+            plan.tasks.forkStormAt = parseDuration(value, line_no);
+        } else if (key == "task.fork_storm_tasks") {
+            plan.tasks.forkStormTasks =
+                static_cast<int>(parseNumber(value, line_no));
+        } else if (key == "task.fork_storm_cycles") {
+            plan.tasks.forkStormCycles = parseNumber(value, line_no);
+        } else {
+            util::fatal("fault plan line ", line_no,
+                        ": unknown key '", key, "'");
+        }
+    }
+
+    auto probability = [&](double p, const char *key) {
+        util::fatalIf(p < 0 || p > 1, "fault plan: ", key,
+                      " must be a probability in [0, 1], got ", p);
+    };
+    probability(plan.meter.dropProbability, "meter.drop");
+    probability(plan.meter.duplicateProbability, "meter.duplicate");
+    probability(plan.meter.jitterProbability, "meter.jitter");
+    probability(plan.sockets.lossProbability, "socket.loss");
+    probability(plan.sockets.duplicateProbability, "socket.duplicate");
+    probability(plan.sockets.reorderProbability, "socket.reorder");
+    probability(plan.sockets.staleTagProbability, "socket.stale_tag");
+    return plan;
+}
+
+std::string
+FaultPlan::render() const
+{
+    std::ostringstream out;
+    out << "seed = " << seed << "\n";
+    if (meter.dropProbability > 0)
+        out << "meter.drop = " << meter.dropProbability << "\n";
+    if (meter.duplicateProbability > 0)
+        out << "meter.duplicate = " << meter.duplicateProbability
+            << "\n";
+    if (meter.jitterProbability > 0)
+        out << "meter.jitter = " << meter.jitterProbability << "\n";
+    if (meter.maxJitter > 0)
+        out << "meter.max_jitter = " << renderDuration(meter.maxJitter)
+            << "\n";
+    if (meter.quantizeStepW > 0)
+        out << "meter.quantize_w = " << meter.quantizeStepW << "\n";
+    for (const MeterOutage &o : meter.outages)
+        out << "meter.outage = " << renderDuration(o.start) << " "
+            << renderDuration(o.duration) << "\n";
+    if (counters.stuckCore >= 0) {
+        out << "counters.stuck_core = " << counters.stuckCore << "\n";
+        out << "counters.stuck_from = "
+            << renderDuration(counters.stuckFrom) << "\n";
+        if (counters.stuckFor > 0)
+            out << "counters.stuck_for = "
+                << renderDuration(counters.stuckFor) << "\n";
+    }
+    if (counters.saturateCycles > 0)
+        out << "counters.saturate_cycles = " << counters.saturateCycles
+            << "\n";
+    if (sockets.lossProbability > 0)
+        out << "socket.loss = " << sockets.lossProbability << "\n";
+    if (sockets.duplicateProbability > 0)
+        out << "socket.duplicate = " << sockets.duplicateProbability
+            << "\n";
+    if (sockets.reorderProbability > 0) {
+        out << "socket.reorder = " << sockets.reorderProbability
+            << "\n";
+        out << "socket.reorder_delay = "
+            << renderDuration(sockets.reorderDelay) << "\n";
+    }
+    if (sockets.staleTagProbability > 0)
+        out << "socket.stale_tag = " << sockets.staleTagProbability
+            << "\n";
+    for (sim::SimTime t : tasks.killAt)
+        out << "task.kill = " << renderDuration(t) << "\n";
+    if (tasks.forkStormTasks > 0) {
+        out << "task.fork_storm_at = "
+            << renderDuration(tasks.forkStormAt) << "\n";
+        out << "task.fork_storm_tasks = " << tasks.forkStormTasks
+            << "\n";
+        out << "task.fork_storm_cycles = " << tasks.forkStormCycles
+            << "\n";
+    }
+    return out.str();
+}
+
+} // namespace fault
+} // namespace pcon

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Declarative fault plans. A FaultPlan is a seed plus per-interface
+ * fault rates and scheduled events; the FaultInjector executes it
+ * deterministically against a live system. Plans can be built in
+ * code, parsed from a small line-oriented grammar (see parse), or
+ * taken from canonical() — the reference plan used by the
+ * acceptance tests.
+ */
+
+#ifndef PCON_FAULT_FAULT_PLAN_H
+#define PCON_FAULT_FAULT_PLAN_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace pcon {
+namespace fault {
+
+/** A closed interval during which the meter delivers nothing. */
+struct MeterOutage
+{
+    sim::SimTime start = 0;
+    sim::SimTime duration = 0;
+};
+
+/** Faults applied to hw::PowerMeter sample delivery. */
+struct MeterFaults
+{
+    /** Probability a delivered sample is silently dropped. */
+    double dropProbability = 0;
+    /** Probability a sample is delivered twice. */
+    double duplicateProbability = 0;
+    /** Probability a sample's delivery is delayed by extra jitter. */
+    double jitterProbability = 0;
+    /** Largest extra delivery delay a jittered sample suffers. */
+    sim::SimTime maxJitter = 0;
+    /** Quantization step applied to readings, Watts (0 = off). */
+    double quantizeStepW = 0;
+    /** Transient outages: every sample inside one is dropped. */
+    std::vector<MeterOutage> outages;
+
+    bool
+    any() const
+    {
+        return dropProbability > 0 || duplicateProbability > 0 ||
+            jitterProbability > 0 || quantizeStepW > 0 ||
+            !outages.empty();
+    }
+};
+
+/** Faults applied to one core's hardware counters. */
+struct CounterFaults
+{
+    /** Core whose counter reads are perturbed (-1 = none). */
+    int stuckCore = -1;
+    /** When the core's counters freeze (stuck-at fault). */
+    sim::SimTime stuckFrom = 0;
+    /** How long they stay frozen (0 = forever). */
+    sim::SimTime stuckFor = 0;
+    /**
+     * Saturation cap on per-read cycle counts (0 = off): reads
+     * report at most this many cycles, modeling a narrow or clipped
+     * PMU register.
+     */
+    double saturateCycles = 0;
+
+    bool
+    any() const
+    {
+        return stuckCore >= 0 || saturateCycles > 0;
+    }
+};
+
+/** Faults applied to context-tagged socket segments. */
+struct SocketFaults
+{
+    /** Probability a segment is lost in flight. */
+    double lossProbability = 0;
+    /** Probability a segment is delivered twice. */
+    double duplicateProbability = 0;
+    /** Probability a segment is delayed past its successors. */
+    double reorderProbability = 0;
+    /** Extra delay a reordered segment suffers. */
+    sim::SimTime reorderDelay = sim::msec(2);
+    /**
+     * Probability a segment's piggybacked RequestStatsTag is
+     * replaced by a stale snapshot (the previous tag seen for that
+     * context) or, when none exists, marked absent.
+     */
+    double staleTagProbability = 0;
+
+    bool
+    any() const
+    {
+        return lossProbability > 0 || duplicateProbability > 0 ||
+            reorderProbability > 0 || staleTagProbability > 0;
+    }
+};
+
+/** Scheduled task-level faults. */
+struct TaskFaults
+{
+    /**
+     * Times at which one live request-serving task is killed
+     * mid-request (deepest task bound to a live request context).
+     */
+    std::vector<sim::SimTime> killAt;
+    /** When a fork storm starts (0 = off). */
+    sim::SimTime forkStormAt = 0;
+    /** Tasks spawned by the storm. */
+    int forkStormTasks = 0;
+    /** Compute cycles each storm task burns before exiting. */
+    double forkStormCycles = 2e6;
+
+    bool
+    any() const
+    {
+        return !killAt.empty() || forkStormTasks > 0;
+    }
+};
+
+/**
+ * A complete deterministic fault plan. Same plan + same system seed
+ * => byte-identical fault sequence.
+ */
+struct FaultPlan
+{
+    /** Seed of the injector's private RNG stream. */
+    std::uint64_t seed = 42;
+    MeterFaults meter;
+    CounterFaults counters;
+    SocketFaults sockets;
+    TaskFaults tasks;
+
+    /** True when any fault dimension is active. */
+    bool
+    any() const
+    {
+        return meter.any() || counters.any() || sockets.any() ||
+            tasks.any();
+    }
+
+    /**
+     * The canonical acceptance plan: 10% meter sample loss, one 2 s
+     * meter outage starting at t = 3 s, and 1% tagged-message loss.
+     */
+    static FaultPlan canonical();
+
+    /**
+     * Parse the line-oriented plan grammar. One `key = value` pair
+     * per line; `#` starts a comment. Durations accept ns/us/ms/s
+     * suffixes. Repeatable keys append. Keys:
+     *
+     *   seed = 42
+     *   meter.drop = 0.1
+     *   meter.duplicate = 0.02
+     *   meter.jitter = 0.05
+     *   meter.max_jitter = 3ms
+     *   meter.quantize_w = 0.5
+     *   meter.outage = 3s 2s        # start duration (repeatable)
+     *   counters.stuck_core = 1
+     *   counters.stuck_from = 2s
+     *   counters.stuck_for = 500ms
+     *   counters.saturate_cycles = 1e6
+     *   socket.loss = 0.01
+     *   socket.duplicate = 0.01
+     *   socket.reorder = 0.02
+     *   socket.reorder_delay = 2ms
+     *   socket.stale_tag = 0.05
+     *   task.kill = 4s              # repeatable
+     *   task.fork_storm_at = 5s
+     *   task.fork_storm_tasks = 32
+     *   task.fork_storm_cycles = 2e6
+     *
+     * Fatal on unknown keys or malformed values.
+     */
+    static FaultPlan parse(const std::string &text);
+
+    /** Render as the parse() grammar (only non-default keys). */
+    std::string render() const;
+};
+
+} // namespace fault
+} // namespace pcon
+
+#endif // PCON_FAULT_FAULT_PLAN_H

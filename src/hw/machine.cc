@@ -147,7 +147,16 @@ Machine::readCounters(int core)
 {
     checkCore(core);
     sync();
-    return cores_[core].counters;
+    CounterSnapshot snapshot = cores_[core].counters;
+    if (counterFaultHook_)
+        counterFaultHook_(core, snapshot);
+    return snapshot;
+}
+
+void
+Machine::setCounterFaultHook(CounterFaultHook fn)
+{
+    counterFaultHook_ = std::move(fn);
 }
 
 void

@@ -14,6 +14,7 @@
 #ifndef PCON_HW_MACHINE_H
 #define PCON_HW_MACHINE_H
 
+#include <functional>
 #include <vector>
 
 #include "hw/activity.h"
@@ -110,6 +111,19 @@ class Machine
     CounterSnapshot readCounters(int core);
 
     /**
+     * Rewrites the snapshot readCounters() reports for a core (fault
+     * injection: stuck-at or saturated counters). Operates on the
+     * returned copy only — ground-truth counters and energy are
+     * untouched, exactly like a misbehaving PMU read on real
+     * hardware. Rewrites must keep successive reads monotone.
+     */
+    using CounterFaultHook =
+        std::function<void(int core, CounterSnapshot &snapshot)>;
+
+    /** Install (or clear, with nullptr) the counter fault hook. */
+    void setCounterFaultHook(CounterFaultHook fn);
+
+    /**
      * Add extra counter events to a core (the observer effect of
      * container maintenance itself, Section 3.5).
      */
@@ -143,6 +157,8 @@ class Machine
     sim::Simulation &simulation() { return sim_; }
 
   private:
+    CounterFaultHook counterFaultHook_;
+
     struct CoreState
     {
         bool busy = false;

@@ -48,6 +48,12 @@ PowerMeter::subscribe(Subscriber fn)
 }
 
 void
+PowerMeter::setDeliveryPerturber(DeliveryPerturber fn)
+{
+    perturber_ = std::move(fn);
+}
+
+void
 PowerMeter::trimHistory(std::size_t keep)
 {
     while (history_.size() > keep)
@@ -88,15 +94,32 @@ PowerMeter::tick()
     PCON_AUDIT_MSG(std::isfinite(watts),
                    "meter produced a non-finite sample");
     Sample sample{interval_end, interval_end + timing_.delay, watts};
-    sim.schedule(timing_.delay, [this, sample] {
+    if (perturber_) {
+        for (const Sample &out : perturber_(sample))
+            scheduleDelivery(out);
+    } else {
+        scheduleDelivery(sample);
+    }
+
+    pendingTick_ = sim.schedule(timing_.period, [this] { tick(); });
+}
+
+void
+PowerMeter::scheduleDelivery(const Sample &sample)
+{
+    sim::Simulation &sim = machine_.simulation();
+    sim::SimTime wait = sample.deliveredAt - sim.now();
+    PCON_AUDIT_MSG(wait >= 0,
+                   "meter sample delivery scheduled in the past");
+    if (wait < 0)
+        wait = 0;
+    sim.schedule(wait, [this, sample] {
         history_.push_back(sample);
         if (history_.size() > maxHistory_)
             history_.pop_front();
         for (auto &fn : subscribers_)
             fn(sample);
     });
-
-    pendingTick_ = sim.schedule(timing_.period, [this] { tick(); });
 }
 
 } // namespace hw

@@ -53,6 +53,16 @@ class PowerMeter
     using Subscriber = std::function<void(const Sample &)>;
 
     /**
+     * Rewrites one physical measurement into the list of deliveries
+     * software actually sees (fault injection: dropped, duplicated,
+     * delayed, or quantized samples). Returning an empty vector drops
+     * the sample entirely; `deliveredAt` of each returned sample must
+     * be >= the original's `intervalEnd`.
+     */
+    using DeliveryPerturber =
+        std::function<std::vector<Sample>(const Sample &)>;
+
+    /**
      * @param machine Machine to measure.
      * @param scope Package sum or whole machine.
      * @param timing Reporting period and delivery delay.
@@ -68,6 +78,14 @@ class PowerMeter
 
     /** Register a delivery callback. */
     void subscribe(Subscriber fn);
+
+    /**
+     * Install (or clear, with nullptr) the delivery perturber. At
+     * most one is active; the fault injector owns this hook. Samples
+     * a perturber drops never reach history() or subscribers — they
+     * model measurements the meter never delivered.
+     */
+    void setDeliveryPerturber(DeliveryPerturber fn);
 
     /** All samples delivered so far, oldest first (bounded). */
     const std::deque<Sample> &history() const { return history_; }
@@ -86,6 +104,7 @@ class PowerMeter
 
   private:
     void tick();
+    void scheduleDelivery(const Sample &sample);
     double cumulativeEnergyJ();
 
     Machine &machine_;
@@ -97,6 +116,7 @@ class PowerMeter
     double lastEnergyJ_ = 0;
     std::deque<Sample> history_;
     std::vector<Subscriber> subscribers_;
+    DeliveryPerturber perturber_;
 
     /** History cap; old samples are discarded beyond this. */
     static constexpr std::size_t maxHistory_ = 1 << 20;

@@ -76,6 +76,12 @@ Kernel::statsFor(RequestId context) const
     return statsProvider_(context);
 }
 
+void
+Kernel::setSegmentPerturber(SegmentPerturber fn)
+{
+    segmentPerturber_ = std::move(fn);
+}
+
 TaskId
 Kernel::spawn(std::shared_ptr<TaskLogic> logic, const std::string &name,
               RequestId context, int affinity)
@@ -242,6 +248,19 @@ Kernel::liveTaskCount() const
         if (task->state != TaskState::Exited)
             ++live;
     return live;
+}
+
+std::vector<TaskId>
+Kernel::liveTaskIds() const
+{
+    std::vector<TaskId> ids;
+    ids.reserve(tasks_.size());
+    // NOLINT-DETERMINISM(sorted before returning)
+    for (const auto &[id, task] : tasks_)
+        if (task->state != TaskState::Exited)
+            ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    return ids;
 }
 
 void
@@ -755,6 +774,16 @@ Socket::send(double bytes, RequestId context)
     // the dispatcher reads them off response messages.
     Segment segment{bytes, context, kernel_->statsFor(context)};
     Socket *peer = peer_;
+    if (kernel_->segmentPerturber_) {
+        for (const SegmentDelivery &d :
+             kernel_->segmentPerturber_(segment)) {
+            Segment out = d.segment;
+            peer->kernel_->simulation().schedule(
+                latency_ + d.extraDelay,
+                [peer, out] { peer->deliver(out); });
+        }
+        return;
+    }
     peer->kernel_->simulation().schedule(
         latency_, [peer, segment] { peer->deliver(segment); });
 }

@@ -109,6 +109,20 @@ class Kernel
     RequestStatsTag statsFor(RequestId context) const;
 
     /**
+     * Install (or clear, with nullptr) the outbound segment
+     * perturber (fault injection: loss, duplication, reordering,
+     * stale stats tags). Consulted by Socket::send on every segment
+     * any socket of this kernel sends.
+     */
+    void setSegmentPerturber(SegmentPerturber fn);
+
+    /** The installed segment perturber (may be empty). */
+    const SegmentPerturber &segmentPerturber() const
+    {
+        return segmentPerturber_;
+    }
+
+    /**
      * Create a task.
      * @param logic Behaviour.
      * @param name Debug name.
@@ -185,6 +199,9 @@ class Kernel
     /** Number of live (not exited) tasks. */
     std::size_t liveTaskCount() const;
 
+    /** Ids of live tasks, ascending (deterministic enumeration). */
+    std::vector<TaskId> liveTaskIds() const;
+
     /** Drop records of exited tasks nobody waits for. */
     void reapExited();
 
@@ -255,6 +272,7 @@ class Kernel
     std::function<int(const Task &)> dutyPolicy_;
     std::function<int(const Task &)> pstatePolicy_;
     std::function<RequestStatsTag(RequestId)> statsProvider_;
+    SegmentPerturber segmentPerturber_;
 
     std::unordered_map<TaskId, std::unique_ptr<Task>> tasks_;
     TaskId nextTaskId_ = 1;

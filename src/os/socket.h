@@ -16,6 +16,7 @@
 
 #include <deque>
 #include <functional>
+#include <vector>
 
 #include "os/request_context.h"
 #include "sim/time.h"
@@ -52,6 +53,26 @@ struct Segment
     /** Sender-side container statistics (cross-machine accounting). */
     RequestStatsTag stats{};
 };
+
+/**
+ * One delivery a segment perturber asks for: the (possibly rewritten)
+ * segment plus extra latency on top of the link's. Fault injection
+ * uses this to drop (empty vector), duplicate, delay/reorder, or
+ * stale-tag in-flight messages.
+ */
+struct SegmentDelivery
+{
+    sim::SimTime extraDelay = 0;
+    Segment segment{};
+};
+
+/**
+ * Rewrites one sent segment into the deliveries the network actually
+ * makes. Installed per sending kernel (Kernel::setSegmentPerturber);
+ * applies to every outbound segment of that kernel's sockets.
+ */
+using SegmentPerturber =
+    std::function<std::vector<SegmentDelivery>(const Segment &)>;
 
 /**
  * One endpoint of a connected socket pair. Endpoints are owned by the

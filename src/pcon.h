@@ -50,6 +50,10 @@
 // Correctness auditing (contracts + runtime invariant checks).
 #include "audit/invariant_auditor.h"
 
+// Deterministic fault injection.
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
+
 // Telemetry: metrics registry, periodic sampling, Perfetto export,
 // and self-measured accounting overhead.
 #include "telemetry/instrumentation.h"

@@ -182,7 +182,15 @@ SystemTelemetry::watch(core::OnlineRecalibrator &recalibrator)
                 perfetto_->noteRefit(event.index,
                                      event.onlineSamples);
         });
-    registry_.addCollector([this, &recalibrator] {
+    // Degradation counters advance by delta: the recalibrator keeps
+    // cumulative tallies, the registry wants monotone counters.
+    auto last_skipped = std::make_shared<std::uint64_t>(0);
+    auto last_rejected = std::make_shared<std::uint64_t>(0);
+    auto last_samples = std::make_shared<std::uint64_t>(0);
+    auto last_low_conf = std::make_shared<std::uint64_t>(0);
+    registry_.addCollector([this, &recalibrator, last_skipped,
+                            last_rejected, last_samples,
+                            last_low_conf] {
         registry_.gauge("recalibration.delay_ms")
             .set(sim::toMillis(recalibrator.estimatedDelay()));
         registry_.gauge("recalibration.aligned")
@@ -190,6 +198,22 @@ SystemTelemetry::watch(core::OnlineRecalibrator &recalibrator)
         registry_.gauge("recalibration.online_samples")
             .set(static_cast<double>(
                 recalibrator.onlineSampleCount()));
+        registry_.gauge("recalibration.alignment_confidence")
+            .set(recalibrator.lastAlignmentConfidence());
+        auto bump = [this](const char *name, std::uint64_t now_v,
+                           std::uint64_t &last_v) {
+            if (now_v > last_v)
+                registry_.counter(name).add(now_v - last_v);
+            last_v = now_v > last_v ? now_v : last_v;
+        };
+        bump("recalibration.refits_skipped",
+             recalibrator.refitsSkipped(), *last_skipped);
+        bump("recalibration.refits_rejected",
+             recalibrator.refitsRejected(), *last_rejected);
+        bump("recalibration.samples_rejected",
+             recalibrator.samplesRejected(), *last_samples);
+        bump("recalibration.low_confidence_alignments",
+             recalibrator.lowConfidenceAlignments(), *last_low_conf);
     });
 }
 

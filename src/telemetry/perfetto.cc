@@ -75,6 +75,7 @@ constexpr std::int32_t kPidCores = 1;
 constexpr std::int32_t kPidContainers = 2;
 constexpr std::int32_t kPidDevices = 3;
 constexpr std::int32_t kPidRecal = 4;
+constexpr std::int32_t kPidFaults = 5;
 
 } // namespace
 
@@ -279,6 +280,23 @@ PerfettoExporter::noteRefit(std::uint64_t refit_index,
 }
 
 void
+PerfettoExporter::noteFault(const std::string &kind, double magnitude)
+{
+    Event e;
+    e.phase = Event::Phase::Instant;
+    e.ts = kernel_.simulation().now();
+    e.pid = kPidFaults;
+    e.tid = 0;
+    e.name = kind;
+    e.argName = "magnitude";
+    e.argValue = magnitude;
+    e.hasArg = true;
+    push(std::move(e));
+    ++instants_;
+    ++faults_;
+}
+
+void
 PerfettoExporter::finish()
 {
     sim::SimTime now = kernel_.simulation().now();
@@ -289,9 +307,11 @@ PerfettoExporter::finish()
 std::size_t
 PerfettoExporter::trackCount() const
 {
-    // Cores + disk + net + recalibration thread tracks, plus one
-    // counter track per distinct counter name.
-    return open_.size() + 2 + 1 + counterTracks_.size();
+    // Cores + disk + net + recalibration thread tracks, plus the
+    // faults track when faults were injected, plus one counter track
+    // per distinct counter name.
+    return open_.size() + 2 + 1 + (faults_ > 0 ? 1 : 0) +
+        counterTracks_.size();
 }
 
 std::string
@@ -330,6 +350,10 @@ PerfettoExporter::json() const
     meta("thread_name", kPidDevices, 0, true, "disk");
     meta("thread_name", kPidDevices, 1, true, "net");
     meta("thread_name", kPidRecal, 0, true, "refits");
+    if (faults_ > 0) {
+        meta("process_name", kPidFaults, 0, false, "faults");
+        meta("thread_name", kPidFaults, 0, true, "injected");
+    }
 
     for (const Event &e : events_) {
         std::ostringstream obj;

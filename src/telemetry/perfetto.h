@@ -83,6 +83,14 @@ class PerfettoExporter : public os::KernelHooks
     void noteRefit(std::uint64_t refit_index,
                    std::size_t online_samples);
 
+    /**
+     * Record a fault-injection marker (wire to fault::FaultInjector).
+     * The "faults" process track (pid 5) appears in the rendered
+     * trace only when at least one fault was recorded, so fault-free
+     * traces stay byte-identical to pre-fault-subsystem ones.
+     */
+    void noteFault(const std::string &kind, double magnitude);
+
     /** Close slices still open (cores running at capture end). */
     void finish();
 
@@ -95,8 +103,11 @@ class PerfettoExporter : public os::KernelHooks
     /** Completed scheduling slices recorded. */
     std::size_t sliceCount() const { return slices_; }
 
-    /** Instant events recorded (rebinds + I/O + refits). */
+    /** Instant events recorded (rebinds + I/O + refits + faults). */
     std::size_t instantCount() const { return instants_; }
+
+    /** Fault-injection instants recorded. */
+    std::size_t faultCount() const { return faults_; }
 
     /** Counter samples recorded (actuations + container power). */
     std::size_t counterCount() const { return counters_; }
@@ -152,6 +163,7 @@ class PerfettoExporter : public os::KernelHooks
     std::size_t slices_ = 0;
     std::size_t instants_ = 0;
     std::size_t counters_ = 0;
+    std::size_t faults_ = 0;
 };
 
 } // namespace telemetry

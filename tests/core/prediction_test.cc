@@ -1,0 +1,121 @@
+/**
+ * @file
+ * CompositionPredictor unit tests: the containers prediction is the
+ * rate-weighted profile energy sum, the baselines scale as
+ * documented, and degenerate inputs (no cores, empty compositions,
+ * unknown types, zero original rate) fail loudly instead of
+ * fabricating numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/prediction.h"
+#include "util/logging.h"
+
+namespace pcon {
+namespace {
+
+core::RequestRecord
+record(const std::string &type, double energy_j, double cpu_ns)
+{
+    core::RequestRecord r;
+    r.type = type;
+    r.cpuEnergyJ = energy_j;
+    r.cpuTimeNs = cpu_ns;
+    r.completed = sim::msec(10);
+    return r;
+}
+
+core::ProfileTable
+twoTypeTable()
+{
+    core::ProfileTable table;
+    table.add(record("light", 0.5, 1e7)); // 0.5 J, 10 ms CPU
+    table.add(record("heavy", 4.0, 8e7)); // 4 J, 80 ms CPU
+    return table;
+}
+
+core::ObservedWorkload
+observedAt(double light_rate, double heavy_rate)
+{
+    core::ObservedWorkload w;
+    w.composition = {{"light", light_rate}, {"heavy", heavy_rate}};
+    w.activePowerW = light_rate * 0.5 + heavy_rate * 4.0;
+    w.cpuUtilization =
+        (light_rate * 0.01 + heavy_rate * 0.08) / 4.0;
+    return w;
+}
+
+TEST(CompositionPredictor, ContainersPredictionIsEnergyRateSum)
+{
+    core::CompositionPredictor pred(twoTypeTable(),
+                                    observedAt(10, 5), 4);
+    // 20 * 0.5 + 1 * 4.0 = 14 W.
+    EXPECT_DOUBLE_EQ(
+        pred.predictContainers({{"light", 20.0}, {"heavy", 1.0}}),
+        14.0);
+    // An empty composition predicts zero active power.
+    EXPECT_DOUBLE_EQ(pred.predictContainers({}), 0.0);
+}
+
+TEST(CompositionPredictor, RateBaselineIgnoresTypeMix)
+{
+    core::ObservedWorkload w = observedAt(10, 5); // 25 W at 15 req/s
+    core::CompositionPredictor pred(twoTypeTable(), w, 4);
+    // Same total rate, wildly different mix: baseline cannot tell.
+    double all_light =
+        pred.predictRateProportional({{"light", 15.0}});
+    double all_heavy =
+        pred.predictRateProportional({{"heavy", 15.0}});
+    EXPECT_DOUBLE_EQ(all_light, all_heavy);
+    EXPECT_DOUBLE_EQ(all_light, w.activePowerW);
+    // Doubling the rate doubles the baseline.
+    EXPECT_DOUBLE_EQ(
+        pred.predictRateProportional({{"light", 30.0}}),
+        2.0 * w.activePowerW);
+}
+
+TEST(CompositionPredictor, UtilizationPredictionUsesCpuProfiles)
+{
+    core::CompositionPredictor pred(twoTypeTable(),
+                                    observedAt(10, 5), 4);
+    // 100 light req/s * 10 ms = 1 busy-second/s over 4 cores = 0.25.
+    EXPECT_NEAR(pred.predictUtilization({{"light", 100.0}}), 0.25,
+                1e-12);
+    // Utilization prediction can exceed 1 (overload forecast).
+    EXPECT_GT(pred.predictUtilization({{"heavy", 100.0}}), 1.0);
+}
+
+TEST(CompositionPredictor, DegenerateInputsFailLoudly)
+{
+    core::ProfileTable table = twoTypeTable();
+    core::ObservedWorkload w = observedAt(10, 5);
+    EXPECT_THROW(core::CompositionPredictor(table, w, 0),
+                 util::FatalError);
+
+    core::CompositionPredictor pred(table, w, 4);
+    // Unknown type: no profile to predict from.
+    EXPECT_THROW(pred.predictContainers({{"mystery", 1.0}}),
+                 util::FatalError);
+    // Negative rates are nonsense.
+    EXPECT_THROW(pred.predictRateProportional({{"light", -1.0}}),
+                 util::FatalError);
+
+    // Original workload with no requests breaks the rate baseline
+    // (division by zero) but not the containers prediction.
+    core::ObservedWorkload idle;
+    idle.activePowerW = 5.0;
+    idle.cpuUtilization = 0.0;
+    core::CompositionPredictor idle_pred(table, idle, 4);
+    EXPECT_DOUBLE_EQ(
+        idle_pred.predictContainers({{"light", 2.0}}), 1.0);
+    EXPECT_THROW(
+        idle_pred.predictRateProportional({{"light", 2.0}}),
+        util::FatalError);
+    EXPECT_THROW(
+        idle_pred.predictUtilizationProportional({{"light", 2.0}}),
+        util::FatalError);
+}
+
+} // namespace
+} // namespace pcon

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * ProfileTable unit tests: incremental mean folding, per-type
+ * separation, and the empty/unknown-type edge cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/profiles.h"
+#include "util/logging.h"
+
+namespace pcon {
+namespace {
+
+core::RequestRecord
+record(const std::string &type, double energy_j, double cpu_ns,
+       sim::SimTime created, sim::SimTime completed)
+{
+    core::RequestRecord r;
+    r.id = 1;
+    r.type = type;
+    r.created = created;
+    r.completed = completed;
+    r.cpuEnergyJ = energy_j;
+    r.cpuTimeNs = cpu_ns;
+    return r;
+}
+
+TEST(ProfileTable, EmptyTableHasNothing)
+{
+    core::ProfileTable table;
+    EXPECT_TRUE(table.all().empty());
+    EXPECT_FALSE(table.has("read"));
+    EXPECT_THROW(table.profile("read"), util::FatalError);
+}
+
+TEST(ProfileTable, SingleRecordProfileIsThatRecord)
+{
+    core::ProfileTable table;
+    table.add(record("read", 2.0, 3e9, 0, sim::sec(4)));
+    ASSERT_TRUE(table.has("read"));
+    const core::TypeProfile &p = table.profile("read");
+    EXPECT_EQ(p.count, 1u);
+    EXPECT_DOUBLE_EQ(p.meanEnergyJ, 2.0);
+    EXPECT_DOUBLE_EQ(p.meanCpuTimeS, 3.0);
+    EXPECT_DOUBLE_EQ(p.meanResponseS, 4.0);
+}
+
+TEST(ProfileTable, MeansFoldIncrementally)
+{
+    core::ProfileTable table;
+    table.add(record("read", 1.0, 1e9, 0, sim::sec(1)));
+    table.add(record("read", 3.0, 3e9, 0, sim::sec(3)));
+    const core::TypeProfile &p = table.profile("read");
+    EXPECT_EQ(p.count, 2u);
+    EXPECT_DOUBLE_EQ(p.meanEnergyJ, 2.0);
+    EXPECT_DOUBLE_EQ(p.meanCpuTimeS, 2.0);
+    EXPECT_DOUBLE_EQ(p.meanResponseS, 2.0);
+}
+
+TEST(ProfileTable, TypesStaySeparate)
+{
+    core::ProfileTable table;
+    table.add(record("read", 1.0, 1e9, 0, sim::sec(1)));
+    table.add(record("write", 9.0, 2e9, 0, sim::sec(2)));
+    EXPECT_EQ(table.all().size(), 2u);
+    EXPECT_DOUBLE_EQ(table.profile("read").meanEnergyJ, 1.0);
+    EXPECT_DOUBLE_EQ(table.profile("write").meanEnergyJ, 9.0);
+}
+
+TEST(ProfileTable, BatchAddAndClear)
+{
+    core::ProfileTable table;
+    std::vector<core::RequestRecord> batch = {
+        record("read", 1.0, 1e9, 0, sim::sec(1)),
+        record("read", 2.0, 2e9, 0, sim::sec(2)),
+        record("write", 4.0, 1e9, 0, sim::sec(1)),
+    };
+    table.add(batch);
+    EXPECT_EQ(table.profile("read").count, 2u);
+    EXPECT_EQ(table.profile("write").count, 1u);
+    table.clear();
+    EXPECT_TRUE(table.all().empty());
+    EXPECT_FALSE(table.has("read"));
+}
+
+} // namespace
+} // namespace pcon

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * RemoteRequestLedger unit tests: the dispatcher-side cumulative
+ * ledger must be monotone under every way the network can lie —
+ * absent tags, duplicated tags, reordered (out-of-date) tags, and
+ * corrupt values must never run it backwards.
+ */
+
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "core/remote_accounting.h"
+
+namespace pcon {
+namespace {
+
+os::RequestStatsTag
+tag(double cpu_ns, double energy_j, double power_w = 10.0)
+{
+    os::RequestStatsTag t;
+    t.present = true;
+    t.cpuTimeNs = cpu_ns;
+    t.energyJ = energy_j;
+    t.lastPowerW = power_w;
+    return t;
+}
+
+TEST(RemoteRequestLedger, AcceptsAdvancingTags)
+{
+    core::RemoteRequestLedger ledger;
+    EXPECT_TRUE(ledger.observe(7, tag(1e6, 0.5)));
+    EXPECT_TRUE(ledger.observe(7, tag(2e6, 0.9)));
+    core::RemoteRequestLedger::Entry e = ledger.entry(7);
+    EXPECT_DOUBLE_EQ(e.cpuTimeNs, 2e6);
+    EXPECT_DOUBLE_EQ(e.energyJ, 0.9);
+    EXPECT_EQ(e.updates, 2u);
+    EXPECT_EQ(ledger.accepted(), 2u);
+    EXPECT_EQ(ledger.size(), 1u);
+    EXPECT_DOUBLE_EQ(ledger.totalEnergyJ(), 0.9);
+}
+
+TEST(RemoteRequestLedger, AbsentTagNeverDecrements)
+{
+    core::RemoteRequestLedger ledger;
+    ledger.observe(7, tag(2e6, 0.9));
+    os::RequestStatsTag absent; // present = false, zero values
+    EXPECT_FALSE(ledger.observe(7, absent));
+    // The zeros in the absent tag must not have touched the entry.
+    EXPECT_DOUBLE_EQ(ledger.entry(7).energyJ, 0.9);
+    EXPECT_DOUBLE_EQ(ledger.entry(7).cpuTimeNs, 2e6);
+    EXPECT_EQ(ledger.rejectedAbsent(), 1u);
+    // An absent tag for an unknown request creates no entry either.
+    EXPECT_FALSE(ledger.observe(8, absent));
+    EXPECT_EQ(ledger.size(), 1u);
+}
+
+TEST(RemoteRequestLedger, StaleTagNeverDecrements)
+{
+    core::RemoteRequestLedger ledger;
+    ledger.observe(7, tag(2e6, 0.9, 12.0));
+    // A reordered message carrying yesterday's cumulative values.
+    EXPECT_FALSE(ledger.observe(7, tag(1e6, 0.5, 99.0)));
+    core::RemoteRequestLedger::Entry e = ledger.entry(7);
+    EXPECT_DOUBLE_EQ(e.cpuTimeNs, 2e6);
+    EXPECT_DOUBLE_EQ(e.energyJ, 0.9);
+    // Not even the power estimate updates from a stale tag.
+    EXPECT_DOUBLE_EQ(e.lastPowerW, 12.0);
+    EXPECT_EQ(ledger.rejectedStale(), 1u);
+}
+
+TEST(RemoteRequestLedger, DuplicateTagCountsOnce)
+{
+    core::RemoteRequestLedger ledger;
+    os::RequestStatsTag t = tag(2e6, 0.9);
+    EXPECT_TRUE(ledger.observe(7, t));
+    EXPECT_FALSE(ledger.observe(7, t)); // exact duplicate
+    EXPECT_EQ(ledger.entry(7).updates, 1u);
+    EXPECT_EQ(ledger.rejectedStale(), 1u);
+    EXPECT_DOUBLE_EQ(ledger.totalEnergyJ(), 0.9);
+}
+
+TEST(RemoteRequestLedger, PartialAdvanceMergesMonotonically)
+{
+    core::RemoteRequestLedger ledger;
+    ledger.observe(7, tag(2e6, 0.5));
+    // Energy advanced but the cpu figure is older: max-merge keeps
+    // both dimensions monotone.
+    EXPECT_TRUE(ledger.observe(7, tag(1e6, 0.8)));
+    EXPECT_DOUBLE_EQ(ledger.entry(7).cpuTimeNs, 2e6);
+    EXPECT_DOUBLE_EQ(ledger.entry(7).energyJ, 0.8);
+}
+
+TEST(RemoteRequestLedger, CorruptValuesRejected)
+{
+    core::RemoteRequestLedger ledger;
+    ledger.observe(7, tag(2e6, 0.9));
+    EXPECT_FALSE(ledger.observe(
+        7, tag(std::numeric_limits<double>::quiet_NaN(), 1.0)));
+    EXPECT_FALSE(ledger.observe(
+        7, tag(3e6, std::numeric_limits<double>::infinity())));
+    EXPECT_FALSE(ledger.observe(7, tag(-1.0, 1.0)));
+    EXPECT_EQ(ledger.rejectedCorrupt(), 3u);
+    EXPECT_DOUBLE_EQ(ledger.entry(7).energyJ, 0.9);
+}
+
+TEST(RemoteRequestLedger, UnknownAndForgottenEntriesAreZero)
+{
+    core::RemoteRequestLedger ledger;
+    EXPECT_EQ(ledger.entry(42).updates, 0u);
+    ledger.observe(7, tag(1e6, 0.5));
+    ledger.forget(7);
+    EXPECT_EQ(ledger.size(), 0u);
+    EXPECT_DOUBLE_EQ(ledger.totalEnergyJ(), 0.0);
+    // First tag after a forget starts a fresh cumulative view.
+    EXPECT_TRUE(ledger.observe(7, tag(1e5, 0.1)));
+    EXPECT_DOUBLE_EQ(ledger.entry(7).energyJ, 0.1);
+}
+
+} // namespace
+} // namespace pcon

@@ -1,0 +1,365 @@
+/**
+ * @file
+ * FaultInjector unit tests: each fault dimension exercised in
+ * isolation against a tiny world, with determinism (same plan, same
+ * sequence) and telemetry/Perfetto observability checked.
+ */
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fault/fault_injector.h"
+#include "os/task.h"
+#include "sim/simulation.h"
+#include "telemetry/registry.h"
+
+namespace pcon {
+namespace {
+
+using sim::msec;
+using sim::sec;
+
+hw::MachineConfig
+tinyConfig()
+{
+    hw::MachineConfig cfg;
+    cfg.name = "faulttest";
+    cfg.chips = 1;
+    cfg.coresPerChip = 2;
+    cfg.freqGhz = 1.0;
+    cfg.dutyDenom = 8;
+    cfg.truth.machineIdleW = 10.0;
+    cfg.truth.packageIdleW = 1.0;
+    cfg.truth.coreBusyW = 5.0;
+    return cfg;
+}
+
+struct World
+{
+    sim::Simulation sim;
+    hw::Machine machine{sim, tinyConfig()};
+    os::RequestContextManager requests;
+    os::Kernel kernel{machine, requests};
+};
+
+const hw::ActivityVector kSpin{1.0, 0.0, 0.0, 0.0};
+
+/** Logic that computes forever in small bursts. */
+std::shared_ptr<os::TaskLogic>
+spinForever()
+{
+    return std::make_shared<os::ScriptedLogic>(
+        std::vector<os::ScriptedLogic::Step>{
+            [](os::Kernel &, os::Task &, const os::OpResult &)
+                -> os::Op {
+                return os::ComputeOp{kSpin, 1e6};
+            }},
+        /*loop=*/true);
+}
+
+TEST(FaultInjector, MeterDropProbabilityOneDropsEverything)
+{
+    World world;
+    hw::PowerMeter meter(world.machine, hw::MeterScope::Machine,
+                         {msec(1), msec(1)});
+    fault::FaultPlan plan;
+    plan.meter.dropProbability = 1.0;
+    fault::FaultInjector injector(world.sim, plan);
+    injector.attachMeter(meter);
+
+    std::size_t delivered = 0;
+    meter.subscribe([&](const hw::PowerMeter::Sample &) {
+        ++delivered;
+    });
+    meter.start();
+    world.sim.run(msec(50));
+    EXPECT_EQ(delivered, 0u);
+    EXPECT_TRUE(meter.history().empty());
+    EXPECT_GE(injector.counts().meterDropped, 40u);
+}
+
+TEST(FaultInjector, MeterOutageDropsOnlyTheWindow)
+{
+    World world;
+    hw::PowerMeter meter(world.machine, hw::MeterScope::Machine,
+                         {msec(1), msec(1)});
+    fault::FaultPlan plan;
+    plan.meter.outages.push_back({msec(10), msec(5)});
+    fault::FaultInjector injector(world.sim, plan);
+    injector.attachMeter(meter);
+
+    std::vector<hw::PowerMeter::Sample> delivered;
+    meter.subscribe([&](const hw::PowerMeter::Sample &s) {
+        delivered.push_back(s);
+    });
+    meter.start();
+    world.sim.run(msec(30));
+    ASSERT_FALSE(delivered.empty());
+    for (const hw::PowerMeter::Sample &s : delivered) {
+        bool inside =
+            s.intervalEnd >= msec(10) && s.intervalEnd < msec(15);
+        EXPECT_FALSE(inside)
+            << "sample from inside the outage leaked through";
+    }
+    EXPECT_EQ(injector.counts().meterOutageDropped, 5u);
+}
+
+TEST(FaultInjector, MeterDuplicateDeliversTwice)
+{
+    World world;
+    hw::PowerMeter meter(world.machine, hw::MeterScope::Machine,
+                         {msec(1), msec(1)});
+    fault::FaultPlan plan;
+    plan.meter.duplicateProbability = 1.0;
+    fault::FaultInjector injector(world.sim, plan);
+    injector.attachMeter(meter);
+
+    std::size_t delivered = 0;
+    meter.subscribe([&](const hw::PowerMeter::Sample &) {
+        ++delivered;
+    });
+    meter.start();
+    world.sim.run(msec(20));
+    // Stop ticking, then drain the in-flight delayed deliveries so
+    // the delivered count and the duplication tally line up exactly.
+    meter.stop();
+    world.sim.run(msec(25));
+    EXPECT_EQ(delivered, 2 * injector.counts().meterDuplicated);
+    EXPECT_GT(injector.counts().meterDuplicated, 0u);
+}
+
+TEST(FaultInjector, MeterQuantizationRoundsDown)
+{
+    World world;
+    hw::PowerMeter meter(world.machine, hw::MeterScope::Machine,
+                         {msec(1), msec(1)});
+    fault::FaultPlan plan;
+    plan.meter.quantizeStepW = 4.0;
+    fault::FaultInjector injector(world.sim, plan);
+    injector.attachMeter(meter);
+
+    std::vector<double> watts;
+    meter.subscribe([&](const hw::PowerMeter::Sample &s) {
+        watts.push_back(s.watts);
+    });
+    meter.start();
+    world.sim.run(msec(10));
+    ASSERT_FALSE(watts.empty());
+    for (double w : watts)
+        EXPECT_DOUBLE_EQ(w, std::floor(w / 4.0) * 4.0);
+    // Idle machine power (10 W) is not on the 4 W grid.
+    EXPECT_GT(injector.counts().meterQuantized, 0u);
+}
+
+TEST(FaultInjector, CounterStuckFreezesOneCoreOnly)
+{
+    World world;
+    fault::FaultPlan plan;
+    plan.counters.stuckCore = 0;
+    plan.counters.stuckFrom = msec(5);
+    fault::FaultInjector injector(world.sim, plan);
+    injector.attachCounters(world.machine);
+
+    world.kernel.spawn(spinForever(), "spin0", os::NoRequest, 0);
+    world.kernel.spawn(spinForever(), "spin1", os::NoRequest, 1);
+    world.sim.run(msec(10));
+    hw::CounterSnapshot frozen = world.machine.readCounters(0);
+    hw::CounterSnapshot other = world.machine.readCounters(1);
+    world.sim.run(msec(20)); // run() takes an absolute deadline
+    hw::CounterSnapshot frozen2 = world.machine.readCounters(0);
+    hw::CounterSnapshot other2 = world.machine.readCounters(1);
+    // The stuck core reads identical values; its sibling advances.
+    EXPECT_DOUBLE_EQ(frozen2.nonhaltCycles, frozen.nonhaltCycles);
+    EXPECT_DOUBLE_EQ(frozen2.elapsedCycles, frozen.elapsedCycles);
+    EXPECT_GT(other2.nonhaltCycles, other.nonhaltCycles);
+    EXPECT_GT(injector.counts().counterStuckReads, 0u);
+    // Ground truth is untouched: clearing the hook un-sticks reads.
+    world.machine.setCounterFaultHook(nullptr);
+    EXPECT_GT(world.machine.readCounters(0).elapsedCycles,
+              frozen.elapsedCycles);
+}
+
+TEST(FaultInjector, SegmentLossDropsTaggedMessages)
+{
+    World world;
+    fault::FaultPlan plan;
+    plan.sockets.lossProbability = 1.0;
+    fault::FaultInjector injector(world.sim, plan);
+    injector.attachSockets(world.kernel);
+
+    auto [a, b] = world.kernel.socketPair();
+    std::size_t delivered = 0;
+    b->setDeliveryCallback([&](double, os::RequestId) {
+        ++delivered;
+    });
+    for (int i = 0; i < 5; ++i)
+        a->send(100, 1);
+    world.sim.run(msec(5));
+    EXPECT_EQ(delivered, 0u);
+    EXPECT_EQ(injector.counts().segmentsLost, 5u);
+}
+
+TEST(FaultInjector, SegmentDuplicationDeliversTwice)
+{
+    World world;
+    fault::FaultPlan plan;
+    plan.sockets.duplicateProbability = 1.0;
+    fault::FaultInjector injector(world.sim, plan);
+    injector.attachSockets(world.kernel);
+
+    auto [a, b] = world.kernel.socketPair();
+    std::size_t delivered = 0;
+    b->setDeliveryCallback([&](double, os::RequestId) {
+        ++delivered;
+    });
+    a->send(100, 1);
+    world.sim.run(msec(5));
+    EXPECT_EQ(delivered, 2u);
+    EXPECT_EQ(injector.counts().segmentsDuplicated, 1u);
+}
+
+TEST(FaultInjector, StaleTagReplaysThePreviousSnapshot)
+{
+    World world;
+    // The kernel tags outbound segments with per-context cumulative
+    // stats; make them advance per send.
+    double cpu_ns = 0;
+    world.kernel.setStatsProvider([&](os::RequestId) {
+        os::RequestStatsTag tag;
+        tag.present = true;
+        tag.cpuTimeNs = cpu_ns += 1e6;
+        tag.energyJ = cpu_ns * 1e-9;
+        return tag;
+    });
+    fault::FaultPlan plan;
+    plan.sockets.staleTagProbability = 1.0;
+    fault::FaultInjector injector(world.sim, plan);
+    injector.attachSockets(world.kernel);
+
+    auto [a, b] = world.kernel.socketPair();
+    std::vector<os::RequestStatsTag> seen;
+    b->setSegmentCallback([&](const os::Segment &s) {
+        seen.push_back(s.stats);
+    });
+    a->send(100, 1); // no previous tag: delivered absent
+    a->send(100, 1); // previous tag is send #1's
+    a->send(100, 1); // previous tag is send #2's
+    world.sim.run(msec(5));
+    ASSERT_EQ(seen.size(), 3u);
+    EXPECT_FALSE(seen[0].present);
+    ASSERT_TRUE(seen[1].present);
+    EXPECT_DOUBLE_EQ(seen[1].cpuTimeNs, 1e6); // send #1's genuine tag
+    ASSERT_TRUE(seen[2].present);
+    EXPECT_DOUBLE_EQ(seen[2].cpuTimeNs, 2e6); // send #2's genuine tag
+    EXPECT_EQ(injector.counts().segmentsStaleTagged, 3u);
+}
+
+TEST(FaultInjector, ScheduledKillTerminatesAnInRequestTask)
+{
+    World world;
+    fault::FaultPlan plan;
+    plan.tasks.killAt = {msec(5)};
+    fault::FaultInjector injector(world.sim, plan);
+    injector.attachTasks(world.kernel);
+    injector.arm();
+
+    // One idle-context task (must be spared), one in-request task.
+    world.kernel.spawn(spinForever(), "background");
+    os::RequestId req = world.requests.create("job", world.sim.now());
+    os::TaskId victim =
+        world.kernel.spawn(spinForever(), "worker", req);
+    world.sim.run(msec(10));
+    EXPECT_EQ(injector.counts().tasksKilled, 1u);
+    os::Task *task = world.kernel.findTask(victim);
+    ASSERT_NE(task, nullptr);
+    EXPECT_EQ(task->state, os::TaskState::Exited);
+    EXPECT_EQ(world.kernel.liveTaskCount(), 1u);
+}
+
+TEST(FaultInjector, KillWithNoVictimIsANoOp)
+{
+    World world;
+    fault::FaultPlan plan;
+    plan.tasks.killAt = {msec(5)};
+    fault::FaultInjector injector(world.sim, plan);
+    injector.attachTasks(world.kernel);
+    injector.arm();
+    world.kernel.spawn(spinForever(), "background"); // no context
+    world.sim.run(msec(10));
+    EXPECT_EQ(injector.counts().tasksKilled, 0u);
+    EXPECT_EQ(world.kernel.liveTaskCount(), 1u);
+}
+
+TEST(FaultInjector, ForkStormSpawnsAndDrains)
+{
+    World world;
+    fault::FaultPlan plan;
+    plan.tasks.forkStormAt = msec(2);
+    plan.tasks.forkStormTasks = 8;
+    plan.tasks.forkStormCycles = 1e5;
+    fault::FaultInjector injector(world.sim, plan);
+    injector.attachTasks(world.kernel);
+    injector.arm();
+    world.sim.run(msec(1));
+    EXPECT_EQ(injector.counts().stormForks, 0u); // not yet
+    world.sim.run(msec(50));
+    EXPECT_EQ(injector.counts().stormForks, 8u);
+    // Storm tasks compute briefly and exit; nothing lingers.
+    EXPECT_EQ(world.kernel.liveTaskCount(), 0u);
+}
+
+TEST(FaultInjector, SamePlanSameSeedSameSequence)
+{
+    auto run = [](std::uint64_t seed) {
+        World world;
+        hw::PowerMeter meter(world.machine, hw::MeterScope::Machine,
+                             {msec(1), msec(1)});
+        fault::FaultPlan plan;
+        plan.seed = seed;
+        plan.meter.dropProbability = 0.3;
+        fault::FaultInjector injector(world.sim, plan);
+        injector.attachMeter(meter);
+        std::vector<sim::SimTime> arrivals;
+        meter.subscribe([&](const hw::PowerMeter::Sample &s) {
+            arrivals.push_back(s.deliveredAt);
+        });
+        meter.start();
+        world.sim.run(msec(100));
+        return arrivals;
+    };
+    EXPECT_EQ(run(1), run(1));
+    EXPECT_NE(run(1), run(2));
+}
+
+TEST(FaultInjector, TelemetryAndPerfettoObserveEveryEvent)
+{
+    World world;
+    hw::PowerMeter meter(world.machine, hw::MeterScope::Machine,
+                         {msec(1), msec(1)});
+    telemetry::Registry registry;
+    telemetry::PerfettoExporter exporter(world.kernel);
+    fault::FaultPlan plan;
+    plan.meter.dropProbability = 1.0;
+    fault::FaultInjector injector(world.sim, plan);
+    injector.attachTelemetry(registry);
+    injector.attachPerfetto(exporter);
+    injector.attachMeter(meter);
+    meter.start();
+    world.sim.run(msec(10));
+
+    ASSERT_TRUE(registry.has("fault.meter_dropped"));
+    EXPECT_EQ(registry.counter("fault.meter_dropped").value(),
+              injector.counts().meterDropped);
+    EXPECT_EQ(exporter.faultCount(), injector.counts().total());
+    // The faults process track appears in the rendered trace...
+    EXPECT_NE(exporter.json().find("\"faults\""), std::string::npos);
+    // ...but never in a fault-free trace (byte stability).
+    telemetry::PerfettoExporter clean(world.kernel);
+    EXPECT_EQ(clean.json().find("\"faults\""), std::string::npos);
+}
+
+} // namespace
+} // namespace pcon

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * FaultPlan unit tests: the canonical plan's contents, the parse
+ * grammar (durations, comments, repeatable keys), render/parse
+ * round-tripping, and loud failure on malformed input.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fault/fault_plan.h"
+#include "util/logging.h"
+
+namespace pcon {
+namespace {
+
+TEST(FaultPlan, DefaultPlanIsFaultFree)
+{
+    fault::FaultPlan plan;
+    EXPECT_FALSE(plan.any());
+    EXPECT_FALSE(plan.meter.any());
+    EXPECT_FALSE(plan.counters.any());
+    EXPECT_FALSE(plan.sockets.any());
+    EXPECT_FALSE(plan.tasks.any());
+}
+
+TEST(FaultPlan, CanonicalPlanMatchesTheAcceptanceSpec)
+{
+    fault::FaultPlan plan = fault::FaultPlan::canonical();
+    EXPECT_TRUE(plan.any());
+    EXPECT_EQ(plan.seed, 42u);
+    EXPECT_DOUBLE_EQ(plan.meter.dropProbability, 0.1);
+    ASSERT_EQ(plan.meter.outages.size(), 1u);
+    EXPECT_EQ(plan.meter.outages[0].start, sim::sec(3));
+    EXPECT_EQ(plan.meter.outages[0].duration, sim::sec(2));
+    EXPECT_DOUBLE_EQ(plan.sockets.lossProbability, 0.01);
+    EXPECT_FALSE(plan.counters.any());
+    EXPECT_FALSE(plan.tasks.any());
+}
+
+TEST(FaultPlan, ParsesTheFullGrammar)
+{
+    fault::FaultPlan plan = fault::FaultPlan::parse(
+        "# a comment line\n"
+        "seed = 7\n"
+        "meter.drop = 0.25        # trailing comment\n"
+        "meter.max_jitter = 3ms\n"
+        "meter.jitter = 0.1\n"
+        "meter.outage = 1s 500ms\n"
+        "meter.outage = 4s 250us\n"
+        "counters.stuck_core = 2\n"
+        "counters.stuck_from = 2s\n"
+        "socket.loss = 0.05\n"
+        "socket.stale_tag = 0.02\n"
+        "task.kill = 1500ms\n"
+        "task.kill = 2s\n"
+        "task.fork_storm_at = 3s\n"
+        "task.fork_storm_tasks = 16\n");
+    EXPECT_EQ(plan.seed, 7u);
+    EXPECT_DOUBLE_EQ(plan.meter.dropProbability, 0.25);
+    EXPECT_EQ(plan.meter.maxJitter, sim::msec(3));
+    ASSERT_EQ(plan.meter.outages.size(), 2u);
+    EXPECT_EQ(plan.meter.outages[1].start, sim::sec(4));
+    EXPECT_EQ(plan.meter.outages[1].duration, sim::usec(250));
+    EXPECT_EQ(plan.counters.stuckCore, 2);
+    EXPECT_EQ(plan.counters.stuckFrom, sim::sec(2));
+    EXPECT_DOUBLE_EQ(plan.sockets.staleTagProbability, 0.02);
+    ASSERT_EQ(plan.tasks.killAt.size(), 2u);
+    EXPECT_EQ(plan.tasks.killAt[0], sim::msec(1500));
+    EXPECT_EQ(plan.tasks.forkStormAt, sim::sec(3));
+    EXPECT_EQ(plan.tasks.forkStormTasks, 16);
+    EXPECT_TRUE(plan.any());
+}
+
+TEST(FaultPlan, RenderParsesBackToTheSamePlan)
+{
+    fault::FaultPlan plan = fault::FaultPlan::canonical();
+    plan.meter.jitterProbability = 0.05;
+    plan.meter.maxJitter = sim::msec(2);
+    plan.sockets.staleTagProbability = 0.03;
+    plan.tasks.killAt = {sim::sec(4)};
+
+    fault::FaultPlan again = fault::FaultPlan::parse(plan.render());
+    EXPECT_EQ(again.render(), plan.render());
+    EXPECT_EQ(again.seed, plan.seed);
+    EXPECT_DOUBLE_EQ(again.meter.dropProbability,
+                     plan.meter.dropProbability);
+    EXPECT_EQ(again.meter.maxJitter, plan.meter.maxJitter);
+    ASSERT_EQ(again.meter.outages.size(), 1u);
+    EXPECT_EQ(again.meter.outages[0].duration,
+              plan.meter.outages[0].duration);
+    EXPECT_EQ(again.tasks.killAt, plan.tasks.killAt);
+}
+
+TEST(FaultPlan, MalformedInputFailsLoudly)
+{
+    EXPECT_THROW(fault::FaultPlan::parse("nonsense line\n"),
+                 util::FatalError);
+    EXPECT_THROW(fault::FaultPlan::parse("mystery.key = 1\n"),
+                 util::FatalError);
+    EXPECT_THROW(fault::FaultPlan::parse("meter.drop =\n"),
+                 util::FatalError);
+    // Durations require a unit suffix: a bare number is ambiguous.
+    EXPECT_THROW(fault::FaultPlan::parse("task.kill = 100\n"),
+                 util::FatalError);
+    // Probabilities outside [0, 1] are nonsense.
+    EXPECT_THROW(fault::FaultPlan::parse("meter.drop = 1.5\n"),
+                 util::FatalError);
+    EXPECT_THROW(fault::FaultPlan::parse("socket.loss = -0.1\n"),
+                 util::FatalError);
+    // meter.outage wants two duration tokens.
+    EXPECT_THROW(fault::FaultPlan::parse("meter.outage = 3s\n"),
+                 util::FatalError);
+}
+
+} // namespace
+} // namespace pcon
