@@ -27,6 +27,8 @@
 #include "sim/rng.h"
 #include "telemetry/overhead.h"
 #include "telemetry/registry.h"
+#include "trace/span.h"
+#include "trace/span_tracer.h"
 #include "workloads/experiment.h"
 
 namespace {
@@ -217,6 +219,52 @@ BM_ProfiledAccountingPath(benchmark::State &state)
         state.counters["cycles_per_window_mean"] = win->mean();
 }
 BENCHMARK(BM_ProfiledAccountingPath);
+
+/**
+ * The profiled accounting path with request-span tracing enabled on
+ * top: a SpanTracer registered after the (profiled) container manager
+ * turns every scheduler callback into span bookkeeping as well.
+ * Comparing against BM_ProfiledAccountingPath isolates the
+ * incremental per-context-switch cost of span tracing over plain
+ * container accounting.
+ */
+struct SpanTracedProfiledWorld : ProfiledWorld
+{
+    trace::SpanCollector spans;
+    trace::SpanTracer tracer;
+
+    SpanTracedProfiledWorld() : tracer(kernel, manager, spans, 0)
+    {
+        tracer.traceAll();
+        kernel.addHooks(&tracer);
+        tracer.bindMetrics(registry);
+    }
+};
+
+void
+BM_SpanTracedAccountingPath(benchmark::State &state)
+{
+    SpanTracedProfiledWorld w;
+    sim::SimTime t = w.sim.now();
+    for (auto _ : state) {
+        t += sim::usec(200);
+        w.sim.run(t);
+    }
+    const telemetry::Histogram *sw =
+        w.overheadHistogram("overhead.context_switch_cycles");
+    if (sw != nullptr && sw->count() > 0) {
+        state.counters["switches_profiled"] =
+            static_cast<double>(sw->count());
+        state.counters["cycles_per_switch_mean"] = sw->mean();
+        state.counters["cycles_per_switch_p95"] =
+            sw->quantile(0.95);
+    }
+    state.counters["spans_total"] =
+        static_cast<double>(w.spans.size());
+    state.counters["spans_open"] =
+        static_cast<double>(w.spans.openCount());
+}
+BENCHMARK(BM_SpanTracedAccountingPath);
 
 /** Cross-correlation alignment over a 1024-sample window. */
 void

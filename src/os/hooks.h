@@ -17,6 +17,7 @@ namespace pcon {
 namespace os {
 
 class Task;
+struct Segment;
 
 /**
  * Callbacks invoked by the kernel at accounting-relevant moments.
@@ -83,6 +84,32 @@ class KernelHooks
     onTaskExit(Task &task)
     {
         (void)task;
+    }
+
+    /**
+     * A task forked a child (the child inherits the parent's request
+     * context). Fired after the child is runnable — the child may
+     * already have been switched onto an idle core, so an
+     * onContextSwitch for it can precede this callback. Span tracing
+     * uses this to parent the child's spans under the forking stage.
+     */
+    virtual void
+    onFork(Task &parent, Task &child)
+    {
+        (void)parent; (void)child;
+    }
+
+    /**
+     * A task's pending receive completed: `segment` is the merged
+     * contiguous same-context data it consumed, including the
+     * sender's piggybacked RequestStatsTag (Section 3.4). Fired after
+     * the reader was rebound to the segment's context, so span
+     * tracing can stitch the receive to the sending side's span.
+     */
+    virtual void
+    onSegmentReceived(Task &task, const Segment &segment)
+    {
+        (void)task; (void)segment;
     }
 
     /**

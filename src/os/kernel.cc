@@ -71,9 +71,28 @@ Kernel::setStatsProvider(
 RequestStatsTag
 Kernel::statsFor(RequestId context) const
 {
-    if (!statsProvider_ || context == NoRequest)
-        return RequestStatsTag{};
-    return statsProvider_(context);
+    RequestStatsTag tag{};
+    if (statsProvider_ && context != NoRequest)
+        tag = statsProvider_(context);
+    // The span id travels even without a stats provider: causal
+    // stitching does not require the accounting engine.
+    tag.spanId = spanFor(context);
+    return tag;
+}
+
+void
+Kernel::setSpanProvider(
+    std::function<std::uint64_t(RequestId)> provider)
+{
+    spanProvider_ = std::move(provider);
+}
+
+std::uint64_t
+Kernel::spanFor(RequestId context) const
+{
+    if (!spanProvider_ || context == NoRequest)
+        return 0;
+    return spanProvider_(context);
 }
 
 void
@@ -530,6 +549,8 @@ Kernel::tryRecv(Task *task, const RecvOp &op)
     }
     Segment merged = consumeReadable(socket);
     rebind(task, merged.context);
+    for (auto *h : hooks_)
+        h->onSegmentReceived(*task, merged);
     task->resumeResult = {OpResult::Kind::Received, merged.bytes,
                           merged.context, NoTask};
     return true;
@@ -543,7 +564,13 @@ Kernel::doFork(Task *task, const ForkOp &op)
                          op.name.empty() ? task->name + "-child"
                                          : op.name,
                          task->context);
-    findTask(child)->parent = task->id;
+    Task *child_task = findTask(child);
+    child_task->parent = task->id;
+    // spawn() may already have switched the child onto an idle core
+    // (firing onContextSwitch for it), so hooks that track fork
+    // ancestry must tolerate seeing the child first.
+    for (auto *h : hooks_)
+        h->onFork(*task, *child_task);
     task->resumeResult = {OpResult::Kind::Forked, 0, NoRequest, child};
 }
 
@@ -825,6 +852,8 @@ Kernel::completePendingRecv(Socket *socket)
     socket->waitingReader_ = nullptr;
     Segment merged = consumeReadable(socket);
     rebind(reader, merged.context);
+    for (auto *h : hooks_)
+        h->onSegmentReceived(*reader, merged);
     reader->resumeResult = {OpResult::Kind::Received, merged.bytes,
                             merged.context, NoTask};
     makeReady(reader);
@@ -841,7 +870,12 @@ Kernel::consumeReadable(Socket *socket)
         merged.context = socket->rx_.front().context;
         while (!socket->rx_.empty() &&
                socket->rx_.front().context == merged.context) {
-            merged.bytes += socket->rx_.front().bytes;
+            const Segment &front = socket->rx_.front();
+            merged.bytes += front.bytes;
+            // Keep the freshest piggybacked statistics: cumulative
+            // values mean the last-sent tag supersedes earlier ones.
+            if (front.stats.present || front.stats.spanId != 0)
+                merged.stats = front.stats;
             socket->rx_.pop_front();
         }
     } else {
@@ -849,7 +883,10 @@ Kernel::consumeReadable(Socket *socket)
         // arrived tag (wrong across back-to-back requests).
         merged.context = socket->lastArrivedTag_;
         while (!socket->rx_.empty()) {
-            merged.bytes += socket->rx_.front().bytes;
+            const Segment &front = socket->rx_.front();
+            merged.bytes += front.bytes;
+            if (front.stats.present || front.stats.spanId != 0)
+                merged.stats = front.stats;
             socket->rx_.pop_front();
         }
     }

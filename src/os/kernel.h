@@ -109,6 +109,18 @@ class Kernel
     RequestStatsTag statsFor(RequestId context) const;
 
     /**
+     * Install the provider of the current causal span id for a
+     * context (trace::SpanTracer installs this). The id is stamped
+     * into every outgoing segment's RequestStatsTag so receivers can
+     * stitch child spans across machines; 0 means "no span".
+     */
+    void setSpanProvider(
+        std::function<std::uint64_t(RequestId)> provider);
+
+    /** Current span id for a context (0 without a provider). */
+    std::uint64_t spanFor(RequestId context) const;
+
+    /**
      * Install (or clear, with nullptr) the outbound segment
      * perturber (fault injection: loss, duplication, reordering,
      * stale stats tags). Consulted by Socket::send on every segment
@@ -272,6 +284,7 @@ class Kernel
     std::function<int(const Task &)> dutyPolicy_;
     std::function<int(const Task &)> pstatePolicy_;
     std::function<RequestStatsTag(RequestId)> statsProvider_;
+    std::function<std::uint64_t(RequestId)> spanProvider_;
     SegmentPerturber segmentPerturber_;
 
     std::unordered_map<TaskId, std::unique_ptr<Task>> tasks_;

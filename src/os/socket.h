@@ -43,6 +43,13 @@ struct RequestStatsTag
     double energyJ = 0;
     /** Most recent power estimate, Watts. */
     double lastPowerW = 0;
+    /**
+     * Sender-side causal span (trace::SpanId; 0 = none). Rides the
+     * same piggyback channel as the statistics so a receiving span
+     * tracer can stitch cross-machine child spans to their parent
+     * (set via Kernel::setSpanProvider).
+     */
+    std::uint64_t spanId = 0;
 };
 
 /** One buffered message with its request-context tag. */

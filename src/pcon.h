@@ -62,6 +62,13 @@
 #include "telemetry/registry.h"
 #include "telemetry/sampler.h"
 
+// Causal request-span tracing with per-span energy attribution.
+#include "trace/export.h"
+#include "trace/report.h"
+#include "trace/span.h"
+#include "trace/span_json.h"
+#include "trace/span_tracer.h"
+
 // Workloads and experiment harnesses.
 #include "workloads/app.h"
 #include "workloads/apps.h"

@@ -76,6 +76,8 @@ constexpr std::int32_t kPidContainers = 2;
 constexpr std::int32_t kPidDevices = 3;
 constexpr std::int32_t kPidRecal = 4;
 constexpr std::int32_t kPidFaults = 5;
+/** Span process for machine M is pid kPidSpansBase + M. */
+constexpr std::int32_t kPidSpansBase = 10;
 
 } // namespace
 
@@ -297,6 +299,48 @@ PerfettoExporter::noteFault(const std::string &kind, double magnitude)
 }
 
 void
+PerfettoExporter::addSpanSlice(int machine, int lane,
+                               sim::SimTime start, sim::SimTime dur,
+                               const std::string &name,
+                               const std::string &arg_name,
+                               double arg_value)
+{
+    Event e;
+    e.phase = Event::Phase::Slice;
+    e.ts = start;
+    e.dur = dur;
+    e.pid = kPidSpansBase + machine;
+    e.tid = lane;
+    e.name = name;
+    e.category = "span";
+    e.argName = arg_name;
+    e.argValue = arg_value;
+    e.hasArg = !arg_name.empty();
+    push(std::move(e));
+    ++spanSlices_;
+    int &lanes = spanLanes_[machine];
+    lanes = std::max(lanes, lane + 1);
+}
+
+void
+PerfettoExporter::addSpanFlow(std::uint64_t flow_id, bool start,
+                              int machine, int lane, sim::SimTime ts)
+{
+    Event e;
+    e.phase = start ? Event::Phase::FlowStart
+                    : Event::Phase::FlowFinish;
+    e.ts = ts;
+    e.pid = kPidSpansBase + machine;
+    e.tid = lane;
+    e.name = "span_link";
+    e.flowId = flow_id;
+    push(std::move(e));
+    ++flows_;
+    int &lanes = spanLanes_[machine];
+    lanes = std::max(lanes, lane + 1);
+}
+
+void
 PerfettoExporter::finish()
 {
     sim::SimTime now = kernel_.simulation().now();
@@ -309,9 +353,13 @@ PerfettoExporter::trackCount() const
 {
     // Cores + disk + net + recalibration thread tracks, plus the
     // faults track when faults were injected, plus one counter track
-    // per distinct counter name.
+    // per distinct counter name, plus one lane track per span
+    // machine when spans were exported.
+    std::size_t span_lanes = 0;
+    for (const auto &kv : spanLanes_)
+        span_lanes += static_cast<std::size_t>(kv.second);
     return open_.size() + 2 + 1 + (faults_ > 0 ? 1 : 0) +
-        counterTracks_.size();
+        counterTracks_.size() + span_lanes;
 }
 
 std::string
@@ -354,13 +402,23 @@ PerfettoExporter::json() const
         meta("process_name", kPidFaults, 0, false, "faults");
         meta("thread_name", kPidFaults, 0, true, "injected");
     }
+    for (const auto &kv : spanLanes_) {
+        std::int32_t pid = kPidSpansBase + kv.first;
+        meta("process_name", pid, 0, false,
+             "machine" + std::to_string(kv.first) + ".spans");
+        for (int lane = 0; lane < kv.second; ++lane)
+            meta("thread_name", pid, lane, true,
+                 "lane" + std::to_string(lane));
+    }
 
     for (const Event &e : events_) {
         std::ostringstream obj;
         obj << "{\"name\":\"" << escapeJson(e.name) << "\"";
         switch (e.phase) {
           case Event::Phase::Slice:
-            obj << ",\"cat\":\"sched\",\"ph\":\"X\",\"ts\":"
+            obj << ",\"cat\":\""
+                << (e.category.empty() ? "sched" : e.category)
+                << "\",\"ph\":\"X\",\"ts\":"
                 << tsJson(e.ts) << ",\"dur\":" << tsJson(e.dur)
                 << ",\"pid\":" << e.pid << ",\"tid\":" << e.tid;
             break;
@@ -372,6 +430,17 @@ PerfettoExporter::json() const
           case Event::Phase::Counter:
             obj << ",\"ph\":\"C\",\"ts\":" << tsJson(e.ts)
                 << ",\"pid\":" << e.pid;
+            break;
+          case Event::Phase::FlowStart:
+            obj << ",\"cat\":\"span\",\"ph\":\"s\",\"id\":"
+                << e.flowId << ",\"ts\":" << tsJson(e.ts)
+                << ",\"pid\":" << e.pid << ",\"tid\":" << e.tid;
+            break;
+          case Event::Phase::FlowFinish:
+            obj << ",\"cat\":\"span\",\"ph\":\"f\",\"bp\":\"e\","
+                << "\"id\":" << e.flowId << ",\"ts\":"
+                << tsJson(e.ts) << ",\"pid\":" << e.pid
+                << ",\"tid\":" << e.tid;
             break;
         }
         if (e.hasArg)

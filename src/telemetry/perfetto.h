@@ -18,6 +18,13 @@
  *   pid 3 "devices"        tid 0 disk, tid 1 net; "i" instants per
  *                          completed I/O with byte counts.
  *   pid 4 "recalibration"  tid 0; "i" instants per model refit.
+ *   pid 5 "faults"         tid 0; "i" instants per injected fault
+ *                          (only when faults fired).
+ *   pid 10+M "machineM.spans"  one thread per overlap lane; "X"
+ *                          slices per request span and "s"/"f" flow
+ *                          events stitching cross-machine spans
+ *                          (trace::exportSpansToPerfetto; the tracks
+ *                          only appear when spans were exported).
  */
 
 #ifndef PCON_TELEMETRY_PERFETTO_H
@@ -91,6 +98,26 @@ class PerfettoExporter : public os::KernelHooks
      */
     void noteFault(const std::string &kind, double magnitude);
 
+    /**
+     * Append one request-span slice on the span process of `machine`
+     * (pid 10+machine, tid = overlap lane). The span tracks and their
+     * metadata appear only when at least one slice or flow was added,
+     * so span-free traces stay byte-identical to earlier ones.
+     * trace::exportSpansToPerfetto drives this.
+     */
+    void addSpanSlice(int machine, int lane, sim::SimTime start,
+                      sim::SimTime dur, const std::string &name,
+                      const std::string &arg_name, double arg_value);
+
+    /**
+     * Append one flow endpoint linking span slices across tracks:
+     * `start` selects ph:"s" (at the sender slice) versus ph:"f"
+     * with bp:"e" (at the receiver slice). Both endpoints of one
+     * `flow_id` draw a single arrow in the Perfetto UI.
+     */
+    void addSpanFlow(std::uint64_t flow_id, bool start, int machine,
+                     int lane, sim::SimTime ts);
+
     /** Close slices still open (cores running at capture end). */
     void finish();
 
@@ -112,6 +139,12 @@ class PerfettoExporter : public os::KernelHooks
     /** Counter samples recorded (actuations + container power). */
     std::size_t counterCount() const { return counters_; }
 
+    /** Flow endpoints recorded (span stitches). */
+    std::size_t flowCount() const { return flows_; }
+
+    /** Request-span slices recorded. */
+    std::size_t spanSliceCount() const { return spanSlices_; }
+
     /** All recorded events (excludes track metadata). */
     std::size_t eventCount() const { return events_.size(); }
 
@@ -125,7 +158,14 @@ class PerfettoExporter : public os::KernelHooks
   private:
     struct Event
     {
-        enum class Phase { Slice, Instant, Counter };
+        enum class Phase
+        {
+            Slice,
+            Instant,
+            Counter,
+            FlowStart,
+            FlowFinish
+        };
         Phase phase = Phase::Instant;
         /** Start (slices) or sample time, nanoseconds. */
         sim::SimTime ts = 0;
@@ -134,6 +174,10 @@ class PerfettoExporter : public os::KernelHooks
         std::int32_t pid = 1;
         std::int32_t tid = 0;
         std::string name;
+        /** Trace-event category; empty selects the phase default. */
+        std::string category;
+        /** Flow binding id (FlowStart/FlowFinish). */
+        std::uint64_t flowId = 0;
         /** Single numeric argument: {argName: argValue}. */
         std::string argName;
         double argValue = 0;
@@ -160,10 +204,14 @@ class PerfettoExporter : public os::KernelHooks
     std::map<std::string, bool> counterTracks_;
     /** Container ids seen by samplePower (track bookkeeping). */
     std::map<os::RequestId, std::string> containersSeen_;
+    /** Machine index -> overlap lanes used (span track metadata). */
+    std::map<int, int> spanLanes_;
     std::size_t slices_ = 0;
     std::size_t instants_ = 0;
     std::size_t counters_ = 0;
     std::size_t faults_ = 0;
+    std::size_t flows_ = 0;
+    std::size_t spanSlices_ = 0;
 };
 
 } // namespace telemetry

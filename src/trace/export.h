@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Span-tree exports: a collapsed-stack energy flamegraph (one
+ * `frame;frame;... value` line per unique root-to-span path, value in
+ * integer microjoules — the format flamegraph.pl and speedscope
+ * consume) and Perfetto span tracks with cross-machine flow arrows
+ * layered into an existing telemetry::PerfettoExporter. Both outputs
+ * are byte-stable for a deterministic simulation run.
+ */
+
+#ifndef PCON_TRACE_EXPORT_H
+#define PCON_TRACE_EXPORT_H
+
+#include <string>
+
+#include "telemetry/perfetto.h"
+#include "trace/span.h"
+
+namespace pcon {
+namespace trace {
+
+/**
+ * Render the collapsed-stack energy flamegraph of every closed span.
+ * Frames are `name` for roots and `m<machine>.<name>` for nested
+ * spans; lines are merged per unique path and sorted
+ * lexicographically, so the output is byte-stable. Values are
+ * llround(energyJ * 1e6) microjoules.
+ */
+std::string renderFlamegraph(const SpanCollector &collector);
+
+/** Write renderFlamegraph() to a file (fatal on I/O errors). */
+void writeFlamegraph(const SpanCollector &collector,
+                     const std::string &path);
+
+/**
+ * Emit every closed span as a slice on the exporter's span tracks
+ * (pid 10+machine, one tid per overlap lane, greedily assigned in
+ * (openedAt, id) order) plus one ph:"s"/"f" flow pair per
+ * cross-machine edge (flow id = the receiving span's id). Call after
+ * the run completes, before exporter.write().
+ */
+void exportSpansToPerfetto(const SpanCollector &collector,
+                           telemetry::PerfettoExporter &exporter);
+
+} // namespace trace
+} // namespace pcon
+
+#endif // PCON_TRACE_EXPORT_H

@@ -1,0 +1,199 @@
+#include "report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+namespace pcon {
+namespace trace {
+
+namespace {
+
+std::string
+fmt(const char *format, double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), format, v);
+    return buf;
+}
+
+/** Energy in joules with microjoule precision. */
+std::string
+joules(double j)
+{
+    return fmt("%.6f", j);
+}
+
+std::string
+millis(sim::SimTime t)
+{
+    return fmt("%.3f", static_cast<double>(t) * 1e-6);
+}
+
+/** Requests ordered by energy desc, id asc on ties. */
+std::vector<os::RequestId>
+rankedRequests(const SpanCollector &collector)
+{
+    std::vector<os::RequestId> ids = collector.requests();
+    std::sort(ids.begin(), ids.end(),
+              [&collector](os::RequestId a, os::RequestId b) {
+                  double ea = collector.requestEnergyJ(a);
+                  double eb = collector.requestEnergyJ(b);
+                  if (ea != eb)
+                      return ea > eb;
+                  return a < b;
+              });
+    return ids;
+}
+
+std::string
+rootName(const SpanCollector &collector, os::RequestId request)
+{
+    SpanId root = collector.rootOf(request);
+    return root != NoSpan ? collector.span(root).name : "?";
+}
+
+sim::SimTime
+requestWall(const SpanCollector &collector, os::RequestId request)
+{
+    sim::SimTime first = 0;
+    sim::SimTime last = 0;
+    bool any = false;
+    for (SpanId id : collector.requestSpans(request)) {
+        const Span &s = collector.span(id);
+        if (s.open)
+            continue;
+        if (!any || s.openedAt < first)
+            first = s.openedAt;
+        if (!any || s.closedAt > last)
+            last = s.closedAt;
+        any = true;
+    }
+    return any ? last - first : 0;
+}
+
+} // namespace
+
+std::string
+reportTopRequests(const SpanCollector &collector, std::size_t top_n)
+{
+    std::ostringstream out;
+    out << "top requests by energy\n"
+        << "rank request name spans machines energy_j wall_ms\n";
+    std::vector<os::RequestId> ids = rankedRequests(collector);
+    std::size_t shown = 0;
+    for (os::RequestId id : ids) {
+        if (shown >= top_n)
+            break;
+        ++shown;
+        std::vector<SpanId> spans = collector.requestSpans(id);
+        std::vector<int> machines;
+        for (SpanId sp : spans) {
+            int m = collector.span(sp).machine;
+            if (std::find(machines.begin(), machines.end(), m) ==
+                machines.end())
+                machines.push_back(m);
+        }
+        out << shown << " " << id << " "
+            << rootName(collector, id) << " " << spans.size() << " "
+            << machines.size() << " "
+            << joules(collector.requestEnergyJ(id)) << " "
+            << millis(requestWall(collector, id)) << "\n";
+    }
+    if (shown == 0)
+        out << "(no spans)\n";
+    return out.str();
+}
+
+std::string
+reportStageBreakdown(const SpanCollector &collector,
+                     os::RequestId request)
+{
+    std::ostringstream out;
+    out << "stages of request " << request << " ("
+        << rootName(collector, request) << ")\n"
+        << "span parent kind machine name energy_j avg_power_w"
+        << " cpu_ms io_bytes\n";
+    double total = 0;
+    for (SpanId id : collector.requestSpans(request)) {
+        const Span &s = collector.span(id);
+        out << s.id << " " << s.parent << " " << spanKindName(s.kind)
+            << " m" << s.machine << " " << s.name << " "
+            << joules(s.energyJ) << " " << fmt("%.3f", s.avgPowerW())
+            << " " << fmt("%.3f", s.cpuTimeNs * 1e-6) << " "
+            << fmt("%.0f", s.ioBytes) << "\n";
+        total += s.energyJ;
+    }
+    out << "total " << joules(total) << "\n";
+    return out.str();
+}
+
+std::string
+reportCriticalPath(const SpanCollector &collector,
+                   os::RequestId request)
+{
+    std::ostringstream out;
+    out << "critical path of request " << request << "\n"
+        << "span kind machine name open_ms close_ms energy_j\n";
+    std::vector<SpanId> path = collector.criticalPath(request);
+    for (SpanId id : path) {
+        const Span &s = collector.span(id);
+        out << s.id << " " << spanKindName(s.kind) << " m"
+            << s.machine << " " << s.name << " " << millis(s.openedAt)
+            << " " << millis(s.closedAt) << " " << joules(s.energyJ)
+            << "\n";
+    }
+    if (path.empty())
+        out << "(no closed spans)\n";
+    return out.str();
+}
+
+std::string
+reportMachineImbalance(const SpanCollector &collector)
+{
+    std::ostringstream out;
+    out << "cross-machine energy imbalance\n"
+        << "request name";
+    std::vector<int> machines = collector.machines();
+    for (int m : machines)
+        out << " m" << m << "_j";
+    out << " dominant_share\n";
+    for (os::RequestId id : collector.requests()) {
+        double total = collector.requestEnergyJ(id);
+        double peak = 0;
+        out << id << " " << rootName(collector, id);
+        for (int m : machines) {
+            double e = collector.machineEnergyJ(id, m);
+            peak = std::max(peak, e);
+            out << " " << joules(e);
+        }
+        out << " " << fmt("%.3f", total > 0 ? peak / total : 0.0)
+            << "\n";
+    }
+    if (collector.requests().empty())
+        out << "(no spans)\n";
+    return out.str();
+}
+
+std::string
+fullReport(const SpanCollector &collector, const ReportOptions &opts)
+{
+    std::ostringstream out;
+    out << reportTopRequests(collector, opts.topN);
+    std::vector<os::RequestId> ids = rankedRequests(collector);
+    if (ids.size() > opts.topN)
+        ids.resize(opts.topN);
+    for (os::RequestId id : ids) {
+        if (opts.stageBreakdown)
+            out << "\n" << reportStageBreakdown(collector, id);
+        if (opts.criticalPath)
+            out << "\n" << reportCriticalPath(collector, id);
+    }
+    if (opts.machineImbalance)
+        out << "\n" << reportMachineImbalance(collector);
+    return out.str();
+}
+
+} // namespace trace
+} // namespace pcon

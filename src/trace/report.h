@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Offline span-tree analysis: the rendering behind `tools/trace_report`.
+ * All functions are pure over a SpanCollector (typically reloaded
+ * from a renderSpanJson dump) and return deterministic text, so the
+ * CLI is a thin wrapper and tests pin the exact output.
+ */
+
+#ifndef PCON_TRACE_REPORT_H
+#define PCON_TRACE_REPORT_H
+
+#include <cstddef>
+#include <string>
+
+#include "trace/span.h"
+
+namespace pcon {
+namespace trace {
+
+/** What fullReport() prints. */
+struct ReportOptions
+{
+    /** Requests listed in the ranking (and detailed below it). */
+    std::size_t topN = 5;
+    /** Include the per-stage breakdown of each listed request. */
+    bool stageBreakdown = true;
+    /** Include the critical path of each listed request. */
+    bool criticalPath = true;
+    /** Include the cross-machine energy imbalance table. */
+    bool machineImbalance = true;
+};
+
+/**
+ * Requests ranked by attributed energy, descending (ties to the
+ * smaller id): rank, request id, root name, span count, machine
+ * count, total energy, wall time.
+ */
+std::string reportTopRequests(const SpanCollector &collector,
+                              std::size_t top_n);
+
+/**
+ * Per-span table of one request (id order): kind, machine, name,
+ * energy, average power, on-CPU time, I/O bytes, plus a totals row
+ * that reproduces the request's ledger sum.
+ */
+std::string reportStageBreakdown(const SpanCollector &collector,
+                                 os::RequestId request);
+
+/** Root-to-last-close chain of one request with per-hop timing. */
+std::string reportCriticalPath(const SpanCollector &collector,
+                               os::RequestId request);
+
+/**
+ * Per-request energy split across machines with the dominant
+ * machine's share — the cross-machine imbalance view for the
+ * heterogeneous-cluster workload.
+ */
+std::string reportMachineImbalance(const SpanCollector &collector);
+
+/** The full report per `opts`. */
+std::string fullReport(const SpanCollector &collector,
+                       const ReportOptions &opts = {});
+
+} // namespace trace
+} // namespace pcon
+
+#endif // PCON_TRACE_REPORT_H

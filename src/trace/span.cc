@@ -1,0 +1,250 @@
+#include "span.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace pcon {
+namespace trace {
+
+using util::panicIf;
+
+const char *
+spanKindName(SpanKind kind)
+{
+    switch (kind) {
+      case SpanKind::Root: return "root";
+      case SpanKind::Stage: return "stage";
+      case SpanKind::Fork: return "fork";
+      case SpanKind::Remote: return "remote";
+      case SpanKind::Io: return "io";
+    }
+    return "stage";
+}
+
+SpanKind
+spanKindFromName(const std::string &name)
+{
+    if (name == "root")
+        return SpanKind::Root;
+    if (name == "stage")
+        return SpanKind::Stage;
+    if (name == "fork")
+        return SpanKind::Fork;
+    if (name == "remote")
+        return SpanKind::Remote;
+    if (name == "io")
+        return SpanKind::Io;
+    util::panic("unknown span kind '", name, "'");
+}
+
+SpanId
+SpanCollector::open(os::RequestId request, int machine,
+                    const std::string &name, SpanKind kind,
+                    SpanId parent, sim::SimTime now)
+{
+    panicIf(request == os::NoRequest, "span without a request");
+    panicIf(parent != NoSpan && !valid(parent),
+            "span parent out of range: ", parent);
+    Span s;
+    s.id = static_cast<SpanId>(spans_.size()) + 1;
+    s.parent = parent;
+    s.request = request;
+    s.machine = machine;
+    s.name = name;
+    s.kind = kind;
+    s.openedAt = now;
+    s.open = true;
+    if (kind == SpanKind::Root) {
+        panicIf(roots_.count(request) != 0,
+                "second root span for request ", request);
+        roots_[request] = s.id;
+    }
+    spans_.push_back(std::move(s));
+    ++openCount_;
+    return spans_.back().id;
+}
+
+void
+SpanCollector::close(SpanId id, sim::SimTime now)
+{
+    Span &s = mutableSpan(id);
+    if (!s.open)
+        return;
+    s.open = false;
+    s.closedAt = now < s.openedAt ? s.openedAt : now;
+    --openCount_;
+}
+
+void
+SpanCollector::reparent(SpanId id, SpanId parent, SpanKind kind,
+                        SpanId remote_parent)
+{
+    Span &s = mutableSpan(id);
+    panicIf(s.kind == SpanKind::Root, "cannot reparent a root span");
+    panicIf(parent != NoSpan && !valid(parent),
+            "reparent target out of range: ", parent);
+    panicIf(parent == id, "span cannot parent itself");
+    s.parent = parent;
+    s.kind = kind;
+    s.remoteParent = remote_parent;
+}
+
+void
+SpanCollector::charge(SpanId id, double energy_j, double cpu_time_ns,
+                      double cycles, double instructions)
+{
+    Span &s = mutableSpan(id);
+    s.energyJ += energy_j;
+    s.cpuTimeNs += cpu_time_ns;
+    s.cycles += cycles;
+    s.instructions += instructions;
+}
+
+void
+SpanCollector::addIoBytes(SpanId id, double bytes)
+{
+    mutableSpan(id).ioBytes += bytes;
+}
+
+const Span &
+SpanCollector::span(SpanId id) const
+{
+    panicIf(!valid(id), "unknown span id ", id);
+    return spans_[static_cast<std::size_t>(id) - 1];
+}
+
+Span &
+SpanCollector::mutableSpan(SpanId id)
+{
+    panicIf(!valid(id), "unknown span id ", id);
+    return spans_[static_cast<std::size_t>(id) - 1];
+}
+
+SpanId
+SpanCollector::rootOf(os::RequestId request) const
+{
+    auto it = roots_.find(request);
+    return it == roots_.end() ? NoSpan : it->second;
+}
+
+std::vector<SpanId>
+SpanCollector::requestSpans(os::RequestId request) const
+{
+    std::vector<SpanId> out;
+    for (const Span &s : spans_)
+        if (s.request == request)
+            out.push_back(s.id);
+    return out;
+}
+
+std::vector<SpanId>
+SpanCollector::children(SpanId id) const
+{
+    std::vector<SpanId> out;
+    for (const Span &s : spans_)
+        if (s.parent == id)
+            out.push_back(s.id);
+    return out;
+}
+
+std::vector<os::RequestId>
+SpanCollector::requests() const
+{
+    std::vector<os::RequestId> out;
+    for (const Span &s : spans_)
+        if (out.empty() ||
+            std::find(out.begin(), out.end(), s.request) == out.end())
+            out.push_back(s.request);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+double
+SpanCollector::requestEnergyJ(os::RequestId request) const
+{
+    double total = 0;
+    for (const Span &s : spans_)
+        if (s.request == request)
+            total += s.energyJ;
+    return total;
+}
+
+double
+SpanCollector::machineEnergyJ(os::RequestId request, int machine) const
+{
+    double total = 0;
+    for (const Span &s : spans_)
+        if (s.request == request && s.machine == machine)
+            total += s.energyJ;
+    return total;
+}
+
+std::vector<int>
+SpanCollector::machines() const
+{
+    std::vector<int> out;
+    for (const Span &s : spans_)
+        if (std::find(out.begin(), out.end(), s.machine) == out.end())
+            out.push_back(s.machine);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::vector<SpanId>
+SpanCollector::criticalPath(os::RequestId request) const
+{
+    auto depth = [this](SpanId id) {
+        std::size_t d = 0;
+        for (SpanId p = span(id).parent; p != NoSpan;
+             p = span(p).parent) {
+            panicIf(d > spans_.size(), "span parent cycle");
+            ++d;
+        }
+        return d;
+    };
+    SpanId last = NoSpan;
+    sim::SimTime last_close = 0;
+    std::size_t last_depth = 0;
+    for (const Span &s : spans_) {
+        if (s.request != request || s.open)
+            continue;
+        // Ties (several spans closed at the same instant — e.g. the
+        // completion sweep) break leaf-ward, then to the smallest id
+        // (the ascending scan), so the root never shadows the final
+        // stage it merely outlives.
+        std::size_t d = depth(s.id);
+        if (last == NoSpan || s.closedAt > last_close ||
+            (s.closedAt == last_close && d > last_depth)) {
+            last = s.id;
+            last_close = s.closedAt;
+            last_depth = d;
+        }
+    }
+    std::vector<SpanId> path;
+    for (SpanId id = last; id != NoSpan; id = span(id).parent) {
+        panicIf(path.size() > spans_.size(), "span parent cycle");
+        path.push_back(id);
+    }
+    std::reverse(path.begin(), path.end());
+    return path;
+}
+
+void
+SpanCollector::addSpan(const Span &span)
+{
+    panicIf(span.id != spans_.size() + 1,
+            "non-dense span id in addSpan: ", span.id);
+    panicIf(span.request == os::NoRequest, "span without a request");
+    if (span.kind == SpanKind::Root) {
+        panicIf(roots_.count(span.request) != 0,
+                "second root span for request ", span.request);
+        roots_[span.request] = span.id;
+    }
+    spans_.push_back(span);
+    if (span.open)
+        ++openCount_;
+}
+
+} // namespace trace
+} // namespace pcon

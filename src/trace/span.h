@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Causal request spans. A request's execution is modeled as a tree of
+ * spans: one root per request, a stage span per (task, binding)
+ * episode, fork spans for children, remote spans for stages stitched
+ * across machines via the RequestStatsTag piggyback, and closed I/O
+ * spans per device operation. Each span accumulates the energy,
+ * on-CPU time, cycles, instructions, and I/O bytes the accounting
+ * engine attributed while it was the request's active span, so the
+ * per-span values partition the container ledger exactly.
+ */
+
+#ifndef PCON_TRACE_SPAN_H
+#define PCON_TRACE_SPAN_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "os/request_context.h"
+#include "sim/time.h"
+
+namespace pcon {
+namespace trace {
+
+/** Span identifier; 0 means "no span". Ids are dense (1..size). */
+using SpanId = std::uint64_t;
+
+/** The null span. */
+constexpr SpanId NoSpan = 0;
+
+/** How a span came to exist (its causal edge to the parent). */
+enum class SpanKind
+{
+    /** The request itself; parentless. */
+    Root,
+    /** A task executing under the request on this machine. */
+    Stage,
+    /** A child process created by fork under the request. */
+    Fork,
+    /** A stage whose causal parent lives on another machine. */
+    Remote,
+    /** One device operation (closed at the completion interrupt). */
+    Io,
+};
+
+/** Stable lower-case name of a span kind ("root", "stage", ...). */
+const char *spanKindName(SpanKind kind);
+
+/** Parse spanKindName output; panics on unknown names. */
+SpanKind spanKindFromName(const std::string &name);
+
+/** One node of a request's causal span tree. */
+struct Span
+{
+    SpanId id = NoSpan;
+    /** Parent span (NoSpan for roots). May span machines. */
+    SpanId parent = NoSpan;
+    /**
+     * For Remote spans: the sender-side span whose segment caused
+     * this one, i.e. the cross-machine flow edge (equals `parent`
+     * unless re-parenting moved the span).
+     */
+    SpanId remoteParent = NoSpan;
+    /** Request this span belongs to. */
+    os::RequestId request = os::NoRequest;
+    /** Machine index the span executed on. */
+    int machine = 0;
+    /** Stage name (task name, device name, or request type). */
+    std::string name;
+    SpanKind kind = SpanKind::Stage;
+    sim::SimTime openedAt = 0;
+    /** Close time; meaningful when !open. */
+    sim::SimTime closedAt = 0;
+    bool open = true;
+
+    /** Attributed energy while this span was active, Joules. */
+    double energyJ = 0;
+    /** Attributed on-CPU time, nanoseconds. */
+    double cpuTimeNs = 0;
+    /** Attributed non-halt cycles. */
+    double cycles = 0;
+    /** Attributed retired instructions. */
+    double instructions = 0;
+    /** Device bytes transferred under this span. */
+    double ioBytes = 0;
+
+    /** Wall duration (0 while open). */
+    sim::SimTime duration() const { return open ? 0 : closedAt - openedAt; }
+
+    /** Attributed energy per second of attributed on-CPU time. */
+    double
+    avgPowerW() const
+    {
+        return cpuTimeNs > 0 ? energyJ / (cpuTimeNs * 1e-9) : 0.0;
+    }
+};
+
+/**
+ * The span store. One collector may be shared by the SpanTracers of
+ * several machines so cross-machine parent edges are ordinary span
+ * ids; everything is deterministic (dense ids in open order, ordered
+ * maps).
+ */
+class SpanCollector
+{
+  public:
+    /** Open a span; returns its id (dense, 1-based). */
+    SpanId open(os::RequestId request, int machine,
+                const std::string &name, SpanKind kind, SpanId parent,
+                sim::SimTime now);
+
+    /** Close a span (idempotent). */
+    void close(SpanId id, sim::SimTime now);
+
+    /**
+     * Re-point a span's causal parent (fork ancestry discovered after
+     * the child was scheduled; segment receipt refining a stage's
+     * parent). `remote_parent` marks a cross-machine edge.
+     */
+    void reparent(SpanId id, SpanId parent, SpanKind kind,
+                  SpanId remote_parent = NoSpan);
+
+    /** Accumulate attributed activity into a span. */
+    void charge(SpanId id, double energy_j, double cpu_time_ns,
+                double cycles, double instructions);
+
+    /** Accumulate device bytes into a span. */
+    void addIoBytes(SpanId id, double bytes);
+
+    /** True when the id names a recorded span. */
+    bool valid(SpanId id) const { return id >= 1 && id <= spans_.size(); }
+
+    /** Look up a span; panics on invalid ids. */
+    const Span &span(SpanId id) const;
+
+    /** All spans, id order (id = index + 1). */
+    const std::vector<Span> &spans() const { return spans_; }
+
+    /** Recorded span count. */
+    std::size_t size() const { return spans_.size(); }
+
+    /** Spans still open. */
+    std::size_t openCount() const { return openCount_; }
+
+    /** Root span of a request (NoSpan when never traced). */
+    SpanId rootOf(os::RequestId request) const;
+
+    /** All span ids of a request, ascending. */
+    std::vector<SpanId> requestSpans(os::RequestId request) const;
+
+    /** Direct children of a span, ascending id. */
+    std::vector<SpanId> children(SpanId id) const;
+
+    /** Requests with at least one span, ascending id. */
+    std::vector<os::RequestId> requests() const;
+
+    /** Total attributed energy across a request's spans, Joules. */
+    double requestEnergyJ(os::RequestId request) const;
+
+    /** Energy of a request's spans on one machine, Joules. */
+    double machineEnergyJ(os::RequestId request, int machine) const;
+
+    /** Machine indices seen across all spans, ascending. */
+    std::vector<int> machines() const;
+
+    /**
+     * Critical path of a request: the root-to-descendant chain ending
+     * at the latest-closing span (ties break to the smaller id).
+     * Empty when the request was never traced.
+     */
+    std::vector<SpanId> criticalPath(os::RequestId request) const;
+
+    /**
+     * Append a fully-formed span (JSON reload). The span's id must be
+     * size() + 1 — panics otherwise so dumps cannot go sparse.
+     */
+    void addSpan(const Span &span);
+
+  private:
+    Span &mutableSpan(SpanId id);
+
+    std::vector<Span> spans_;
+    std::map<os::RequestId, SpanId> roots_;
+    std::size_t openCount_ = 0;
+};
+
+} // namespace trace
+} // namespace pcon
+
+#endif // PCON_TRACE_SPAN_H

@@ -1,0 +1,349 @@
+#include "span_json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace pcon {
+namespace trace {
+
+namespace {
+
+/** Shortest round-trippable decimal rendering of a double. */
+std::string
+numJson(double v)
+{
+    char buf[40];
+    if (v == static_cast<double>(static_cast<long long>(v)) &&
+        v > -1e15 && v < 1e15) {
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+        return buf;
+    }
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    for (int prec = 1; prec < 17; ++prec) {
+        char probe[40];
+        std::snprintf(probe, sizeof(probe), "%.*g", prec, v);
+        if (std::strtod(probe, nullptr) == v)
+            return probe;
+    }
+    return buf;
+}
+
+/** JSON string escape (quotes, backslashes, control characters). */
+std::string
+escapeJson(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Minimal recursive-descent parser over the dump schema. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    SpanCollector
+    parse()
+    {
+        SpanCollector out;
+        expect('{');
+        expectKey("spans");
+        expect('[');
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+        } else {
+            while (true) {
+                Span s = parseSpan();
+                // Density is a dump invariant; a violated one is a
+                // corrupt input, not an internal bug.
+                failIf(s.id != out.size() + 1,
+                       "non-dense span id in dump");
+                out.addSpan(s);
+                skipWs();
+                char c = next();
+                if (c == ']')
+                    break;
+                failIf(c != ',', "expected ',' or ']' in span list");
+            }
+        }
+        expect('}');
+        skipWs();
+        failIf(pos_ != text_.size(), "trailing data after span dump");
+        return out;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const char *why)
+    {
+        util::fatal("span json parse error at byte ", pos_, ": ", why);
+    }
+
+    void
+    failIf(bool cond, const char *why)
+    {
+        if (cond)
+            fail(why);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        failIf(pos_ >= text_.size(), "unexpected end of input");
+        return text_[pos_];
+    }
+
+    char
+    next()
+    {
+        char c = peek();
+        ++pos_;
+        return c;
+    }
+
+    void
+    expect(char c)
+    {
+        skipWs();
+        failIf(next() != c, "unexpected character");
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            char c = next();
+            if (c == '"')
+                return out;
+            if (c == '\\') {
+                char esc = next();
+                switch (esc) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case 'n': out += '\n'; break;
+                  case 't': out += '\t'; break;
+                  case 'r': out += '\r'; break;
+                  case 'u': {
+                    failIf(pos_ + 4 > text_.size(),
+                           "truncated \\u escape");
+                    unsigned value = static_cast<unsigned>(std::strtoul(
+                        text_.substr(pos_, 4).c_str(), nullptr, 16));
+                    pos_ += 4;
+                    failIf(value > 0x7f,
+                           "non-ascii \\u escape unsupported");
+                    out += static_cast<char>(value);
+                    break;
+                  }
+                  default:
+                    fail("unknown escape");
+                }
+            } else {
+                out += c;
+            }
+        }
+    }
+
+    void
+    expectKey(const char *key)
+    {
+        failIf(parseString() != key, "unexpected object key");
+        expect(':');
+    }
+
+    double
+    parseNumber()
+    {
+        skipWs();
+        const char *start = text_.c_str() + pos_;
+        char *end = nullptr;
+        double v = std::strtod(start, &end);
+        failIf(end == start, "expected a number");
+        pos_ += static_cast<std::size_t>(end - start);
+        return v;
+    }
+
+    bool
+    parseBool()
+    {
+        skipWs();
+        if (text_.compare(pos_, 4, "true") == 0) {
+            pos_ += 4;
+            return true;
+        }
+        if (text_.compare(pos_, 5, "false") == 0) {
+            pos_ += 5;
+            return false;
+        }
+        fail("expected true/false");
+    }
+
+    Span
+    parseSpan()
+    {
+        static const char *const kFields[] = {
+            "id", "parent", "remote_parent", "request", "machine",
+            "kind", "name", "opened_ns", "closed_ns", "open",
+            "energy_j", "cpu_time_ns", "cycles", "instructions",
+            "io_bytes"};
+        constexpr unsigned kFieldCount =
+            sizeof(kFields) / sizeof(kFields[0]);
+        Span s;
+        expect('{');
+        bool first = true;
+        unsigned seen = 0;
+        while (true) {
+            skipWs();
+            if (peek() == '}') {
+                ++pos_;
+                break;
+            }
+            if (!first)
+                expect(',');
+            first = false;
+            std::string key = parseString();
+            expect(':');
+            for (unsigned i = 0; i < kFieldCount; ++i) {
+                if (key != kFields[i])
+                    continue;
+                failIf((seen & (1u << i)) != 0,
+                       "duplicate span field");
+                seen |= 1u << i;
+                break;
+            }
+            if (key == "id")
+                s.id = static_cast<SpanId>(parseNumber());
+            else if (key == "parent")
+                s.parent = static_cast<SpanId>(parseNumber());
+            else if (key == "remote_parent")
+                s.remoteParent = static_cast<SpanId>(parseNumber());
+            else if (key == "request")
+                s.request =
+                    static_cast<os::RequestId>(parseNumber());
+            else if (key == "machine")
+                s.machine = static_cast<int>(parseNumber());
+            else if (key == "kind")
+                s.kind = spanKindFromName(parseString());
+            else if (key == "name")
+                s.name = parseString();
+            else if (key == "opened_ns")
+                s.openedAt =
+                    static_cast<sim::SimTime>(parseNumber());
+            else if (key == "closed_ns")
+                s.closedAt =
+                    static_cast<sim::SimTime>(parseNumber());
+            else if (key == "open")
+                s.open = parseBool();
+            else if (key == "energy_j")
+                s.energyJ = parseNumber();
+            else if (key == "cpu_time_ns")
+                s.cpuTimeNs = parseNumber();
+            else if (key == "cycles")
+                s.cycles = parseNumber();
+            else if (key == "instructions")
+                s.instructions = parseNumber();
+            else if (key == "io_bytes")
+                s.ioBytes = parseNumber();
+            else
+                fail("unknown span field");
+        }
+        // Every dump field exactly once — a span object missing any
+        // of them is a corrupt or truncated dump.
+        failIf(seen != (1u << kFieldCount) - 1,
+               "incomplete span object");
+        return s;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+std::string
+renderSpanJson(const SpanCollector &collector)
+{
+    std::ostringstream out;
+    out << "{\"spans\":[";
+    bool first = true;
+    for (const Span &s : collector.spans()) {
+        out << (first ? "\n" : ",\n");
+        first = false;
+        out << "{\"id\":" << s.id << ",\"parent\":" << s.parent
+            << ",\"remote_parent\":" << s.remoteParent
+            << ",\"request\":" << s.request
+            << ",\"machine\":" << s.machine << ",\"kind\":\""
+            << spanKindName(s.kind) << "\",\"name\":\""
+            << escapeJson(s.name) << "\",\"opened_ns\":" << s.openedAt
+            << ",\"closed_ns\":" << s.closedAt << ",\"open\":"
+            << (s.open ? "true" : "false")
+            << ",\"energy_j\":" << numJson(s.energyJ)
+            << ",\"cpu_time_ns\":" << numJson(s.cpuTimeNs)
+            << ",\"cycles\":" << numJson(s.cycles)
+            << ",\"instructions\":" << numJson(s.instructions)
+            << ",\"io_bytes\":" << numJson(s.ioBytes) << "}";
+    }
+    out << "\n]}\n";
+    return out.str();
+}
+
+void
+writeSpanJson(const SpanCollector &collector, const std::string &path)
+{
+    std::ofstream out(path, std::ios::trunc);
+    util::fatalIf(!out, "cannot open '", path, "' for writing");
+    out << renderSpanJson(collector);
+}
+
+SpanCollector
+parseSpanJson(const std::string &json)
+{
+    return Parser(json).parse();
+}
+
+SpanCollector
+loadSpanJson(const std::string &path)
+{
+    std::ifstream in(path);
+    util::fatalIf(!in, "cannot open '", path, "' for reading");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return parseSpanJson(buf.str());
+}
+
+} // namespace trace
+} // namespace pcon

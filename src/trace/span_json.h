@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Deterministic JSON span dump and reload. The dump is the interface
+ * between a traced run and offline analysis (`tools/trace_report`):
+ * one object per span in id order, doubles rendered with the
+ * shortest round-trippable decimal, so the file is byte-stable and
+ * reloading reproduces the collector exactly.
+ */
+
+#ifndef PCON_TRACE_SPAN_JSON_H
+#define PCON_TRACE_SPAN_JSON_H
+
+#include <string>
+
+#include "trace/span.h"
+
+namespace pcon {
+namespace trace {
+
+/** Render every span as `{"spans":[...]}` (one line per span). */
+std::string renderSpanJson(const SpanCollector &collector);
+
+/** Write renderSpanJson() to a file (fatal on I/O errors). */
+void writeSpanJson(const SpanCollector &collector,
+                   const std::string &path);
+
+/**
+ * Reload a renderSpanJson() dump into a fresh collector. The parser
+ * accepts exactly the dump schema (flat span objects with numeric,
+ * string, and boolean fields); anything else is fatal().
+ */
+SpanCollector parseSpanJson(const std::string &json);
+
+/** Read a file and parseSpanJson() it (fatal on I/O errors). */
+SpanCollector loadSpanJson(const std::string &path);
+
+} // namespace trace
+} // namespace pcon
+
+#endif // PCON_TRACE_SPAN_JSON_H

@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -191,6 +192,39 @@ TEST(RequestTracer, RenderAndCsvContainTheStages)
               std::string::npos);
     EXPECT_NE(buf.str().find("io-complete"), std::string::npos);
     std::remove(path.c_str());
+}
+
+TEST(RequestTracer, RenderAndCsvOfAnEmptyRequestAreWellFormed)
+{
+    TraceWorld w;
+    // Traced but never scheduled: zero events.
+    RequestId empty = w.requests.create("empty", w.sim.now());
+    w.tracer.trace(empty);
+    // Never traced at all (and an id that does not even exist).
+    RequestId untraced = w.requests.create("untraced", w.sim.now());
+    RequestId unknown = 9999;
+
+    for (RequestId id : {empty, untraced, unknown}) {
+        // render: exactly the header line, nothing else.
+        std::string text = w.tracer.render(id);
+        ASSERT_FALSE(text.empty());
+        EXPECT_EQ(text.back(), '\n');
+        EXPECT_NE(text.find("time(ms)"), std::string::npos);
+        EXPECT_NE(text.find("energy(J)"), std::string::npos);
+        EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 1);
+
+        // writeCsv: exactly the header row, newline-terminated.
+        std::string path = ::testing::TempDir() + "/empty_trace.csv";
+        w.tracer.writeCsv(id, path);
+        std::ifstream in(path);
+        ASSERT_TRUE(in);
+        std::stringstream buf;
+        buf << in.rdbuf();
+        EXPECT_EQ(buf.str(),
+                  "time_ms,actor,event,core,power_w,"
+                  "cumulative_energy_j,bytes\n");
+        std::remove(path.c_str());
+    }
 }
 
 } // namespace

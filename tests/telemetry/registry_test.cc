@@ -86,6 +86,44 @@ TEST(Histogram, QuantileOfSingleValueIsThatValue)
     EXPECT_DOUBLE_EQ(h.quantile(1.0), 7.0);
 }
 
+// The clamping contract pinned in docs/OBSERVABILITY.md: every
+// quantile of an empty histogram is 0, and every quantile of a
+// single-observation histogram is that observation — even when the
+// observation lands in the overflow bucket or below the first bound,
+// where naive bucket-edge interpolation would fabricate a value.
+TEST(Histogram, EmptyHistogramQuantilesAreZeroForEveryQ)
+{
+    Histogram h({1.0, 10.0, 100.0});
+    for (double q : {0.0, 0.01, 0.25, 0.5, 0.9, 0.99, 1.0})
+        EXPECT_DOUBLE_EQ(h.quantile(q), 0.0) << "q=" << q;
+}
+
+TEST(Histogram, SingleObservationInOverflowBucketIsExact)
+{
+    Histogram h({1.0, 10.0});
+    h.observe(250.0); // beyond the last bound: overflow bucket
+    for (double q : {0.0, 0.5, 1.0})
+        EXPECT_DOUBLE_EQ(h.quantile(q), 250.0) << "q=" << q;
+    EXPECT_DOUBLE_EQ(h.min(), 250.0);
+    EXPECT_DOUBLE_EQ(h.max(), 250.0);
+}
+
+TEST(Histogram, SingleObservationBelowTheFirstBoundIsExact)
+{
+    Histogram h({1.0, 10.0});
+    h.observe(-5.0); // below every bound: first bucket
+    for (double q : {0.0, 0.5, 1.0})
+        EXPECT_DOUBLE_EQ(h.quantile(q), -5.0) << "q=" << q;
+}
+
+TEST(Histogram, QuantileRejectsOutOfRangeQ)
+{
+    Histogram h({1.0});
+    h.observe(0.5);
+    EXPECT_THROW(h.quantile(-0.1), util::FatalError);
+    EXPECT_THROW(h.quantile(1.1), util::FatalError);
+}
+
 TEST(Registry, SameNameSameKindReturnsTheSameInstrument)
 {
     Registry r;

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "os/kernel.h"
+#include "sim/simulation.h"
+#include "trace/export.h"
+#include "trace/report.h"
+
+namespace pcon::trace {
+namespace {
+
+using sim::msec;
+
+/** A hand-built two-machine tree with easy round numbers. */
+SpanCollector
+sampleTree()
+{
+    SpanCollector c;
+    SpanId root = c.open(7, 0, "report", SpanKind::Root, NoSpan, 0);
+    SpanId stage = c.open(7, 0, "frontend", SpanKind::Stage, root,
+                          0);
+    SpanId remote = c.open(7, 1, "worker", SpanKind::Remote, stage,
+                           msec(1));
+    c.reparent(remote, stage, SpanKind::Remote, stage);
+    SpanId io = c.open(7, 1, "disk", SpanKind::Io, remote, msec(2));
+    c.charge(stage, 0.125, 1e6, 2e6, 1.5e6);
+    c.charge(remote, 0.0625, 5e5, 1e6, 7.5e5);
+    c.charge(io, 0.00003, 0, 0, 0);
+    c.addIoBytes(io, 4096);
+    c.close(io, msec(3));
+    c.close(remote, msec(4));
+    c.close(stage, msec(5));
+    c.close(root, msec(5));
+    return c;
+}
+
+TEST(Flamegraph, CollapsedStacksAreMergedSortedAndInMicrojoules)
+{
+    SpanCollector c = sampleTree();
+    EXPECT_EQ(renderFlamegraph(c),
+              "report 0\n"
+              "report;m0.frontend 125000\n"
+              "report;m0.frontend;m1.worker 62500\n"
+              "report;m0.frontend;m1.worker;m1.disk 30\n");
+}
+
+TEST(Flamegraph, OpenSpansAreExcluded)
+{
+    SpanCollector c;
+    SpanId root = c.open(1, 0, "r", SpanKind::Root, NoSpan, 0);
+    c.open(1, 0, "never-closed", SpanKind::Stage, root, 0);
+    c.close(root, msec(1));
+    EXPECT_EQ(renderFlamegraph(c), "r 0\n");
+}
+
+TEST(Flamegraph, PathsWithTheSameFramesMerge)
+{
+    SpanCollector c;
+    SpanId root = c.open(1, 0, "r", SpanKind::Root, NoSpan, 0);
+    SpanId a = c.open(1, 0, "stage", SpanKind::Stage, root, 0);
+    SpanId b = c.open(1, 0, "stage", SpanKind::Stage, root, msec(1));
+    c.charge(a, 1e-6, 0, 0, 0);
+    c.charge(b, 2e-6, 0, 0, 0);
+    c.close(a, msec(1));
+    c.close(b, msec(2));
+    c.close(root, msec(2));
+    EXPECT_EQ(renderFlamegraph(c),
+              "r 0\n"
+              "r;m0.stage 3\n");
+}
+
+TEST(PerfettoSpans, SlicesLanesAndFlowsAreEmitted)
+{
+    SpanCollector c = sampleTree();
+
+    sim::Simulation sim;
+    hw::MachineConfig cfg;
+    cfg.chips = 1;
+    cfg.coresPerChip = 1;
+    hw::Machine machine(sim, cfg);
+    os::RequestContextManager requests;
+    os::Kernel kernel(machine, requests);
+    telemetry::PerfettoExporter exporter(kernel);
+
+    exportSpansToPerfetto(c, exporter);
+    EXPECT_EQ(exporter.spanSliceCount(), 4u);
+    // One cross-machine edge -> one s/f flow pair.
+    EXPECT_EQ(exporter.flowCount(), 2u);
+
+    std::string json = exporter.json();
+    // Span process metadata for both machines.
+    EXPECT_NE(json.find("\"machine0.spans\""), std::string::npos);
+    EXPECT_NE(json.find("\"machine1.spans\""), std::string::npos);
+    // Root slices carry the request id; args carry energy.
+    EXPECT_NE(json.find("\"report #7\""), std::string::npos);
+    EXPECT_NE(json.find("\"energy_uj\""), std::string::npos);
+    // The flow pair: ph:"s" start and ph:"f" binding-point finish.
+    EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"f\",\"bp\":\"e\""),
+              std::string::npos);
+}
+
+TEST(PerfettoSpans, NoSpansMeansNoSpanTracks)
+{
+    sim::Simulation sim;
+    hw::MachineConfig cfg;
+    cfg.chips = 1;
+    cfg.coresPerChip = 1;
+    hw::Machine machine(sim, cfg);
+    os::RequestContextManager requests;
+    os::Kernel kernel(machine, requests);
+    telemetry::PerfettoExporter exporter(kernel);
+    SpanCollector empty;
+    exportSpansToPerfetto(empty, exporter);
+    EXPECT_EQ(exporter.spanSliceCount(), 0u);
+    EXPECT_EQ(exporter.json().find(".spans"), std::string::npos);
+}
+
+TEST(Report, StageBreakdownTotalsReproduceTheLedger)
+{
+    SpanCollector c = sampleTree();
+    std::string breakdown = reportStageBreakdown(c, 7);
+    EXPECT_NE(breakdown.find("total 0.187530"), std::string::npos);
+    EXPECT_NE(breakdown.find("frontend"), std::string::npos);
+    EXPECT_NE(breakdown.find("remote"), std::string::npos);
+    EXPECT_NE(breakdown.find("disk"), std::string::npos);
+}
+
+TEST(Report, TopRequestsRanksByEnergy)
+{
+    SpanCollector c;
+    SpanId r1 = c.open(1, 0, "cheap", SpanKind::Root, NoSpan, 0);
+    SpanId r2 = c.open(2, 0, "hot", SpanKind::Root, NoSpan, 0);
+    c.charge(r1, 0.25, 0, 0, 0);
+    c.charge(r2, 0.75, 0, 0, 0);
+    c.close(r1, msec(1));
+    c.close(r2, msec(2));
+    std::string top = reportTopRequests(c, 5);
+    std::size_t hot = top.find("hot");
+    std::size_t cheap = top.find("cheap");
+    ASSERT_NE(hot, std::string::npos);
+    ASSERT_NE(cheap, std::string::npos);
+    EXPECT_LT(hot, cheap);
+    // topN truncates the ranking.
+    std::string only_one = reportTopRequests(c, 1);
+    EXPECT_NE(only_one.find("hot"), std::string::npos);
+    EXPECT_EQ(only_one.find("cheap"), std::string::npos);
+}
+
+TEST(Report, MachineImbalanceBlamesTheDominantMachine)
+{
+    SpanCollector c = sampleTree();
+    std::string imbalance = reportMachineImbalance(c);
+    EXPECT_NE(imbalance.find("m0_j"), std::string::npos);
+    EXPECT_NE(imbalance.find("0.125000"), std::string::npos);
+    EXPECT_NE(imbalance.find("0.062530"), std::string::npos);
+}
+
+TEST(Report, EmptyCollectorYieldsHeadersOnly)
+{
+    SpanCollector empty;
+    std::string report = fullReport(empty);
+    EXPECT_NE(report.find("top requests by energy"),
+              std::string::npos);
+    std::string path = reportCriticalPath(empty, 42);
+    EXPECT_FALSE(path.empty());
+}
+
+} // namespace
+} // namespace pcon::trace

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "trace/span_json.h"
+#include "util/logging.h"
+
+namespace pcon::trace {
+namespace {
+
+SpanCollector
+sampleTree()
+{
+    SpanCollector c;
+    SpanId root = c.open(7, 0, "report", SpanKind::Root, NoSpan, 0);
+    SpanId stage = c.open(7, 0, "frontend", SpanKind::Stage, root,
+                          sim::msec(1));
+    SpanId remote = c.open(7, 1, "worker \"w\"", SpanKind::Remote,
+                           stage, sim::msec(2));
+    c.reparent(remote, stage, SpanKind::Remote, stage);
+    SpanId io = c.open(7, 1, "disk", SpanKind::Io, remote,
+                       sim::msec(3));
+    c.charge(stage, 0.125, 1e6, 2e6, 1.5e6);
+    c.charge(remote, 0.0625, 5e5, 1e6, 7.5e5);
+    c.addIoBytes(io, 4096);
+    c.close(io, sim::msec(4));
+    c.close(remote, sim::msec(5));
+    c.close(stage, sim::msec(6));
+    c.close(root, sim::msec(6));
+    return c;
+}
+
+TEST(SpanJson, RoundTripReproducesTheCollectorExactly)
+{
+    SpanCollector original = sampleTree();
+    std::string json = renderSpanJson(original);
+    SpanCollector reloaded = parseSpanJson(json);
+
+    ASSERT_EQ(reloaded.size(), original.size());
+    for (SpanId id = 1; id <= original.size(); ++id) {
+        const Span &a = original.span(id);
+        const Span &b = reloaded.span(id);
+        EXPECT_EQ(b.id, a.id);
+        EXPECT_EQ(b.parent, a.parent);
+        EXPECT_EQ(b.remoteParent, a.remoteParent);
+        EXPECT_EQ(b.request, a.request);
+        EXPECT_EQ(b.machine, a.machine);
+        EXPECT_EQ(b.name, a.name);
+        EXPECT_EQ(b.kind, a.kind);
+        EXPECT_EQ(b.openedAt, a.openedAt);
+        EXPECT_EQ(b.closedAt, a.closedAt);
+        EXPECT_EQ(b.open, a.open);
+        EXPECT_DOUBLE_EQ(b.energyJ, a.energyJ);
+        EXPECT_DOUBLE_EQ(b.cpuTimeNs, a.cpuTimeNs);
+        EXPECT_DOUBLE_EQ(b.cycles, a.cycles);
+        EXPECT_DOUBLE_EQ(b.instructions, a.instructions);
+        EXPECT_DOUBLE_EQ(b.ioBytes, a.ioBytes);
+    }
+    EXPECT_EQ(reloaded.rootOf(7), original.rootOf(7));
+    EXPECT_DOUBLE_EQ(reloaded.requestEnergyJ(7),
+                     original.requestEnergyJ(7));
+    // Render is a fixed point: dump -> load -> dump is byte-equal.
+    EXPECT_EQ(renderSpanJson(reloaded), json);
+}
+
+TEST(SpanJson, EmptyCollectorRoundTrips)
+{
+    SpanCollector empty;
+    std::string json = renderSpanJson(empty);
+    SpanCollector reloaded = parseSpanJson(json);
+    EXPECT_EQ(reloaded.size(), 0u);
+    EXPECT_EQ(renderSpanJson(reloaded), json);
+}
+
+TEST(SpanJson, RejectsMalformedInput)
+{
+    EXPECT_THROW(parseSpanJson(""), util::FatalError);
+    EXPECT_THROW(parseSpanJson("{}"), util::FatalError);
+    EXPECT_THROW(parseSpanJson("{\"spans\":}"), util::FatalError);
+    EXPECT_THROW(parseSpanJson("{\"spans\":[{}]}"),
+                 util::FatalError);
+    // Trailing garbage after a valid document.
+    std::string json = renderSpanJson(sampleTree());
+    EXPECT_THROW(parseSpanJson(json + "x"), util::FatalError);
+    // Sparse ids cannot reload (density is a dump invariant).
+    EXPECT_THROW(
+        parseSpanJson(
+            "{\"spans\":[\n"
+            "{\"id\":2,\"parent\":0,\"remote_parent\":0,"
+            "\"request\":1,\"machine\":0,\"kind\":\"root\","
+            "\"name\":\"r\",\"opened_ns\":0,\"closed_ns\":0,"
+            "\"open\":false,\"energy_j\":0,\"cpu_time_ns\":0,"
+            "\"cycles\":0,\"instructions\":0,\"io_bytes\":0}\n"
+            "]}\n"),
+        util::FatalError);
+    // A duplicated field is as corrupt as a missing one.
+    EXPECT_THROW(
+        parseSpanJson(
+            "{\"spans\":[\n"
+            "{\"id\":1,\"id\":1,\"parent\":0,\"remote_parent\":0,"
+            "\"request\":1,\"machine\":0,\"kind\":\"root\","
+            "\"name\":\"r\",\"opened_ns\":0,\"closed_ns\":0,"
+            "\"open\":false,\"energy_j\":0,\"cpu_time_ns\":0,"
+            "\"cycles\":0,\"instructions\":0,\"io_bytes\":0}\n"
+            "]}\n"),
+        util::FatalError);
+}
+
+TEST(SpanJson, EscapesNamesLosslessly)
+{
+    SpanCollector c;
+    SpanId s = c.open(1, 0, "a\"b\\c\nd\te", SpanKind::Root, NoSpan,
+                      0);
+    c.close(s, 1);
+    SpanCollector reloaded = parseSpanJson(renderSpanJson(c));
+    EXPECT_EQ(reloaded.span(s).name, "a\"b\\c\nd\te");
+}
+
+} // namespace
+} // namespace pcon::trace

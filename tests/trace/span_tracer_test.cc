@@ -1,0 +1,256 @@
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "os/kernel.h"
+#include "sim/simulation.h"
+#include "telemetry/registry.h"
+#include "trace/span_tracer.h"
+
+namespace pcon::trace {
+namespace {
+
+using hw::ActivityVector;
+using os::ComputeOp;
+using os::Op;
+using os::OpResult;
+using os::RequestId;
+using os::ScriptedLogic;
+using os::Task;
+using sim::sec;
+
+/** One traced machine: manager hooks first, tracer second. */
+struct TracedWorld
+{
+    sim::Simulation sim;
+    hw::Machine machine;
+    os::RequestContextManager requests;
+    os::Kernel kernel;
+    std::shared_ptr<core::LinearPowerModel> model;
+    core::ContainerManager manager;
+    SpanCollector spans;
+    SpanTracer tracer;
+
+    TracedWorld()
+        : machine(sim, config()), kernel(machine, requests),
+          model(makeModel()), manager(kernel, model, {}),
+          tracer(kernel, manager, spans, 0)
+    {
+        kernel.addHooks(&manager);
+        kernel.addHooks(&tracer);
+    }
+
+    static hw::MachineConfig
+    config()
+    {
+        hw::MachineConfig cfg;
+        cfg.name = "traced";
+        cfg.chips = 1;
+        cfg.coresPerChip = 2;
+        cfg.freqGhz = 1.0;
+        cfg.truth.machineIdleW = 10.0;
+        cfg.truth.chipMaintenanceW = 4.0;
+        cfg.truth.coreBusyW = 6.0;
+        cfg.truth.insW = 2.0;
+        cfg.truth.diskActiveW = 3.0;
+        return cfg;
+    }
+
+    static std::shared_ptr<core::LinearPowerModel>
+    makeModel()
+    {
+        auto model = std::make_shared<core::LinearPowerModel>();
+        model->setCoefficient(core::Metric::Core, 6.0);
+        model->setCoefficient(core::Metric::Ins, 2.0);
+        model->setCoefficient(core::Metric::ChipShare, 4.0);
+        model->setCoefficient(core::Metric::Disk, 3.0);
+        return model;
+    }
+
+    const core::RequestRecord *
+    record(RequestId id) const
+    {
+        for (const core::RequestRecord &r : manager.records())
+            if (r.id == id)
+                return &r;
+        return nullptr;
+    }
+};
+
+std::shared_ptr<os::TaskLogic>
+forkAndIo()
+{
+    auto child = std::make_shared<ScriptedLogic>(
+        std::vector<ScriptedLogic::Step>{
+            [](os::Kernel &, Task &, const OpResult &) -> Op {
+                return ComputeOp{ActivityVector{1, 0, 0, 0}, 2e6};
+            }});
+    return std::make_shared<ScriptedLogic>(
+        std::vector<ScriptedLogic::Step>{
+            [](os::Kernel &, Task &, const OpResult &) -> Op {
+                return ComputeOp{ActivityVector{1, 0, 0, 0}, 3e6};
+            },
+            [child](os::Kernel &, Task &, const OpResult &) -> Op {
+                return os::ForkOp{child, "child"};
+            },
+            [](os::Kernel &, Task &, const OpResult &r) -> Op {
+                return os::WaitChildOp{r.child};
+            },
+            [](os::Kernel &, Task &, const OpResult &) -> Op {
+                return os::IoOp{hw::DeviceKind::Disk, 5e5};
+            }});
+}
+
+TEST(SpanTracer, SpansPartitionTheContainerLedger)
+{
+    TracedWorld w;
+    RequestId req = w.requests.create("traced", w.sim.now());
+    w.tracer.trace(req);
+    w.kernel.spawn(forkAndIo(), "parent", req);
+    w.sim.run(sec(1));
+    w.requests.complete(req, w.sim.now());
+
+    const core::RequestRecord *rec = w.record(req);
+    ASSERT_NE(rec, nullptr);
+    EXPECT_GT(rec->totalEnergyJ(), 0.0);
+    // The tentpole guarantee: per-span energies sum to the ledger.
+    EXPECT_NEAR(w.spans.requestEnergyJ(req), rec->totalEnergyJ(),
+                1e-6);
+    EXPECT_EQ(w.spans.openCount(), 0u);
+
+    // The tree has the expected shape: a root, the parent stage, a
+    // fork child under it, and a closed I/O span with its bytes.
+    SpanId root = w.spans.rootOf(req);
+    ASSERT_NE(root, NoSpan);
+    EXPECT_EQ(w.spans.span(root).kind, SpanKind::Root);
+    bool saw_fork = false, saw_io = false, saw_stage = false;
+    for (SpanId id : w.spans.requestSpans(req)) {
+        const Span &s = w.spans.span(id);
+        switch (s.kind) {
+          case SpanKind::Fork:
+            saw_fork = true;
+            EXPECT_EQ(s.name, "child");
+            EXPECT_NE(s.parent, root);
+            break;
+          case SpanKind::Io:
+            saw_io = true;
+            EXPECT_DOUBLE_EQ(s.ioBytes, 5e5);
+            break;
+          case SpanKind::Stage:
+            saw_stage = true;
+            break;
+          default:
+            break;
+        }
+        EXPECT_FALSE(s.open);
+    }
+    EXPECT_TRUE(saw_fork);
+    EXPECT_TRUE(saw_io);
+    EXPECT_TRUE(saw_stage);
+}
+
+TEST(SpanTracer, OnlyTracedRequestsGrowSpans)
+{
+    TracedWorld w;
+    RequestId traced = w.requests.create("a", w.sim.now());
+    RequestId untraced = w.requests.create("b", w.sim.now());
+    w.tracer.trace(traced);
+    w.kernel.spawn(forkAndIo(), "t1", traced, 0);
+    w.kernel.spawn(forkAndIo(), "t2", untraced, 1);
+    w.sim.run(sec(1));
+    EXPECT_TRUE(w.tracer.tracing(traced));
+    EXPECT_FALSE(w.tracer.tracing(untraced));
+    EXPECT_NE(w.spans.rootOf(traced), NoSpan);
+    EXPECT_EQ(w.spans.rootOf(untraced), NoSpan);
+    EXPECT_TRUE(w.spans.requestSpans(untraced).empty());
+}
+
+TEST(SpanTracer, TraceAllPicksUpEveryRequest)
+{
+    TracedWorld w;
+    w.tracer.traceAll();
+    RequestId a = w.requests.create("a", w.sim.now());
+    RequestId b = w.requests.create("b", w.sim.now());
+    w.kernel.spawn(forkAndIo(), "t1", a, 0);
+    w.kernel.spawn(forkAndIo(), "t2", b, 1);
+    w.sim.run(sec(1));
+    w.requests.complete(a, w.sim.now());
+    w.requests.complete(b, w.sim.now());
+    const core::RequestRecord *ra = w.record(a);
+    const core::RequestRecord *rb = w.record(b);
+    ASSERT_NE(ra, nullptr);
+    ASSERT_NE(rb, nullptr);
+    EXPECT_NEAR(w.spans.requestEnergyJ(a), ra->totalEnergyJ(), 1e-6);
+    EXPECT_NEAR(w.spans.requestEnergyJ(b), rb->totalEnergyJ(), 1e-6);
+    EXPECT_EQ(w.spans.openCount(), 0u);
+}
+
+TEST(SpanTracer, NeverScheduledRequestYieldsARootOnlyTree)
+{
+    TracedWorld w;
+    RequestId req = w.requests.create("idle", w.sim.now());
+    w.tracer.trace(req);
+    w.sim.run(sim::msec(5));
+    w.requests.complete(req, w.sim.now());
+    SpanId root = w.spans.rootOf(req);
+    ASSERT_NE(root, NoSpan);
+    EXPECT_EQ(w.spans.requestSpans(req),
+              std::vector<SpanId>{root});
+    EXPECT_FALSE(w.spans.span(root).open);
+    EXPECT_NEAR(w.spans.requestEnergyJ(req), 0.0, 1e-12);
+    EXPECT_EQ(w.spans.criticalPath(req),
+              std::vector<SpanId>{root});
+}
+
+TEST(SpanTracer, CompletionClosesEverySpanAndFreezesCharges)
+{
+    TracedWorld w;
+    RequestId req = w.requests.create("early", w.sim.now());
+    w.tracer.trace(req);
+    // A long-running loop that outlives its request.
+    auto spin = std::make_shared<ScriptedLogic>(
+        std::vector<ScriptedLogic::Step>{
+            [](os::Kernel &, Task &, const OpResult &) -> Op {
+                return ComputeOp{ActivityVector{1, 0, 0, 0}, 1e6};
+            }},
+        /*loop=*/true);
+    w.kernel.spawn(spin, "spinner", req);
+    w.sim.run(sim::msec(10));
+    w.requests.complete(req, w.sim.now());
+    double frozen = w.spans.requestEnergyJ(req);
+    std::size_t count = w.spans.requestSpans(req).size();
+    EXPECT_EQ(w.spans.openCount(), 0u);
+    // The spinner keeps running (now on the background container);
+    // the completed request's tree must not move.
+    w.sim.run(sim::msec(30));
+    EXPECT_DOUBLE_EQ(w.spans.requestEnergyJ(req), frozen);
+    EXPECT_EQ(w.spans.requestSpans(req).size(), count);
+}
+
+TEST(SpanTracer, BindMetricsPublishesTraceCounters)
+{
+    TracedWorld w;
+    telemetry::Registry registry;
+    w.tracer.bindMetrics(registry);
+    w.tracer.traceAll();
+    RequestId req = w.requests.create("m", w.sim.now());
+    w.kernel.spawn(forkAndIo(), "parent", req);
+    w.sim.run(sec(1));
+    w.requests.complete(req, w.sim.now());
+    registry.collect();
+
+    EXPECT_GT(registry.counter("trace.spans_opened").value(), 0u);
+    EXPECT_EQ(registry.counter("trace.spans_opened").value(),
+              registry.counter("trace.spans_closed").value());
+    EXPECT_EQ(registry.counter("trace.fork_links").value(), 1u);
+    EXPECT_EQ(registry.counter("trace.io_spans").value(), 1u);
+    EXPECT_EQ(registry.counter("trace.requests_traced").value(), 1u);
+    EXPECT_DOUBLE_EQ(registry.gauge("trace.open_spans").value(), 0.0);
+    EXPECT_DOUBLE_EQ(registry.gauge("trace.spans_total").value(),
+                     static_cast<double>(w.spans.size()));
+}
+
+} // namespace
+} // namespace pcon::trace

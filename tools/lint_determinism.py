@@ -5,8 +5,9 @@ Simulation results must be bit-identical across runs and platforms:
 the paper's conservation and alignment claims are validated by tests
 that compare energy totals to tight tolerances, and future perf PRs
 must be able to prove they changed performance, not physics. This
-checker scans the deterministic core (src/sim, src/core, src/hw by
-default) for reproducibility hazards:
+checker scans the deterministic core (src/sim, src/core, src/hw,
+src/telemetry, and src/trace by default) for reproducibility
+hazards:
 
   wall-clock       time(), clock(), gettimeofday(), std::chrono
                    system/steady/high_resolution clocks. Simulated
@@ -40,7 +41,8 @@ import pathlib
 import re
 import sys
 
-DEFAULT_SCOPE = ["src/sim", "src/core", "src/hw", "src/telemetry"]
+DEFAULT_SCOPE = ["src/sim", "src/core", "src/hw", "src/telemetry",
+                 "src/trace"]
 SOURCE_SUFFIXES = {".h", ".hh", ".hpp", ".cc", ".cpp", ".cxx"}
 
 SUPPRESS_RE = re.compile(r"NOLINT-DETERMINISM\(([^)]+)\)")

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Span-dump analysis CLI: reads a renderSpanJson() dump (see
+ * docs/TRACING.md) and prints the trace report — top-N requests by
+ * energy, per-stage breakdowns, critical paths, and the
+ * cross-machine imbalance table.
+ *
+ *   trace_report spans.json [--top N] [--request ID]
+ *
+ * With --request only that request's breakdown and critical path are
+ * printed. Exit codes: 0 ok, 2 usage error; parse/IO failures abort
+ * with a diagnostic (util::fatal).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "trace/report.h"
+#include "trace/span_json.h"
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s <spans.json> [--top N] [--request ID]\n",
+                 argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string path;
+    std::size_t top_n = 5;
+    pcon::os::RequestId request = pcon::os::NoRequest;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--top") == 0) {
+            if (i + 1 >= argc)
+                return usage(argv[0]);
+            top_n = static_cast<std::size_t>(
+                std::strtoull(argv[++i], nullptr, 10));
+        } else if (std::strcmp(argv[i], "--request") == 0) {
+            if (i + 1 >= argc)
+                return usage(argv[0]);
+            request = static_cast<pcon::os::RequestId>(
+                std::strtoull(argv[++i], nullptr, 10));
+        } else if (argv[i][0] == '-' || !path.empty()) {
+            return usage(argv[0]);
+        } else {
+            path = argv[i];
+        }
+    }
+    if (path.empty())
+        return usage(argv[0]);
+
+    pcon::trace::SpanCollector spans =
+        pcon::trace::loadSpanJson(path);
+    if (request != pcon::os::NoRequest) {
+        std::fputs(
+            pcon::trace::reportStageBreakdown(spans, request).c_str(),
+            stdout);
+        std::fputs("\n", stdout);
+        std::fputs(
+            pcon::trace::reportCriticalPath(spans, request).c_str(),
+            stdout);
+        return 0;
+    }
+    pcon::trace::ReportOptions opts;
+    opts.topN = top_n;
+    std::fputs(pcon::trace::fullReport(spans, opts).c_str(), stdout);
+    return 0;
+}
