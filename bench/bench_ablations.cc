@@ -186,9 +186,9 @@ taggingExperiment(bool per_segment)
         }
     };
     for (const core::RequestRecord &r : manager.records())
-        tally(r.type, r.totalEnergyJ());
+        tally(r.type, r.totalEnergyJ().value());
     for (const auto &[id, container] : manager.live())
-        tally(container->type, container->totalEnergyJ());
+        tally(container->type, container->totalEnergyJ().value());
     return {light_total / light_n, heavy_total / heavy_n};
 }
 
@@ -251,9 +251,9 @@ eventLoopAttribution(bool trap)
     core::ProfileTable profiles;
     profiles.add(manager.records());
     return {profiles.profile(wl::EventLoopApp::cheapType())
-                .meanEnergyJ,
+                .meanEnergyJ.value(),
             profiles.profile(wl::EventLoopApp::dearType())
-                .meanEnergyJ};
+                .meanEnergyJ.value()};
 }
 
 // ---------------------------------------------------------------

@@ -43,10 +43,10 @@ activePowerWithCores(const hw::MachineConfig &cfg, int busy)
         // decides, as Linux does in the paper's experiment.
         kernel.spawn(logic, "spin-" + std::to_string(i));
     }
-    double start_energy = machine.machineEnergyJ();
+    double start_energy = machine.machineEnergyJ().value();
     sim::SimTime start = sim.now();
     sim.run(sim::sec(2));
-    double avg_full = (machine.machineEnergyJ() - start_energy) /
+    double avg_full = (machine.machineEnergyJ().value() - start_energy) /
         sim::toSeconds(sim.now() - start);
     return avg_full - cfg.truth.machineIdleW;
 }

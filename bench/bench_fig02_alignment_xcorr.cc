@@ -79,10 +79,10 @@ main()
     std::vector<std::pair<sim::SimTime, double>> onchip, wattsup;
     world.onChipMeter().subscribe(
         [&](const hw::PowerMeter::Sample &s) {
-            onchip.emplace_back(s.deliveredAt, s.watts);
+            onchip.emplace_back(s.deliveredAt, s.watts.value());
         });
     world.wattsup().subscribe([&](const hw::PowerMeter::Sample &s) {
-        wattsup.emplace_back(s.deliveredAt, s.watts);
+        wattsup.emplace_back(s.deliveredAt, s.watts.value());
     });
 
     client.start();

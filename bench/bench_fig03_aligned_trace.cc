@@ -47,7 +47,7 @@ main()
     std::vector<std::pair<sim::SimTime, double>> measured;
     world.onChipMeter().subscribe(
         [&](const hw::PowerMeter::Sample &s) {
-            measured.emplace_back(s.deliveredAt, s.watts);
+            measured.emplace_back(s.deliveredAt, s.watts.value());
         });
     client.start();
     world.run(sec(10));

@@ -43,9 +43,9 @@ runDistribution(const std::string &workload, double lo, double hi)
     util::Histogram virus_hist(lo, hi, 24);
     for (const core::RequestRecord &r : world.manager().records()) {
         if (r.type == wl::GaeHybridApp::virusType())
-            virus_hist.add(r.meanPowerW);
+            virus_hist.add(r.meanPowerW.value());
         else
-            hist.add(r.meanPowerW);
+            hist.add(r.meanPowerW.value());
     }
 
     bench::CsvSink csv("fig06_power_dist_" + workload);

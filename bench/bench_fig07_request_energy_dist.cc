@@ -43,10 +43,10 @@ runDistribution(const std::string &workload, double hi)
     util::RunningStat energy;
     for (const core::RequestRecord &r : world.manager().records()) {
         if (r.type == wl::GaeHybridApp::virusType())
-            virus_hist.add(r.totalEnergyJ());
+            virus_hist.add(r.totalEnergyJ().value());
         else
-            hist.add(r.totalEnergyJ());
-        energy.add(r.totalEnergyJ());
+            hist.add(r.totalEnergyJ().value());
+        energy.add(r.totalEnergyJ().value());
     }
 
     bench::CsvSink csv("fig07_energy_dist_" + workload);

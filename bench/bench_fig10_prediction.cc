@@ -93,7 +93,7 @@ runExperiment(const AppExperiment &exp,
     core::ProfileTable profiles;
     profiles.add(profile_world.manager().records());
     core::ObservedWorkload observed;
-    observed.activePowerW = profile_world.measuredActiveW();
+    observed.activePowerW = util::Watts(profile_world.measuredActiveW());
     observed.cpuUtilization = probe.utilization();
     for (const auto &[type, stat] : profile_client.responseStats())
         observed.composition[type] =

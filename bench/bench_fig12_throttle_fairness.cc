@@ -35,16 +35,16 @@ main()
         bool is_virus = s.type == wl::GaeHybridApp::virusType();
         if (is_virus) {
             virus_duty.add(s.meanDutyFraction);
-            virus_power.add(s.originalPowerW);
+            virus_power.add(s.originalPowerW.value());
         } else {
             normal_duty.add(s.meanDutyFraction);
-            normal_power.add(s.originalPowerW);
+            normal_power.add(s.originalPowerW.value());
         }
         // Print a readable subset of the scatter.
         if (printed < 40 || is_virus) {
             std::printf("%-12s %16.2f %11.0f/8\n",
                         is_virus ? "virus" : "normal",
-                        s.originalPowerW, s.meanDutyFraction * 8.0);
+                        s.originalPowerW.value(), s.meanDutyFraction * 8.0);
             ++printed;
         }
     }

@@ -45,7 +45,7 @@ meanRequestEnergy(const hw::MachineConfig &cfg,
 
     double total = 0;
     for (const core::RequestRecord &r : world.manager().records())
-        total += r.totalEnergyJ();
+        total += r.totalEnergyJ().value();
     return total /
         static_cast<double>(world.manager().records().size());
 }

@@ -81,10 +81,10 @@ runConditioningExperiment(bool conditioned, std::uint64_t seed = 111)
     ConditioningRun run;
     sim::SimTime step = sim::msec(250);
     for (sim::SimTime t = step; t <= kRunSpan; t += step) {
-        double before = world.machine().packageEnergyJ(0);
+        double before = world.machine().packageEnergyJ(0).value();
         sim::SimTime t0 = world.sim().now();
         world.run(t - t0);
-        double watts = (world.machine().packageEnergyJ(0) - before) /
+        double watts = (world.machine().packageEnergyJ(0).value() - before) /
             sim::toSeconds(world.sim().now() - t0);
         run.packageTrace.emplace_back(world.sim().now(), watts);
     }

@@ -59,7 +59,7 @@ main()
     core::ProfileTable profiles;
     profiles.add(world.manager().records());
     core::ObservedWorkload observed;
-    observed.activePowerW = world.measuredActiveW();
+    observed.activePowerW = util::Watts(world.measuredActiveW());
     double busy1 = 0, elapsed1 = 0;
     for (int c = 0; c < world.machine().totalCores(); ++c) {
         hw::CounterSnapshot s = world.machine().readCounters(c);
@@ -73,11 +73,11 @@ main()
 
     std::printf("Observed workload: %.1f W active at %.0f%% "
                 "utilization.\nPer-type profiles:\n",
-                observed.activePowerW,
+                observed.activePowerW.value(),
                 observed.cpuUtilization * 100);
     for (const auto &[type, p] : profiles.all())
         std::printf("  %-12s %.4f J/req, %.1f ms CPU\n", type.c_str(),
-                    p.meanEnergyJ, p.meanCpuTimeS * 1e3);
+                    p.meanEnergyJ.value(), p.meanCpuTimeS * 1e3);
 
     // 3. Evaluate hypothetical plans against a power budget.
     core::CompositionPredictor predictor(

@@ -65,9 +65,9 @@ run(bool trap)
     registry.collect();
     RunResult result;
     result.cheapJ =
-        profiles.profile(wl::EventLoopApp::cheapType()).meanEnergyJ;
+        profiles.profile(wl::EventLoopApp::cheapType()).meanEnergyJ.value();
     result.dearJ =
-        profiles.profile(wl::EventLoopApp::dearType()).meanEnergyJ;
+        profiles.profile(wl::EventLoopApp::dearType()).meanEnergyJ.value();
     for (const auto &e : registry.entries()) {
         if (e.name == "kernel.context_rebinds")
             result.rebinds = static_cast<double>(e.counter->value());

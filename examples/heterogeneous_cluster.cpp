@@ -72,8 +72,8 @@ main()
         double ratio =
             p.meanEnergyJ / wc_profiles.profile(type).meanEnergyJ;
         std::printf("%-14s %12.3f J %12.3f J %10.2f\n", type.c_str(),
-                    p.meanEnergyJ,
-                    wc_profiles.profile(type).meanEnergyJ, ratio);
+                    p.meanEnergyJ.value(),
+                    wc_profiles.profile(type).meanEnergyJ.value(), ratio);
     }
     for (const auto &[type, p] : sb_gae.all()) {
         if (!wc_gae.has(type))
@@ -81,7 +81,7 @@ main()
         double ratio =
             p.meanEnergyJ / wc_gae.profile(type).meanEnergyJ;
         std::printf("%-14s %12.3f J %12.3f J %10.2f\n", type.c_str(),
-                    p.meanEnergyJ, wc_gae.profile(type).meanEnergyJ,
+                    p.meanEnergyJ.value(), wc_gae.profile(type).meanEnergyJ.value(),
                     ratio);
     }
 

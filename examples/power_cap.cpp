@@ -88,7 +88,7 @@ main()
                     "%.1f +/- %.1f W%s\n",
                     (unsigned long long)anomalies[i].id,
                     anomalies[i].type.c_str(),
-                    anomalies[i].meanPowerW, anomalies[i].fleetMeanW,
+                    anomalies[i].meanPowerW.value(), anomalies[i].fleetMeanW,
                     anomalies[i].fleetStddevW,
                     anomalies[i].live ? " (still running)" : "");
     std::printf("\n");

@@ -59,8 +59,8 @@ main()
                     "%.1f W mean\n",
                     type.c_str(),
                     static_cast<unsigned long long>(p.count),
-                    p.meanEnergyJ, p.meanCpuTimeS * 1e3,
-                    p.meanEnergyJ / p.meanCpuTimeS);
+                    p.meanEnergyJ.value(), p.meanCpuTimeS * 1e3,
+                    p.meanEnergyJ.value() / p.meanCpuTimeS);
     }
 
     // 5. The headline validation (Figure 8): summed request power

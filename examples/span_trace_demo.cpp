@@ -273,12 +273,12 @@ main()
         check(fr != nullptr && wr != nullptr,
               "both machines recorded the request");
         if (fr != nullptr)
-            check(std::fabs(spans.machineEnergyJ(r, 0) -
-                            fr->totalEnergyJ()) <= 1e-6,
+            check(std::fabs((spans.machineEnergyJ(r, 0) -
+                            fr->totalEnergyJ()).value()) <= 1e-6,
                   "front-machine spans sum to the ledger");
         if (wr != nullptr)
-            check(std::fabs(spans.machineEnergyJ(r, 1) -
-                            wr->totalEnergyJ()) <= 1e-6,
+            check(std::fabs((spans.machineEnergyJ(r, 1) -
+                            wr->totalEnergyJ()).value()) <= 1e-6,
                   "worker-machine spans sum to the ledger");
         check(spans.criticalPath(r).size() >= 3,
               "critical path spans the pipeline");
@@ -301,8 +301,8 @@ main()
         trace::loadSpanJson("span_trace_spans.json");
     check(reloaded.size() == spans.size(), "dump round-trips spans");
     for (os::RequestId r : ids)
-        check(std::fabs(reloaded.requestEnergyJ(r) -
-                        spans.requestEnergyJ(r)) <= 1e-9,
+        check(std::fabs((reloaded.requestEnergyJ(r) -
+                        spans.requestEnergyJ(r)).value()) <= 1e-9,
               "dump round-trips request energy");
 
     registry.collect();

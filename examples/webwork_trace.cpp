@@ -59,9 +59,9 @@ main()
                 "on-CPU, %.3f J total\n(%.3f J CPU/memory + %.3f J "
                 "device), mean power %.1f W.\n",
                 sim::toMillis(record.responseTime()),
-                record.cpuTimeNs / 1e6, record.totalEnergyJ(),
-                record.cpuEnergyJ, record.ioEnergyJ,
-                record.meanPowerW);
+                record.cpuTimeNs / 1e6, record.totalEnergyJ().value(),
+                record.cpuEnergyJ.value(), record.ioEnergyJ.value(),
+                record.meanPowerW.value());
 
     tracer.writeCsv(request, "webwork_trace.csv");
     perfetto.finish();

@@ -20,10 +20,10 @@ finite(double x)
 }
 
 /** Sum of attributed energy over a manager's completed records. */
-double
+util::Joules
 recordEnergyJ(const core::ContainerManager &manager)
 {
-    double total = 0.0;
+    util::Joules total{0};
     for (const core::RequestRecord &r : manager.records())
         total += r.totalEnergyJ();
     return total;
@@ -59,11 +59,11 @@ InvariantAuditor::watch(core::ContainerManager &manager)
 {
     ManagerState state;
     state.manager = &manager;
-    state.baseAccountedJ = manager.accountedEnergyJ();
-    state.baseMachineJ = kernel_.machine().machineEnergyJ();
+    state.baseAccountedJ = manager.accountedEnergyJ().value();
+    state.baseMachineJ = kernel_.machine().machineEnergyJ().value();
     state.baseTime = kernel_.simulation().now();
     state.lastRecordCount = manager.records().size();
-    state.clearedRecordEnergyJ = 0.0;
+    state.clearedRecordEnergyJ = util::Joules{0};
     state.lastRecordEnergyJ = recordEnergyJ(manager);
     managers_.push_back(state);
     watchModel(manager.model());
@@ -174,17 +174,17 @@ void
 InvariantAuditor::checkEnergyAccounts()
 {
     hw::Machine &machine = kernel_.machine();
-    double now_j = machine.machineEnergyJ();
-    if (!finite(now_j) || now_j < lastMachineEnergyJ_)
+    util::Joules now_j = machine.machineEnergyJ();
+    if (!finite(now_j.value()) || now_j < lastMachineEnergyJ_)
         panic("invariant 'machine-energy-monotonicity' violated: "
               "cumulative machine energy went from ",
               lastMachineEnergyJ_, " J to ", now_j, " J");
     lastMachineEnergyJ_ = now_j;
     for (int chip = 0; chip < machine.config().chips; ++chip) {
-        double chip_j = machine.packageEnergyJ(chip);
-        double &last = lastPackageEnergyJ_[
+        util::Joules chip_j = machine.packageEnergyJ(chip);
+        util::Joules &last = lastPackageEnergyJ_[
             static_cast<std::size_t>(chip)];
-        if (!finite(chip_j) || chip_j < last)
+        if (!finite(chip_j.value()) || chip_j < last)
             panic("invariant 'package-energy-monotonicity' violated: "
                   "chip ",
                   chip, " energy went from ", last, " J to ", chip_j,
@@ -219,15 +219,17 @@ void
 InvariantAuditor::checkManager(ManagerState &state)
 {
     core::ContainerManager &manager = *state.manager;
-    double accounted = manager.accountedEnergyJ();
+    double accounted = manager.accountedEnergyJ().value();
     if (!finite(accounted) || accounted < 0.0)
         panic("invariant 'accounted-energy-nonnegative' violated: "
               "accounted energy is ",
               accounted, " J");
 
     auto check_container = [](const core::PowerContainer &c) {
-        if (!finite(c.cpuEnergyJ) || c.cpuEnergyJ < 0.0 ||
-            !finite(c.ioEnergyJ) || c.ioEnergyJ < 0.0)
+        if (!finite(c.cpuEnergyJ.value()) ||
+            c.cpuEnergyJ.value() < 0.0 ||
+            !finite(c.ioEnergyJ.value()) ||
+            c.ioEnergyJ.value() < 0.0)
             panic("invariant 'container-energy-nonnegative' "
                   "violated: container ",
                   c.id, " (", c.type.empty() ? "request" : c.type,
@@ -239,16 +241,16 @@ InvariantAuditor::checkManager(ManagerState &state)
                   c.id, " cpu time is ", c.cpuTimeNs, " ns");
     };
     check_container(manager.background());
-    double live_j = manager.background().totalEnergyJ();
+    double live_j = manager.background().totalEnergyJ().value();
     for (const auto &entry : manager.live()) {
         check_container(*entry.second);
-        live_j += entry.second->totalEnergyJ();
+        live_j += entry.second->totalEnergyJ().value();
     }
 
     // Track completed-record energy across clearRecords() resets so
     // the attribution sum stays comparable to the monotone
     // accountedEnergyJ counter.
-    double record_j = recordEnergyJ(manager);
+    util::Joules record_j = recordEnergyJ(manager);
     if (manager.records().size() < state.lastRecordCount)
         state.clearedRecordEnergyJ +=
             state.lastRecordEnergyJ - record_j;
@@ -256,7 +258,8 @@ InvariantAuditor::checkManager(ManagerState &state)
     state.lastRecordEnergyJ = record_j;
 
     if (cfg_.checkAttribution) {
-        double sum = live_j + record_j + state.clearedRecordEnergyJ;
+        double sum = live_j + record_j.value() +
+            state.clearedRecordEnergyJ.value();
         double slack = cfg_.attributionSlackJ +
             cfg_.attributionRelTol *
                 std::max(std::abs(accounted), std::abs(sum));
@@ -272,7 +275,7 @@ InvariantAuditor::checkManager(ManagerState &state)
     if (cfg_.checkConservation) {
         hw::Machine &machine = kernel_.machine();
         double machine_j =
-            machine.machineEnergyJ() - state.baseMachineJ;
+            machine.machineEnergyJ().value() - state.baseMachineJ;
         double idle_j = machine.config().truth.machineIdleW *
             sim::toSeconds(kernel_.simulation().now() -
                            state.baseTime);

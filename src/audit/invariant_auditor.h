@@ -24,6 +24,7 @@
 #include "hw/counters.h"
 #include "os/kernel.h"
 #include "sim/simulation.h"
+#include "util/units.h"
 
 namespace pcon {
 namespace audit {
@@ -122,9 +123,9 @@ class InvariantAuditor : public sim::Auditor
         /** Completed-record count at the last audit (reset detect). */
         std::size_t lastRecordCount;
         /** Record energy dropped by clearRecords() so far. */
-        double clearedRecordEnergyJ;
+        util::Joules clearedRecordEnergyJ{0};
         /** Record energy at the last audit. */
-        double lastRecordEnergyJ;
+        util::Joules lastRecordEnergyJ{0};
     };
 
     void checkClockMonotone(sim::SimTime now);
@@ -138,8 +139,8 @@ class InvariantAuditor : public sim::Auditor
     InvariantAuditorConfig cfg_;
     sim::SimTime lastNow_;
     std::vector<hw::CounterSnapshot> lastCounters_;
-    double lastMachineEnergyJ_ = 0;
-    std::vector<double> lastPackageEnergyJ_;
+    util::Joules lastMachineEnergyJ_{0};
+    std::vector<util::Joules> lastPackageEnergyJ_;
     std::vector<ManagerState> managers_;
     std::vector<const core::LinearPowerModel *> models_;
     std::uint64_t auditsRun_ = 0;

@@ -16,7 +16,7 @@ PowerAnomalyDetector::PowerAnomalyDetector(
 }
 
 bool
-PowerAnomalyDetector::overThreshold(double mean_power_w) const
+PowerAnomalyDetector::overThreshold(util::Watts mean_power) const
 {
     if (fleet_.count() < cfg_.minBaselineSamples)
         return false;
@@ -25,7 +25,7 @@ PowerAnomalyDetector::overThreshold(double mean_power_w) const
             std::max(fleet_.stddev(), cfg_.minStddevW);
     if (cfg_.absoluteFloorW > 0)
         limit = std::max(limit, cfg_.absoluteFloorW);
-    return mean_power_w > limit;
+    return mean_power.value() > limit;
 }
 
 std::vector<PowerAnomaly>
@@ -52,14 +52,14 @@ PowerAnomalyDetector::scan()
             anomaly.live = false;
             fresh.push_back(anomaly);
         }
-        fleet_.add(r.meanPowerW);
+        fleet_.add(r.meanPowerW.value());
     }
 
     // Live requests: catch a virus while it still runs.
     for (const auto &[id, container] : manager_.live()) {
         if (container->cpuTimeNs < cfg_.minCpuTimeNs)
             continue;
-        double mean = container->meanPowerW();
+        util::Watts mean = container->meanPowerW();
         if (overThreshold(mean) && reported_.insert(id).second) {
             PowerAnomaly anomaly;
             anomaly.id = id;

@@ -17,6 +17,7 @@
 
 #include "core/container_manager.h"
 #include "util/stats.h"
+#include "util/units.h"
 
 namespace pcon {
 namespace core {
@@ -46,8 +47,8 @@ struct PowerAnomaly
 {
     os::RequestId id = os::NoRequest;
     std::string type;
-    /** The request's mean power, Watts. */
-    double meanPowerW = 0;
+    /** The request's mean power. */
+    util::Watts meanPowerW{0};
     /** Fleet mean at flagging time. */
     double fleetMeanW = 0;
     /** Fleet standard deviation at flagging time. */
@@ -85,7 +86,7 @@ class PowerAnomalyDetector
     }
 
   private:
-    bool overThreshold(double mean_power_w) const;
+    bool overThreshold(util::Watts mean_power) const;
 
     ContainerManager &manager_;
     AnomalyDetectorConfig cfg_;

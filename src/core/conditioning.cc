@@ -90,7 +90,7 @@ PowerConditioner::adjust(int core)
     // predicting the effect of a candidate P-state).
     double scale =
         machine.dutyFraction(core) * machine.pstateRatio(core);
-    double full_speed_w = container.lastPowerW / scale;
+    double full_speed_w = container.lastPowerW.value() / scale;
 
     int busy = std::max(1, busyCores());
     double budget_w = cfg_.systemActiveTargetW / busy;
@@ -154,8 +154,8 @@ PowerConditioner::recordStats(os::RequestId context,
             stats.type = kernel_.requests().info(context).type;
     }
     double n = static_cast<double>(stats.observations);
-    stats.originalPowerW =
-        (stats.originalPowerW * n + full_speed_w) / (n + 1);
+    stats.originalPowerW = util::Watts(
+        (stats.originalPowerW.value() * n + full_speed_w) / (n + 1));
     stats.meanDutyFraction =
         (stats.meanDutyFraction * n + speed_fraction) / (n + 1);
     ++stats.observations;

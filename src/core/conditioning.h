@@ -17,6 +17,7 @@
 #include "core/container_manager.h"
 #include "os/hooks.h"
 #include "os/kernel.h"
+#include "util/units.h"
 
 namespace pcon {
 namespace core {
@@ -49,8 +50,8 @@ struct ThrottleStats
 {
     os::RequestId id = os::NoRequest;
     std::string type;
-    /** Mean estimated full-speed (original) power, Watts. */
-    double originalPowerW = 0;
+    /** Mean estimated full-speed (original) power. */
+    util::Watts originalPowerW{0};
     /**
      * Mean applied speed fraction (1.0 = unthrottled): the duty
      * fraction under the DutyCycle actuator, the frequency ratio

@@ -18,6 +18,7 @@
 #include "hw/counters.h"
 #include "os/request_context.h"
 #include "sim/time.h"
+#include "util/units.h"
 
 namespace pcon {
 namespace core {
@@ -35,33 +36,33 @@ class PowerContainer
 
     /** Cumulative attributed hardware events. */
     hw::CounterSnapshot events{};
-    /** Modeled CPU/memory active energy attributed so far, Joules. */
-    double cpuEnergyJ = 0;
-    /** Device (disk/NIC) energy attributed so far, Joules. */
-    double ioEnergyJ = 0;
+    /** Modeled CPU/memory active energy attributed so far. */
+    util::Joules cpuEnergyJ{0};
+    /** Device (disk/NIC) energy attributed so far. */
+    util::Joules ioEnergyJ{0};
     /** Cumulative on-CPU (non-halt) time, nanoseconds. */
     double cpuTimeNs = 0;
-    /** Most recent modeled power while executing, Watts. */
-    double lastPowerW = 0;
+    /** Most recent modeled power while executing. */
+    util::Watts lastPowerW{0};
     /** Number of attribution samples folded in. */
     std::uint64_t sampleCount = 0;
     /** Number of tasks currently bound (paper's reference count). */
     std::int32_t refCount = 0;
 
     /** Total attributed energy (CPU + devices). */
-    double totalEnergyJ() const { return cpuEnergyJ + ioEnergyJ; }
+    util::Joules totalEnergyJ() const { return cpuEnergyJ + ioEnergyJ; }
 
     /**
      * Mean power over the request's execution: attributed energy per
      * second of on-CPU time (a request draws no CPU power while
      * blocked). Zero before any CPU time accrues.
      */
-    double
+    util::Watts
     meanPowerW() const
     {
         if (cpuTimeNs <= 0)
-            return 0.0;
-        return cpuEnergyJ / (cpuTimeNs * 1e-9);
+            return util::Watts(0);
+        return cpuEnergyJ / util::SimSeconds(cpuTimeNs * 1e-9);
     }
 };
 
@@ -79,16 +80,16 @@ struct RequestRecord
     /** Cumulative attributed hardware events. */
     hw::CounterSnapshot events{};
     /** Totals copied from the container at completion. */
-    double cpuEnergyJ = 0;
-    double ioEnergyJ = 0;
+    util::Joules cpuEnergyJ{0};
+    util::Joules ioEnergyJ{0};
     double cpuTimeNs = 0;
-    double meanPowerW = 0;
+    util::Watts meanPowerW{0};
 
     /** End-to-end response time. */
     sim::SimTime responseTime() const { return completed - created; }
 
     /** Total attributed energy. */
-    double totalEnergyJ() const { return cpuEnergyJ + ioEnergyJ; }
+    util::Joules totalEnergyJ() const { return cpuEnergyJ + ioEnergyJ; }
 };
 
 } // namespace core

@@ -103,10 +103,10 @@ ContainerManager::onIoComplete(hw::DeviceKind device,
     (void)bytes;
     Metric metric =
         device == hw::DeviceKind::Disk ? Metric::Disk : Metric::Net;
-    double energy =
-        model_->coefficient(metric) * sim::toSeconds(busy_time);
-    PCON_AUDIT_MSG(busy_time >= 0 && std::isfinite(energy) &&
-                       energy >= 0,
+    util::Joules energy{model_->coefficient(metric) *
+                        sim::toSeconds(busy_time)};
+    PCON_AUDIT_MSG(busy_time >= 0 && std::isfinite(energy.value()) &&
+                       energy.value() >= 0,
                    "device attribution charged ", energy, " J over ",
                    busy_time, " ns of busy time");
     PowerContainer &target = containerOrBackground(context);
@@ -162,11 +162,13 @@ ContainerManager::sampleCore(int core)
             metrics.set(Metric::ChipShare, chipShare(core, util));
 
         if (ca.active) {
-            double power_w = model_->estimateActiveW(metrics);
-            double window_s = sim::toSeconds(now - ca.windowStart);
-            double energy = power_w * window_s;
-            PCON_AUDIT_MSG(window_s >= 0 && std::isfinite(energy) &&
-                               energy >= 0,
+            util::Watts power_w{model_->estimateActiveW(metrics)};
+            util::SimSeconds window_s =
+                sim::toSimSeconds(now - ca.windowStart);
+            util::Joules energy = power_w * window_s;
+            PCON_AUDIT_MSG(window_s.value() >= 0 &&
+                               std::isfinite(energy.value()) &&
+                               energy.value() >= 0,
                            "attribution window on core ", core,
                            " charged ", energy, " J over ", window_s,
                            " s");

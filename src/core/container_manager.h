@@ -119,7 +119,7 @@ class ContainerManager : public os::KernelHooks
      * Total energy attributed to any container so far (requests +
      * background + I/O) — the numerator of the Figure 8 validation.
      */
-    double accountedEnergyJ() const { return accountedEnergyJ_; }
+    util::Joules accountedEnergyJ() const { return accountedEnergyJ_; }
 
     /** Number of container maintenance operations performed. */
     std::uint64_t maintenanceOps() const { return maintenanceOps_; }
@@ -170,7 +170,7 @@ class ContainerManager : public os::KernelHooks
         containers_;
     std::shared_ptr<PowerContainer> background_;
     std::vector<RequestRecord> records_;
-    double accountedEnergyJ_ = 0;
+    util::Joules accountedEnergyJ_{0};
     std::uint64_t maintenanceOps_ = 0;
 };
 

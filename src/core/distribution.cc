@@ -211,10 +211,10 @@ RequestDispatcher::recomputeAssignment(sim::SimTime now)
     // profile on every machine participate.
     std::map<std::string, double> remaining;
     for (const auto &[type, profile] : profiles_[0].all()) {
-        bool everywhere = profile.meanEnergyJ > 0;
+        bool everywhere = profile.meanEnergyJ.value() > 0;
         for (std::size_t m = 1; m < n && everywhere; ++m)
             everywhere = profiles_[m].has(type) &&
-                profiles_[m].profile(type).meanEnergyJ > 0;
+                profiles_[m].profile(type).meanEnergyJ.value() > 0;
         if (everywhere) {
             remaining[type] = 1.0;
             assignment_[type].assign(n, 0.0);
@@ -232,12 +232,12 @@ RequestDispatcher::recomputeAssignment(sim::SimTime now)
         for (const auto &[type, share] : remaining) {
             if (share <= 0)
                 continue;
-            double here = profiles_[m].profile(type).meanEnergyJ;
+            double here = profiles_[m].profile(type).meanEnergyJ.value();
             double best_rest = here;
             for (std::size_t k = m + 1; k < n; ++k)
                 best_rest = std::min(
                     best_rest,
-                    profiles_[k].profile(type).meanEnergyJ);
+                    profiles_[k].profile(type).meanEnergyJ.value());
             double rate = estimatedRate(type, now) * share;
             entries.push_back(
                 Entry{type, here / best_rest,

@@ -55,7 +55,7 @@ EnergyQuotaPolicy::onSamplingInterrupt(int core)
     if (container == nullptr)
         return;
     double budget = budgetFor(container->type);
-    if (budget <= 0 || container->totalEnergyJ() <= budget)
+    if (budget <= 0 || container->totalEnergyJ().value() <= budget)
         return;
     auto [it, inserted] = throttled_.emplace(task->context, true);
     (void)it;

@@ -11,6 +11,7 @@ namespace core {
 double
 LinearPowerModel::estimateActiveW(const Metrics &metrics) const
 {
+    // pcon-lint: allow(units) model-space accumulator behind a double API
     double power = 0.0;
     for (std::size_t i = 0; i < NumMetrics; ++i) {
         Metric m = static_cast<Metric>(i);

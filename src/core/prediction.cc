@@ -12,7 +12,7 @@ CompositionPredictor::CompositionPredictor(
       totalCores_(total_cores)
 {
     util::fatalIf(total_cores <= 0, "need at least one core");
-    util::fatalIf(observed.activePowerW < 0,
+    util::fatalIf(observed.activePowerW.value() < 0,
                   "negative observed power");
 }
 
@@ -30,9 +30,10 @@ CompositionPredictor::totalRate(const Composition &c)
 double
 CompositionPredictor::predictContainers(const Composition &next) const
 {
+    // pcon-lint: allow(units) prediction-space accumulator behind a double API
     double power = 0.0;
     for (const auto &[type, rate] : next)
-        power += rate * profiles_.profile(type).meanEnergyJ;
+        power += rate * profiles_.profile(type).meanEnergyJ.value();
     return power;
 }
 
@@ -42,7 +43,8 @@ CompositionPredictor::predictRateProportional(
 {
     double orig_rate = totalRate(observed_.composition);
     util::fatalIf(orig_rate <= 0, "original workload had no requests");
-    return observed_.activePowerW * totalRate(next) / orig_rate;
+    return observed_.activePowerW.value() * totalRate(next) /
+        orig_rate;
 }
 
 double
@@ -61,7 +63,7 @@ CompositionPredictor::predictUtilizationProportional(
 {
     util::fatalIf(observed_.cpuUtilization <= 0,
                   "original workload had zero utilization");
-    return observed_.activePowerW * predictUtilization(next) /
+    return observed_.activePowerW.value() * predictUtilization(next) /
         observed_.cpuUtilization;
 }
 

@@ -15,6 +15,7 @@
 #include <string>
 
 #include "core/profiles.h"
+#include "util/units.h"
 
 namespace pcon {
 namespace core {
@@ -27,8 +28,8 @@ struct ObservedWorkload
 {
     /** Original composition (req/s per type). */
     Composition composition;
-    /** Measured system active power, Watts. */
-    double activePowerW = 0;
+    /** Measured system active power. */
+    util::Watts activePowerW{0};
     /** Mean CPU utilization (busy cores / total cores), 0..1. */
     double cpuUtilization = 0;
 };

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/container.h"
+#include "util/units.h"
 
 namespace pcon {
 namespace core {
@@ -24,8 +25,8 @@ struct TypeProfile
     std::string type;
     /** Requests folded into the profile. */
     std::uint64_t count = 0;
-    /** Mean attributed energy per request, Joules. */
-    double meanEnergyJ = 0;
+    /** Mean attributed energy per request. */
+    util::Joules meanEnergyJ{0};
     /** Mean on-CPU time per request, seconds. */
     double meanCpuTimeS = 0;
     /** Mean end-to-end response time, seconds. */

@@ -226,8 +226,8 @@ OnlineRecalibrator::alignNow()
     for (const MeasuredSample &m : measurements_) {
         std::size_t idx = static_cast<std::size_t>(slot(m));
         // First delivery wins a slot: duplicates are ignored here.
-        if (!have[idx] && std::isfinite(m.watts)) {
-            measured[idx] = m.watts;
+        if (!have[idx] && std::isfinite(m.watts.value())) {
+            measured[idx] = m.watts.value();
             have[idx] = true;
         }
     }
@@ -281,7 +281,7 @@ OnlineRecalibrator::absorbAlignedSamples()
             static_cast<double>(period)));
         if (idx >= static_cast<long>(windows.size()))
             continue; // window not sampled yet; retry next tick
-        if (idx < 0 || !std::isfinite(m.watts)) {
+        if (idx < 0 || !std::isfinite(m.watts.value())) {
             // Permanently unmatchable (pre-history) or corrupt:
             // consume it so a faulty meter cannot wedge absorption.
             ++samplesRejected_;
@@ -297,7 +297,7 @@ OnlineRecalibrator::absorbAlignedSamples()
         }
         CalibrationSample sample;
         sample.metrics = w.metrics;
-        sample.measuredFullW = m.watts - cfg_.baselineW; // active W
+        sample.measuredFullW = m.watts.value() - cfg_.baselineW; // active W
         online_.push_back(sample);
         if (online_.size() > cfg_.maxOnlineSamples)
             online_.pop_front();

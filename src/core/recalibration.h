@@ -24,6 +24,7 @@
 #include "core/power_model.h"
 #include "hw/power_meter.h"
 #include "os/kernel.h"
+#include "util/units.h"
 
 namespace pcon {
 namespace core {
@@ -221,7 +222,7 @@ class OnlineRecalibrator
     struct MeasuredSample
     {
         sim::SimTime arrivedAt = 0;
-        double watts = 0;
+        util::Watts watts{0};
     };
 
     void onMeterSample(const hw::PowerMeter::Sample &sample);

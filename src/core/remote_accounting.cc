@@ -13,9 +13,10 @@ RemoteRequestLedger::observe(os::RequestId id,
         ++rejectedAbsent_;
         return false;
     }
-    if (!std::isfinite(tag.cpuTimeNs) || !std::isfinite(tag.energyJ) ||
-        !std::isfinite(tag.lastPowerW) || tag.cpuTimeNs < 0 ||
-        tag.energyJ < 0) {
+    if (!std::isfinite(tag.cpuTimeNs) ||
+        !std::isfinite(tag.energyJ.value()) ||
+        !std::isfinite(tag.lastPowerW.value()) || tag.cpuTimeNs < 0 ||
+        tag.energyJ.value() < 0) {
         ++rejectedCorrupt_;
         return false;
     }
@@ -45,10 +46,10 @@ RemoteRequestLedger::entry(os::RequestId id) const
     return it == entries_.end() ? Entry{} : it->second;
 }
 
-double
+util::Joules
 RemoteRequestLedger::totalEnergyJ() const
 {
-    double total = 0;
+    util::Joules total{0};
     for (const auto &kv : entries_)
         total += kv.second.energyJ;
     return total;

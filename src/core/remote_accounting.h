@@ -33,10 +33,10 @@ class RemoteRequestLedger
     {
         /** Largest cumulative on-CPU time seen, nanoseconds. */
         double cpuTimeNs = 0;
-        /** Largest cumulative attributed energy seen, Joules. */
-        double energyJ = 0;
-        /** Power estimate from the freshest accepted tag, Watts. */
-        double lastPowerW = 0;
+        /** Largest cumulative attributed energy seen. */
+        util::Joules energyJ{0};
+        /** Power estimate from the freshest accepted tag. */
+        util::Watts lastPowerW{0};
         /** Tags merged into this entry. */
         std::uint64_t updates = 0;
     };
@@ -53,8 +53,8 @@ class RemoteRequestLedger
     /** Merged view of one request (zero entry when unknown). */
     Entry entry(os::RequestId id) const;
 
-    /** Sum of merged cumulative energy over all requests, Joules. */
-    double totalEnergyJ() const;
+    /** Sum of merged cumulative energy over all requests. */
+    util::Joules totalEnergyJ() const;
 
     /** Requests with at least one accepted tag. */
     std::size_t size() const { return entries_.size(); }

@@ -160,8 +160,9 @@ RequestTracer::render(os::RequestId id) const
         std::snprintf(line, sizeof(line),
                       "%10.2f  %-16s %-14s %4d %8.1f %10.4f\n",
                       sim::toMillis(e.time), e.actor.c_str(),
-                      traceKindName(e.kind), e.core, e.powerW,
-                      e.cumulativeEnergyJ);
+                      traceKindName(e.kind), e.core,
+                      e.powerW.value(),
+                      e.cumulativeEnergyJ.value());
         out << line;
     }
     return out.str();

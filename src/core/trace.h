@@ -20,6 +20,7 @@
 #include "core/container_manager.h"
 #include "os/hooks.h"
 #include "os/kernel.h"
+#include "util/units.h"
 
 namespace pcon {
 namespace core {
@@ -46,10 +47,10 @@ struct TraceEvent
     std::string actor;
     /** Core involved (-1 when not applicable). */
     int core = -1;
-    /** Container's most recent power estimate, Watts. */
-    double powerW = 0;
-    /** Container's cumulative energy at this moment, Joules. */
-    double cumulativeEnergyJ = 0;
+    /** Container's most recent power estimate. */
+    util::Watts powerW{0};
+    /** Container's cumulative energy at this moment. */
+    util::Joules cumulativeEnergyJ{0};
     /** Bytes transferred (IoComplete only). */
     double bytes = 0;
 };

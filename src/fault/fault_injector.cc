@@ -65,10 +65,10 @@ FaultInjector::perturbMeterSample(const hw::PowerMeter::Sample &sample)
     }
     hw::PowerMeter::Sample out = sample;
     if (mf.quantizeStepW > 0) {
-        double q =
-            std::floor(out.watts / mf.quantizeStepW) * mf.quantizeStepW;
-        if (q != out.watts) {
-            out.watts = q;
+        double q = std::floor(out.watts.value() / mf.quantizeStepW) *
+            mf.quantizeStepW;
+        if (q != out.watts.value()) {
+            out.watts = util::Watts(q);
             note("meter quantize", &counts_.meterQuantized,
                  "fault.meter_quantized");
         }

@@ -14,7 +14,8 @@ using util::panicIf;
 Machine::Machine(sim::Simulation &simulation, const MachineConfig &cfg)
     : sim_(simulation), cfg_(cfg),
       cores_(static_cast<std::size_t>(cfg.totalCores())),
-      packageEnergyJ_(static_cast<std::size_t>(cfg.chips), 0.0),
+      packageEnergyJ_(static_cast<std::size_t>(cfg.chips),
+                      util::Joules(0)),
       lastSync_(simulation.now())
 {
     fatalIf(cfg.chips <= 0 || cfg.coresPerChip <= 0,
@@ -203,6 +204,7 @@ Machine::coreActiveW(const CoreState &core) const
 double
 Machine::chipActiveW(int chip) const
 {
+    // pcon-lint: allow(units) ground-truth internal; callers wrap in Watts
     double power = 0.0;
     bool any_busy = false;
     int first = chip * cfg_.coresPerChip;
@@ -216,47 +218,47 @@ Machine::chipActiveW(int chip) const
     return power;
 }
 
-double
+util::Watts
 Machine::devicePowerW() const
 {
-    double power = 0.0;
+    util::Watts power{0};
     if (diskBusy_ > 0)
-        power += cfg_.truth.diskActiveW;
+        power += util::Watts(cfg_.truth.diskActiveW);
     if (netBusy_ > 0)
-        power += cfg_.truth.netActiveW;
+        power += util::Watts(cfg_.truth.netActiveW);
     return power;
 }
 
-double
+util::Watts
 Machine::truePowerW() const
 {
-    return cfg_.truth.machineIdleW + trueActivePowerW();
+    return util::Watts(cfg_.truth.machineIdleW) + trueActivePowerW();
 }
 
-double
+util::Watts
 Machine::trueActivePowerW() const
 {
-    double active = devicePowerW();
+    double active = devicePowerW().value();
     for (int chip = 0; chip < cfg_.chips; ++chip)
         active += chipActiveW(chip);
-    return active;
+    return util::Watts(active);
 }
 
-double
+util::Watts
 Machine::truePackagePowerW(int chip) const
 {
     checkChip(chip);
-    return cfg_.truth.packageIdleW + chipActiveW(chip);
+    return util::Watts(cfg_.truth.packageIdleW + chipActiveW(chip));
 }
 
-double
+util::Joules
 Machine::machineEnergyJ()
 {
     sync();
     return machineEnergyJ_;
 }
 
-double
+util::Joules
 Machine::packageEnergyJ(int chip)
 {
     checkChip(chip);
@@ -264,7 +266,7 @@ Machine::packageEnergyJ(int chip)
     return packageEnergyJ_[chip];
 }
 
-double
+util::Joules
 Machine::deviceEnergyJ(DeviceKind kind)
 {
     sync();
@@ -301,21 +303,22 @@ Machine::sync()
     }
 
     // Energy: integrate the ground-truth power over the interval.
-    double power_w = truePowerW();
-    PCON_AUDIT_MSG(std::isfinite(power_w) &&
-                       power_w >= cfg_.truth.machineIdleW,
+    util::Watts power_w = truePowerW();
+    util::SimSeconds dt(dt_s);
+    PCON_AUDIT_MSG(std::isfinite(power_w.value()) &&
+                       power_w.value() >= cfg_.truth.machineIdleW,
                    "ground-truth power ", power_w,
                    " W fell below the idle floor ",
                    cfg_.truth.machineIdleW, " W");
-    machineEnergyJ_ += power_w * dt_s;
+    machineEnergyJ_ += power_w * dt;
     for (int chip = 0; chip < cfg_.chips; ++chip)
-        packageEnergyJ_[chip] += truePackagePowerW(chip) * dt_s;
+        packageEnergyJ_[chip] += truePackagePowerW(chip) * dt;
     if (diskBusy_ > 0)
-        diskEnergyJ_ += cfg_.truth.diskActiveW * dt_s;
+        diskEnergyJ_ += util::Watts(cfg_.truth.diskActiveW) * dt;
     if (netBusy_ > 0)
-        netEnergyJ_ += cfg_.truth.netActiveW * dt_s;
-    PCON_AUDIT_MSG(std::isfinite(machineEnergyJ_) &&
-                       machineEnergyJ_ >= 0,
+        netEnergyJ_ += util::Watts(cfg_.truth.netActiveW) * dt;
+    PCON_AUDIT_MSG(std::isfinite(machineEnergyJ_.value()) &&
+                       machineEnergyJ_.value() >= 0,
                    "cumulative machine energy corrupt: ",
                    machineEnergyJ_, " J");
 

@@ -21,6 +21,7 @@
 #include "hw/config.h"
 #include "hw/counters.h"
 #include "sim/simulation.h"
+#include "util/units.h"
 
 namespace pcon {
 namespace hw {
@@ -98,6 +99,7 @@ class Machine
      * Active-power multiplier of a P-state ratio: ratio * voltage^2
      * with voltage = 0.6 + 0.4 * ratio. At ratio 1 this is 1.
      */
+    // pcon-lint: allow(units) dimensionless multiplier, not a wattage
     static double pstatePowerScale(double ratio);
 
     /**
@@ -135,23 +137,23 @@ class Machine
     /** True when the device has at least one operation in flight. */
     bool deviceBusy(DeviceKind kind) const;
 
-    /** Ground truth: whole-machine power right now (Watts). */
-    double truePowerW() const;
+    /** Ground truth: whole-machine power right now. */
+    util::Watts truePowerW() const;
 
     /** Ground truth: whole-machine active (full minus idle) power. */
-    double trueActivePowerW() const;
+    util::Watts trueActivePowerW() const;
 
-    /** Ground truth: package power of one chip right now (Watts). */
-    double truePackagePowerW(int chip) const;
+    /** Ground truth: package power of one chip right now. */
+    util::Watts truePackagePowerW(int chip) const;
 
-    /** Cumulative whole-machine energy since start (Joules). */
-    double machineEnergyJ();
+    /** Cumulative whole-machine energy since start. */
+    util::Joules machineEnergyJ();
 
-    /** Cumulative package energy of one chip since start (Joules). */
-    double packageEnergyJ(int chip);
+    /** Cumulative package energy of one chip since start. */
+    util::Joules packageEnergyJ(int chip);
 
-    /** Cumulative energy of one device class since start (Joules). */
-    double deviceEnergyJ(DeviceKind kind);
+    /** Cumulative energy of one device class since start. */
+    util::Joules deviceEnergyJ(DeviceKind kind);
 
     /** Simulation this machine belongs to. */
     sim::Simulation &simulation() { return sim_; }
@@ -178,7 +180,7 @@ class Machine
     double chipActiveW(int chip) const;
 
     /** Device power right now. */
-    double devicePowerW() const;
+    util::Watts devicePowerW() const;
 
     void checkCore(int core) const;
     void checkChip(int chip) const;
@@ -186,10 +188,10 @@ class Machine
     sim::Simulation &sim_;
     MachineConfig cfg_;
     std::vector<CoreState> cores_;
-    std::vector<double> packageEnergyJ_;
-    double machineEnergyJ_ = 0;
-    double diskEnergyJ_ = 0;
-    double netEnergyJ_ = 0;
+    std::vector<util::Joules> packageEnergyJ_;
+    util::Joules machineEnergyJ_{0};
+    util::Joules diskEnergyJ_{0};
+    util::Joules netEnergyJ_{0};
     int diskBusy_ = 0;
     int netBusy_ = 0;
     sim::SimTime lastSync_ = 0;

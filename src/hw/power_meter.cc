@@ -60,12 +60,12 @@ PowerMeter::trimHistory(std::size_t keep)
         history_.pop_front();
 }
 
-double
+util::Joules
 PowerMeter::cumulativeEnergyJ()
 {
     if (scope_ == MeterScope::Machine)
         return machine_.machineEnergyJ();
-    double total = 0.0;
+    util::Joules total{0};
     for (int chip = 0; chip < machine_.config().chips; ++chip)
         total += machine_.packageEnergyJ(chip);
     return total;
@@ -79,19 +79,19 @@ PowerMeter::tick()
     sim::Simulation &sim = machine_.simulation();
     sim::SimTime interval_end = sim.now();
 
-    double energy = cumulativeEnergyJ();
+    util::Joules energy = cumulativeEnergyJ();
     // The measured store is an integral of non-negative power, so a
     // backwards step means the hardware model lost energy.
     PCON_AUDIT_MSG(energy >= lastEnergyJ_,
                    "meter observed cumulative energy shrink from ",
                    lastEnergyJ_, " J to ", energy, " J");
-    double watts = (energy - lastEnergyJ_) /
-        sim::toSeconds(timing_.period);
+    util::Watts watts = intervalWatts(
+        energy - lastEnergyJ_, sim::toSimSeconds(timing_.period));
     lastEnergyJ_ = energy;
     if (timing_.noiseStddevW > 0)
-        watts += noise_.normal(0.0, timing_.noiseStddevW);
+        watts += util::Watts(noise_.normal(0.0, timing_.noiseStddevW));
 
-    PCON_AUDIT_MSG(std::isfinite(watts),
+    PCON_AUDIT_MSG(std::isfinite(watts.value()),
                    "meter produced a non-finite sample");
     Sample sample{interval_end, interval_end + timing_.delay, watts};
     if (perturber_) {
@@ -102,6 +102,18 @@ PowerMeter::tick()
     }
 
     pendingTick_ = sim.schedule(timing_.period, [this] { tick(); });
+}
+
+util::Watts
+PowerMeter::intervalWatts(util::Joules delta, util::SimSeconds period)
+{
+    // A zero-length nominal period would turn every interval into a
+    // division by zero and deliver inf/NaN watts downstream; fail
+    // loudly at the first tick instead.
+    PCON_AUDIT_MSG(period.value() > 0,
+                   "meter nominal period ", period,
+                   " s is zero-length; samples would be non-finite");
+    return delta / period;
 }
 
 void

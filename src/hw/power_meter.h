@@ -46,8 +46,8 @@ class PowerMeter
         sim::SimTime intervalEnd;
         /** When software received the value (intervalEnd + delay). */
         sim::SimTime deliveredAt;
-        /** Average power over the interval, Watts. */
-        double watts;
+        /** Average power over the interval. */
+        util::Watts watts;
     };
 
     using Subscriber = std::function<void(const Sample &)>;
@@ -102,10 +102,20 @@ class PowerMeter
     /** Measurement scope. */
     MeterScope scope() const { return scope_; }
 
+    /**
+     * Average power of `delta` energy spread over a `period`-long
+     * interval — the conversion every tick performs. Audits against a
+     * zero-length period, which would make every sample non-finite.
+     * Static and public so the guard is unit-testable directly (the
+     * constructor already rejects zero-period configs).
+     */
+    static util::Watts intervalWatts(util::Joules delta,
+                                     util::SimSeconds period);
+
   private:
     void tick();
     void scheduleDelivery(const Sample &sample);
-    double cumulativeEnergyJ();
+    util::Joules cumulativeEnergyJ();
 
     Machine &machine_;
     MeterScope scope_;
@@ -113,7 +123,7 @@ class PowerMeter
     sim::Rng noise_;
     bool running_ = false;
     sim::EventId pendingTick_ = sim::InvalidEventId;
-    double lastEnergyJ_ = 0;
+    util::Joules lastEnergyJ_{0};
     std::deque<Sample> history_;
     std::vector<Subscriber> subscribers_;
     DeliveryPerturber perturber_;

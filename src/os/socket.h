@@ -20,6 +20,7 @@
 
 #include "os/request_context.h"
 #include "sim/time.h"
+#include "util/units.h"
 
 namespace pcon {
 namespace os {
@@ -39,10 +40,10 @@ struct RequestStatsTag
     bool present = false;
     /** Cumulative on-CPU time, nanoseconds. */
     double cpuTimeNs = 0;
-    /** Cumulative attributed energy, Joules. */
-    double energyJ = 0;
-    /** Most recent power estimate, Watts. */
-    double lastPowerW = 0;
+    /** Cumulative attributed energy. */
+    util::Joules energyJ{0};
+    /** Most recent power estimate. */
+    util::Watts lastPowerW{0};
     /**
      * Sender-side causal span (trace::SpanId; 0 = none). Rides the
      * same piggyback channel as the statistics so a receiving span

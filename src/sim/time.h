@@ -10,6 +10,8 @@
 
 #include <cstdint>
 
+#include "util/units.h"
+
 namespace pcon {
 namespace sim {
 
@@ -63,6 +65,13 @@ constexpr double
 toMillis(SimTime t)
 {
     return static_cast<double>(t) * 1e-6;
+}
+
+/** SimTime to the strongly-typed duration power math divides by. */
+constexpr util::SimSeconds
+toSimSeconds(SimTime t)
+{
+    return util::SimSeconds(toSeconds(t));
 }
 
 } // namespace sim

@@ -74,8 +74,8 @@ SystemTelemetry::SystemTelemetry(Registry &registry,
                  ++it) {
                 if (it->id != info.id)
                     continue;
-                requestEnergyJ_.observe(it->totalEnergyJ());
-                requestMeanPowerW_.observe(it->meanPowerW);
+                requestEnergyJ_.observe(it->totalEnergyJ().value());
+                requestMeanPowerW_.observe(it->meanPowerW.value());
                 break;
             }
         }
@@ -87,7 +87,7 @@ SystemTelemetry::SystemTelemetry(Registry &registry,
         registry_.gauge("kernel.total_load")
             .set(static_cast<double>(kernel_.totalLoad()));
         registry_.gauge("machine.energy_j")
-            .set(kernel_.machine().machineEnergyJ());
+            .set(kernel_.machine().machineEnergyJ().value());
     });
 }
 
@@ -152,9 +152,9 @@ SystemTelemetry::watch(core::ContainerManager &manager)
         registry_.gauge("containers.live")
             .set(static_cast<double>(manager.live().size()));
         registry_.gauge("containers.accounted_energy_j")
-            .set(manager.accountedEnergyJ());
+            .set(manager.accountedEnergyJ().value());
         registry_.gauge("containers.background_energy_j")
-            .set(manager.background().totalEnergyJ());
+            .set(manager.background().totalEnergyJ().value());
         std::uint64_t ops = manager.maintenanceOps();
         if (ops > *last_ops) {
             registry_.counter("containers.maintenance_ops")

@@ -123,6 +123,23 @@ OverheadProfiler::onTaskExit(os::Task &task)
 }
 
 void
+OverheadProfiler::onFork(os::Task &parent, os::Task &child)
+{
+    calls_->add();
+    for (os::KernelHooks *h : inner_)
+        h->onFork(parent, child);
+}
+
+void
+OverheadProfiler::onSegmentReceived(os::Task &task,
+                                    const os::Segment &segment)
+{
+    calls_->add();
+    for (os::KernelHooks *h : inner_)
+        h->onSegmentReceived(task, segment);
+}
+
+void
 OverheadProfiler::onActuation(int core, int duty_level, int pstate)
 {
     calls_->add();

@@ -60,6 +60,9 @@ class OverheadProfiler : public os::KernelHooks
     void onIoComplete(hw::DeviceKind device, os::RequestId context,
                       sim::SimTime busy_time, double bytes) override;
     void onTaskExit(os::Task &task) override;
+    void onFork(os::Task &parent, os::Task &child) override;
+    void onSegmentReceived(os::Task &task,
+                           const os::Segment &segment) override;
     void onActuation(int core, int duty_level, int pstate) override;
 
     /**

@@ -246,7 +246,7 @@ PerfettoExporter::samplePower(core::ContainerManager &manager)
         power.pid = kPidContainers;
         power.name = base + ".power_w";
         power.argName = "w";
-        power.argValue = c.lastPowerW;
+        power.argValue = c.lastPowerW.value();
         power.hasArg = true;
         counterTracks_.emplace(power.name, true);
         push(std::move(power));
@@ -256,7 +256,7 @@ PerfettoExporter::samplePower(core::ContainerManager &manager)
         energy.pid = kPidContainers;
         energy.name = base + ".energy_j";
         energy.argName = "j";
-        energy.argValue = c.totalEnergyJ();
+        energy.argValue = c.totalEnergyJ().value();
         energy.hasArg = true;
         counterTracks_.emplace(energy.name, true);
         push(std::move(energy));

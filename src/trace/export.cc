@@ -86,7 +86,7 @@ renderFlamegraph(const SpanCollector &collector)
         if (s.open)
             continue;
         stacks[framePath(collector, s)] +=
-            std::llround(s.energyJ * 1e6);
+            std::llround(s.energyJ.value() * 1e6);
     }
     std::ostringstream out;
     for (const auto &kv : stacks)
@@ -116,7 +116,7 @@ exportSpansToPerfetto(const SpanCollector &collector,
             name += " #" + std::to_string(s.request);
         exporter.addSpanSlice(s.machine, lanes[s.id], s.openedAt,
                               s.duration(), name, "energy_uj",
-                              s.energyJ * 1e6);
+                              s.energyJ.value() * 1e6);
     }
     // One flow arrow per cross-machine edge: starts inside the
     // sender's slice, finishes at the receiver's open edge.

@@ -38,8 +38,8 @@ rankedRequests(const SpanCollector &collector)
     std::vector<os::RequestId> ids = collector.requests();
     std::sort(ids.begin(), ids.end(),
               [&collector](os::RequestId a, os::RequestId b) {
-                  double ea = collector.requestEnergyJ(a);
-                  double eb = collector.requestEnergyJ(b);
+                  util::Joules ea = collector.requestEnergyJ(a);
+                  util::Joules eb = collector.requestEnergyJ(b);
                   if (ea != eb)
                       return ea > eb;
                   return a < b;
@@ -98,7 +98,7 @@ reportTopRequests(const SpanCollector &collector, std::size_t top_n)
         out << shown << " " << id << " "
             << rootName(collector, id) << " " << spans.size() << " "
             << machines.size() << " "
-            << joules(collector.requestEnergyJ(id)) << " "
+            << joules(collector.requestEnergyJ(id).value()) << " "
             << millis(requestWall(collector, id)) << "\n";
     }
     if (shown == 0)
@@ -115,17 +115,18 @@ reportStageBreakdown(const SpanCollector &collector,
         << rootName(collector, request) << ")\n"
         << "span parent kind machine name energy_j avg_power_w"
         << " cpu_ms io_bytes\n";
-    double total = 0;
+    util::Joules total{0};
     for (SpanId id : collector.requestSpans(request)) {
         const Span &s = collector.span(id);
         out << s.id << " " << s.parent << " " << spanKindName(s.kind)
             << " m" << s.machine << " " << s.name << " "
-            << joules(s.energyJ) << " " << fmt("%.3f", s.avgPowerW())
+            << joules(s.energyJ.value()) << " "
+            << fmt("%.3f", s.avgPowerW().value())
             << " " << fmt("%.3f", s.cpuTimeNs * 1e-6) << " "
             << fmt("%.0f", s.ioBytes) << "\n";
         total += s.energyJ;
     }
-    out << "total " << joules(total) << "\n";
+    out << "total " << joules(total.value()) << "\n";
     return out.str();
 }
 
@@ -141,7 +142,8 @@ reportCriticalPath(const SpanCollector &collector,
         const Span &s = collector.span(id);
         out << s.id << " " << spanKindName(s.kind) << " m"
             << s.machine << " " << s.name << " " << millis(s.openedAt)
-            << " " << millis(s.closedAt) << " " << joules(s.energyJ)
+            << " " << millis(s.closedAt) << " "
+            << joules(s.energyJ.value())
             << "\n";
     }
     if (path.empty())
@@ -160,11 +162,11 @@ reportMachineImbalance(const SpanCollector &collector)
         out << " m" << m << "_j";
     out << " dominant_share\n";
     for (os::RequestId id : collector.requests()) {
-        double total = collector.requestEnergyJ(id);
+        double total = collector.requestEnergyJ(id).value();
         double peak = 0;
         out << id << " " << rootName(collector, id);
         for (int m : machines) {
-            double e = collector.machineEnergyJ(id, m);
+            double e = collector.machineEnergyJ(id, m).value();
             peak = std::max(peak, e);
             out << " " << joules(e);
         }

@@ -91,11 +91,12 @@ SpanCollector::reparent(SpanId id, SpanId parent, SpanKind kind,
 }
 
 void
-SpanCollector::charge(SpanId id, double energy_j, double cpu_time_ns,
-                      double cycles, double instructions)
+SpanCollector::charge(SpanId id, util::Joules energy,
+                      double cpu_time_ns, util::Cycles cycles,
+                      double instructions)
 {
     Span &s = mutableSpan(id);
-    s.energyJ += energy_j;
+    s.energyJ += energy;
     s.cpuTimeNs += cpu_time_ns;
     s.cycles += cycles;
     s.instructions += instructions;
@@ -160,20 +161,21 @@ SpanCollector::requests() const
     return out;
 }
 
-double
+util::Joules
 SpanCollector::requestEnergyJ(os::RequestId request) const
 {
-    double total = 0;
+    util::Joules total{0};
     for (const Span &s : spans_)
         if (s.request == request)
             total += s.energyJ;
     return total;
 }
 
-double
-SpanCollector::machineEnergyJ(os::RequestId request, int machine) const
+util::Joules
+SpanCollector::machineEnergyJ(os::RequestId request,
+                              int machine) const
 {
-    double total = 0;
+    util::Joules total{0};
     for (const Span &s : spans_)
         if (s.request == request && s.machine == machine)
             total += s.energyJ;

@@ -20,6 +20,7 @@
 
 #include "os/request_context.h"
 #include "sim/time.h"
+#include "util/units.h"
 
 namespace pcon {
 namespace trace {
@@ -75,12 +76,12 @@ struct Span
     sim::SimTime closedAt = 0;
     bool open = true;
 
-    /** Attributed energy while this span was active, Joules. */
-    double energyJ = 0;
+    /** Attributed energy while this span was active. */
+    util::Joules energyJ{0};
     /** Attributed on-CPU time, nanoseconds. */
     double cpuTimeNs = 0;
     /** Attributed non-halt cycles. */
-    double cycles = 0;
+    util::Cycles cycles{0};
     /** Attributed retired instructions. */
     double instructions = 0;
     /** Device bytes transferred under this span. */
@@ -90,10 +91,12 @@ struct Span
     sim::SimTime duration() const { return open ? 0 : closedAt - openedAt; }
 
     /** Attributed energy per second of attributed on-CPU time. */
-    double
+    util::Watts
     avgPowerW() const
     {
-        return cpuTimeNs > 0 ? energyJ / (cpuTimeNs * 1e-9) : 0.0;
+        return cpuTimeNs > 0
+                   ? energyJ / util::SimSeconds(cpuTimeNs * 1e-9)
+                   : util::Watts(0);
     }
 };
 
@@ -123,8 +126,8 @@ class SpanCollector
                   SpanId remote_parent = NoSpan);
 
     /** Accumulate attributed activity into a span. */
-    void charge(SpanId id, double energy_j, double cpu_time_ns,
-                double cycles, double instructions);
+    void charge(SpanId id, util::Joules energy, double cpu_time_ns,
+                util::Cycles cycles, double instructions);
 
     /** Accumulate device bytes into a span. */
     void addIoBytes(SpanId id, double bytes);
@@ -156,11 +159,12 @@ class SpanCollector
     /** Requests with at least one span, ascending id. */
     std::vector<os::RequestId> requests() const;
 
-    /** Total attributed energy across a request's spans, Joules. */
-    double requestEnergyJ(os::RequestId request) const;
+    /** Total attributed energy across a request's spans. */
+    util::Joules requestEnergyJ(os::RequestId request) const;
 
-    /** Energy of a request's spans on one machine, Joules. */
-    double machineEnergyJ(os::RequestId request, int machine) const;
+    /** Energy of a request's spans on one machine. */
+    util::Joules machineEnergyJ(os::RequestId request,
+                                int machine) const;
 
     /** Machine indices seen across all spans, ascending. */
     std::vector<int> machines() const;

@@ -269,11 +269,11 @@ class Parser
             else if (key == "open")
                 s.open = parseBool();
             else if (key == "energy_j")
-                s.energyJ = parseNumber();
+                s.energyJ = util::Joules(parseNumber());
             else if (key == "cpu_time_ns")
                 s.cpuTimeNs = parseNumber();
             else if (key == "cycles")
-                s.cycles = parseNumber();
+                s.cycles = util::Cycles(parseNumber());
             else if (key == "instructions")
                 s.instructions = parseNumber();
             else if (key == "io_bytes")
@@ -311,9 +311,9 @@ renderSpanJson(const SpanCollector &collector)
             << escapeJson(s.name) << "\",\"opened_ns\":" << s.openedAt
             << ",\"closed_ns\":" << s.closedAt << ",\"open\":"
             << (s.open ? "true" : "false")
-            << ",\"energy_j\":" << numJson(s.energyJ)
+            << ",\"energy_j\":" << numJson(s.energyJ.value())
             << ",\"cpu_time_ns\":" << numJson(s.cpuTimeNs)
-            << ",\"cycles\":" << numJson(s.cycles)
+            << ",\"cycles\":" << numJson(s.cycles.value())
             << ",\"instructions\":" << numJson(s.instructions)
             << ",\"io_bytes\":" << numJson(s.ioBytes) << "}";
     }

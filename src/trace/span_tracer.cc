@@ -132,9 +132,9 @@ SpanTracer::chargeDelta(RequestState &st, os::RequestId id,
     core::PowerContainer *c = manager_.container(id);
     if (c == nullptr)
         return;
-    double energy = c->totalEnergyJ();
+    util::Joules energy = c->totalEnergyJ();
     double cpu_ns = c->cpuTimeNs;
-    double cycles = c->events.nonhaltCycles;
+    util::Cycles cycles{c->events.nonhaltCycles};
     double instructions = c->events.instructions;
     collector_.charge(span, energy - st.seenEnergyJ,
                       cpu_ns - st.seenCpuNs, cycles - st.seenCycles,
@@ -305,7 +305,7 @@ SpanTracer::onSegmentReceived(os::Task &task,
         collector_.span(it->second).open &&
         collector_.span(it->second).request == segment.context) {
         const Span &s = collector_.span(it->second);
-        if (s.openedAt == t && s.energyJ == 0) {
+        if (s.openedAt == t && s.energyJ == util::Joules(0)) {
             // Span freshly opened by the rebind a moment ago: refine
             // its causal parent in place.
             sp = it->second;
@@ -354,12 +354,13 @@ SpanTracer::completeRequest(const os::RequestInfo &info)
         collector_.charge(target,
                           rit->totalEnergyJ() - st.seenEnergyJ,
                           rit->cpuTimeNs - st.seenCpuNs,
-                          rit->events.nonhaltCycles - st.seenCycles,
+                          util::Cycles{rit->events.nonhaltCycles} -
+                              st.seenCycles,
                           rit->events.instructions -
                               st.seenInstructions);
         st.seenEnergyJ = rit->totalEnergyJ();
         st.seenCpuNs = rit->cpuTimeNs;
-        st.seenCycles = rit->events.nonhaltCycles;
+        st.seenCycles = util::Cycles{rit->events.nonhaltCycles};
         st.seenInstructions = rit->events.instructions;
         break;
     }

@@ -103,9 +103,9 @@ class SpanTracer : public os::KernelHooks
         /** Most recent active span (causal anchor for sends/IO). */
         SpanId current = NoSpan;
         /** Container totals already charged into spans. */
-        double seenEnergyJ = 0;
+        util::Joules seenEnergyJ{0};
         double seenCpuNs = 0;
-        double seenCycles = 0;
+        util::Cycles seenCycles{0};
         double seenInstructions = 0;
         bool completed = false;
     };

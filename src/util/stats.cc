@@ -78,6 +78,9 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 void
 Histogram::add(double x)
 {
+    // NaN poisons the bin computation (floor(NaN) cast to long is
+    // undefined) and inf would silently clamp to an edge bin.
+    fatalIf(!std::isfinite(x), "Histogram::add of non-finite value");
     double pos = (x - lo_) / (hi_ - lo_) *
         static_cast<double>(counts_.size());
     long bin = static_cast<long>(std::floor(pos));
@@ -152,11 +155,19 @@ quantile(std::vector<double> values, double q)
 {
     fatalIf(values.empty(), "quantile of an empty sample");
     fatalIf(q < 0.0 || q > 1.0, "quantile q out of [0,1]: ", q);
+    for (double v : values)
+        // NaN violates std::sort's strict weak ordering (undefined
+        // behaviour), so order statistics are meaningless.
+        fatalIf(std::isnan(v), "quantile over a sample with NaN");
     std::sort(values.begin(), values.end());
     double pos = q * static_cast<double>(values.size() - 1);
     std::size_t lo = static_cast<std::size_t>(pos);
     std::size_t hi = std::min(lo + 1, values.size() - 1);
     double frac = pos - static_cast<double>(lo);
+    // Exact order statistic: skip the interpolation so an infinite
+    // sample is returned as-is instead of producing inf * 0 = NaN.
+    if (frac == 0.0)
+        return values[lo];
     return values[lo] * (1.0 - frac) + values[hi] * frac;
 }
 

@@ -74,7 +74,7 @@ class Histogram
      */
     Histogram(double lo, double hi, std::size_t bins);
 
-    /** Add one observation. */
+    /** Add one observation; fatal() on NaN or infinity. */
     void add(double x);
 
     /** Number of bins. */
@@ -151,7 +151,10 @@ class TimeSeries
     std::vector<double> values_;
 };
 
-/** Exact quantile of a sample set (q in [0,1]); sorts a copy. */
+/**
+ * Exact quantile of a sample set (q in [0,1]); sorts a copy.
+ * fatal() on an empty sample, q outside [0,1], or NaN elements.
+ */
 double quantile(std::vector<double> values, double q);
 
 } // namespace util

@@ -1,0 +1,33 @@
+#include "units.h"
+
+#include <ostream>
+
+namespace pcon {
+namespace util {
+
+std::ostream &
+operator<<(std::ostream &out, Joules v)
+{
+    return out << v.value();
+}
+
+std::ostream &
+operator<<(std::ostream &out, Watts v)
+{
+    return out << v.value();
+}
+
+std::ostream &
+operator<<(std::ostream &out, Cycles v)
+{
+    return out << v.value();
+}
+
+std::ostream &
+operator<<(std::ostream &out, SimSeconds v)
+{
+    return out << v.value();
+}
+
+} // namespace util
+} // namespace pcon

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Zero-cost strong types for the physical quantities the accounting
+ * engine trades in: Joules, Watts, Cycles, and SimSeconds. Every
+ * exact-accounting claim in this repo (per-span sums equal the
+ * container ledger; meter readings align with model estimates) is a
+ * claim about these quantities, and software-defined power meters
+ * report silent unit mix-ups as their dominant failure mode. A bare
+ * `double watts` and a bare `double joules` are the same type to the
+ * compiler; these wrappers make the dimension part of the signature
+ * while compiling to the identical double arithmetic (single member,
+ * all operations constexpr and inline), so adopting them cannot
+ * change a golden fixture by even one bit.
+ *
+ * Conventions:
+ *  - construction from a raw double is `explicit`; `.value()` is the
+ *    escape hatch back (serialization, linear algebra, tests);
+ *  - same-dimension arithmetic (+, -, comparisons) preserves the
+ *    dimension; scaling by a dimensionless double is allowed;
+ *  - the ratio of two like quantities is a dimensionless double;
+ *  - the physically meaningful cross products are spelled out:
+ *    Joules / SimSeconds -> Watts, Watts * SimSeconds -> Joules,
+ *    Joules / Watts -> SimSeconds, Cycles / SimSeconds -> double Hz;
+ *  - streaming prints the raw value with the stream's current
+ *    formatting, so typed CSV/log output is byte-identical to the
+ *    double it replaced.
+ *
+ * The pcon-lint `units` rule (tools/pcon_lint) rejects new
+ * `double` parameters/members/returns whose names look like energy
+ * or power quantities outside this header.
+ */
+
+#ifndef PCON_UTIL_UNITS_H
+#define PCON_UTIL_UNITS_H
+
+#include <iosfwd>
+
+namespace pcon {
+namespace util {
+
+/**
+ * Declares the boilerplate every strong quantity shares: explicit
+ * construction, value(), same-dimension arithmetic, dimensionless
+ * scaling, and comparisons. Cross-dimension operators are defined
+ * per-pair below the class definitions.
+ */
+#define PCON_UNIT_COMMON(Unit)                                         \
+  public:                                                              \
+    constexpr Unit() = default;                                        \
+    constexpr explicit Unit(double raw) : raw_(raw) {}                 \
+    /** The raw double (serialization / math escape hatch). */        \
+    constexpr double value() const { return raw_; }                    \
+    constexpr Unit operator-() const { return Unit(-raw_); }           \
+    constexpr Unit operator+(Unit o) const { return Unit(raw_ + o.raw_); } \
+    constexpr Unit operator-(Unit o) const { return Unit(raw_ - o.raw_); } \
+    constexpr Unit &operator+=(Unit o) { raw_ += o.raw_; return *this; } \
+    constexpr Unit &operator-=(Unit o) { raw_ -= o.raw_; return *this; } \
+    constexpr Unit operator*(double k) const { return Unit(raw_ * k); } \
+    constexpr Unit operator/(double k) const { return Unit(raw_ / k); } \
+    constexpr Unit &operator*=(double k) { raw_ *= k; return *this; }  \
+    constexpr Unit &operator/=(double k) { raw_ /= k; return *this; }  \
+    /** Ratio of two like quantities is dimensionless. */             \
+    constexpr double operator/(Unit o) const { return raw_ / o.raw_; } \
+    constexpr bool operator==(Unit o) const { return raw_ == o.raw_; } \
+    constexpr bool operator!=(Unit o) const { return raw_ != o.raw_; } \
+    constexpr bool operator<(Unit o) const { return raw_ < o.raw_; }   \
+    constexpr bool operator<=(Unit o) const { return raw_ <= o.raw_; } \
+    constexpr bool operator>(Unit o) const { return raw_ > o.raw_; }   \
+    constexpr bool operator>=(Unit o) const { return raw_ >= o.raw_; } \
+                                                                       \
+  private:                                                             \
+    double raw_ = 0.0
+
+/** An amount of energy, Joules. */
+class Joules
+{
+    PCON_UNIT_COMMON(Joules);
+};
+
+/** A rate of energy use, Watts (Joules per second). */
+class Watts
+{
+    PCON_UNIT_COMMON(Watts);
+};
+
+/** A count of processor cycles (double: attribution splits them). */
+class Cycles
+{
+    PCON_UNIT_COMMON(Cycles);
+};
+
+/**
+ * A span of simulated time in fractional seconds. Distinct from
+ * sim::SimTime (integer nanosecond timestamps): SimSeconds is the
+ * double-precision duration that power/energy arithmetic divides by.
+ * sim::toSimSeconds(SimTime) converts (sim/ sits above util/).
+ */
+class SimSeconds
+{
+    PCON_UNIT_COMMON(SimSeconds);
+};
+
+#undef PCON_UNIT_COMMON
+
+// --- physically meaningful cross-dimension arithmetic -------------
+
+/** Energy over a duration is power. */
+constexpr Watts
+operator/(Joules e, SimSeconds t)
+{
+    return Watts(e.value() / t.value());
+}
+
+/** Power sustained for a duration is energy. */
+constexpr Joules
+operator*(Watts p, SimSeconds t)
+{
+    return Joules(p.value() * t.value());
+}
+
+/** Power sustained for a duration is energy (commuted). */
+constexpr Joules
+operator*(SimSeconds t, Watts p)
+{
+    return Joules(t.value() * p.value());
+}
+
+/** How long a power level takes to spend an energy budget. */
+constexpr SimSeconds
+operator/(Joules e, Watts p)
+{
+    return SimSeconds(e.value() / p.value());
+}
+
+/** Cycles over a duration is a frequency in Hz. */
+constexpr double
+hz(Cycles c, SimSeconds t)
+{
+    return c.value() / t.value();
+}
+
+/** Dimensionless scaling with the scalar on the left. */
+constexpr Joules operator*(double k, Joules v) { return v * k; }
+constexpr Watts operator*(double k, Watts v) { return v * k; }
+constexpr Cycles operator*(double k, Cycles v) { return v * k; }
+constexpr SimSeconds operator*(double k, SimSeconds v) { return v * k; }
+
+/** Stream the raw value (byte-identical to the double replaced). */
+std::ostream &operator<<(std::ostream &out, Joules v);
+std::ostream &operator<<(std::ostream &out, Watts v);
+std::ostream &operator<<(std::ostream &out, Cycles v);
+std::ostream &operator<<(std::ostream &out, SimSeconds v);
+
+} // namespace util
+} // namespace pcon
+
+#endif // PCON_UTIL_UNITS_H

@@ -47,7 +47,7 @@ ClusterExperiment::ClusterExperiment(ClusterExperimentConfig cfg)
                 core::RequestRecord record;
                 record.type = type;
                 record.cpuEnergyJ = profile.meanEnergyJ;
-                record.ioEnergyJ = 0;
+                record.ioEnergyJ = util::Joules{0};
                 record.cpuTimeNs = profile.meanCpuTimeS * 1e9;
                 record.created = 0;
                 record.completed =
@@ -234,7 +234,7 @@ ClusterExperiment::run(core::DistributionPolicy policy)
     measuring = true;
     std::vector<double> energy0(n);
     for (std::size_t m = 0; m < n; ++m)
-        energy0[m] = worlds[m]->machine().machineEnergyJ();
+        energy0[m] = worlds[m]->machine().machineEnergyJ().value();
     sim::SimTime t0 = sim.now();
     sim.run(t0 + cfg_.window);
     double span = sim::toSeconds(sim.now() - t0);
@@ -242,7 +242,8 @@ ClusterExperiment::run(core::DistributionPolicy policy)
     result.activeW.resize(n);
     for (std::size_t m = 0; m < n; ++m) {
         result.activeW[m] =
-            (worlds[m]->machine().machineEnergyJ() - energy0[m]) /
+            (worlds[m]->machine().machineEnergyJ().value() -
+             energy0[m]) /
                 span -
             cfg_.machines[m].truth.machineIdleW;
     }

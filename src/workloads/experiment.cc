@@ -101,7 +101,8 @@ ServerWorld::measuredActiveW()
     double span_s = sim::toSeconds(sim_.now() - windowStart_);
     util::fatalIf(span_s <= 0, "empty measurement window");
     double avg_full =
-        (machine_.machineEnergyJ() - windowStartEnergyJ_) / span_s;
+        (machine_.machineEnergyJ() - windowStartEnergyJ_).value() /
+        span_s;
     return avg_full - machine_.config().truth.machineIdleW;
 }
 
@@ -110,7 +111,8 @@ ServerWorld::accountedActiveW()
 {
     double span_s = sim::toSeconds(sim_.now() - windowStart_);
     util::fatalIf(span_s <= 0, "empty measurement window");
-    return (manager_.accountedEnergyJ() - windowStartAccountedJ_) /
+    return (manager_.accountedEnergyJ() - windowStartAccountedJ_)
+               .value() /
         span_s;
 }
 
@@ -134,7 +136,7 @@ measureIdleBaselineW(const hw::MachineConfig &machine_cfg,
     hw::PowerMeter meter(machine, scope, {period, 0});
     util::RunningStat watts;
     meter.subscribe([&](const hw::PowerMeter::Sample &s) {
-        watts.add(s.watts);
+        watts.add(s.watts.value());
     });
     meter.start();
     sim.run(period * 20);

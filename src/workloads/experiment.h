@@ -119,8 +119,8 @@ class ServerWorld
     std::unique_ptr<core::OnlineRecalibrator> recalibrator_;
 
     sim::SimTime windowStart_ = 0;
-    double windowStartEnergyJ_ = 0;
-    double windowStartAccountedJ_ = 0;
+    util::Joules windowStartEnergyJ_{0};
+    util::Joules windowStartAccountedJ_{0};
 };
 
 /**

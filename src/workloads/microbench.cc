@@ -126,7 +126,7 @@ runOnePattern(const hw::MachineConfig &machine_cfg,
                          {cfg.samplePeriod, 0});
     std::vector<double> watts;
     meter.subscribe([&](const hw::PowerMeter::Sample &s) {
-        watts.push_back(s.watts);
+        watts.push_back(s.watts.value());
     });
     sampler.start();
     meter.start();

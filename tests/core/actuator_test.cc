@@ -101,7 +101,7 @@ runCapped(Actuator actuator, double target_w)
     }
 
     sim.run(msec(300)); // settle the controller
-    double e0 = machine.machineEnergyJ();
+    double e0 = machine.machineEnergyJ().value();
     hw::CounterSnapshot c0 = machine.readCounters(0);
     hw::CounterSnapshot c1 = machine.readCounters(1);
     sim::SimTime t0 = sim.now();
@@ -109,7 +109,7 @@ runCapped(Actuator actuator, double target_w)
     double span = sim::toSeconds(sim.now() - t0);
 
     CapRun out;
-    out.avgActiveW = (machine.machineEnergyJ() - e0) / span - 10.0;
+    out.avgActiveW = (machine.machineEnergyJ().value() - e0) / span - 10.0;
     hw::CounterSnapshot d0 = machine.readCounters(0);
     hw::CounterSnapshot d1 = machine.readCounters(1);
     out.completedCycles = d0.nonhaltCycles - c0.nonhaltCycles +

@@ -112,7 +112,7 @@ TEST(AnomalyDetector, FlagsCompletedPowerVirus)
     EXPECT_EQ(found[0].id, virus);
     EXPECT_EQ(found[0].type, "virus");
     EXPECT_FALSE(found[0].live);
-    EXPECT_GT(found[0].meanPowerW,
+    EXPECT_GT(found[0].meanPowerW.value(),
               found[0].fleetMeanW + 3.0 * found[0].fleetStddevW);
     // Re-scan does not re-report.
     EXPECT_TRUE(detector.scan().empty());

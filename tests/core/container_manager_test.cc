@@ -111,11 +111,11 @@ TEST(ContainerManager, AttributesEnergyOfSingleRequestExactly)
     ASSERT_EQ(w.manager.records().size(), 1u);
     const RequestRecord &r = w.manager.records()[0];
     EXPECT_EQ(r.type, "job");
-    EXPECT_NEAR(r.cpuEnergyJ, 0.12, 0.12 * 0.02);
+    EXPECT_NEAR(r.cpuEnergyJ.value(), 0.12, 0.12 * 0.02);
     EXPECT_NEAR(r.cpuTimeNs, 10e6, 1e4);
-    EXPECT_NEAR(r.meanPowerW, 12.0, 0.3);
+    EXPECT_NEAR(r.meanPowerW.value(), 12.0, 0.3);
     // Everything accounted is this request (no other activity).
-    EXPECT_NEAR(w.manager.accountedEnergyJ(), r.cpuEnergyJ, 1e-9);
+    EXPECT_NEAR(w.manager.accountedEnergyJ().value(), r.cpuEnergyJ.value(), 1e-9);
 }
 
 TEST(ContainerManager, ChipShareSplitsBetweenConcurrentRequests)
@@ -132,14 +132,14 @@ TEST(ContainerManager, ChipShareSplitsBetweenConcurrentRequests)
     w.requests.complete(rb, w.sim.now());
 
     ASSERT_EQ(w.manager.records().size(), 2u);
-    double total = w.manager.records()[0].cpuEnergyJ +
-        w.manager.records()[1].cpuEnergyJ;
+    double total = w.manager.records()[0].cpuEnergyJ.value() +
+        w.manager.records()[1].cpuEnergyJ.value();
     // Ground truth active energy = 20 W * 0.01 s = 0.2 J. The
     // Equation 3 estimate is an approximation (siblings' samples lag
     // one window), so allow a few percent.
     EXPECT_NEAR(total, 0.2, 0.2 * 0.05);
     // Fair split: each got the same work, so each gets ~half.
-    EXPECT_NEAR(w.manager.records()[0].cpuEnergyJ, 0.1, 0.01);
+    EXPECT_NEAR(w.manager.records()[0].cpuEnergyJ.value(), 0.1, 0.01);
 }
 
 TEST(ContainerManager, SoleRunnerGetsWholeMaintenancePower)
@@ -153,7 +153,7 @@ TEST(ContainerManager, SoleRunnerGetsWholeMaintenancePower)
     const RequestRecord &r = w.manager.records()[0];
     // Full 12 W (incl. all 4 W maintenance) attributed to the only
     // running request: Mchipshare = 1.
-    EXPECT_NEAR(r.meanPowerW, 12.0, 0.3);
+    EXPECT_NEAR(r.meanPowerW.value(), 12.0, 0.3);
 }
 
 TEST(ContainerManager, UnboundTasksChargeBackground)
@@ -162,7 +162,7 @@ TEST(ContainerManager, UnboundTasksChargeBackground)
     ActivityVector act{1.0, 0.0, 0.0, 0.0};
     w.kernel.spawn(computeOnce(5e6, act), "daemon", NoRequest);
     w.sim.run(msec(10));
-    EXPECT_NEAR(w.manager.background().cpuEnergyJ, 0.06,
+    EXPECT_NEAR(w.manager.background().cpuEnergyJ.value(), 0.06,
                 0.06 * 0.02);
     EXPECT_EQ(w.manager.records().size(), 0u);
 }
@@ -182,8 +182,8 @@ TEST(ContainerManager, IoEnergyAttributedViaInterruptContext)
     ASSERT_NE(c, nullptr);
     // Service time: 0.5 ms latency + 10e6/100e6 s = 100.5 ms at the
     // modeled 3 W disk coefficient.
-    EXPECT_NEAR(c->ioEnergyJ, 3.0 * 0.1005, 1e-6);
-    EXPECT_NEAR(c->cpuEnergyJ, 0.0, 1e-9);
+    EXPECT_NEAR(c->ioEnergyJ.value(), 3.0 * 0.1005, 1e-6);
+    EXPECT_NEAR(c->cpuEnergyJ.value(), 0.0, 1e-9);
 }
 
 TEST(ContainerManager, ObserverEffectCompensationKeepsAccountingClean)
@@ -227,7 +227,7 @@ TEST(ContainerManager, RebindMidRunSplitsAttribution)
     const RequestRecord &b = w.manager.records()[1];
     EXPECT_NEAR(a.cpuTimeNs, 4e6, 1e4);
     EXPECT_NEAR(b.cpuTimeNs, 4e6, 1e4);
-    EXPECT_NEAR(a.cpuEnergyJ, b.cpuEnergyJ, a.cpuEnergyJ * 0.02);
+    EXPECT_NEAR(a.cpuEnergyJ.value(), b.cpuEnergyJ.value(), a.cpuEnergyJ.value() * 0.02);
 }
 
 TEST(ContainerManager, CompletedContainerReleasedButRecordKept)
@@ -253,7 +253,7 @@ TEST(ContainerManager, LateActivityAfterCompletionGoesToBackground)
     // A task still bound to the stale id: charges background.
     w.kernel.spawn(computeOnce(2e6, act), "straggler", req);
     w.sim.run(msec(5));
-    EXPECT_GT(w.manager.background().cpuEnergyJ, 0.0);
+    EXPECT_GT(w.manager.background().cpuEnergyJ.value(), 0.0);
 }
 
 TEST(ContainerManager, MaintenanceOpsCountGrowsWithSampling)
@@ -299,12 +299,12 @@ TEST(ContainerManager, ResponseMessagesCarryContainerStatistics)
     ASSERT_TRUE(got.present);
     // 5e6 cycles at 1 GHz: 5 ms of CPU at ~12 W active -> ~0.06 J.
     EXPECT_NEAR(got.cpuTimeNs, 5e6, 1e4);
-    EXPECT_NEAR(got.energyJ, 0.06, 0.06 * 0.05);
-    EXPECT_NEAR(got.lastPowerW, 12.0, 0.5);
+    EXPECT_NEAR(got.energyJ.value(), 0.06, 0.06 * 0.05);
+    EXPECT_NEAR(got.lastPowerW.value(), 12.0, 0.5);
     // The tag matches the container's own books.
     PowerContainer *c = w.manager.container(req);
     ASSERT_NE(c, nullptr);
-    EXPECT_DOUBLE_EQ(got.energyJ, c->totalEnergyJ());
+    EXPECT_DOUBLE_EQ(got.energyJ.value(), c->totalEnergyJ().value());
 }
 
 TEST(ContainerManager, StatsTagAbsentForUnknownContexts)
@@ -340,7 +340,7 @@ TEST(ContainerManager, MemoryIntensiveRequestDrawsMorePower)
     const RequestRecord &spin = w.manager.records()[0];
     const RequestRecord &mem = w.manager.records()[1];
     // mem adds 0.04*50 + 0.01*200 = 4 W over spin's 12 W.
-    EXPECT_NEAR(mem.meanPowerW - spin.meanPowerW, 4.0, 0.3);
+    EXPECT_NEAR(mem.meanPowerW.value() - spin.meanPowerW.value(), 4.0, 0.3);
 }
 
 } // namespace

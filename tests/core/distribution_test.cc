@@ -53,7 +53,7 @@ record(const std::string &type, double energy_j, double cpu_ns)
 {
     core::RequestRecord r;
     r.type = type;
-    r.cpuEnergyJ = energy_j;
+    r.cpuEnergyJ = util::Joules(energy_j);
     r.cpuTimeNs = cpu_ns;
     r.completed = sim::msec(10);
     return r;

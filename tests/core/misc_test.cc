@@ -57,7 +57,7 @@ TEST(Misc, StatsForIsEmptyWithoutAProvider)
     os::Kernel k(m, requests);
     os::RequestStatsTag tag = k.statsFor(123);
     EXPECT_FALSE(tag.present);
-    EXPECT_EQ(tag.energyJ, 0.0);
+    EXPECT_EQ(tag.energyJ.value(), 0.0);
 }
 
 TEST(Misc, ModelPowerSamplerTracksDeviceUtilization)
@@ -130,7 +130,7 @@ TEST(Misc, ProfileTableClearsAndRejectsUnknown)
     core::ProfileTable table;
     core::RequestRecord r;
     r.type = "x";
-    r.cpuEnergyJ = 1.0;
+    r.cpuEnergyJ = util::Joules(1.0);
     r.cpuTimeNs = 1e6;
     table.add(r);
     EXPECT_TRUE(table.has("x"));
@@ -203,7 +203,7 @@ TEST(Misc, RequestStatsTagRoundTripsThroughCluster)
     ASSERT_TRUE(got.present);
     // 4e6 cycles at 1 GHz and 7 W modeled -> 0.028 J.
     EXPECT_NEAR(got.cpuTimeNs, 4e6, 1e4);
-    EXPECT_NEAR(got.energyJ, 0.028, 0.002);
+    EXPECT_NEAR(got.energyJ.value(), 0.028, 0.002);
 }
 
 } // namespace

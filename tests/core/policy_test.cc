@@ -125,7 +125,7 @@ TEST(PowerConditioner, ThrottlesOnlyTheHotRequest)
     // Stats captured for the Figure 12 scatter.
     const auto &stats = cond2.stats();
     ASSERT_TRUE(stats.count(hot));
-    EXPECT_GT(stats.at(hot).originalPowerW, 15.0);
+    EXPECT_GT(stats.at(hot).originalPowerW.value(), 15.0);
     EXPECT_LT(stats.at(hot).meanDutyFraction, 1.0);
     ASSERT_TRUE(stats.count(cool));
     EXPECT_NEAR(stats.at(cool).meanDutyFraction, 1.0, 1e-9);
@@ -179,11 +179,11 @@ TEST(PowerConditioner, CapsMeasuredSystemPower)
     w.kernel.spawn(loopingCompute(hot_act, 20e6, msec(1)), "b", b, 1);
     // Let the controller settle, then measure.
     w.sim.run(msec(300));
-    double e0 = w.machine.machineEnergyJ();
+    double e0 = w.machine.machineEnergyJ().value();
     sim::SimTime t0 = w.sim.now();
     w.sim.run(msec(800));
     double avg_active =
-        (w.machine.machineEnergyJ() - e0) /
+        (w.machine.machineEnergyJ().value() - e0) /
             sim::toSeconds(w.sim.now() - t0) -
         w.machine.config().truth.machineIdleW;
     // Within ~25% of target despite granular duty levels (the duty
@@ -206,19 +206,19 @@ TEST(ProfileTable, AveragesRecordsPerType)
     ProfileTable table;
     RequestRecord r1;
     r1.type = "a";
-    r1.cpuEnergyJ = 2.0;
-    r1.ioEnergyJ = 1.0;
+    r1.cpuEnergyJ = util::Joules(2.0);
+    r1.ioEnergyJ = util::Joules(1.0);
     r1.cpuTimeNs = 1e9;
     r1.created = 0;
     r1.completed = sim::sec(2);
     RequestRecord r2 = r1;
-    r2.cpuEnergyJ = 4.0;
-    r2.ioEnergyJ = 1.0;
+    r2.cpuEnergyJ = util::Joules(4.0);
+    r2.ioEnergyJ = util::Joules(1.0);
     table.add(r1);
     table.add(r2);
     const TypeProfile &p = table.profile("a");
     EXPECT_EQ(p.count, 2u);
-    EXPECT_DOUBLE_EQ(p.meanEnergyJ, 4.0);
+    EXPECT_DOUBLE_EQ(p.meanEnergyJ.value(), 4.0);
     EXPECT_DOUBLE_EQ(p.meanCpuTimeS, 1.0);
     EXPECT_DOUBLE_EQ(p.meanResponseS, 2.0);
     EXPECT_FALSE(table.has("b"));
@@ -230,18 +230,18 @@ TEST(CompositionPredictor, FormulasMatchHandComputation)
     ProfileTable table;
     RequestRecord small;
     small.type = "small";
-    small.cpuEnergyJ = 0.5;
+    small.cpuEnergyJ = util::Joules(0.5);
     small.cpuTimeNs = 25e6; // 25 ms
     RequestRecord large;
     large.type = "large";
-    large.cpuEnergyJ = 2.0;
+    large.cpuEnergyJ = util::Joules(2.0);
     large.cpuTimeNs = 100e6; // 100 ms
     table.add(small);
     table.add(large);
 
     ObservedWorkload observed;
     observed.composition = {{"small", 20.0}, {"large", 10.0}};
-    observed.activePowerW = 30.0;
+    observed.activePowerW = util::Watts(30.0);
     observed.cpuUtilization = 0.75;
     CompositionPredictor pred(table, observed, 4);
 
@@ -321,16 +321,16 @@ TEST(RequestDispatcher, WorkloadAwareSpillsHighRatioTypesFirst)
     ProfileTable eff, old_t;
     RequestRecord r;
     r.type = "affine";
-    r.cpuEnergyJ = 0.5;
+    r.cpuEnergyJ = util::Joules(0.5);
     r.cpuTimeNs = 50e6;
     eff.add(r);
-    r.cpuEnergyJ = 2.0;
+    r.cpuEnergyJ = util::Joules(2.0);
     old_t.add(r);
     r.type = "neutral";
-    r.cpuEnergyJ = 1.8;
+    r.cpuEnergyJ = util::Joules(1.8);
     r.cpuTimeNs = 50e6;
     eff.add(r);
-    r.cpuEnergyJ = 2.0;
+    r.cpuEnergyJ = util::Joules(2.0);
     old_t.add(r);
     dispatcher.setProfiles(0, eff);
     dispatcher.setProfiles(1, old_t);
@@ -381,11 +381,11 @@ TEST(RequestDispatcher, ThreeMachineCascadePlacesByAffinity)
         ProfileTable t;
         RequestRecord r;
         r.type = "affine";
-        r.cpuEnergyJ = affine_e;
+        r.cpuEnergyJ = util::Joules(affine_e);
         r.cpuTimeNs = 50e6;
         t.add(r);
         r.type = "neutral";
-        r.cpuEnergyJ = neutral_e;
+        r.cpuEnergyJ = util::Joules(neutral_e);
         t.add(r);
         return t;
     };

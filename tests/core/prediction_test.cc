@@ -20,7 +20,7 @@ record(const std::string &type, double energy_j, double cpu_ns)
 {
     core::RequestRecord r;
     r.type = type;
-    r.cpuEnergyJ = energy_j;
+    r.cpuEnergyJ = util::Joules(energy_j);
     r.cpuTimeNs = cpu_ns;
     r.completed = sim::msec(10);
     return r;
@@ -40,7 +40,7 @@ observedAt(double light_rate, double heavy_rate)
 {
     core::ObservedWorkload w;
     w.composition = {{"light", light_rate}, {"heavy", heavy_rate}};
-    w.activePowerW = light_rate * 0.5 + heavy_rate * 4.0;
+    w.activePowerW = util::Watts(light_rate * 0.5 + heavy_rate * 4.0);
     w.cpuUtilization =
         (light_rate * 0.01 + heavy_rate * 0.08) / 4.0;
     return w;
@@ -68,11 +68,11 @@ TEST(CompositionPredictor, RateBaselineIgnoresTypeMix)
     double all_heavy =
         pred.predictRateProportional({{"heavy", 15.0}});
     EXPECT_DOUBLE_EQ(all_light, all_heavy);
-    EXPECT_DOUBLE_EQ(all_light, w.activePowerW);
+    EXPECT_DOUBLE_EQ(all_light, w.activePowerW.value());
     // Doubling the rate doubles the baseline.
     EXPECT_DOUBLE_EQ(
         pred.predictRateProportional({{"light", 30.0}}),
-        2.0 * w.activePowerW);
+        2.0 * w.activePowerW.value());
 }
 
 TEST(CompositionPredictor, UtilizationPredictionUsesCpuProfiles)
@@ -104,7 +104,7 @@ TEST(CompositionPredictor, DegenerateInputsFailLoudly)
     // Original workload with no requests breaks the rate baseline
     // (division by zero) but not the containers prediction.
     core::ObservedWorkload idle;
-    idle.activePowerW = 5.0;
+    idle.activePowerW = util::Watts(5.0);
     idle.cpuUtilization = 0.0;
     core::CompositionPredictor idle_pred(table, idle, 4);
     EXPECT_DOUBLE_EQ(

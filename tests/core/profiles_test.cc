@@ -21,7 +21,7 @@ record(const std::string &type, double energy_j, double cpu_ns,
     r.type = type;
     r.created = created;
     r.completed = completed;
-    r.cpuEnergyJ = energy_j;
+    r.cpuEnergyJ = util::Joules(energy_j);
     r.cpuTimeNs = cpu_ns;
     return r;
 }
@@ -41,7 +41,7 @@ TEST(ProfileTable, SingleRecordProfileIsThatRecord)
     ASSERT_TRUE(table.has("read"));
     const core::TypeProfile &p = table.profile("read");
     EXPECT_EQ(p.count, 1u);
-    EXPECT_DOUBLE_EQ(p.meanEnergyJ, 2.0);
+    EXPECT_DOUBLE_EQ(p.meanEnergyJ.value(), 2.0);
     EXPECT_DOUBLE_EQ(p.meanCpuTimeS, 3.0);
     EXPECT_DOUBLE_EQ(p.meanResponseS, 4.0);
 }
@@ -53,7 +53,7 @@ TEST(ProfileTable, MeansFoldIncrementally)
     table.add(record("read", 3.0, 3e9, 0, sim::sec(3)));
     const core::TypeProfile &p = table.profile("read");
     EXPECT_EQ(p.count, 2u);
-    EXPECT_DOUBLE_EQ(p.meanEnergyJ, 2.0);
+    EXPECT_DOUBLE_EQ(p.meanEnergyJ.value(), 2.0);
     EXPECT_DOUBLE_EQ(p.meanCpuTimeS, 2.0);
     EXPECT_DOUBLE_EQ(p.meanResponseS, 2.0);
 }
@@ -64,8 +64,8 @@ TEST(ProfileTable, TypesStaySeparate)
     table.add(record("read", 1.0, 1e9, 0, sim::sec(1)));
     table.add(record("write", 9.0, 2e9, 0, sim::sec(2)));
     EXPECT_EQ(table.all().size(), 2u);
-    EXPECT_DOUBLE_EQ(table.profile("read").meanEnergyJ, 1.0);
-    EXPECT_DOUBLE_EQ(table.profile("write").meanEnergyJ, 9.0);
+    EXPECT_DOUBLE_EQ(table.profile("read").meanEnergyJ.value(), 1.0);
+    EXPECT_DOUBLE_EQ(table.profile("write").meanEnergyJ.value(), 9.0);
 }
 
 TEST(ProfileTable, BatchAddAndClear)

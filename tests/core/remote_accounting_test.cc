@@ -21,8 +21,8 @@ tag(double cpu_ns, double energy_j, double power_w = 10.0)
     os::RequestStatsTag t;
     t.present = true;
     t.cpuTimeNs = cpu_ns;
-    t.energyJ = energy_j;
-    t.lastPowerW = power_w;
+    t.energyJ = util::Joules(energy_j);
+    t.lastPowerW = util::Watts(power_w);
     return t;
 }
 
@@ -33,11 +33,11 @@ TEST(RemoteRequestLedger, AcceptsAdvancingTags)
     EXPECT_TRUE(ledger.observe(7, tag(2e6, 0.9)));
     core::RemoteRequestLedger::Entry e = ledger.entry(7);
     EXPECT_DOUBLE_EQ(e.cpuTimeNs, 2e6);
-    EXPECT_DOUBLE_EQ(e.energyJ, 0.9);
+    EXPECT_DOUBLE_EQ(e.energyJ.value(), 0.9);
     EXPECT_EQ(e.updates, 2u);
     EXPECT_EQ(ledger.accepted(), 2u);
     EXPECT_EQ(ledger.size(), 1u);
-    EXPECT_DOUBLE_EQ(ledger.totalEnergyJ(), 0.9);
+    EXPECT_DOUBLE_EQ(ledger.totalEnergyJ().value(), 0.9);
 }
 
 TEST(RemoteRequestLedger, AbsentTagNeverDecrements)
@@ -47,7 +47,7 @@ TEST(RemoteRequestLedger, AbsentTagNeverDecrements)
     os::RequestStatsTag absent; // present = false, zero values
     EXPECT_FALSE(ledger.observe(7, absent));
     // The zeros in the absent tag must not have touched the entry.
-    EXPECT_DOUBLE_EQ(ledger.entry(7).energyJ, 0.9);
+    EXPECT_DOUBLE_EQ(ledger.entry(7).energyJ.value(), 0.9);
     EXPECT_DOUBLE_EQ(ledger.entry(7).cpuTimeNs, 2e6);
     EXPECT_EQ(ledger.rejectedAbsent(), 1u);
     // An absent tag for an unknown request creates no entry either.
@@ -63,9 +63,9 @@ TEST(RemoteRequestLedger, StaleTagNeverDecrements)
     EXPECT_FALSE(ledger.observe(7, tag(1e6, 0.5, 99.0)));
     core::RemoteRequestLedger::Entry e = ledger.entry(7);
     EXPECT_DOUBLE_EQ(e.cpuTimeNs, 2e6);
-    EXPECT_DOUBLE_EQ(e.energyJ, 0.9);
+    EXPECT_DOUBLE_EQ(e.energyJ.value(), 0.9);
     // Not even the power estimate updates from a stale tag.
-    EXPECT_DOUBLE_EQ(e.lastPowerW, 12.0);
+    EXPECT_DOUBLE_EQ(e.lastPowerW.value(), 12.0);
     EXPECT_EQ(ledger.rejectedStale(), 1u);
 }
 
@@ -77,7 +77,7 @@ TEST(RemoteRequestLedger, DuplicateTagCountsOnce)
     EXPECT_FALSE(ledger.observe(7, t)); // exact duplicate
     EXPECT_EQ(ledger.entry(7).updates, 1u);
     EXPECT_EQ(ledger.rejectedStale(), 1u);
-    EXPECT_DOUBLE_EQ(ledger.totalEnergyJ(), 0.9);
+    EXPECT_DOUBLE_EQ(ledger.totalEnergyJ().value(), 0.9);
 }
 
 TEST(RemoteRequestLedger, PartialAdvanceMergesMonotonically)
@@ -88,7 +88,7 @@ TEST(RemoteRequestLedger, PartialAdvanceMergesMonotonically)
     // both dimensions monotone.
     EXPECT_TRUE(ledger.observe(7, tag(1e6, 0.8)));
     EXPECT_DOUBLE_EQ(ledger.entry(7).cpuTimeNs, 2e6);
-    EXPECT_DOUBLE_EQ(ledger.entry(7).energyJ, 0.8);
+    EXPECT_DOUBLE_EQ(ledger.entry(7).energyJ.value(), 0.8);
 }
 
 TEST(RemoteRequestLedger, CorruptValuesRejected)
@@ -101,7 +101,7 @@ TEST(RemoteRequestLedger, CorruptValuesRejected)
         7, tag(3e6, std::numeric_limits<double>::infinity())));
     EXPECT_FALSE(ledger.observe(7, tag(-1.0, 1.0)));
     EXPECT_EQ(ledger.rejectedCorrupt(), 3u);
-    EXPECT_DOUBLE_EQ(ledger.entry(7).energyJ, 0.9);
+    EXPECT_DOUBLE_EQ(ledger.entry(7).energyJ.value(), 0.9);
 }
 
 TEST(RemoteRequestLedger, UnknownAndForgottenEntriesAreZero)
@@ -111,10 +111,10 @@ TEST(RemoteRequestLedger, UnknownAndForgottenEntriesAreZero)
     ledger.observe(7, tag(1e6, 0.5));
     ledger.forget(7);
     EXPECT_EQ(ledger.size(), 0u);
-    EXPECT_DOUBLE_EQ(ledger.totalEnergyJ(), 0.0);
+    EXPECT_DOUBLE_EQ(ledger.totalEnergyJ().value(), 0.0);
     // First tag after a forget starts a fresh cumulative view.
     EXPECT_TRUE(ledger.observe(7, tag(1e5, 0.1)));
-    EXPECT_DOUBLE_EQ(ledger.entry(7).energyJ, 0.1);
+    EXPECT_DOUBLE_EQ(ledger.entry(7).energyJ.value(), 0.1);
 }
 
 } // namespace

@@ -128,13 +128,13 @@ TEST(RequestTracer, CapturesStagesOfAForkedRequest)
     EXPECT_TRUE(saw_child);    // the fork propagated the context
     (void)inherits;
     // The final event carries the request's total energy.
-    EXPECT_GT(events.back().cumulativeEnergyJ, 0.0);
+    EXPECT_GT(events.back().cumulativeEnergyJ.value(), 0.0);
     // Energy annotations never decrease along the trace.
     double last = 0;
     for (const TraceEvent &e : events) {
-        if (e.cumulativeEnergyJ > 0) {
-            EXPECT_GE(e.cumulativeEnergyJ, last - 1e-12);
-            last = e.cumulativeEnergyJ;
+        if (e.cumulativeEnergyJ.value() > 0) {
+            EXPECT_GE(e.cumulativeEnergyJ.value(), last - 1e-12);
+            last = e.cumulativeEnergyJ.value();
         }
     }
 }

@@ -143,7 +143,7 @@ TEST(FaultInjector, MeterQuantizationRoundsDown)
 
     std::vector<double> watts;
     meter.subscribe([&](const hw::PowerMeter::Sample &s) {
-        watts.push_back(s.watts);
+        watts.push_back(s.watts.value());
     });
     meter.start();
     world.sim.run(msec(10));
@@ -231,7 +231,7 @@ TEST(FaultInjector, StaleTagReplaysThePreviousSnapshot)
         os::RequestStatsTag tag;
         tag.present = true;
         tag.cpuTimeNs = cpu_ns += 1e6;
-        tag.energyJ = cpu_ns * 1e-9;
+        tag.energyJ = util::Joules(cpu_ns * 1e-9);
         return tag;
     });
     fault::FaultPlan plan;

@@ -51,9 +51,9 @@ TEST(Dvfs, PowerScalesSuperlinearlyWithFrequency)
     Simulation sim;
     Machine m(sim, dvfsConfig());
     m.setRunning(0, ActivityVector{1.0, 0, 0, 0});
-    double full = m.trueActivePowerW(); // 4 + 12 = 16 W
+    double full = m.trueActivePowerW().value(); // 4 + 12 = 16 W
     m.setPState(0, 2);                  // ratio 0.6
-    double scaled = m.trueActivePowerW();
+    double scaled = m.trueActivePowerW().value();
     // Maintenance unscaled; core part scaled by r*v^2 with
     // v = 0.6 + 0.4*0.6 = 0.84: 12 * 0.6 * 0.7056 = 5.08.
     double expected = 4.0 + 12.0 * Machine::pstatePowerScale(0.6);
@@ -114,7 +114,7 @@ TEST(Dvfs, DutyAndPStateCompose)
     EXPECT_DOUBLE_EQ(m.workRateHz(0), 2e9 * 0.5 * 0.8);
     double expected = 4.0 +
         12.0 * 0.5 * Machine::pstatePowerScale(0.8);
-    EXPECT_NEAR(m.trueActivePowerW(), expected, 1e-9);
+    EXPECT_NEAR(m.trueActivePowerW().value(), expected, 1e-9);
 }
 
 } // namespace

@@ -53,9 +53,9 @@ TEST(Machine, IdleMachineDrawsIdlePowerOnly)
 {
     Simulation sim;
     Machine m(sim, tinyConfig());
-    EXPECT_DOUBLE_EQ(m.truePowerW(), 50.0);
-    EXPECT_DOUBLE_EQ(m.trueActivePowerW(), 0.0);
-    EXPECT_DOUBLE_EQ(m.truePackagePowerW(0), 2.0);
+    EXPECT_DOUBLE_EQ(m.truePowerW().value(), 50.0);
+    EXPECT_DOUBLE_EQ(m.trueActivePowerW().value(), 0.0);
+    EXPECT_DOUBLE_EQ(m.truePackagePowerW(0).value(), 2.0);
 }
 
 TEST(Machine, BusyCorePowerIncludesMaintenanceOncePerChip)
@@ -65,15 +65,15 @@ TEST(Machine, BusyCorePowerIncludesMaintenanceOncePerChip)
     ActivityVector spin{1.0, 0.0, 0.0, 0.0};
     // One busy core on chip 0: maintenance + core power on that chip.
     m.setRunning(0, spin);
-    double one = m.trueActivePowerW();
+    double one = m.trueActivePowerW().value();
     EXPECT_DOUBLE_EQ(one, 5.0 + (10.0 + 2.0));
     // Second core on the same chip: no second maintenance charge.
     m.setRunning(1, spin);
-    double two_same = m.trueActivePowerW();
+    double two_same = m.trueActivePowerW().value();
     EXPECT_DOUBLE_EQ(two_same - one, 12.0);
     // First core on the other chip: maintenance charged again.
     m.setRunning(2, spin);
-    EXPECT_DOUBLE_EQ(m.trueActivePowerW() - two_same, 5.0 + 12.0);
+    EXPECT_DOUBLE_EQ(m.trueActivePowerW().value() - two_same, 5.0 + 12.0);
 }
 
 TEST(Machine, CountersFollowActivityAndTime)
@@ -106,7 +106,7 @@ TEST(Machine, DutyCycleScalesCountersAndPower)
     EXPECT_DOUBLE_EQ(m.dutyFraction(0), 0.5);
     EXPECT_DOUBLE_EQ(m.workRateHz(0), 0.5e9);
     // Power: maintenance unscaled, core part halved.
-    EXPECT_DOUBLE_EQ(m.trueActivePowerW(), 5.0 + 12.0 * 0.5);
+    EXPECT_DOUBLE_EQ(m.trueActivePowerW().value(), 5.0 + 12.0 * 0.5);
     sim.run(msec(2));
     CounterSnapshot c = m.readCounters(0);
     EXPECT_DOUBLE_EQ(c.elapsedCycles, 2e6);
@@ -121,15 +121,15 @@ TEST(Machine, EnergyIntegratesPiecewiseConstantPower)
     Machine m(sim, tinyConfig());
     // 1 second idle: 50 J machine, 2 J per package.
     sim.run(sec(1));
-    EXPECT_NEAR(m.machineEnergyJ(), 50.0, 1e-9);
-    EXPECT_NEAR(m.packageEnergyJ(0), 2.0, 1e-9);
+    EXPECT_NEAR(m.machineEnergyJ().value(), 50.0, 1e-9);
+    EXPECT_NEAR(m.packageEnergyJ(0).value(), 2.0, 1e-9);
     // 1 second with one spinning core on chip 0.
     ActivityVector spin{1.0, 0.0, 0.0, 0.0};
     m.setRunning(0, spin);
     sim.run(sec(2));
-    EXPECT_NEAR(m.machineEnergyJ(), 50.0 + 50.0 + 17.0, 1e-9);
-    EXPECT_NEAR(m.packageEnergyJ(0), 2.0 + 2.0 + 17.0, 1e-9);
-    EXPECT_NEAR(m.packageEnergyJ(1), 4.0, 1e-9);
+    EXPECT_NEAR(m.machineEnergyJ().value(), 50.0 + 50.0 + 17.0, 1e-9);
+    EXPECT_NEAR(m.packageEnergyJ(0).value(), 2.0 + 2.0 + 17.0, 1e-9);
+    EXPECT_NEAR(m.packageEnergyJ(1).value(), 4.0, 1e-9);
 }
 
 TEST(Machine, MidIntervalStateChangeSplitsIntegration)
@@ -140,7 +140,7 @@ TEST(Machine, MidIntervalStateChangeSplitsIntegration)
     sim.schedule(msec(500), [&] { m.setRunning(0, spin); });
     sim.run(sec(1));
     // 0.5 s idle + 0.5 s at 50+17 W.
-    EXPECT_NEAR(m.machineEnergyJ(), 25.0 + 33.5, 1e-9);
+    EXPECT_NEAR(m.machineEnergyJ().value(), 25.0 + 33.5, 1e-9);
 }
 
 TEST(Machine, DeviceBusyRefcountsAndEnergy)
@@ -152,12 +152,12 @@ TEST(Machine, DeviceBusyRefcountsAndEnergy)
     m.setDeviceBusy(DeviceKind::Disk, true);
     m.setDeviceBusy(DeviceKind::Disk, false);
     EXPECT_TRUE(m.deviceBusy(DeviceKind::Disk));
-    EXPECT_DOUBLE_EQ(m.trueActivePowerW(), 3.0);
+    EXPECT_DOUBLE_EQ(m.trueActivePowerW().value(), 3.0);
     sim.run(sec(1));
     m.setDeviceBusy(DeviceKind::Disk, false);
     EXPECT_FALSE(m.deviceBusy(DeviceKind::Disk));
-    EXPECT_NEAR(m.deviceEnergyJ(DeviceKind::Disk), 3.0, 1e-9);
-    EXPECT_NEAR(m.deviceEnergyJ(DeviceKind::Net), 0.0, 1e-9);
+    EXPECT_NEAR(m.deviceEnergyJ(DeviceKind::Disk).value(), 3.0, 1e-9);
+    EXPECT_NEAR(m.deviceEnergyJ(DeviceKind::Net).value(), 0.0, 1e-9);
     // Underflow panics.
     EXPECT_THROW(m.setDeviceBusy(DeviceKind::Disk, false),
                  util::PanicError);
@@ -171,15 +171,15 @@ TEST(Machine, NonlinearInteractionOnlyWithBothRates)
     Machine m(sim, cfg);
     // Cache-only activity: no interaction power.
     m.setRunning(0, ActivityVector{1.0, 0.0, 0.05, 0.0});
-    double cache_only = m.trueActivePowerW();
+    double cache_only = m.trueActivePowerW().value();
     m.setIdle(0);
     // Memory-only activity: no interaction power.
     m.setRunning(0, ActivityVector{1.0, 0.0, 0.0, 0.01});
-    double mem_only = m.trueActivePowerW();
+    double mem_only = m.trueActivePowerW().value();
     m.setIdle(0);
     // Both at the normalization rates: +7 W.
     m.setRunning(0, ActivityVector{1.0, 0.0, 0.05, 0.01});
-    double both = m.trueActivePowerW();
+    double both = m.trueActivePowerW().value();
     double linear_sum = cache_only + mem_only -
         (5.0 + (10.0 + 2.0)); // remove double-counted base
     EXPECT_NEAR(both - linear_sum, 7.0, 1e-9);

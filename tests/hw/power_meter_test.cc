@@ -47,7 +47,7 @@ TEST(PowerMeter, DeliversDelayedSamplesAtPeriod)
     ASSERT_EQ(got.size(), 3u);
     EXPECT_EQ(got[0].intervalEnd, msec(10));
     EXPECT_EQ(got[0].deliveredAt, msec(13));
-    EXPECT_DOUBLE_EQ(got[0].watts, 20.0); // idle machine
+    EXPECT_DOUBLE_EQ(got[0].watts.value(), 20.0); // idle machine
     EXPECT_EQ(got[2].intervalEnd, msec(30));
     EXPECT_EQ(meter.history().size(), 3u);
 }
@@ -65,7 +65,7 @@ TEST(PowerMeter, MeasuresAveragePowerOverInterval)
     });
     sim.run(msec(10));
     ASSERT_EQ(meter.history().size(), 1u);
-    EXPECT_NEAR(meter.history()[0].watts, 20.0 + 12.0 * 0.5, 1e-9);
+    EXPECT_NEAR(meter.history()[0].watts.value(), 20.0 + 12.0 * 0.5, 1e-9);
 }
 
 TEST(PowerMeter, PackageScopeExcludesMachineOverheadAndDevices)
@@ -78,7 +78,7 @@ TEST(PowerMeter, PackageScopeExcludesMachineOverheadAndDevices)
     sim.run(msec(10));
     ASSERT_EQ(meter.history().size(), 1u);
     // Package idle only: no machine idle, no NIC.
-    EXPECT_DOUBLE_EQ(meter.history()[0].watts, 2.0);
+    EXPECT_DOUBLE_EQ(meter.history()[0].watts.value(), 2.0);
 }
 
 TEST(PowerMeter, StopHaltsFutureSamples)
@@ -110,7 +110,7 @@ TEST(PowerMeter, RestartResumesCleanly)
     ASSERT_EQ(meter.history().size(), 3u);
     // Idle throughout: both samples read idle power, no energy
     // double-counting across the stopped gap.
-    EXPECT_NEAR(meter.history()[1].watts, 20.0, 1e-9);
+    EXPECT_NEAR(meter.history()[1].watts.value(), 20.0, 1e-9);
 }
 
 TEST(PowerMeter, TrimHistoryKeepsMostRecent)
@@ -136,6 +136,21 @@ TEST(PowerMeter, RejectsBadTiming)
                  util::FatalError);
 }
 
+TEST(PowerMeter, ZeroLengthNominalPeriodTripsAudit)
+{
+    // The constructor rejects zero-period configs, but tick()'s
+    // energy-to-power conversion carries its own audit as defense in
+    // depth: a zero-length interval would deliver non-finite watts.
+    EXPECT_DOUBLE_EQ(
+        PowerMeter::intervalWatts(util::Joules(0.2),
+                                  util::SimSeconds(0.01))
+            .value(),
+        20.0);
+    EXPECT_THROW(PowerMeter::intervalWatts(util::Joules(0.2),
+                                           util::SimSeconds(0.0)),
+                 util::PanicError);
+}
+
 TEST(PowerMeter, NoiseJittersReadingsAroundTruth)
 {
     Simulation sim;
@@ -151,8 +166,8 @@ TEST(PowerMeter, NoiseJittersReadingsAroundTruth)
     util::RunningStat s;
     bool any_off = false;
     for (const PowerMeter::Sample &sample : meter.history()) {
-        s.add(sample.watts);
-        if (std::abs(sample.watts - 20.0) > 1e-9)
+        s.add(sample.watts.value());
+        if (std::abs(sample.watts.value() - 20.0) > 1e-9)
             any_off = true;
     }
     EXPECT_TRUE(any_off);

@@ -337,7 +337,7 @@ TEST(Kernel, IoBlocksTaskAndRaisesHookWithContext)
     EXPECT_EQ(hooks.contexts[0], req);
     EXPECT_DOUBLE_EQ(hooks.bytes[0], 1e6);
     // Disk energy accrued while servicing.
-    EXPECT_GT(w.machine.deviceEnergyJ(hw::DeviceKind::Disk), 0.0);
+    EXPECT_GT(w.machine.deviceEnergyJ(hw::DeviceKind::Disk).value(), 0.0);
 }
 
 TEST(Kernel, SamplingInterruptsFireAtCyclePeriodAndPauseWhenIdle)

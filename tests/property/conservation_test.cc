@@ -131,17 +131,17 @@ TEST_P(ConservationTest, AccountedMatchesMeasuredActiveEnergy)
     }
 
     sim.run(msec(200)); // settle
-    double energy0 = machine.machineEnergyJ();
-    double accounted0 = manager.accountedEnergyJ();
+    double energy0 = machine.machineEnergyJ().value();
+    double accounted0 = manager.accountedEnergyJ().value();
     sim::SimTime t0 = sim.now();
     sim.run(t0 + sec(3));
     double span_s = sim::toSeconds(sim.now() - t0);
 
     double measured_active =
-        (machine.machineEnergyJ() - energy0) / span_s -
+        (machine.machineEnergyJ().value() - energy0) / span_s -
         cfg.truth.machineIdleW;
     double accounted =
-        (manager.accountedEnergyJ() - accounted0) / span_s;
+        (manager.accountedEnergyJ().value() - accounted0) / span_s;
     ASSERT_GT(measured_active, 1.0);
     // Equation 3 is an approximation (stale sibling samples under
     // churn), so several percent of slack is inherent; everything

@@ -51,7 +51,7 @@ TEST_P(DutyLevelTest, CountersAndPowerScaleLinearly)
 
     // Power: maintenance constant, core part scaled.
     double expected_active = 6.0 + (8.0 + 1.5 * 2.0) * fraction;
-    EXPECT_NEAR(m.trueActivePowerW(), expected_active, 1e-9);
+    EXPECT_NEAR(m.trueActivePowerW().value(), expected_active, 1e-9);
 
     sim.run(msec(10));
     CounterSnapshot c = m.readCounters(0);

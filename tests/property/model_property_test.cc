@@ -103,14 +103,14 @@ TEST_P(PredictionPropertyTest, PredictionIdentitiesHold)
     for (int t = 0; t < types; ++t) {
         RequestRecord r;
         r.type = "t" + std::to_string(t);
-        r.cpuEnergyJ = rng.uniform(0.05, 2.0);
+        r.cpuEnergyJ = util::Joules(rng.uniform(0.05, 2.0));
         r.cpuTimeNs = rng.uniform(2e6, 60e6);
         profiles.add(r);
         original[r.type] = rng.uniform(5.0, 80.0);
     }
     ObservedWorkload observed;
     observed.composition = original;
-    observed.activePowerW = rng.uniform(20.0, 80.0);
+    observed.activePowerW = util::Watts(rng.uniform(20.0, 80.0));
     observed.cpuUtilization = rng.uniform(0.3, 0.9);
     CompositionPredictor predictor(profiles, observed, 4);
 
@@ -129,13 +129,13 @@ TEST_P(PredictionPropertyTest, PredictionIdentitiesHold)
     // Identity 2: the rate baseline reproduces the observed power at
     // the observed composition.
     EXPECT_NEAR(predictor.predictRateProportional(original),
-                observed.activePowerW, 1e-9);
+                observed.activePowerW.value(), 1e-9);
 
     // Identity 3: containers prediction equals the profile-weighted
     // energy rate.
     double expected = 0;
     for (auto &[type, rate] : original)
-        expected += rate * profiles.profile(type).meanEnergyJ;
+        expected += rate * profiles.profile(type).meanEnergyJ.value();
     EXPECT_NEAR(predictor.predictContainers(original), expected,
                 1e-9);
 }

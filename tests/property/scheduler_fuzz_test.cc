@@ -191,10 +191,10 @@ TEST_P(SchedulerFuzzTest, StormDrainsWithInvariantsIntact)
     // Accounting invariants: finite, non-negative, and consistent
     // with measured active energy (within the Eq. 3 approximation
     // plus untracked idle-transition slack).
-    double accounted = manager.accountedEnergyJ();
+    double accounted = manager.accountedEnergyJ().value();
     EXPECT_GE(accounted, 0.0);
     EXPECT_TRUE(std::isfinite(accounted));
-    double measured_active = machine.machineEnergyJ() -
+    double measured_active = machine.machineEnergyJ().value() -
         machine.config().truth.machineIdleW *
             sim::toSeconds(sim.now());
     EXPECT_GT(measured_active, 0.0);

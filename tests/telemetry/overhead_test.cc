@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "os/hooks.h"
+#include "os/socket.h"
 #include "os/task.h"
 #include "telemetry/overhead.h"
 #include "telemetry/registry.h"
@@ -16,6 +17,8 @@ struct RecordingHooks : os::KernelHooks
     int interrupts = 0;
     int ios = 0;
     int exits = 0;
+    int forks = 0;
+    int segments = 0;
     int actuations = 0;
 
     void onContextSwitch(int, os::Task *, os::Task *) override
@@ -34,6 +37,11 @@ struct RecordingHooks : os::KernelHooks
         ++ios;
     }
     void onTaskExit(os::Task &) override { ++exits; }
+    void onFork(os::Task &, os::Task &) override { ++forks; }
+    void onSegmentReceived(os::Task &, const os::Segment &) override
+    {
+        ++segments;
+    }
     void onActuation(int, int, int) override { ++actuations; }
 };
 
@@ -54,6 +62,11 @@ TEST(OverheadProfiler, ForwardsEveryHookToEveryInnerSet)
     profiler.onIoComplete(hw::DeviceKind::Disk, os::RequestId(1),
                           sim::msec(1), 4096);
     profiler.onTaskExit(task);
+    os::Task child;
+    profiler.onFork(task, child);
+    os::Segment segment;
+    segment.context = os::RequestId(1);
+    profiler.onSegmentReceived(task, segment);
     profiler.onActuation(0, 4, 1);
 
     for (const RecordingHooks *inner : {&first, &second}) {
@@ -62,9 +75,11 @@ TEST(OverheadProfiler, ForwardsEveryHookToEveryInnerSet)
         EXPECT_EQ(inner->interrupts, 1);
         EXPECT_EQ(inner->ios, 1);
         EXPECT_EQ(inner->exits, 1);
+        EXPECT_EQ(inner->forks, 1);
+        EXPECT_EQ(inner->segments, 1);
         EXPECT_EQ(inner->actuations, 1);
     }
-    EXPECT_EQ(profiler.forwardedCalls(), 7u);
+    EXPECT_EQ(profiler.forwardedCalls(), 9u);
 }
 
 TEST(OverheadProfiler, RecordsNonzeroCyclesPerHookFamily)

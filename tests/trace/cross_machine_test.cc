@@ -170,19 +170,19 @@ TEST(CrossMachine, RequestStatsTagStitchesSpansAcrossMachines)
     const core::RequestRecord *wr = c.record(c.workerManager, req);
     ASSERT_NE(fr, nullptr);
     ASSERT_NE(wr, nullptr);
-    EXPECT_GT(fr->totalEnergyJ(), 0.0);
-    EXPECT_GT(wr->totalEnergyJ(), 0.0);
-    EXPECT_NEAR(c.spans.machineEnergyJ(req, 0), fr->totalEnergyJ(),
+    EXPECT_GT(fr->totalEnergyJ().value(), 0.0);
+    EXPECT_GT(wr->totalEnergyJ().value(), 0.0);
+    EXPECT_NEAR(c.spans.machineEnergyJ(req, 0).value(), fr->totalEnergyJ().value(),
                 1e-6);
-    EXPECT_NEAR(c.spans.machineEnergyJ(req, 1), wr->totalEnergyJ(),
+    EXPECT_NEAR(c.spans.machineEnergyJ(req, 1).value(), wr->totalEnergyJ().value(),
                 1e-6);
-    EXPECT_NEAR(c.spans.requestEnergyJ(req),
-                fr->totalEnergyJ() + wr->totalEnergyJ(), 1e-6);
+    EXPECT_NEAR(c.spans.requestEnergyJ(req).value(),
+                fr->totalEnergyJ().value() + wr->totalEnergyJ().value(), 1e-6);
 
     // The worker machine burns more watts per cycle than the front:
     // the imbalance must point at it.
-    EXPECT_GT(c.spans.machineEnergyJ(req, 1),
-              c.spans.machineEnergyJ(req, 0));
+    EXPECT_GT(c.spans.machineEnergyJ(req, 1).value(),
+              c.spans.machineEnergyJ(req, 0).value());
 
     // The piggybacked cumulative stats fed the receive-side remote
     // ledger (Section 3.4).

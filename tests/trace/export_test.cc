@@ -22,9 +22,9 @@ sampleTree()
                            msec(1));
     c.reparent(remote, stage, SpanKind::Remote, stage);
     SpanId io = c.open(7, 1, "disk", SpanKind::Io, remote, msec(2));
-    c.charge(stage, 0.125, 1e6, 2e6, 1.5e6);
-    c.charge(remote, 0.0625, 5e5, 1e6, 7.5e5);
-    c.charge(io, 0.00003, 0, 0, 0);
+    c.charge(stage, util::Joules(0.125), 1e6, util::Cycles(2e6), 1.5e6);
+    c.charge(remote, util::Joules(0.0625), 5e5, util::Cycles(1e6), 7.5e5);
+    c.charge(io, util::Joules(0.00003), 0, util::Cycles(0), 0);
     c.addIoBytes(io, 4096);
     c.close(io, msec(3));
     c.close(remote, msec(4));
@@ -58,8 +58,8 @@ TEST(Flamegraph, PathsWithTheSameFramesMerge)
     SpanId root = c.open(1, 0, "r", SpanKind::Root, NoSpan, 0);
     SpanId a = c.open(1, 0, "stage", SpanKind::Stage, root, 0);
     SpanId b = c.open(1, 0, "stage", SpanKind::Stage, root, msec(1));
-    c.charge(a, 1e-6, 0, 0, 0);
-    c.charge(b, 2e-6, 0, 0, 0);
+    c.charge(a, util::Joules(1e-6), 0, util::Cycles(0), 0);
+    c.charge(b, util::Joules(2e-6), 0, util::Cycles(0), 0);
     c.close(a, msec(1));
     c.close(b, msec(2));
     c.close(root, msec(2));
@@ -130,8 +130,8 @@ TEST(Report, TopRequestsRanksByEnergy)
     SpanCollector c;
     SpanId r1 = c.open(1, 0, "cheap", SpanKind::Root, NoSpan, 0);
     SpanId r2 = c.open(2, 0, "hot", SpanKind::Root, NoSpan, 0);
-    c.charge(r1, 0.25, 0, 0, 0);
-    c.charge(r2, 0.75, 0, 0, 0);
+    c.charge(r1, util::Joules(0.25), 0, util::Cycles(0), 0);
+    c.charge(r2, util::Joules(0.75), 0, util::Cycles(0), 0);
     c.close(r1, msec(1));
     c.close(r2, msec(2));
     std::string top = reportTopRequests(c, 5);

@@ -18,8 +18,8 @@ sampleTree()
     c.reparent(remote, stage, SpanKind::Remote, stage);
     SpanId io = c.open(7, 1, "disk", SpanKind::Io, remote,
                        sim::msec(3));
-    c.charge(stage, 0.125, 1e6, 2e6, 1.5e6);
-    c.charge(remote, 0.0625, 5e5, 1e6, 7.5e5);
+    c.charge(stage, util::Joules(0.125), 1e6, util::Cycles(2e6), 1.5e6);
+    c.charge(remote, util::Joules(0.0625), 5e5, util::Cycles(1e6), 7.5e5);
     c.addIoBytes(io, 4096);
     c.close(io, sim::msec(4));
     c.close(remote, sim::msec(5));
@@ -48,15 +48,15 @@ TEST(SpanJson, RoundTripReproducesTheCollectorExactly)
         EXPECT_EQ(b.openedAt, a.openedAt);
         EXPECT_EQ(b.closedAt, a.closedAt);
         EXPECT_EQ(b.open, a.open);
-        EXPECT_DOUBLE_EQ(b.energyJ, a.energyJ);
+        EXPECT_DOUBLE_EQ(b.energyJ.value(), a.energyJ.value());
         EXPECT_DOUBLE_EQ(b.cpuTimeNs, a.cpuTimeNs);
-        EXPECT_DOUBLE_EQ(b.cycles, a.cycles);
+        EXPECT_DOUBLE_EQ(b.cycles.value(), a.cycles.value());
         EXPECT_DOUBLE_EQ(b.instructions, a.instructions);
         EXPECT_DOUBLE_EQ(b.ioBytes, a.ioBytes);
     }
     EXPECT_EQ(reloaded.rootOf(7), original.rootOf(7));
-    EXPECT_DOUBLE_EQ(reloaded.requestEnergyJ(7),
-                     original.requestEnergyJ(7));
+    EXPECT_DOUBLE_EQ(reloaded.requestEnergyJ(7).value(),
+                     original.requestEnergyJ(7).value());
     // Render is a fixed point: dump -> load -> dump is byte-equal.
     EXPECT_EQ(renderSpanJson(reloaded), json);
 }

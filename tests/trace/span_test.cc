@@ -54,15 +54,15 @@ TEST(SpanCollector, ChargeAndIoBytesAccumulate)
 {
     SpanCollector c;
     SpanId s = c.open(1, 0, "a", SpanKind::Stage, NoSpan, 0);
-    c.charge(s, 0.5, 1e6, 2e6, 1e6);
-    c.charge(s, 0.25, 1e6, 0, 0);
+    c.charge(s, util::Joules(0.5), 1e6, util::Cycles(2e6), 1e6);
+    c.charge(s, util::Joules(0.25), 1e6, util::Cycles(0), 0);
     c.addIoBytes(s, 4096);
     const Span &span = c.span(s);
-    EXPECT_DOUBLE_EQ(span.energyJ, 0.75);
+    EXPECT_DOUBLE_EQ(span.energyJ.value(), 0.75);
     EXPECT_DOUBLE_EQ(span.cpuTimeNs, 2e6);
-    EXPECT_DOUBLE_EQ(span.cycles, 2e6);
+    EXPECT_DOUBLE_EQ(span.cycles.value(), 2e6);
     EXPECT_DOUBLE_EQ(span.ioBytes, 4096);
-    EXPECT_DOUBLE_EQ(span.avgPowerW(), 0.75 / 2e-3);
+    EXPECT_DOUBLE_EQ(span.avgPowerW().value(), 0.75 / 2e-3);
 }
 
 TEST(SpanCollector, ReparentRewiresTheCausalEdge)
@@ -91,17 +91,17 @@ TEST(SpanCollector, RequestAndMachineQueries)
     SpanId s1 = c.open(1, 0, "a", SpanKind::Stage, r1, 0);
     SpanId s2 = c.open(1, 1, "b", SpanKind::Remote, s1, 0);
     SpanId r2 = c.open(2, 1, "req2", SpanKind::Root, NoSpan, 0);
-    c.charge(s1, 1.0, 1e6, 0, 0);
-    c.charge(s2, 0.5, 1e6, 0, 0);
+    c.charge(s1, util::Joules(1.0), 1e6, util::Cycles(0), 0);
+    c.charge(s2, util::Joules(0.5), 1e6, util::Cycles(0), 0);
 
     EXPECT_EQ(c.requestSpans(1),
               (std::vector<SpanId>{r1, s1, s2}));
     EXPECT_EQ(c.children(r1), std::vector<SpanId>{s1});
     EXPECT_EQ(c.requests(), (std::vector<RequestId>{1, 2}));
-    EXPECT_DOUBLE_EQ(c.requestEnergyJ(1), 1.5);
-    EXPECT_DOUBLE_EQ(c.requestEnergyJ(2), 0.0);
-    EXPECT_DOUBLE_EQ(c.machineEnergyJ(1, 0), 1.0);
-    EXPECT_DOUBLE_EQ(c.machineEnergyJ(1, 1), 0.5);
+    EXPECT_DOUBLE_EQ(c.requestEnergyJ(1).value(), 1.5);
+    EXPECT_DOUBLE_EQ(c.requestEnergyJ(2).value(), 0.0);
+    EXPECT_DOUBLE_EQ(c.machineEnergyJ(1, 0).value(), 1.0);
+    EXPECT_DOUBLE_EQ(c.machineEnergyJ(1, 1).value(), 0.5);
     EXPECT_EQ(c.machines(), (std::vector<int>{0, 1}));
     (void)r2;
 }

@@ -114,9 +114,9 @@ TEST(SpanTracer, SpansPartitionTheContainerLedger)
 
     const core::RequestRecord *rec = w.record(req);
     ASSERT_NE(rec, nullptr);
-    EXPECT_GT(rec->totalEnergyJ(), 0.0);
+    EXPECT_GT(rec->totalEnergyJ().value(), 0.0);
     // The tentpole guarantee: per-span energies sum to the ledger.
-    EXPECT_NEAR(w.spans.requestEnergyJ(req), rec->totalEnergyJ(),
+    EXPECT_NEAR(w.spans.requestEnergyJ(req).value(), rec->totalEnergyJ().value(),
                 1e-6);
     EXPECT_EQ(w.spans.openCount(), 0u);
 
@@ -182,8 +182,8 @@ TEST(SpanTracer, TraceAllPicksUpEveryRequest)
     const core::RequestRecord *rb = w.record(b);
     ASSERT_NE(ra, nullptr);
     ASSERT_NE(rb, nullptr);
-    EXPECT_NEAR(w.spans.requestEnergyJ(a), ra->totalEnergyJ(), 1e-6);
-    EXPECT_NEAR(w.spans.requestEnergyJ(b), rb->totalEnergyJ(), 1e-6);
+    EXPECT_NEAR(w.spans.requestEnergyJ(a).value(), ra->totalEnergyJ().value(), 1e-6);
+    EXPECT_NEAR(w.spans.requestEnergyJ(b).value(), rb->totalEnergyJ().value(), 1e-6);
     EXPECT_EQ(w.spans.openCount(), 0u);
 }
 
@@ -199,7 +199,7 @@ TEST(SpanTracer, NeverScheduledRequestYieldsARootOnlyTree)
     EXPECT_EQ(w.spans.requestSpans(req),
               std::vector<SpanId>{root});
     EXPECT_FALSE(w.spans.span(root).open);
-    EXPECT_NEAR(w.spans.requestEnergyJ(req), 0.0, 1e-12);
+    EXPECT_NEAR(w.spans.requestEnergyJ(req).value(), 0.0, 1e-12);
     EXPECT_EQ(w.spans.criticalPath(req),
               std::vector<SpanId>{root});
 }
@@ -219,13 +219,13 @@ TEST(SpanTracer, CompletionClosesEverySpanAndFreezesCharges)
     w.kernel.spawn(spin, "spinner", req);
     w.sim.run(sim::msec(10));
     w.requests.complete(req, w.sim.now());
-    double frozen = w.spans.requestEnergyJ(req);
+    double frozen = w.spans.requestEnergyJ(req).value();
     std::size_t count = w.spans.requestSpans(req).size();
     EXPECT_EQ(w.spans.openCount(), 0u);
     // The spinner keeps running (now on the background container);
     // the completed request's tree must not move.
     w.sim.run(sim::msec(30));
-    EXPECT_DOUBLE_EQ(w.spans.requestEnergyJ(req), frozen);
+    EXPECT_DOUBLE_EQ(w.spans.requestEnergyJ(req).value(), frozen);
     EXPECT_EQ(w.spans.requestSpans(req).size(), count);
 }
 

@@ -47,6 +47,41 @@ TEST_F(CsvTest, EscapesSeparatorsAndQuotes)
               "\"x,y\",\"he said \"\"hi\"\"\",\"multi\nline\"\n");
 }
 
+TEST_F(CsvTest, NoRowsLeavesAnEmptyFile)
+{
+    { CsvWriter w(path_); }
+    EXPECT_EQ(slurp(path_), "");
+}
+
+TEST_F(CsvTest, SingleRowSingleCell)
+{
+    {
+        CsvWriter w(path_);
+        w.row(3.25);
+    }
+    EXPECT_EQ(slurp(path_), "3.25\n");
+}
+
+TEST_F(CsvTest, EmptyCellsAndEmptyRows)
+{
+    {
+        CsvWriter w(path_);
+        w.writeRow({});            // a bare record separator
+        w.writeRow({"", "x", ""}); // empty cells stay unquoted
+    }
+    EXPECT_EQ(slurp(path_), "\n,x,\n");
+}
+
+TEST_F(CsvTest, QuotedFieldEdgeCases)
+{
+    {
+        CsvWriter w(path_);
+        w.row("\"", "\"\"", ",", "\n", "plain");
+    }
+    EXPECT_EQ(slurp(path_),
+              "\"\"\"\",\"\"\"\"\"\",\",\",\"\n\",plain\n");
+}
+
 TEST_F(CsvTest, UnwritablePathIsFatal)
 {
     EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv"), FatalError);

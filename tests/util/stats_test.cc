@@ -128,6 +128,44 @@ TEST(TimeSeries, RejectsNonPositivePeriod)
     EXPECT_THROW(TimeSeries(0, -5), FatalError);
 }
 
+TEST(RunningStat, SingleObservation)
+{
+    RunningStat s;
+    s.add(7.5);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 7.5);
+    EXPECT_DOUBLE_EQ(s.sum(), 7.5);
+    EXPECT_EQ(s.variance(), 0.0); // n-1 denominator undefined at n=1
+    EXPECT_DOUBLE_EQ(s.min(), 7.5);
+    EXPECT_DOUBLE_EQ(s.max(), 7.5);
+}
+
+TEST(Histogram, RejectsNonFiniteObservations)
+{
+    Histogram h(0.0, 1.0, 4);
+    EXPECT_THROW(h.add(std::nan("")), FatalError);
+    EXPECT_THROW(h.add(INFINITY), FatalError);
+    EXPECT_THROW(h.add(-INFINITY), FatalError);
+    EXPECT_EQ(h.total(), 0u); // rejected values are not counted
+}
+
+TEST(Histogram, EmptyHistogramFractionsAndRows)
+{
+    Histogram h(0.0, 1.0, 3);
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_DOUBLE_EQ(h.binFraction(0), 0.0);
+    for (const std::string &row : h.asciiRows(10))
+        EXPECT_TRUE(row.empty());
+}
+
+TEST(TimeSeries, EmptySeries)
+{
+    TimeSeries ts(0, 100);
+    EXPECT_TRUE(ts.empty());
+    EXPECT_EQ(ts.size(), 0u);
+    EXPECT_DOUBLE_EQ(ts.mean(), 0.0);
+}
+
 TEST(Quantile, InterpolatesBetweenOrderStatistics)
 {
     std::vector<double> v{4.0, 1.0, 3.0, 2.0};
@@ -136,6 +174,26 @@ TEST(Quantile, InterpolatesBetweenOrderStatistics)
     EXPECT_DOUBLE_EQ(quantile(v, 0.5), 2.5);
     EXPECT_THROW(quantile({}, 0.5), FatalError);
     EXPECT_THROW(quantile(v, 1.5), FatalError);
+}
+
+TEST(Quantile, SingleElementIsEveryQuantile)
+{
+    std::vector<double> one{42.0};
+    EXPECT_DOUBLE_EQ(quantile(one, 0.0), 42.0);
+    EXPECT_DOUBLE_EQ(quantile(one, 0.37), 42.0);
+    EXPECT_DOUBLE_EQ(quantile(one, 1.0), 42.0);
+}
+
+TEST(Quantile, RejectsNaNSamples)
+{
+    // NaN breaks std::sort's strict weak ordering; fail loudly
+    // instead of returning an arbitrary order statistic.
+    std::vector<double> v{1.0, std::nan(""), 2.0};
+    EXPECT_THROW(quantile(v, 0.5), FatalError);
+    // Infinities order fine and remain legal extreme samples.
+    std::vector<double> inf{1.0, INFINITY, 2.0};
+    EXPECT_DOUBLE_EQ(quantile(inf, 0.0), 1.0);
+    EXPECT_EQ(quantile(inf, 1.0), INFINITY);
 }
 
 } // namespace

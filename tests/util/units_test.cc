@@ -1,0 +1,108 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/units.h"
+
+namespace pcon::util {
+namespace {
+
+TEST(Units, DefaultConstructsToZero)
+{
+    EXPECT_DOUBLE_EQ(Joules().value(), 0.0);
+    EXPECT_DOUBLE_EQ(Watts().value(), 0.0);
+    EXPECT_DOUBLE_EQ(Cycles().value(), 0.0);
+    EXPECT_DOUBLE_EQ(SimSeconds().value(), 0.0);
+}
+
+TEST(Units, ValueRoundTripsTheRawDouble)
+{
+    EXPECT_DOUBLE_EQ(Joules(1.25).value(), 1.25);
+    EXPECT_DOUBLE_EQ(Watts(-3.5).value(), -3.5);
+}
+
+TEST(Units, SameDimensionArithmeticPreservesTheDimension)
+{
+    Joules e = Joules(2.0) + Joules(0.5);
+    EXPECT_DOUBLE_EQ(e.value(), 2.5);
+    e -= Joules(1.0);
+    EXPECT_DOUBLE_EQ(e.value(), 1.5);
+    e += Joules(0.25);
+    EXPECT_DOUBLE_EQ(e.value(), 1.75);
+    EXPECT_DOUBLE_EQ((Joules(3.0) - Joules(1.0)).value(), 2.0);
+    EXPECT_DOUBLE_EQ((-Joules(4.0)).value(), -4.0);
+}
+
+TEST(Units, DimensionlessScaling)
+{
+    EXPECT_DOUBLE_EQ((Watts(10.0) * 0.5).value(), 5.0);
+    EXPECT_DOUBLE_EQ((0.5 * Watts(10.0)).value(), 5.0);
+    EXPECT_DOUBLE_EQ((Watts(10.0) / 4.0).value(), 2.5);
+    Watts w(8.0);
+    w *= 0.25;
+    EXPECT_DOUBLE_EQ(w.value(), 2.0);
+    w /= 2.0;
+    EXPECT_DOUBLE_EQ(w.value(), 1.0);
+}
+
+TEST(Units, RatioOfLikeQuantitiesIsDimensionless)
+{
+    double ratio = Joules(3.0) / Joules(2.0);
+    EXPECT_DOUBLE_EQ(ratio, 1.5);
+}
+
+TEST(Units, Comparisons)
+{
+    EXPECT_TRUE(Joules(1.0) == Joules(1.0));
+    EXPECT_TRUE(Joules(1.0) != Joules(2.0));
+    EXPECT_TRUE(Joules(1.0) < Joules(2.0));
+    EXPECT_TRUE(Joules(2.0) <= Joules(2.0));
+    EXPECT_TRUE(Joules(3.0) > Joules(2.0));
+    EXPECT_TRUE(Joules(3.0) >= Joules(3.0));
+}
+
+TEST(Units, EnergyOverTimeIsPower)
+{
+    Watts p = Joules(0.5) / SimSeconds(0.01);
+    EXPECT_DOUBLE_EQ(p.value(), 50.0);
+}
+
+TEST(Units, PowerTimesTimeIsEnergy)
+{
+    EXPECT_DOUBLE_EQ((Watts(20.0) * SimSeconds(0.25)).value(), 5.0);
+    EXPECT_DOUBLE_EQ((SimSeconds(0.25) * Watts(20.0)).value(), 5.0);
+}
+
+TEST(Units, EnergyOverPowerIsTime)
+{
+    SimSeconds t = Joules(10.0) / Watts(4.0);
+    EXPECT_DOUBLE_EQ(t.value(), 2.5);
+}
+
+TEST(Units, CyclesOverTimeIsFrequency)
+{
+    EXPECT_DOUBLE_EQ(hz(Cycles(2e9), SimSeconds(2.0)), 1e9);
+}
+
+TEST(Units, StreamingMatchesTheRawDouble)
+{
+    // Typed CSV/log output must be byte-identical to the double it
+    // replaced, including the stream's current formatting state.
+    std::ostringstream typed;
+    std::ostringstream raw;
+    typed << Joules(1.0 / 3.0) << " " << Watts(20.0) << " "
+          << Cycles(2e6) << " " << SimSeconds(0.001);
+    raw << (1.0 / 3.0) << " " << 20.0 << " " << 2e6 << " " << 0.001;
+    EXPECT_EQ(typed.str(), raw.str());
+
+    std::ostringstream fixed_typed;
+    std::ostringstream fixed_raw;
+    fixed_typed.precision(9);
+    fixed_raw.precision(9);
+    fixed_typed << std::fixed << Watts(1.0 / 7.0);
+    fixed_raw << std::fixed << (1.0 / 7.0);
+    EXPECT_EQ(fixed_typed.str(), fixed_raw.str());
+}
+
+} // namespace
+} // namespace pcon::util

@@ -64,9 +64,9 @@ TEST_P(AppParamTest, ServesClosedLoopRequestsEndToEnd)
     const auto &records = world.manager().records();
     EXPECT_EQ(records.size(), client.completed());
     for (const auto &r : records) {
-        EXPECT_GT(r.totalEnergyJ(), 0.0) << GetParam();
+        EXPECT_GT(r.totalEnergyJ().value(), 0.0) << GetParam();
         EXPECT_GT(r.cpuTimeNs, 0.0) << GetParam();
-        EXPECT_GT(r.meanPowerW, 0.0) << GetParam();
+        EXPECT_GT(r.meanPowerW.value(), 0.0) << GetParam();
         EXPECT_GT(r.responseTime(), 0) << GetParam();
     }
     // Response-time statistics accumulated per type.
@@ -103,8 +103,8 @@ TEST(Workloads, RsaTypesHaveDistinctCosts)
     ASSERT_TRUE(profiles.has("rsa-small"));
     ASSERT_TRUE(profiles.has("rsa-large"));
     // The large key is both longer and denser: clearly more energy.
-    EXPECT_GT(profiles.profile("rsa-large").meanEnergyJ,
-              2.0 * profiles.profile("rsa-small").meanEnergyJ);
+    EXPECT_GT(profiles.profile("rsa-large").meanEnergyJ.value(),
+              2.0 * profiles.profile("rsa-small").meanEnergyJ.value());
 }
 
 TEST(Workloads, GaeVosaoBackgroundActivityIsAccounted)
@@ -119,7 +119,7 @@ TEST(Workloads, GaeVosaoBackgroundActivityIsAccounted)
     world.run(sec(3));
     client.stop();
     // GAE platform background tasks charge the background container.
-    EXPECT_GT(world.manager().background().cpuEnergyJ, 0.0);
+    EXPECT_GT(world.manager().background().cpuEnergyJ.value(), 0.0);
 }
 
 TEST(Workloads, GaeHybridVirusDrawsMorePowerThanVosao)
@@ -144,10 +144,10 @@ TEST(Workloads, GaeHybridVirusDrawsMorePowerThanVosao)
     int virus_n = 0, vosao_n = 0;
     for (const auto &r : world.manager().records()) {
         if (r.type == "gae-virus") {
-            virus_power += r.meanPowerW;
+            virus_power += r.meanPowerW.value();
             ++virus_n;
         } else if (r.type == "vosao-read") {
-            vosao_power += r.meanPowerW;
+            vosao_power += r.meanPowerW.value();
             ++vosao_n;
         }
     }
@@ -170,7 +170,7 @@ TEST(Workloads, WeBWorKRequestSpansMultipleStages)
     ASSERT_GT(world.manager().records().size(), 2u);
     const auto &r = world.manager().records()[1];
     // Disk I/O attributed to the request.
-    EXPECT_GT(r.ioEnergyJ, 0.0);
+    EXPECT_GT(r.ioEnergyJ.value(), 0.0);
     // Response time covers all stages (>= total compute time).
     EXPECT_GT(r.responseTime(), static_cast<sim::SimTime>(
                   r.cpuTimeNs * 0.9));

@@ -57,7 +57,7 @@ TEST(ClusterExperiment, ProbesCapacityAndLearnsProfiles)
         const core::ProfileTable &p = experiment.profiles(m);
         EXPECT_TRUE(p.has("vosao-read")) << m;
         EXPECT_TRUE(p.has("rsa-large")) << m;
-        EXPECT_GT(p.profile("rsa-large").meanEnergyJ, 0.0);
+        EXPECT_GT(p.profile("rsa-large").meanEnergyJ.value(), 0.0);
     }
     // RSA is far cheaper on the newer machine.
     double ratio = experiment.profiles(0)

@@ -60,8 +60,8 @@ runEventLoop(bool trap_user_switches, std::uint64_t seed)
 
     core::ProfileTable profiles;
     profiles.add(manager.records());
-    return {profiles.profile(EventLoopApp::cheapType()).meanEnergyJ,
-            profiles.profile(EventLoopApp::dearType()).meanEnergyJ};
+    return {profiles.profile(EventLoopApp::cheapType()).meanEnergyJ.value(),
+            profiles.profile(EventLoopApp::dearType()).meanEnergyJ.value()};
 }
 
 TEST(EventLoopApp, ServesRequestsAndCompletesThem)

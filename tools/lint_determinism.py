@@ -1,234 +1,31 @@
 #!/usr/bin/env python3
-"""Determinism lint for the power-containers simulator.
+"""Determinism lint for the power-containers simulator (shim).
 
-Simulation results must be bit-identical across runs and platforms:
-the paper's conservation and alignment claims are validated by tests
-that compare energy totals to tight tolerances, and future perf PRs
-must be able to prove they changed performance, not physics. This
-checker scans the deterministic core (src/sim, src/core, src/hw,
-src/telemetry, and src/trace by default) for reproducibility
-hazards:
-
-  wall-clock       time(), clock(), gettimeofday(), std::chrono
-                   system/steady/high_resolution clocks. Simulated
-                   time must come from sim::Simulation::now().
-  ambient-rng      std::random_device, rand()/srand()/random(),
-                   drand48(), std::mt19937 & friends. All randomness
-                   must flow through the seeded sim::Rng.
-  unordered-iter   range-for over a std::unordered_{map,set} member
-                   declared in the scanned tree. Hash-table iteration
-                   order is implementation-defined; feeding it into
-                   output or event ordering breaks reproducibility.
-  ptr-keyed-order  std::{map,set} keyed by a raw pointer type, whose
-                   iteration order depends on allocation addresses.
-  metric-name      a telemetry registry counter()/gauge()/histogram()
-                   registration whose string-literal name does not
-                   match the metric grammar [a-z0-9_.]+. Names are
-                   stable keys for dashboards and golden exports.
-
-Suppress a deliberate, order-insensitive use by appending
-`// NOLINT-DETERMINISM(reason)` on the offending line or the line
-directly above it. The reason is mandatory.
+The checker now lives in the pcon-lint framework as the
+``determinism`` rule (tools/pcon_lint/rules_determinism.py); this
+entry point preserves the original CLI — and the ``lint_determinism``
+/ ``lint_metric_names`` ctest names that invoke it — while delegating
+the scanning to the shared engine.
 
 Usage:
   tools/lint_determinism.py [--root REPO] [--metric-names-only] [DIR ...]
 
-Exits 0 when clean, 1 with a findings report otherwise.
+Exits 0 when clean, 1 with a findings report otherwise. Suppress a
+deliberate, order-insensitive use with `// NOLINT-DETERMINISM(reason)`
+on the offending line or the line directly above it (the framework's
+`// pcon-lint: allow(determinism)` works too).
 """
 
 import argparse
 import pathlib
-import re
 import sys
 
-DEFAULT_SCOPE = ["src/sim", "src/core", "src/hw", "src/telemetry",
-                 "src/trace"]
-SOURCE_SUFFIXES = {".h", ".hh", ".hpp", ".cc", ".cpp", ".cxx"}
-
-SUPPRESS_RE = re.compile(r"NOLINT-DETERMINISM\(([^)]+)\)")
-
-# Hazard name -> (regex, explanation). Applied to source lines with
-# comments and string/char literals blanked out.
-PATTERN_HAZARDS = [
-    (
-        "wall-clock",
-        re.compile(
-            r"(?<![\w:.])(?:time|clock|gettimeofday|clock_gettime)\s*\("
-        ),
-        "wall-clock call; use sim::Simulation::now() instead",
-    ),
-    (
-        "wall-clock",
-        re.compile(
-            r"std\s*::\s*chrono\s*::\s*"
-            r"(?:system_clock|steady_clock|high_resolution_clock)"
-        ),
-        "host clock; simulated components must use sim time",
-    ),
-    (
-        "ambient-rng",
-        re.compile(r"std\s*::\s*random_device"),
-        "non-deterministic entropy source; seed a sim::Rng instead",
-    ),
-    (
-        "ambient-rng",
-        re.compile(r"(?<![\w:.])(?:rand|srand|random|drand48|lrand48)\s*\("),
-        "C library RNG with process-global state; use sim::Rng",
-    ),
-    (
-        "ambient-rng",
-        re.compile(
-            r"std\s*::\s*(?:mt19937(?:_64)?|minstd_rand0?|"
-            r"default_random_engine|ranlux\w+|knuth_b)"
-        ),
-        "standard-library engine; distributions differ across "
-        "implementations, use sim::Rng",
-    ),
-    (
-        "ptr-keyed-order",
-        re.compile(r"std\s*::\s*(?:map|set)\s*<[^,>]*\*\s*[,>]"),
-        "ordered container keyed by pointer value; iteration order "
-        "depends on allocation addresses",
-    ),
-]
-
-DECL_RE = re.compile(
-    r"std\s*::\s*unordered_(?:map|set|multimap|multiset)\s*<"
-    r"[^;{}()]*>(?:\s*&)?\s+(\w+)\s*[;{=]"
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent / "pcon_lint")
 )
-RANGE_FOR_RE = re.compile(r"for\s*\([^;)]*:\s*\*?\s*([A-Za-z_]\w*)\s*\)")
 
-# Registry registrations whose name is a string literal. Matched
-# against the *blanked* line (so commented-out code never trips it);
-# the literal itself is recovered from the raw line at the same
-# offset.
-METRIC_CALL_RE = re.compile(r"(?<![\w:])(?:counter|gauge|histogram)\s*\(")
-METRIC_NAME_RE = re.compile(r"[a-z0-9_.]+")
-
-
-def metric_name_findings(raw_line, blanked_line):
-    """Metric-grammar violations on one line: every
-    counter()/gauge()/histogram() call whose first argument is a
-    string literal must name a metric matching [a-z0-9_.]+."""
-    bad = []
-    for match in METRIC_CALL_RE.finditer(blanked_line):
-        at = match.end()
-        while at < len(raw_line) and raw_line[at].isspace():
-            at += 1
-        if at >= len(raw_line) or raw_line[at] != '"':
-            continue  # non-literal name: not statically checkable
-        end = raw_line.find('"', at + 1)
-        if end < 0:
-            continue
-        name = raw_line[at + 1 : end]
-        if not METRIC_NAME_RE.fullmatch(name):
-            bad.append(
-                (
-                    "metric-name",
-                    f"metric name '{name}' violates the grammar "
-                    f"[a-z0-9_.]+",
-                )
-            )
-    return bad
-
-
-def blank_comments_and_strings(text: str) -> str:
-    """Replace comment and literal bodies with spaces, preserving
-    line structure so reported line numbers stay meaningful."""
-    out = []
-    i, n = 0, len(text)
-    state = "code"  # code | line_comment | block_comment | str | chr
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if state == "code":
-            if c == "/" and nxt == "/":
-                state = "line_comment"
-                out.append("  ")
-                i += 2
-                continue
-            if c == "/" and nxt == "*":
-                state = "block_comment"
-                out.append("  ")
-                i += 2
-                continue
-            if c == '"':
-                state = "str"
-                out.append(" ")
-                i += 1
-                continue
-            if c == "'":
-                state = "chr"
-                out.append(" ")
-                i += 1
-                continue
-            out.append(c)
-        elif state == "line_comment":
-            if c == "\n":
-                state = "code"
-                out.append(c)
-            else:
-                out.append(" ")
-        elif state == "block_comment":
-            if c == "*" and nxt == "/":
-                state = "code"
-                out.append("  ")
-                i += 2
-                continue
-            out.append(c if c == "\n" else " ")
-        elif state in ("str", "chr"):
-            quote = '"' if state == "str" else "'"
-            if c == "\\":
-                out.append("  ")
-                i += 2
-                continue
-            if c == quote:
-                state = "code"
-                out.append(" ")
-            elif c == "\n":  # unterminated; recover
-                state = "code"
-                out.append(c)
-            else:
-                out.append(" ")
-        i += 1
-    return "".join(out)
-
-
-def collect_files(root: pathlib.Path, scope):
-    files = []
-    for rel in scope:
-        base = root / rel
-        if not base.exists():
-            sys.stderr.write(f"lint_determinism: no such directory: {base}\n")
-            sys.exit(2)
-        files.extend(
-            p
-            for p in sorted(base.rglob("*"))
-            if p.suffix in SOURCE_SUFFIXES and p.is_file()
-        )
-    return files
-
-
-def collect_unordered_members(blanked_by_file):
-    """Names of members/locals declared as std::unordered_* anywhere
-    in the scanned tree (headers declare, .cc files iterate)."""
-    names = set()
-    for blanked in blanked_by_file.values():
-        for match in DECL_RE.finditer(blanked):
-            names.add(match.group(1))
-    return names
-
-
-def suppressed(raw_lines, idx):
-    """A NOLINT-DETERMINISM(reason) on this or the preceding line."""
-    here = SUPPRESS_RE.search(raw_lines[idx])
-    if here:
-        return here.group(1).strip()
-    if idx > 0:
-        above = SUPPRESS_RE.search(raw_lines[idx - 1])
-        if above:
-            return above.group(1).strip()
-    return None
+from engine import Project, run_rules  # noqa: E402
+from rules_determinism import CORE_SCOPE, DeterminismRule  # noqa: E402
 
 
 def main() -> int:
@@ -248,67 +45,30 @@ def main() -> int:
     parser.add_argument(
         "scope",
         nargs="*",
-        default=DEFAULT_SCOPE,
+        default=list(CORE_SCOPE),
         help=f"directories to scan, relative to --root "
-        f"(default: {' '.join(DEFAULT_SCOPE)})",
+        f"(default: {' '.join(CORE_SCOPE)})",
     )
     args = parser.parse_args()
-    root = pathlib.Path(args.root).resolve()
 
-    files = collect_files(root, args.scope)
-    blanked_by_file = {
-        path: blank_comments_and_strings(
-            path.read_text(encoding="utf-8", errors="replace")
-        )
-        for path in files
-    }
-    unordered_names = collect_unordered_members(blanked_by_file)
+    rule = DeterminismRule(
+        scope=args.scope, metric_names_only=args.metric_names_only
+    )
+    try:
+        project = Project.load(args.root, args.scope)
+    except FileNotFoundError as err:
+        sys.stderr.write(f"lint_determinism: {err}\n")
+        return 2
 
-    findings = []
-    suppressions = []
-    for path in files:
-        raw_lines = path.read_text(
-            encoding="utf-8", errors="replace"
-        ).splitlines()
-        blanked_lines = blanked_by_file[path].splitlines()
-        rel = path.relative_to(root)
-        for idx, line in enumerate(blanked_lines):
-            hits = []
-            if not args.metric_names_only:
-                for name, regex, why in PATTERN_HAZARDS:
-                    if regex.search(line):
-                        hits.append((name, why))
-                for match in RANGE_FOR_RE.finditer(line):
-                    if match.group(1) in unordered_names:
-                        hits.append(
-                            (
-                                "unordered-iter",
-                                f"range-for over unordered container "
-                                f"'{match.group(1)}'; hash order is "
-                                f"not reproducible",
-                            )
-                        )
-            if idx < len(raw_lines):
-                hits.extend(metric_name_findings(raw_lines[idx], line))
-            for name, why in hits:
-                reason = suppressed(raw_lines, idx)
-                if reason:
-                    suppressions.append(
-                        (rel, idx + 1, name, reason)
-                    )
-                else:
-                    findings.append((rel, idx + 1, name, why))
-
-    for rel, lineno, name, reason in suppressions:
-        print(
-            f"note: {rel}:{lineno}: suppressed [{name}]: {reason}"
-        )
+    findings, suppressions = run_rules(project, [rule])
+    for s in suppressions:
+        print(f"note: {s.path}:{s.line}: suppressed: {s.reason}")
     if findings:
-        for rel, lineno, name, why in findings:
-            print(f"{rel}:{lineno}: [{name}] {why}")
+        for f in findings:
+            print(f"{f.path}:{f.line}: {f.message}")
         print(
             f"\nlint_determinism: {len(findings)} hazard(s) in "
-            f"{len(files)} file(s). Route time through "
+            f"{len(project.files)} file(s). Route time through "
             f"sim::Simulation, randomness through sim::Rng, and "
             f"ordering through deterministic containers — or add "
             f"`// NOLINT-DETERMINISM(reason)` for provably "
@@ -316,7 +76,7 @@ def main() -> int:
         )
         return 1
     print(
-        f"lint_determinism: clean ({len(files)} files, "
+        f"lint_determinism: clean ({len(project.files)} files, "
         f"{len(suppressions)} suppression(s))"
     )
     return 0

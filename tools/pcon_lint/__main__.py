@@ -1,0 +1,123 @@
+"""pcon-lint command line.
+
+Usage:
+  python3 tools/pcon_lint [--root REPO] [--rules a,b] [--json]
+                          [--selftest] [--list-rules]
+
+Runs the project's static-analysis rules (layering, units,
+hook-order, determinism) over the repository and reports findings as
+``path:line: [rule] message`` lines, or as a JSON document with
+``--json`` (used by CI to upload an artifact). ``--selftest`` first
+exercises every selected rule against its embedded synthetic
+violations — proving each rule still fails where it must — and then
+scans the real tree.
+
+Exits 0 when clean, 1 with findings or selftest failures, 2 on usage
+errors. See docs/STATIC_ANALYSIS.md for the rule catalogue and the
+``// pcon-lint: allow(<rule>)`` suppression syntax.
+"""
+
+import argparse
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+from engine import Project, report_human, report_json, run_rules
+from rules_determinism import DeterminismRule
+from rules_hook_order import HookOrderRule
+from rules_layering import LayeringRule
+from rules_units import UnitsRule
+
+
+def default_rules():
+    return [
+        LayeringRule(),
+        UnitsRule(),
+        HookOrderRule(),
+        DeterminismRule(),
+    ]
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="pcon-lint", description=__doc__
+    )
+    parser.add_argument(
+        "--root",
+        default=str(
+            pathlib.Path(__file__).resolve().parent.parent.parent
+        ),
+        help="repository root (default: the checkout containing "
+        "this tool)",
+    )
+    parser.add_argument(
+        "--rules",
+        default="all",
+        help="comma-separated rule names to run (default: all)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a JSON report instead of human-readable lines",
+    )
+    parser.add_argument(
+        "--selftest",
+        action="store_true",
+        help="run each selected rule's embedded synthetic-violation "
+        "fixtures before scanning the tree",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    args = parser.parse_args(argv)
+
+    rules = default_rules()
+    if args.rules != "all":
+        wanted = {r.strip() for r in args.rules.split(",")}
+        known = {r.name for r in rules}
+        unknown = wanted - known
+        if unknown:
+            parser.error(
+                f"unknown rule(s): {', '.join(sorted(unknown))} "
+                f"(known: {', '.join(sorted(known))})"
+            )
+        rules = [r for r in rules if r.name in wanted]
+
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.name:12s} {rule.description}")
+        return 0
+
+    if args.selftest:
+        failures = []
+        for rule in rules:
+            failures.extend(rule.selftest())
+        if failures:
+            for failure in failures:
+                sys.stderr.write(f"selftest FAILED: {failure}\n")
+            return 1
+        sys.stderr.write(
+            f"selftest passed for: "
+            f"{', '.join(r.name for r in rules)}\n"
+        )
+
+    scopes = sorted({s for r in rules for s in r.scope})
+    try:
+        project = Project.load(args.root, scopes)
+    except FileNotFoundError as err:
+        sys.stderr.write(f"pcon-lint: {err}\n")
+        return 2
+
+    findings, suppressions = run_rules(project, rules)
+    if args.json:
+        report_json(rules, project, findings, suppressions)
+    else:
+        report_human(rules, project, findings, suppressions)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,284 @@
+"""pcon-lint rule engine.
+
+A rule is a class with a stable name, a scope (directories it scans,
+relative to the repository root), and a ``run(project)`` method that
+returns Finding objects. The engine owns everything shared between
+rules: file discovery, comment/string blanking, suppression comments,
+and the human/JSON reports.
+
+Suppression: append ``// pcon-lint: allow(<rule>)`` to the offending
+line or the line directly above it. Rules may additionally honour
+their own legacy suppression markers (the determinism rule accepts
+``NOLINT-DETERMINISM(reason)``).
+"""
+
+import dataclasses
+import json
+import pathlib
+import re
+import sys
+
+SOURCE_SUFFIXES = {".h", ".hh", ".hpp", ".cc", ".cpp", ".cxx"}
+
+ALLOW_RE = re.compile(r"pcon-lint:\s*allow\(([a-z0-9_,\- ]+)\)")
+
+
+@dataclasses.dataclass
+class Finding:
+    """One rule violation at a file:line."""
+
+    rule: str
+    path: str  # repo-relative, forward slashes
+    line: int  # 1-based
+    message: str
+
+    def render(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclasses.dataclass
+class Suppression:
+    """A finding silenced by an allow() or legacy marker."""
+
+    rule: str
+    path: str
+    line: int
+    reason: str
+
+    def render(self):
+        return (
+            f"note: {self.path}:{self.line}: suppressed "
+            f"[{self.rule}]: {self.reason}"
+        )
+
+
+def blank_comments_and_strings(text):
+    """Replace comment and literal bodies with spaces, preserving
+    line structure so reported line numbers stay meaningful."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | str | chr
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "str"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "chr"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        elif state in ("str", "chr"):
+            quote = '"' if state == "str" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+                out.append(" ")
+            elif c == "\n":  # unterminated; recover
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        i += 1
+    return "".join(out)
+
+
+class SourceFile:
+    """One scanned file: raw text plus a comment/string-blanked copy
+    with identical line structure."""
+
+    def __init__(self, rel, text):
+        self.rel = rel  # repo-relative posix path (str)
+        self.text = text
+        self.raw_lines = text.splitlines()
+        self.blanked = blank_comments_and_strings(text)
+        self.blanked_lines = self.blanked.splitlines()
+
+
+class Project:
+    """The scanned tree. Files are loaded once and shared by rules."""
+
+    def __init__(self, root, files):
+        self.root = pathlib.Path(root)
+        self.files = files  # list[SourceFile], sorted by rel
+
+    @classmethod
+    def load(cls, root, scopes):
+        root = pathlib.Path(root).resolve()
+        seen = {}
+        for rel in scopes:
+            base = root / rel
+            if not base.exists():
+                raise FileNotFoundError(f"no such directory: {base}")
+            for p in sorted(base.rglob("*")):
+                if p.suffix in SOURCE_SUFFIXES and p.is_file():
+                    key = p.relative_to(root).as_posix()
+                    if key not in seen:
+                        seen[key] = SourceFile(
+                            key,
+                            p.read_text(
+                                encoding="utf-8", errors="replace"
+                            ),
+                        )
+        return cls(root, [seen[k] for k in sorted(seen)])
+
+    def files_under(self, prefixes):
+        out = []
+        for f in self.files:
+            if any(
+                f.rel == p or f.rel.startswith(p.rstrip("/") + "/")
+                for p in prefixes
+            ):
+                out.append(f)
+        return out
+
+
+class Rule:
+    """Base class for pcon-lint rules."""
+
+    #: stable rule name, used in reports and allow(<name>) comments
+    name = "base"
+    #: one-line description for --list-rules and the JSON report
+    description = ""
+    #: directories (repo-relative) this rule scans
+    scope = ("src",)
+
+    def run(self, project):
+        """Return a list of Finding for the given project."""
+        raise NotImplementedError
+
+    def selftest(self):
+        """Run the rule against embedded synthetic violations.
+
+        Returns a list of error strings; empty means the fixtures
+        behaved (violations were flagged, clean code was not).
+        """
+        return []
+
+    # -- helpers shared by subclasses --------------------------------
+
+    def suppression_reason(self, source, idx):
+        """An allow(<rule>) marker on this or the preceding raw line,
+        or None. ``idx`` is 0-based."""
+        for look in (idx, idx - 1):
+            if 0 <= look < len(source.raw_lines):
+                m = ALLOW_RE.search(source.raw_lines[look])
+                if m:
+                    names = [
+                        n.strip() for n in m.group(1).split(",")
+                    ]
+                    if self.name in names:
+                        return f"pcon-lint: allow({self.name})"
+        return None
+
+    def project_from_texts(self, texts):
+        """Build an in-memory Project for selftests.
+
+        ``texts`` maps repo-relative paths to file contents.
+        """
+        files = [
+            SourceFile(rel, text) for rel, text in sorted(texts.items())
+        ]
+        return Project(pathlib.Path("."), files)
+
+
+def split_suppressed(rule, project, findings):
+    """Partition raw findings into (kept, suppressed) using the
+    shared allow() comment convention."""
+    kept, suppressed = [], []
+    by_rel = {f.rel: f for f in project.files}
+    for finding in findings:
+        source = by_rel.get(finding.path)
+        reason = None
+        if source is not None:
+            reason = rule.suppression_reason(source, finding.line - 1)
+        if reason:
+            suppressed.append(
+                Suppression(
+                    finding.rule, finding.path, finding.line, reason
+                )
+            )
+        else:
+            kept.append(finding)
+    return kept, suppressed
+
+
+def run_rules(project, rules):
+    """Run every rule; returns (findings, suppressions) sorted by
+    path, line, rule."""
+    findings, suppressions = [], []
+    for rule in rules:
+        raw = rule.run(project)
+        kept, suppressed = split_suppressed(rule, project, raw)
+        findings.extend(kept)
+        suppressions.extend(suppressed)
+    key = lambda f: (f.path, f.line, f.rule)  # noqa: E731
+    return sorted(findings, key=key), sorted(suppressions, key=key)
+
+
+def report_human(rules, project, findings, suppressions, out=sys.stdout):
+    for s in suppressions:
+        out.write(s.render() + "\n")
+    if findings:
+        for f in findings:
+            out.write(f.render() + "\n")
+        out.write(
+            f"\npcon-lint: {len(findings)} finding(s) from "
+            f"{len(rules)} rule(s) over {len(project.files)} "
+            f"file(s). Silence a deliberate use with "
+            f"`// pcon-lint: allow(<rule>)` on the offending line "
+            f"or the line above it.\n"
+        )
+    else:
+        names = ", ".join(r.name for r in rules)
+        out.write(
+            f"pcon-lint: clean ({names}; {len(project.files)} files, "
+            f"{len(suppressions)} suppression(s))\n"
+        )
+
+
+def report_json(rules, project, findings, suppressions, out=sys.stdout):
+    doc = {
+        "tool": "pcon-lint",
+        "rules": [
+            {"name": r.name, "description": r.description}
+            for r in rules
+        ],
+        "files_scanned": len(project.files),
+        "findings": [dataclasses.asdict(f) for f in findings],
+        "suppressions": [dataclasses.asdict(s) for s in suppressions],
+        "clean": not findings,
+    }
+    json.dump(doc, out, indent=2, sort_keys=True)
+    out.write("\n")

@@ -1,0 +1,261 @@
+"""Hook-contract rule: wiring order and decorator completeness.
+
+Two statically checkable contracts around os::KernelHooks:
+
+1. Wiring order — a trace::SpanTracer consumes per-container charge
+   deltas produced by the core::ContainerManager's hooks, so at every
+   wiring site that registers both with the same kernel, the manager
+   must be registered (``addHooks(&manager)``) before the tracer.
+   Checked per file: the first ContainerManager registration must
+   precede the first SpanTracer registration.
+
+2. Decorator forwarding — a KernelHooks subclass that *holds* other
+   KernelHooks (a decorator, e.g. telemetry::OverheadProfiler) must
+   override every callback declared in src/os/hooks.h; a missing
+   override silently swallows that event for every wrapped hook set.
+"""
+
+import re
+
+from engine import Finding, Rule
+
+ADDHOOKS_RE = re.compile(r"\baddHooks\s*\(\s*&\s*(\w+)\s*\)")
+
+# `ContainerManager x` / `core::ContainerManager &x` declarations; one
+# declarator per line matches the codebase style.
+DECL_TEMPLATE = r"\b{type}\s*&?\s+(\w+)\s*[;={{(,)]"
+
+CLASS_RE = re.compile(
+    r"\b(?:class|struct)\s+(\w+)\s*(?:final\s*)?:"
+    r"[^;{]*\bKernelHooks\b"
+)
+HOOK_DECL_RE = re.compile(r"\bvoid\s*\n?\s*(on[A-Z]\w*)\s*\(")
+INNER_MEMBER_RE = re.compile(r"\bKernelHooks\s*\*")
+
+FALLBACK_HOOKS = [
+    "onContextSwitch",
+    "onContextRebind",
+    "onSamplingInterrupt",
+    "onIoComplete",
+    "onTaskExit",
+    "onFork",
+    "onSegmentReceived",
+    "onActuation",
+]
+
+
+def declared_names(source, type_name):
+    """Identifiers declared with the given type anywhere in a file."""
+    regex = re.compile(DECL_TEMPLATE.format(type=type_name))
+    names = set()
+    for line in source.blanked_lines:
+        for m in regex.finditer(line):
+            names.add(m.group(1))
+    return names
+
+
+def hook_callbacks(project):
+    """Callback names declared in src/os/hooks.h (kept in sync with
+    the header so new hooks are covered automatically)."""
+    for source in project.files:
+        if source.rel == "src/os/hooks.h":
+            found = HOOK_DECL_RE.findall(source.blanked)
+            if found:
+                return sorted(set(found))
+    return FALLBACK_HOOKS
+
+
+def class_bodies(source):
+    """(name, decl_line, body_text) for every KernelHooks subclass."""
+    text = source.blanked
+    out = []
+    for m in CLASS_RE.finditer(text):
+        brace = text.find("{", m.end())
+        if brace < 0:
+            continue
+        depth, i = 1, brace + 1
+        while i < len(text) and depth:
+            if text[i] == "{":
+                depth += 1
+            elif text[i] == "}":
+                depth -= 1
+            i += 1
+        decl_line = text.count("\n", 0, m.start()) + 1
+        out.append((m.group(1), decl_line, text[brace:i]))
+    return out
+
+
+class HookOrderRule(Rule):
+    name = "hook-order"
+    description = (
+        "SpanTracer registered after ContainerManager; KernelHooks "
+        "decorators forward every callback"
+    )
+    scope = ("src", "tests", "examples", "bench")
+
+    def run(self, project):
+        findings = []
+        callbacks = hook_callbacks(project)
+
+        for source in project.files_under(self.scope):
+            findings.extend(
+                self.check_wiring_order(source)
+            )
+            if source.rel.startswith("src/"):
+                findings.extend(
+                    self.check_decorators(source, callbacks)
+                )
+        return findings
+
+    def check_wiring_order(self, source):
+        managers = declared_names(source, "ContainerManager")
+        tracers = declared_names(source, "SpanTracer")
+        if not managers or not tracers:
+            return []
+        first_manager = first_tracer = None
+        tracer_line = None
+        for idx, line in enumerate(source.blanked_lines):
+            for m in ADDHOOKS_RE.finditer(line):
+                name = m.group(1)
+                if name in managers and first_manager is None:
+                    first_manager = idx + 1
+                if name in tracers and first_tracer is None:
+                    first_tracer = idx + 1
+                    tracer_line = name
+        if first_tracer is None or first_manager is None:
+            return []
+        if first_tracer < first_manager:
+            return [
+                Finding(
+                    self.name,
+                    source.rel,
+                    first_tracer,
+                    f"SpanTracer '{tracer_line}' is registered "
+                    f"before the ContainerManager (line "
+                    f"{first_manager}); the tracer consumes charge "
+                    f"deltas the manager's hooks produce, so it "
+                    f"must be added after it",
+                )
+            ]
+        return []
+
+    def check_decorators(self, source, callbacks):
+        findings = []
+        for cls, decl_line, body in class_bodies(source):
+            if not INNER_MEMBER_RE.search(body):
+                continue  # holds no inner hooks: not a decorator
+            missing = [
+                cb
+                for cb in callbacks
+                if not re.search(
+                    r"\b" + cb + r"\s*\(", body
+                )
+            ]
+            if missing:
+                findings.append(
+                    Finding(
+                        self.name,
+                        source.rel,
+                        decl_line,
+                        f"KernelHooks decorator '{cls}' does not "
+                        f"forward {', '.join(missing)}; a decorator "
+                        f"must override every callback or wrapped "
+                        f"hook sets silently miss those events",
+                    )
+                )
+        return findings
+
+    def selftest(self):
+        errors = []
+        rule = HookOrderRule()
+
+        hooks_h = (
+            "class KernelHooks {\n"
+            "  public:\n"
+            "    virtual void onContextSwitch(int);\n"
+            "    virtual void onTaskExit(int);\n"
+            "};\n"
+        )
+
+        # Tracer registered first: one finding at the tracer line.
+        bad = rule.project_from_texts(
+            {
+                "src/os/hooks.h": hooks_h,
+                "tests/wiring.cc": (
+                    "core::ContainerManager manager;\n"
+                    "trace::SpanTracer tracer;\n"
+                    "kernel.addHooks(&tracer);\n"
+                    "kernel.addHooks(&manager);\n"
+                ),
+            }
+        )
+        found = [
+            f for f in rule.run(bad) if f.path == "tests/wiring.cc"
+        ]
+        if len(found) != 1 or found[0].line != 3:
+            errors.append(
+                f"hook-order selftest: expected a wiring finding at "
+                f"tests/wiring.cc:3, got "
+                f"{[f.render() for f in found]}"
+            )
+
+        # Correct order: clean.
+        good = rule.project_from_texts(
+            {
+                "src/os/hooks.h": hooks_h,
+                "tests/wiring.cc": (
+                    "core::ContainerManager manager;\n"
+                    "trace::SpanTracer tracer;\n"
+                    "kernel.addHooks(&manager);\n"
+                    "kernel.addHooks(&tracer);\n"
+                ),
+            }
+        )
+        if any(
+            f.path == "tests/wiring.cc" for f in rule.run(good)
+        ):
+            errors.append(
+                "hook-order selftest: correct wiring was flagged"
+            )
+
+        # A decorator missing a callback must be flagged.
+        decorator = rule.project_from_texts(
+            {
+                "src/os/hooks.h": hooks_h,
+                "src/telemetry/wrap.h": (
+                    "class Wrap : public os::KernelHooks {\n"
+                    "    void onContextSwitch(int) override;\n"
+                    "    std::vector<os::KernelHooks *> inner_;\n"
+                    "};\n"
+                ),
+            }
+        )
+        found = [
+            f
+            for f in rule.run(decorator)
+            if f.path == "src/telemetry/wrap.h"
+        ]
+        if len(found) != 1 or "onTaskExit" not in found[0].message:
+            errors.append(
+                f"hook-order selftest: expected missing-onTaskExit "
+                f"finding, got {[f.render() for f in found]}"
+            )
+
+        # A non-decorator subclass (no inner hooks) is exempt.
+        plain = rule.project_from_texts(
+            {
+                "src/os/hooks.h": hooks_h,
+                "src/core/mgr.h": (
+                    "class Mgr : public os::KernelHooks {\n"
+                    "    void onContextSwitch(int) override;\n"
+                    "};\n"
+                ),
+            }
+        )
+        if any(
+            f.path == "src/core/mgr.h" for f in rule.run(plain)
+        ):
+            errors.append(
+                "hook-order selftest: non-decorator subclass flagged"
+            )
+        return errors

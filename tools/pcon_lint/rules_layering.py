@@ -1,0 +1,194 @@
+"""Layering rule: the src/ include graph must follow layering.toml.
+
+Every ``#include "layer/..."`` in ``src/<layer>/`` must point at the
+same layer or one listed among its allowed dependencies. The TOML DAG
+itself is validated first: unknown layer names or cycles are reported
+against the config file.
+"""
+
+import pathlib
+import re
+import tomllib
+
+from engine import Finding, Rule
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
+
+CONFIG_PATH = pathlib.Path(__file__).resolve().parent / "layering.toml"
+
+
+def load_layers(text):
+    return tomllib.loads(text)["layers"]
+
+
+def dag_errors(layers):
+    """Config-level problems: unknown deps and cycles."""
+    errors = []
+    for layer, deps in sorted(layers.items()):
+        for dep in deps:
+            if dep not in layers:
+                errors.append(
+                    f"layer '{layer}' depends on unknown layer "
+                    f"'{dep}'"
+                )
+    # Cycle check via depth-first search over the dependency edges.
+    state = {}  # name -> "visiting" | "done"
+
+    def visit(name, stack):
+        if state.get(name) == "done":
+            return
+        if state.get(name) == "visiting":
+            cycle = stack[stack.index(name):] + [name]
+            errors.append(
+                "dependency cycle: " + " -> ".join(cycle)
+            )
+            return
+        state[name] = "visiting"
+        for dep in layers.get(name, []):
+            if dep in layers:
+                visit(dep, stack + [name])
+        state[name] = "done"
+
+    for name in sorted(layers):
+        visit(name, [])
+    return errors
+
+
+class LayeringRule(Rule):
+    name = "layering"
+    description = (
+        "src/ include DAG pinned by tools/pcon_lint/layering.toml"
+    )
+    scope = ("src",)
+
+    def __init__(self, config_text=None):
+        self.config_text = (
+            config_text
+            if config_text is not None
+            else CONFIG_PATH.read_text(encoding="utf-8")
+        )
+
+    def run(self, project):
+        layers = load_layers(self.config_text)
+        config_rel = "tools/pcon_lint/layering.toml"
+        findings = [
+            Finding(self.name, config_rel, 1, err)
+            for err in dag_errors(layers)
+        ]
+        if findings:
+            return findings
+
+        for source in project.files_under(self.scope):
+            parts = source.rel.split("/")
+            # src/<layer>/...: files directly under src/ (pcon.h, the
+            # umbrella header) belong to no layer and may see all.
+            if len(parts) < 3 or parts[0] != "src":
+                continue
+            layer = parts[1]
+            if layer not in layers:
+                findings.append(
+                    Finding(
+                        self.name,
+                        source.rel,
+                        1,
+                        f"directory src/{layer} is not a layer in "
+                        f"layering.toml; add it with an explicit "
+                        f"dependency list",
+                    )
+                )
+                continue
+            allowed = set(layers[layer]) | {layer}
+            # Raw lines: include paths are string literals, which the
+            # shared blanking pass erases. Commented-out includes are
+            # skipped by re-checking the blanked line for the '#'.
+            for idx, line in enumerate(source.raw_lines):
+                m = INCLUDE_RE.match(line)
+                if not m:
+                    continue
+                if idx < len(source.blanked_lines) and (
+                    "#" not in source.blanked_lines[idx]
+                ):
+                    continue
+                target = m.group(1).split("/")[0]
+                if target not in layers:
+                    continue  # relative or non-layer include
+                if target not in allowed:
+                    arrow = (
+                        "upward"
+                        if layer in layers.get(target, [])
+                        else "banned"
+                    )
+                    findings.append(
+                        Finding(
+                            self.name,
+                            source.rel,
+                            idx + 1,
+                            f"{arrow} include: src/{layer} may not "
+                            f"include \"{m.group(1)}\" (allowed: "
+                            f"{', '.join(sorted(allowed))})",
+                        )
+                    )
+        return findings
+
+    def selftest(self):
+        errors = []
+        config = (
+            "[layers]\n"
+            'util = []\n'
+            'sim = ["util"]\n'
+            'hw = ["sim", "util"]\n'
+        )
+        rule = LayeringRule(config_text=config)
+
+        # An upward include must be flagged with file and line.
+        project = rule.project_from_texts(
+            {
+                "src/sim/time.h": (
+                    "#include \"util/logging.h\"\n"
+                    "#include \"hw/machine.h\"\n"
+                )
+            }
+        )
+        found = rule.run(project)
+        if len(found) != 1 or found[0].line != 2:
+            errors.append(
+                f"layering selftest: expected one finding at line 2, "
+                f"got {[f.render() for f in found]}"
+            )
+
+        # The same include under allow(layering) must be suppressed.
+        project = rule.project_from_texts(
+            {
+                "src/sim/time.h": (
+                    "// pcon-lint: allow(layering)\n"
+                    "#include \"hw/machine.h\"\n"
+                )
+            }
+        )
+        raw = rule.run(project)
+        kept = [
+            f
+            for f in raw
+            if not rule.suppression_reason(
+                project.files[0], f.line - 1
+            )
+        ]
+        if kept:
+            errors.append(
+                "layering selftest: allow(layering) did not suppress"
+            )
+
+        # A cyclic config must fail against the config file itself.
+        cyclic = LayeringRule(
+            config_text=(
+                "[layers]\n"
+                'util = ["sim"]\n'
+                'sim = ["util"]\n'
+            )
+        )
+        found = cyclic.run(rule.project_from_texts({}))
+        if not any("cycle" in f.message for f in found):
+            errors.append(
+                "layering selftest: dependency cycle not detected"
+            )
+        return errors

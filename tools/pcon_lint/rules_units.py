@@ -1,0 +1,120 @@
+"""Units rule: energy/power quantities in src/ use the strong types.
+
+``util::Joules``, ``util::Watts`` (src/util/units.h) replace raw
+``double`` on public API surfaces. This rule rejects any *new* double
+parameter, member, local, or return type whose identifier names an
+energy or power quantity — matching ``(energy|power|watts|joules)``
+case-insensitively — anywhere in src/ outside units.h itself.
+
+Declarations that must stay double (an FFI boundary, a printf shim)
+take ``// pcon-lint: allow(units)`` with the usual placement rules.
+"""
+
+import re
+
+from engine import Finding, Rule
+
+QUANTITY = r"energy|power|watts|joules"
+
+# double <identifier-containing-quantity> followed by a declarator
+# terminator that classifies the declaration. The '(' case catches
+# functions *named* like a quantity returning a raw double.
+DECL_RE = re.compile(
+    r"\bdouble\s+(&?\s*)?(?P<name>[A-Za-z_]\w*)\s*(?P<tail>[,;)=({])"
+)
+NAME_RE = re.compile(QUANTITY, re.IGNORECASE)
+
+KIND_BY_TAIL = {
+    "(": "return type of",
+    ",": "parameter",
+    ")": "parameter",
+    ";": "member/local",
+    "=": "member/local",
+    "{": "member/local",
+}
+
+
+class UnitsRule(Rule):
+    name = "units"
+    description = (
+        "energy/power declarations in src/ use util::Joules / "
+        "util::Watts instead of raw double"
+    )
+    scope = ("src",)
+    exempt = ("src/util/units.h", "src/util/units.cc")
+
+    def run(self, project):
+        findings = []
+        for source in project.files_under(self.scope):
+            if source.rel in self.exempt:
+                continue
+            for idx, line in enumerate(source.blanked_lines):
+                for m in DECL_RE.finditer(line):
+                    ident = m.group("name")
+                    if not NAME_RE.search(ident):
+                        continue
+                    kind = KIND_BY_TAIL[m.group("tail")]
+                    findings.append(
+                        Finding(
+                            self.name,
+                            source.rel,
+                            idx + 1,
+                            f"raw double {kind} '{ident}' names an "
+                            f"energy/power quantity; use "
+                            f"util::Joules / util::Watts from "
+                            f"src/util/units.h (or annotate "
+                            f"`// pcon-lint: allow(units)` with a "
+                            f"reason)",
+                        )
+                    )
+        return findings
+
+    def selftest(self):
+        errors = []
+        rule = UnitsRule()
+        project = rule.project_from_texts(
+            {
+                "src/hw/meter.h": (
+                    "struct S {\n"
+                    "    double energyJ = 0.0;\n"  # member
+                    "    double watts() const;\n"  # return
+                    "    void set(double power_w);\n"  # parameter
+                    "    double okRatio = 0.0;\n"  # clean
+                    "    util::Joules typedEnergyJ{0};\n"  # clean
+                    "};\n"
+                ),
+                "src/util/units.h": (
+                    "class Joules { double joules_ = 0.0; };\n"
+                ),
+            }
+        )
+        found = rule.run(project)
+        lines = sorted(f.line for f in found)
+        if lines != [2, 3, 4]:
+            errors.append(
+                f"units selftest: expected findings at lines "
+                f"[2, 3, 4] of meter.h, got "
+                f"{[f.render() for f in found]}"
+            )
+
+        suppressed = rule.project_from_texts(
+            {
+                "src/hw/meter.h": (
+                    "// pcon-lint: allow(units)\n"
+                    "double rawPowerW = 0.0;\n"
+                )
+            }
+        )
+        raw = rule.run(suppressed)
+        kept = [
+            f
+            for f in raw
+            if not rule.suppression_reason(
+                suppressed.files[0], f.line - 1
+            )
+        ]
+        if kept:
+            errors.append(
+                "units selftest: allow(units) did not suppress"
+            )
+        return errors
