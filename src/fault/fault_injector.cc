@@ -24,15 +24,27 @@ FaultInjector::FaultInjector(sim::Simulation &sim,
     : sim_(sim), plan_(plan), rng_(plan.seed)
 {}
 
+FaultCounts
+FaultInjector::counts() const
+{
+    util::LockGuard lock(countsMu_);
+    return counts_;
+}
+
 void
-FaultInjector::note(const char *kind, std::uint64_t *counter,
+FaultInjector::note(const char *kind,
+                    std::uint64_t FaultCounts::*field,
                     const char *metric)
 {
-    ++*counter;
+    std::uint64_t tally;
+    {
+        util::LockGuard lock(countsMu_);
+        tally = ++(counts_.*field);
+    }
     if (registry_ != nullptr)
         registry_->counter(metric).add(1);
     if (perfetto_ != nullptr)
-        perfetto_->noteFault(kind, static_cast<double>(*counter));
+        perfetto_->noteFault(kind, static_cast<double>(tally));
 }
 
 // --- power meter ---
@@ -53,13 +65,13 @@ FaultInjector::perturbMeterSample(const hw::PowerMeter::Sample &sample)
     for (const MeterOutage &o : mf.outages) {
         if (sample.intervalEnd >= o.start &&
             sample.intervalEnd < o.start + o.duration) {
-            note("meter outage drop", &counts_.meterOutageDropped,
+            note("meter outage drop", &FaultCounts::meterOutageDropped,
                  "fault.meter_outage_dropped");
             return {};
         }
     }
     if (mf.dropProbability > 0 && rng_.chance(mf.dropProbability)) {
-        note("meter drop", &counts_.meterDropped,
+        note("meter drop", &FaultCounts::meterDropped,
              "fault.meter_dropped");
         return {};
     }
@@ -69,7 +81,7 @@ FaultInjector::perturbMeterSample(const hw::PowerMeter::Sample &sample)
             mf.quantizeStepW;
         if (q != out.watts.value()) {
             out.watts = util::Watts(q);
-            note("meter quantize", &counts_.meterQuantized,
+            note("meter quantize", &FaultCounts::meterQuantized,
                  "fault.meter_quantized");
         }
     }
@@ -77,12 +89,12 @@ FaultInjector::perturbMeterSample(const hw::PowerMeter::Sample &sample)
         rng_.chance(mf.jitterProbability)) {
         out.deliveredAt += static_cast<sim::SimTime>(
             rng_.uniform(0.0, static_cast<double>(mf.maxJitter)));
-        note("meter jitter", &counts_.meterJittered,
+        note("meter jitter", &FaultCounts::meterJittered,
              "fault.meter_jittered");
     }
     if (mf.duplicateProbability > 0 &&
         rng_.chance(mf.duplicateProbability)) {
-        note("meter duplicate", &counts_.meterDuplicated,
+        note("meter duplicate", &FaultCounts::meterDuplicated,
              "fault.meter_duplicated");
         return {out, out};
     }
@@ -115,14 +127,14 @@ FaultInjector::perturbCounters(int core, hw::CounterSnapshot &snapshot)
             stuckCaptured_ = true;
         }
         snapshot = stuckSnapshot_;
-        note("counter stuck", &counts_.counterStuckReads,
+        note("counter stuck", &FaultCounts::counterStuckReads,
              "fault.counter_stuck_reads");
         return;
     }
     if (cf.saturateCycles > 0 &&
         snapshot.nonhaltCycles > cf.saturateCycles) {
         snapshot.nonhaltCycles = cf.saturateCycles;
-        note("counter saturate", &counts_.counterSaturatedReads,
+        note("counter saturate", &FaultCounts::counterSaturatedReads,
              "fault.counter_saturated_reads");
     }
 }
@@ -154,7 +166,7 @@ FaultInjector::perturbSegment(const os::Segment &segment)
         lastTags_[segment.context] = segment.stats;
     }
     if (sf.lossProbability > 0 && rng_.chance(sf.lossProbability)) {
-        note("segment loss", &counts_.segmentsLost,
+        note("segment loss", &FaultCounts::segmentsLost,
              "fault.segment_lost");
         return {};
     }
@@ -166,18 +178,18 @@ FaultInjector::perturbSegment(const os::Segment &segment)
             d.segment.stats = previous;
         else
             d.segment.stats = os::RequestStatsTag{};
-        note("segment stale tag", &counts_.segmentsStaleTagged,
+        note("segment stale tag", &FaultCounts::segmentsStaleTagged,
              "fault.segment_stale_tag");
     }
     if (sf.reorderProbability > 0 &&
         rng_.chance(sf.reorderProbability)) {
         d.extraDelay = sf.reorderDelay;
-        note("segment reorder", &counts_.segmentsReordered,
+        note("segment reorder", &FaultCounts::segmentsReordered,
              "fault.segment_reordered");
     }
     if (sf.duplicateProbability > 0 &&
         rng_.chance(sf.duplicateProbability)) {
-        note("segment duplicate", &counts_.segmentsDuplicated,
+        note("segment duplicate", &FaultCounts::segmentsDuplicated,
              "fault.segment_duplicated");
         return {d, d};
     }
@@ -215,7 +227,7 @@ FaultInjector::killOneRequestTask()
         rng_.uniformInt(0, static_cast<std::int64_t>(victims.size()) -
                                1))];
     if (taskKernel_->kill(victim))
-        note("task kill", &counts_.tasksKilled, "fault.task_kills");
+        note("task kill", &FaultCounts::tasksKilled, "fault.task_kills");
 }
 
 void
@@ -234,7 +246,7 @@ FaultInjector::startForkStorm()
                 }});
         taskKernel_->spawn(logic,
                            "storm-" + std::to_string(i));
-        note("fork storm spawn", &counts_.stormForks,
+        note("fork storm spawn", &FaultCounts::stormForks,
              "fault.forks_spawned");
     }
 }

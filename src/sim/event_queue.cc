@@ -11,6 +11,7 @@ namespace sim {
 EventId
 EventQueue::schedule(SimTime when, Callback cb)
 {
+    util::LockGuard lock(mu_);
     EventId id = nextId_++;
     heap_.push(Entry{when, nextSeq_++, id,
                      std::make_shared<Callback>(std::move(cb))});
@@ -23,6 +24,7 @@ EventQueue::cancel(EventId id)
 {
     if (id == InvalidEventId)
         return false;
+    util::LockGuard lock(mu_);
     // Only mark ids that could still be pending; the heap is scanned
     // lazily. We cannot cheaply verify membership, so track via the
     // cancelled set and live counter conservatively.
@@ -50,13 +52,22 @@ EventQueue::skipCancelled() const
 bool
 EventQueue::empty() const
 {
+    util::LockGuard lock(mu_);
     skipCancelled();
     return heap_.empty();
+}
+
+std::size_t
+EventQueue::size() const
+{
+    util::LockGuard lock(mu_);
+    return live_;
 }
 
 SimTime
 EventQueue::nextTime() const
 {
+    util::LockGuard lock(mu_);
     skipCancelled();
     util::panicIf(heap_.empty(), "nextTime on empty event queue");
     return heap_.top().when;
@@ -65,6 +76,7 @@ EventQueue::nextTime() const
 std::pair<SimTime, EventQueue::Callback>
 EventQueue::pop()
 {
+    util::LockGuard lock(mu_);
     skipCancelled();
     util::panicIf(heap_.empty(), "pop on empty event queue");
     Entry top = heap_.top();

@@ -3,6 +3,14 @@
  * The discrete-event core: a time-ordered queue of callbacks with
  * stable FIFO ordering among same-time events and O(log n) cancel
  * support via event handles.
+ *
+ * Thread safety (shard-readiness, ROADMAP Open item 1): the insertion
+ * surface — schedule()/cancel() — is what other shards touch when
+ * they post cross-shard events (conservative PDES null messages,
+ * remote segment deliveries), so the whole queue serializes on one
+ * annotated util::Mutex. Pop ordering stays deterministic: the
+ * (time, sequence) total order is unaffected by which thread inserted
+ * an entry, only by the sequence numbers handed out under the lock.
  */
 
 #ifndef PCON_SIM_EVENT_QUEUE_H
@@ -16,6 +24,7 @@
 #include <vector>
 
 #include "sim/time.h"
+#include "util/sync.h"
 
 namespace pcon {
 namespace sim {
@@ -49,7 +58,7 @@ class EventQueue
     bool empty() const;
 
     /** Number of live (non-cancelled) pending events. */
-    std::size_t size() const { return live_; }
+    std::size_t size() const;
 
     /** Time of the earliest live event; panics when empty. */
     SimTime nextTime() const;
@@ -79,14 +88,16 @@ class EventQueue
         }
     };
 
-    void skipCancelled() const;
+    void skipCancelled() const PCON_REQUIRES(mu_);
 
+    mutable util::Mutex mu_;
     mutable std::priority_queue<Entry, std::vector<Entry>,
-                                std::greater<Entry>> heap_;
-    mutable std::unordered_set<EventId> cancelled_;
-    std::uint64_t nextSeq_ = 1;
-    EventId nextId_ = 1;
-    std::size_t live_ = 0;
+                                std::greater<Entry>>
+        heap_ PCON_GUARDED_BY(mu_);
+    mutable std::unordered_set<EventId> cancelled_ PCON_GUARDED_BY(mu_);
+    std::uint64_t nextSeq_ PCON_GUARDED_BY(mu_) = 1;
+    EventId nextId_ PCON_GUARDED_BY(mu_) = 1;
+    std::size_t live_ PCON_GUARDED_BY(mu_) = 0;
 };
 
 } // namespace sim

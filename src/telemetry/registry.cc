@@ -33,6 +33,7 @@ Histogram::Histogram(std::vector<double> upper_bounds)
 void
 Histogram::observe(double v)
 {
+    util::LockGuard lock(mu_);
     auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
     ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
     if (count_ == 0) {
@@ -46,14 +47,50 @@ Histogram::observe(double v)
     sum_ += v;
 }
 
+std::uint64_t
+Histogram::count() const
+{
+    util::LockGuard lock(mu_);
+    return count_;
+}
+
+double
+Histogram::sum() const
+{
+    util::LockGuard lock(mu_);
+    return sum_;
+}
+
 double
 Histogram::mean() const
 {
+    util::LockGuard lock(mu_);
     return count_ ? sum_ / static_cast<double>(count_) : 0.0;
 }
 
 double
+Histogram::min() const
+{
+    util::LockGuard lock(mu_);
+    return count_ ? min_ : 0.0;
+}
+
+double
+Histogram::max() const
+{
+    util::LockGuard lock(mu_);
+    return count_ ? max_ : 0.0;
+}
+
+double
 Histogram::quantile(double q) const
+{
+    util::LockGuard lock(mu_);
+    return quantileLocked(q);
+}
+
+double
+Histogram::quantileLocked(double q) const
 {
     util::fatalIf(q < 0.0 || q > 1.0, "quantile ", q,
                   " outside [0, 1]");
@@ -82,6 +119,13 @@ Histogram::quantile(double q) const
         return lo + frac * (hi - lo);
     }
     return max_;
+}
+
+const std::vector<std::uint64_t> &
+Histogram::bucketCounts() const
+{
+    util::LockGuard lock(mu_);
+    return counts_;
 }
 
 bool
@@ -121,12 +165,14 @@ Registry::findOrCreate(const std::string &name, InstrumentKind kind)
 Counter &
 Registry::counter(const std::string &name)
 {
+    util::LockGuard lock(mu_);
     return findOrCreate(name, InstrumentKind::Counter).counter;
 }
 
 Gauge &
 Registry::gauge(const std::string &name)
 {
+    util::LockGuard lock(mu_);
     return findOrCreate(name, InstrumentKind::Gauge).gauge;
 }
 
@@ -134,6 +180,7 @@ Histogram &
 Registry::histogram(const std::string &name,
                     std::vector<double> upper_bounds)
 {
+    util::LockGuard lock(mu_);
     Instrument &inst = findOrCreate(name, InstrumentKind::Histogram);
     if (!inst.histogram) {
         inst.histogram =
@@ -149,21 +196,31 @@ Registry::histogram(const std::string &name,
 bool
 Registry::has(const std::string &name) const
 {
+    util::LockGuard lock(mu_);
     return instruments_.find(name) != instruments_.end();
 }
 
 InstrumentKind
 Registry::kindOf(const std::string &name) const
 {
+    util::LockGuard lock(mu_);
     auto it = instruments_.find(name);
     util::fatalIf(it == instruments_.end(),
                   "unknown telemetry metric '", name, "'");
     return it->second.kind;
 }
 
+std::size_t
+Registry::size() const
+{
+    util::LockGuard lock(mu_);
+    return instruments_.size();
+}
+
 std::vector<Registry::Entry>
 Registry::entries() const
 {
+    util::LockGuard lock(mu_);
     std::vector<Entry> out;
     out.reserve(instruments_.size());
     for (const auto &kv : instruments_) {
@@ -190,13 +247,21 @@ void
 Registry::addCollector(std::function<void()> fn)
 {
     util::fatalIf(!fn, "null telemetry collector");
+    util::LockGuard lock(mu_);
     collectors_.push_back(std::move(fn));
 }
 
 void
 Registry::collect()
 {
-    for (auto &fn : collectors_)
+    // Snapshot under the lock, run outside it: a collector may touch
+    // the registry (even register instruments) without deadlocking.
+    std::vector<std::function<void()>> fns;
+    {
+        util::LockGuard lock(mu_);
+        fns = collectors_;
+    }
+    for (auto &fn : fns)
         fn();
 }
 

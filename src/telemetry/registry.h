@@ -10,6 +10,14 @@
  * registry. Metric names are stable keys for downstream dashboards
  * and must match `[a-z0-9_.]+`; dots form the conventional hierarchy
  * (`kernel.context_switches`, `overhead.refit_cycles`).
+ *
+ * Thread safety (shard-readiness, ROADMAP Open item 1): the registry
+ * is shared by every machine shard. Counter and Gauge updates are
+ * relaxed atomics (tallies, not synchronization); Histogram updates
+ * and all registration/iteration take annotated util::Mutex locks, so
+ * a Clang -Wthread-safety build proves the guarded state is only
+ * touched under its lock. Single-threaded behavior — including every
+ * exported byte — is unchanged.
  */
 
 #ifndef PCON_TELEMETRY_REGISTRY_H
@@ -21,6 +29,8 @@
 #include <memory>
 #include <string>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace pcon {
 namespace telemetry {
@@ -35,35 +45,37 @@ enum class InstrumentKind {
 /** Human-readable kind name ("counter", "gauge", "histogram"). */
 const char *instrumentKindName(InstrumentKind kind);
 
-/** A monotonically increasing event count. */
+/** A monotonically increasing event count. Safe to add() from any
+ * shard concurrently (relaxed atomic). */
 class Counter
 {
   public:
-    /** Add `n` events (hot path; O(1)). */
-    void add(std::uint64_t n = 1) { value_ += n; }
+    /** Add `n` events (hot path; O(1), lock-free). */
+    void add(std::uint64_t n = 1) { value_.fetchAdd(n); }
 
     /** Current cumulative count. */
-    std::uint64_t value() const { return value_; }
+    std::uint64_t value() const { return value_.load(); }
 
   private:
-    std::uint64_t value_ = 0;
+    util::Atomic<std::uint64_t> value_;
 };
 
-/** A point-in-time value that can move both ways. */
+/** A point-in-time value that can move both ways. Safe to set()/add()
+ * from any shard concurrently (relaxed atomic). */
 class Gauge
 {
   public:
-    /** Replace the value (hot path; O(1)). */
-    void set(double v) { value_ = v; }
+    /** Replace the value (hot path; O(1), lock-free). */
+    void set(double v) { value_.store(v); }
 
     /** Adjust the value by a (possibly negative) delta. */
-    void add(double delta) { value_ += delta; }
+    void add(double delta) { value_.fetchAdd(delta); }
 
     /** Current value. */
-    double value() const { return value_; }
+    double value() const { return value_.load(); }
 
   private:
-    double value_ = 0;
+    util::Atomic<double> value_{0.0};
 };
 
 /**
@@ -72,6 +84,10 @@ class Gauge
  * land in an implicit overflow bucket. Updates cost one binary search
  * over the (small, fixed) bound set — constant for a given
  * configuration.
+ *
+ * observe() mutates several fields together (bucket, count, sum,
+ * min/max), so unlike Counter/Gauge it serializes on an internal
+ * mutex rather than going atomic field-by-field.
  */
 class Histogram
 {
@@ -87,19 +103,19 @@ class Histogram
     void observe(double v);
 
     /** Number of observations. */
-    std::uint64_t count() const { return count_; }
+    std::uint64_t count() const;
 
     /** Sum of all observations. */
-    double sum() const { return sum_; }
+    double sum() const;
 
     /** Mean observation (0 before any observation). */
     double mean() const;
 
     /** Smallest observation (0 before any observation). */
-    double min() const { return count_ ? min_ : 0.0; }
+    double min() const;
 
     /** Largest observation (0 before any observation). */
-    double max() const { return count_ ? max_ : 0.0; }
+    double max() const;
 
     /**
      * Estimated q-quantile (q in [0, 1]): linear interpolation within
@@ -108,22 +124,30 @@ class Histogram
      */
     double quantile(double q) const;
 
-    /** The registered bucket upper bounds. */
+    /** The registered bucket upper bounds (immutable after ctor). */
     const std::vector<double> &upperBounds() const { return bounds_; }
 
-    /** Per-bucket counts; one extra trailing overflow bucket. */
-    const std::vector<std::uint64_t> &bucketCounts() const
-    {
-        return counts_;
-    }
+    /**
+     * Per-bucket counts; one extra trailing overflow bucket. The
+     * reference stays valid for the histogram's lifetime, but reading
+     * it concurrently with observe() is a race — exports run when the
+     * shards are quiescent.
+     */
+    const std::vector<std::uint64_t> &bucketCounts() const;
 
   private:
+    double quantileLocked(double q) const PCON_REQUIRES(mu_);
+
+    /** Immutable after construction; needs no guard. */
+    // pcon-lint: shard-local(set in the ctor, read-only afterwards)
     std::vector<double> bounds_;
-    std::vector<std::uint64_t> counts_;
-    std::uint64_t count_ = 0;
-    double sum_ = 0;
-    double min_ = 0;
-    double max_ = 0;
+
+    mutable util::Mutex mu_;
+    std::vector<std::uint64_t> counts_ PCON_GUARDED_BY(mu_);
+    std::uint64_t count_ PCON_GUARDED_BY(mu_) = 0;
+    double sum_ PCON_GUARDED_BY(mu_) = 0;
+    double min_ PCON_GUARDED_BY(mu_) = 0;
+    double max_ PCON_GUARDED_BY(mu_) = 0;
 };
 
 /**
@@ -166,7 +190,7 @@ class Registry
     std::vector<Entry> entries() const;
 
     /** Number of registered instruments. */
-    std::size_t size() const { return instruments_.size(); }
+    std::size_t size() const;
 
     /** True when `name` matches the metric grammar [a-z0-9_.]+. */
     static bool validName(const std::string &name);
@@ -178,7 +202,12 @@ class Registry
      */
     void addCollector(std::function<void()> fn);
 
-    /** Run all collectors in registration order. */
+    /**
+     * Run all collectors in registration order. The callbacks run
+     * outside the registry lock (they update instruments through
+     * their own thread-safe surfaces, and may even register new
+     * ones), so collect() cannot self-deadlock.
+     */
     void collect();
 
   private:
@@ -191,11 +220,12 @@ class Registry
     };
 
     Instrument &findOrCreate(const std::string &name,
-                             InstrumentKind kind);
+                             InstrumentKind kind) PCON_REQUIRES(mu_);
 
+    mutable util::Mutex mu_;
     /** std::map: deterministic order and stable node addresses. */
-    std::map<std::string, Instrument> instruments_;
-    std::vector<std::function<void()>> collectors_;
+    std::map<std::string, Instrument> instruments_ PCON_GUARDED_BY(mu_);
+    std::vector<std::function<void()>> collectors_ PCON_GUARDED_BY(mu_);
 };
 
 } // namespace telemetry

@@ -38,13 +38,44 @@ spanKindFromName(const std::string &name)
     util::panic("unknown span kind '", name, "'");
 }
 
+SpanCollector::SpanCollector(SpanCollector &&other)
+{
+    util::LockGuard lock(other.mu_);
+    spans_ = std::move(other.spans_);
+    roots_ = std::move(other.roots_);
+    openCount_ = other.openCount_;
+    other.spans_.clear();
+    other.roots_.clear();
+    other.openCount_ = 0;
+}
+
+SpanCollector &
+SpanCollector::operator=(SpanCollector &&other)
+{
+    if (this == &other)
+        return *this;
+    // Lock ordering: source first, destination second, matching the
+    // move ctor; collectors are only moved during single-threaded
+    // parse/wiring phases, so no cross-order deadlock partner exists.
+    util::LockGuard source(other.mu_);
+    util::LockGuard dest(mu_);
+    spans_ = std::move(other.spans_);
+    roots_ = std::move(other.roots_);
+    openCount_ = other.openCount_;
+    other.spans_.clear();
+    other.roots_.clear();
+    other.openCount_ = 0;
+    return *this;
+}
+
 SpanId
 SpanCollector::open(os::RequestId request, int machine,
                     const std::string &name, SpanKind kind,
                     SpanId parent, sim::SimTime now)
 {
+    util::LockGuard lock(mu_);
     panicIf(request == os::NoRequest, "span without a request");
-    panicIf(parent != NoSpan && !valid(parent),
+    panicIf(parent != NoSpan && !validLocked(parent),
             "span parent out of range: ", parent);
     Span s;
     s.id = static_cast<SpanId>(spans_.size()) + 1;
@@ -68,6 +99,7 @@ SpanCollector::open(os::RequestId request, int machine,
 void
 SpanCollector::close(SpanId id, sim::SimTime now)
 {
+    util::LockGuard lock(mu_);
     Span &s = mutableSpan(id);
     if (!s.open)
         return;
@@ -80,9 +112,10 @@ void
 SpanCollector::reparent(SpanId id, SpanId parent, SpanKind kind,
                         SpanId remote_parent)
 {
+    util::LockGuard lock(mu_);
     Span &s = mutableSpan(id);
     panicIf(s.kind == SpanKind::Root, "cannot reparent a root span");
-    panicIf(parent != NoSpan && !valid(parent),
+    panicIf(parent != NoSpan && !validLocked(parent),
             "reparent target out of range: ", parent);
     panicIf(parent == id, "span cannot parent itself");
     s.parent = parent;
@@ -95,6 +128,7 @@ SpanCollector::charge(SpanId id, util::Joules energy,
                       double cpu_time_ns, util::Cycles cycles,
                       double instructions)
 {
+    util::LockGuard lock(mu_);
     Span &s = mutableSpan(id);
     s.energyJ += energy;
     s.cpuTimeNs += cpu_time_ns;
@@ -105,26 +139,69 @@ SpanCollector::charge(SpanId id, util::Joules energy,
 void
 SpanCollector::addIoBytes(SpanId id, double bytes)
 {
+    util::LockGuard lock(mu_);
     mutableSpan(id).ioBytes += bytes;
+}
+
+bool
+SpanCollector::valid(SpanId id) const
+{
+    util::LockGuard lock(mu_);
+    return validLocked(id);
+}
+
+bool
+SpanCollector::validLocked(SpanId id) const
+{
+    return id >= 1 && id <= spans_.size();
 }
 
 const Span &
 SpanCollector::span(SpanId id) const
 {
-    panicIf(!valid(id), "unknown span id ", id);
+    util::LockGuard lock(mu_);
+    return spanLocked(id);
+}
+
+const Span &
+SpanCollector::spanLocked(SpanId id) const
+{
+    panicIf(!validLocked(id), "unknown span id ", id);
     return spans_[static_cast<std::size_t>(id) - 1];
+}
+
+const std::vector<Span> &
+SpanCollector::spans() const
+{
+    util::LockGuard lock(mu_);
+    return spans_;
+}
+
+std::size_t
+SpanCollector::size() const
+{
+    util::LockGuard lock(mu_);
+    return spans_.size();
+}
+
+std::size_t
+SpanCollector::openCount() const
+{
+    util::LockGuard lock(mu_);
+    return openCount_;
 }
 
 Span &
 SpanCollector::mutableSpan(SpanId id)
 {
-    panicIf(!valid(id), "unknown span id ", id);
+    panicIf(!validLocked(id), "unknown span id ", id);
     return spans_[static_cast<std::size_t>(id) - 1];
 }
 
 SpanId
 SpanCollector::rootOf(os::RequestId request) const
 {
+    util::LockGuard lock(mu_);
     auto it = roots_.find(request);
     return it == roots_.end() ? NoSpan : it->second;
 }
@@ -132,6 +209,7 @@ SpanCollector::rootOf(os::RequestId request) const
 std::vector<SpanId>
 SpanCollector::requestSpans(os::RequestId request) const
 {
+    util::LockGuard lock(mu_);
     std::vector<SpanId> out;
     for (const Span &s : spans_)
         if (s.request == request)
@@ -142,6 +220,7 @@ SpanCollector::requestSpans(os::RequestId request) const
 std::vector<SpanId>
 SpanCollector::children(SpanId id) const
 {
+    util::LockGuard lock(mu_);
     std::vector<SpanId> out;
     for (const Span &s : spans_)
         if (s.parent == id)
@@ -152,6 +231,7 @@ SpanCollector::children(SpanId id) const
 std::vector<os::RequestId>
 SpanCollector::requests() const
 {
+    util::LockGuard lock(mu_);
     std::vector<os::RequestId> out;
     for (const Span &s : spans_)
         if (out.empty() ||
@@ -164,6 +244,7 @@ SpanCollector::requests() const
 util::Joules
 SpanCollector::requestEnergyJ(os::RequestId request) const
 {
+    util::LockGuard lock(mu_);
     util::Joules total{0};
     for (const Span &s : spans_)
         if (s.request == request)
@@ -175,6 +256,7 @@ util::Joules
 SpanCollector::machineEnergyJ(os::RequestId request,
                               int machine) const
 {
+    util::LockGuard lock(mu_);
     util::Joules total{0};
     for (const Span &s : spans_)
         if (s.request == request && s.machine == machine)
@@ -185,6 +267,7 @@ SpanCollector::machineEnergyJ(os::RequestId request,
 std::vector<int>
 SpanCollector::machines() const
 {
+    util::LockGuard lock(mu_);
     std::vector<int> out;
     for (const Span &s : spans_)
         if (std::find(out.begin(), out.end(), s.machine) == out.end())
@@ -193,18 +276,22 @@ SpanCollector::machines() const
     return out;
 }
 
+std::size_t
+SpanCollector::depthLocked(SpanId id) const
+{
+    std::size_t d = 0;
+    for (SpanId p = spanLocked(id).parent; p != NoSpan;
+         p = spanLocked(p).parent) {
+        panicIf(d > spans_.size(), "span parent cycle");
+        ++d;
+    }
+    return d;
+}
+
 std::vector<SpanId>
 SpanCollector::criticalPath(os::RequestId request) const
 {
-    auto depth = [this](SpanId id) {
-        std::size_t d = 0;
-        for (SpanId p = span(id).parent; p != NoSpan;
-             p = span(p).parent) {
-            panicIf(d > spans_.size(), "span parent cycle");
-            ++d;
-        }
-        return d;
-    };
+    util::LockGuard lock(mu_);
     SpanId last = NoSpan;
     sim::SimTime last_close = 0;
     std::size_t last_depth = 0;
@@ -215,7 +302,7 @@ SpanCollector::criticalPath(os::RequestId request) const
         // completion sweep) break leaf-ward, then to the smallest id
         // (the ascending scan), so the root never shadows the final
         // stage it merely outlives.
-        std::size_t d = depth(s.id);
+        std::size_t d = depthLocked(s.id);
         if (last == NoSpan || s.closedAt > last_close ||
             (s.closedAt == last_close && d > last_depth)) {
             last = s.id;
@@ -224,7 +311,7 @@ SpanCollector::criticalPath(os::RequestId request) const
         }
     }
     std::vector<SpanId> path;
-    for (SpanId id = last; id != NoSpan; id = span(id).parent) {
+    for (SpanId id = last; id != NoSpan; id = spanLocked(id).parent) {
         panicIf(path.size() > spans_.size(), "span parent cycle");
         path.push_back(id);
     }
@@ -235,6 +322,7 @@ SpanCollector::criticalPath(os::RequestId request) const
 void
 SpanCollector::addSpan(const Span &span)
 {
+    util::LockGuard lock(mu_);
     panicIf(span.id != spans_.size() + 1,
             "non-dense span id in addSpan: ", span.id);
     panicIf(span.request == os::NoRequest, "span without a request");

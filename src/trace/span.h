@@ -20,6 +20,7 @@
 
 #include "os/request_context.h"
 #include "sim/time.h"
+#include "util/sync.h"
 #include "util/units.h"
 
 namespace pcon {
@@ -105,10 +106,34 @@ struct Span
  * several machines so cross-machine parent edges are ordinary span
  * ids; everything is deterministic (dense ids in open order, ordered
  * maps).
+ *
+ * Thread safety (shard-readiness, ROADMAP Open item 1): the one
+ * collector is exactly the kind of cross-shard shared state the
+ * parallel engine introduces — every machine's SpanTracer opens,
+ * charges, and closes spans on it. All state is guarded by one
+ * annotated util::Mutex. Methods returning references (span(),
+ * spans()) synchronize the lookup itself, but the referenced storage
+ * may be reallocated by a concurrent open(); exports and queries over
+ * returned references run at shard barriers, when no tracer is
+ * mutating.
  */
 class SpanCollector
 {
   public:
+    SpanCollector() = default;
+
+    /**
+     * Moves exist for parse-time factories (parseSpanJson returns a
+     * freshly built collector by value); they lock the source, so a
+     * half-moved collector is never observed, but moving a collector
+     * that tracers still reference is a wiring error regardless.
+     */
+    SpanCollector(SpanCollector &&other);
+    SpanCollector &operator=(SpanCollector &&other);
+
+    SpanCollector(const SpanCollector &) = delete;
+    SpanCollector &operator=(const SpanCollector &) = delete;
+
     /** Open a span; returns its id (dense, 1-based). */
     SpanId open(os::RequestId request, int machine,
                 const std::string &name, SpanKind kind, SpanId parent,
@@ -133,19 +158,19 @@ class SpanCollector
     void addIoBytes(SpanId id, double bytes);
 
     /** True when the id names a recorded span. */
-    bool valid(SpanId id) const { return id >= 1 && id <= spans_.size(); }
+    bool valid(SpanId id) const;
 
     /** Look up a span; panics on invalid ids. */
     const Span &span(SpanId id) const;
 
     /** All spans, id order (id = index + 1). */
-    const std::vector<Span> &spans() const { return spans_; }
+    const std::vector<Span> &spans() const;
 
     /** Recorded span count. */
-    std::size_t size() const { return spans_.size(); }
+    std::size_t size() const;
 
     /** Spans still open. */
-    std::size_t openCount() const { return openCount_; }
+    std::size_t openCount() const;
 
     /** Root span of a request (NoSpan when never traced). */
     SpanId rootOf(os::RequestId request) const;
@@ -183,11 +208,15 @@ class SpanCollector
     void addSpan(const Span &span);
 
   private:
-    Span &mutableSpan(SpanId id);
+    bool validLocked(SpanId id) const PCON_REQUIRES(mu_);
+    const Span &spanLocked(SpanId id) const PCON_REQUIRES(mu_);
+    Span &mutableSpan(SpanId id) PCON_REQUIRES(mu_);
+    std::size_t depthLocked(SpanId id) const PCON_REQUIRES(mu_);
 
-    std::vector<Span> spans_;
-    std::map<os::RequestId, SpanId> roots_;
-    std::size_t openCount_ = 0;
+    mutable util::Mutex mu_;
+    std::vector<Span> spans_ PCON_GUARDED_BY(mu_);
+    std::map<os::RequestId, SpanId> roots_ PCON_GUARDED_BY(mu_);
+    std::size_t openCount_ PCON_GUARDED_BY(mu_) = 0;
 };
 
 } // namespace trace

@@ -2,24 +2,25 @@
 
 #include <iostream>
 
+#include "util/sync.h"
+
 namespace pcon {
 namespace util {
 
 namespace {
 
-LogLevel &
-thresholdStorage()
-{
-    static LogLevel threshold = LogLevel::Warn;
-    return threshold;
-}
+/**
+ * Process-wide logging state. Every shard logs through these, so the
+ * threshold and the per-severity tallies live behind one mutex; the
+ * emission itself stays inside the critical section so concurrent
+ * messages cannot interleave mid-line on stderr.
+ */
+// pcon-lint: allow(shared-state) the log mutex itself; all state it guards is PCON_GUARDED_BY-annotated below
+Mutex gLogMutex;
 
-LogCounts &
-countsStorage()
-{
-    static LogCounts counts;
-    return counts;
-}
+LogLevel gThreshold PCON_GUARDED_BY(gLogMutex) = LogLevel::Warn;
+
+LogCounts gCounts PCON_GUARDED_BY(gLogMutex);
 
 const char *
 levelName(LogLevel level)
@@ -38,38 +39,42 @@ levelName(LogLevel level)
 LogLevel
 logThreshold()
 {
-    return thresholdStorage();
+    LockGuard lock(gLogMutex);
+    return gThreshold;
 }
 
 void
 setLogThreshold(LogLevel level)
 {
-    thresholdStorage() = level;
+    LockGuard lock(gLogMutex);
+    gThreshold = level;
 }
 
-const LogCounts &
+LogCounts
 logCounts()
 {
-    return countsStorage();
+    LockGuard lock(gLogMutex);
+    return gCounts;
 }
 
 void
 resetLogCounts()
 {
-    countsStorage() = LogCounts{};
+    LockGuard lock(gLogMutex);
+    gCounts = LogCounts{};
 }
 
 void
 logMessage(LogLevel level, const std::string &msg)
 {
-    LogCounts &counts = countsStorage();
+    LockGuard lock(gLogMutex);
     switch (level) {
-      case LogLevel::Debug: ++counts.debug; break;
-      case LogLevel::Info: ++counts.info; break;
-      case LogLevel::Warn: ++counts.warn; break;
-      case LogLevel::Error: ++counts.error; break;
+      case LogLevel::Debug: ++gCounts.debug; break;
+      case LogLevel::Info: ++gCounts.info; break;
+      case LogLevel::Warn: ++gCounts.warn; break;
+      case LogLevel::Error: ++gCounts.error; break;
     }
-    if (static_cast<int>(level) < static_cast<int>(thresholdStorage()))
+    if (static_cast<int>(level) < static_cast<int>(gThreshold))
         return;
     std::cerr << "[" << levelName(level) << "] " << msg << "\n";
 }

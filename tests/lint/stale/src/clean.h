@@ -1,0 +1,14 @@
+// Fixture: a suppression with nothing to suppress. The plain scan
+// is clean (the marker is only a note); --strict turns it into a
+// failure so dead exemptions cannot accumulate.
+#ifndef FIXTURE_CLEAN_H
+#define FIXTURE_CLEAN_H
+
+namespace fx {
+
+// pcon-lint: allow(concurrency-primitives)
+constexpr int kNoPrimitiveHere = 1;
+
+} // namespace fx
+
+#endif // FIXTURE_CLEAN_H

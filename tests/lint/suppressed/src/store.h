@@ -1,0 +1,35 @@
+// Fixture: the same hazards as violation/, each silenced the
+// documented way — the scan must be clean even under --strict
+// (every marker below suppresses something, so none is stale).
+#ifndef FIXTURE_STORE_H
+#define FIXTURE_STORE_H
+
+#include <atomic>
+
+#include "util/sync.h"
+
+namespace fx {
+
+// pcon-lint: allow(shared-state) fixture: pretend this is guarded
+int gTally = 0;
+
+// One marker naming two rules: the raw atomic trips
+// concurrency-primitives, the mutable global trips shared-state.
+// pcon-lint: allow(concurrency-primitives, shared-state) fixture: relaxed tally
+std::atomic<int> gFast{0};
+
+class Store
+{
+  public:
+    void put(int v);
+
+  private:
+    util::Mutex mu_;
+    // pcon-lint: shard-local(fixture: wiring-phase only)
+    int cache_ = 0;
+    int guarded_ PCON_GUARDED_BY(mu_) = 0;
+};
+
+} // namespace fx
+
+#endif // FIXTURE_STORE_H

@@ -1,0 +1,10 @@
+// Fixture: contains no class at all; shared_types.toml still lists
+// one, so the guarded-members rule must fail on the rotten entry.
+#ifndef FIXTURE_EMPTY_H
+#define FIXTURE_EMPTY_H
+
+namespace fx {
+constexpr int kNothingHere = 1;
+} // namespace fx
+
+#endif // FIXTURE_EMPTY_H

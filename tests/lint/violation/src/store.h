@@ -1,0 +1,27 @@
+// Fixture: every concurrency rule must fire on this tree.
+#ifndef FIXTURE_STORE_H
+#define FIXTURE_STORE_H
+
+#include <mutex>
+
+namespace fx {
+
+// shared-state: mutable namespace-scope variable, no justification.
+int gTally = 0;
+
+// guarded-members: Store is listed in shared_types.toml but cache_
+// is neither PCON_GUARDED_BY nor marked shard-local.
+class Store
+{
+  public:
+    void put(int v);
+
+  private:
+    // concurrency-primitives: raw std::mutex outside util/sync.h.
+    std::mutex mu_;
+    int cache_ = 0;
+};
+
+} // namespace fx
+
+#endif // FIXTURE_STORE_H

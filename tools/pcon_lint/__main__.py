@@ -2,18 +2,28 @@
 
 Usage:
   python3 tools/pcon_lint [--root REPO] [--rules a,b] [--json]
-                          [--selftest] [--list-rules]
+                          [--selftest] [--list-rules] [--strict]
+                          [--shared-types FILE]
 
 Runs the project's static-analysis rules (layering, units,
-hook-order, determinism) over the repository and reports findings as
+hook-order, determinism, concurrency-primitives, shared-state,
+guarded-members) over the repository and reports findings as
 ``path:line: [rule] message`` lines, or as a JSON document with
 ``--json`` (used by CI to upload an artifact). ``--selftest`` first
-exercises every selected rule against its embedded synthetic
+exercises the shared engine (comment/string/raw-string blanking, the
+scope scanner) and every selected rule against its embedded synthetic
 violations — proving each rule still fails where it must — and then
 scans the real tree.
 
-Exits 0 when clean, 1 with findings or selftest failures, 2 on usage
-errors. See docs/STATIC_ANALYSIS.md for the rule catalogue and the
+Suppressions that no longer silence anything are reported as *stale*;
+``--strict`` (the CI mode) turns them into failures so dead
+exemptions cannot accumulate. ``--shared-types`` points the
+guarded-members rule at an alternate type list (used by the fixture
+tests).
+
+Exits 0 when clean, 1 with findings, selftest failures, or (under
+--strict) stale suppressions, 2 on usage errors. See
+docs/STATIC_ANALYSIS.md for the rule catalogue and the
 ``// pcon-lint: allow(<rule>)`` suppression syntax.
 """
 
@@ -23,19 +33,32 @@ import sys
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 
-from engine import Project, report_human, report_json, run_rules
+from cpp_scan import scan_selftest
+from engine import (
+    Project,
+    engine_selftest,
+    report_human,
+    report_json,
+    run_rules_with_stale,
+)
+from rules_concurrency import ConcurrencyPrimitivesRule
 from rules_determinism import DeterminismRule
+from rules_guarded_members import GuardedMembersRule
 from rules_hook_order import HookOrderRule
 from rules_layering import LayeringRule
+from rules_shared_state import SharedStateRule
 from rules_units import UnitsRule
 
 
-def default_rules():
+def default_rules(shared_types_path=None):
     return [
         LayeringRule(),
         UnitsRule(),
         HookOrderRule(),
         DeterminismRule(),
+        ConcurrencyPrimitivesRule(),
+        SharedStateRule(),
+        GuardedMembersRule(shared_types_path=shared_types_path),
     ]
 
 
@@ -64,8 +87,22 @@ def main(argv=None):
     parser.add_argument(
         "--selftest",
         action="store_true",
-        help="run each selected rule's embedded synthetic-violation "
-        "fixtures before scanning the tree",
+        help="run the engine/scanner selftests and each selected "
+        "rule's embedded synthetic-violation fixtures before "
+        "scanning the tree",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail (exit 1) on stale suppressions — allow() or "
+        "legacy markers that no longer silence any finding",
+    )
+    parser.add_argument(
+        "--shared-types",
+        default=None,
+        metavar="FILE",
+        help="alternate shared_types.toml for the guarded-members "
+        "rule (default: tools/pcon_lint/shared_types.toml)",
     )
     parser.add_argument(
         "--list-rules",
@@ -74,7 +111,7 @@ def main(argv=None):
     )
     args = parser.parse_args(argv)
 
-    rules = default_rules()
+    rules = default_rules(shared_types_path=args.shared_types)
     if args.rules != "all":
         wanted = {r.strip() for r in args.rules.split(",")}
         known = {r.name for r in rules}
@@ -88,11 +125,11 @@ def main(argv=None):
 
     if args.list_rules:
         for rule in rules:
-            print(f"{rule.name:12s} {rule.description}")
+            print(f"{rule.name:24s} {rule.description}")
         return 0
 
     if args.selftest:
-        failures = []
+        failures = engine_selftest() + scan_selftest()
         for rule in rules:
             failures.extend(rule.selftest())
         if failures:
@@ -100,7 +137,7 @@ def main(argv=None):
                 sys.stderr.write(f"selftest FAILED: {failure}\n")
             return 1
         sys.stderr.write(
-            f"selftest passed for: "
+            f"selftest passed for: engine, scanner, "
             f"{', '.join(r.name for r in rules)}\n"
         )
 
@@ -111,12 +148,13 @@ def main(argv=None):
         sys.stderr.write(f"pcon-lint: {err}\n")
         return 2
 
-    findings, suppressions = run_rules(project, rules)
-    if args.json:
-        report_json(rules, project, findings, suppressions)
-    else:
-        report_human(rules, project, findings, suppressions)
-    return 1 if findings else 0
+    findings, suppressions, stale = run_rules_with_stale(
+        project, rules
+    )
+    report = report_json if args.json else report_human
+    report(rules, project, findings, suppressions,
+           stale=stale, strict=args.strict)
+    return 1 if findings or (args.strict and stale) else 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,202 @@
+"""Lightweight C++ scope/statement scanner for pcon-lint rules.
+
+Walks a comment/string-blanked translation unit tracking the brace
+nesting and classifying every scope as ``namespace``, ``class``
+(class/struct/union/enum bodies), or ``block`` (function bodies,
+control flow, lambdas, ...). Statements — ``;``-terminated runs of
+text, with brace-initializers kept inline — are yielded with their
+enclosing scope, the scope's name path, and the 1-based line the
+statement starts on.
+
+This is a heuristic scanner, not a parser: it is precise enough for
+declaration-shaped checks (namespace-scope variables, class member
+lists) on this codebase's style, and rules built on it accept an
+``allow()`` escape hatch for the cases it gets wrong.
+"""
+
+import re
+
+#: Statement openers that always introduce a plain block.
+BLOCK_KEYWORDS = ("if", "else", "for", "while", "do", "switch", "try",
+                  "catch")
+
+CLASS_NAME_RE = re.compile(
+    r"\b(?:class|struct|union)\s+"
+    r"(?:alignas\s*\([^)]*\)\s*)?"
+    r"(?:[A-Z_][A-Z0-9_]*\s*\([^)]*\)\s*)?"  # attribute macro(...)
+    r"([A-Za-z_]\w*)"
+)
+NAMESPACE_NAME_RE = re.compile(r"\bnamespace\s+([A-Za-z_][\w:]*)")
+
+
+class Statement:
+    """One scanned statement."""
+
+    __slots__ = ("scope", "path", "line", "text")
+
+    def __init__(self, scope, path, line, text):
+        self.scope = scope  # 'namespace' | 'class' | 'block'
+        self.path = path  # tuple of enclosing scope names
+        self.line = line  # 1-based first line
+        self.text = text  # single-spaced statement text, no ';'
+
+
+def _classify_open(stmt):
+    """What kind of scope does a '{' ending ``stmt`` open?
+
+    Returns ('namespace'|'class'|'block', name) for a real scope, or
+    None when the brace is an initializer that stays inside the
+    statement (aggregate/brace init).
+    """
+    s = stmt.strip()
+    if not s:
+        return ("block", "")  # bare compound statement
+    first = re.match(r"[A-Za-z_]\w*", s)
+    head = first.group(0) if first else ""
+    if head == "namespace" or s.startswith('extern "') or (
+        s.startswith("extern") and "(" not in s and "=" not in s
+    ):
+        m = NAMESPACE_NAME_RE.search(s)
+        return ("namespace", m.group(1) if m else "<anonymous>")
+    if re.search(r"\benum\b", s) and "=" not in s:
+        return ("class", "")
+    m = CLASS_NAME_RE.search(s)
+    if m and "=" not in s and "(" not in s[: m.start()]:
+        # 'class X {', 'struct X : Base {'. A '(' before the keyword
+        # would mean a function returning a class type — a block.
+        return ("class", m.group(1))
+    if head in BLOCK_KEYWORDS or s.endswith(")") or "(" in s:
+        # control flow, function definitions, lambdas-in-calls
+        return ("block", "")
+    if s.endswith("=") or s.endswith(",") or s.endswith("{"):
+        return None  # '= {', nested init list
+    if re.search(r"[A-Za-z_]\w*\s*$", s) and " " in s:
+        # 'Type name{...}' brace-init of a variable: no parens, no
+        # class keyword, identifier right before the brace.
+        return None
+    return ("block", "")
+
+
+def _strip_preprocessor(text):
+    """Blank preprocessor directives (and their continuation lines):
+    they are line-oriented, never ';'-terminated, and would otherwise
+    glue themselves onto the next real statement."""
+    out = []
+    continuing = False
+    for line in text.split("\n"):
+        directive = continuing or line.lstrip().startswith("#")
+        continuing = directive and line.rstrip().endswith("\\")
+        out.append(" " * len(line) if directive else line)
+    return "\n".join(out)
+
+
+def scan_statements(blanked_text):
+    """Yield Statement objects for a blanked translation unit."""
+    blanked_text = _strip_preprocessor(blanked_text)
+    scope_stack = [("namespace", "<file>")]
+    stmt = []
+    stmt_line = 1
+    line = 1
+    init_depth = 0  # >0 while inside an initializer brace
+    out = []
+    for c in blanked_text:
+        if c == "\n":
+            line += 1
+        if init_depth > 0:
+            stmt.append(c)
+            if c == "{":
+                init_depth += 1
+            elif c == "}":
+                init_depth -= 1
+            continue
+        if c == "{":
+            opened = _classify_open("".join(stmt))
+            if opened is None:
+                init_depth = 1
+                stmt.append(c)
+                continue
+            scope_stack.append(opened)
+            stmt = []
+            stmt_line = line
+            continue
+        if c == "}":
+            if len(scope_stack) > 1:
+                scope_stack.pop()
+            stmt = []
+            stmt_line = line
+            continue
+        if c == ":" and "".join(stmt).strip() in (
+            "public", "private", "protected"
+        ):
+            stmt = []  # access label: a boundary, not a statement
+            stmt_line = line
+            continue
+        if c == ";":
+            text = " ".join("".join(stmt).split())
+            if text:
+                kind, _ = scope_stack[-1]
+                path = tuple(
+                    name for k, name in scope_stack[1:] if name
+                )
+                out.append(Statement(kind, path, stmt_line, text))
+            stmt = []
+            stmt_line = line
+            continue
+        if not stmt and c in " \t\n":
+            stmt_line = line if c != "\n" else line
+            continue
+        if not stmt:
+            stmt_line = line
+        stmt.append(c)
+    return out
+
+
+def enclosing_class(statement):
+    """Innermost class name a class-scope statement belongs to."""
+    return statement.path[-1] if statement.path else ""
+
+
+def scan_selftest():
+    """Exercise the scanner; returns a list of error strings."""
+    errors = []
+    src = (
+        "namespace outer {\n"
+        "namespace {\n"
+        "int gShared = 0;\n"
+        "}\n"
+        'class PCON_CAPABILITY("x") Guarded {\n'
+        "  public:\n"
+        "    void lock();\n"
+        "  private:\n"
+        "    int value_ = 0;\n"
+        "};\n"
+        "void work() {\n"
+        "    static int calls = 0;\n"
+        "    int local = 0;\n"
+        "    if (local) { calls += local; }\n"
+        "}\n"
+        "Config gConfig = {1, 2};\n"
+        "}\n"
+    )
+    stmts = scan_statements(src)
+    by_text = {s.text: s for s in stmts}
+    g = by_text.get("int gShared = 0")
+    if g is None or g.scope != "namespace":
+        errors.append("scan selftest: missed namespace-scope gShared")
+    member = by_text.get("int value_ = 0")
+    if member is None or member.scope != "class":
+        errors.append("scan selftest: missed class member value_")
+    elif enclosing_class(member) != "Guarded":
+        errors.append(
+            f"scan selftest: member attributed to "
+            f"'{enclosing_class(member)}', want 'Guarded'"
+        )
+    local = by_text.get("static int calls = 0")
+    if local is None or local.scope != "block":
+        errors.append("scan selftest: missed static local 'calls'")
+    cfg = by_text.get("Config gConfig = {1, 2}")
+    if cfg is None or cfg.scope != "namespace":
+        errors.append(
+            "scan selftest: aggregate-initialized global mishandled"
+        )
+    return errors

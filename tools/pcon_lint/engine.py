@@ -4,12 +4,14 @@ A rule is a class with a stable name, a scope (directories it scans,
 relative to the repository root), and a ``run(project)`` method that
 returns Finding objects. The engine owns everything shared between
 rules: file discovery, comment/string blanking, suppression comments,
-and the human/JSON reports.
+stale-suppression detection, and the human/JSON reports.
 
 Suppression: append ``// pcon-lint: allow(<rule>)`` to the offending
 line or the line directly above it. Rules may additionally honour
 their own legacy suppression markers (the determinism rule accepts
-``NOLINT-DETERMINISM(reason)``).
+``NOLINT-DETERMINISM(reason)``). A suppression that no longer
+silences any finding is reported as *stale* so exemptions cannot rot;
+``--strict`` turns stale suppressions into failures.
 """
 
 import dataclasses
@@ -21,6 +23,10 @@ import sys
 SOURCE_SUFFIXES = {".h", ".hh", ".hpp", ".cc", ".cpp", ".cxx"}
 
 ALLOW_RE = re.compile(r"pcon-lint:\s*allow\(([a-z0-9_,\- ]+)\)")
+
+# A C++ raw string literal opener: optional encoding prefix, R, quote,
+# then a delimiter of at most 16 non-special characters before '('.
+RAW_STRING_PREFIXES = ("u8R", "uR", "UR", "LR", "R")
 
 
 @dataclasses.dataclass
@@ -52,9 +58,54 @@ class Suppression:
         )
 
 
+@dataclasses.dataclass
+class StaleSuppression:
+    """An allow()/legacy marker that silenced nothing this run."""
+
+    rule: str
+    path: str
+    line: int  # 1-based line of the marker itself
+
+    def render(self):
+        return (
+            f"{self.path}:{self.line}: [stale-suppression] "
+            f"'{self.rule}' suppression no longer matches any "
+            f"finding; delete it (suppressions must not rot)"
+        )
+
+
+def _raw_string_start(text, i):
+    """If a raw string literal's opening quote sits at ``i``, return
+    the index just past its opening ``(`` sequence's delimiter — i.e.
+    (delimiter, content_start) — else None. ``text[i]`` must be '"'."""
+    for prefix in RAW_STRING_PREFIXES:
+        start = i - len(prefix)
+        if start < 0 or text[start:i] != prefix:
+            continue
+        before = text[start - 1] if start > 0 else ""
+        if before.isalnum() or before == "_":
+            continue  # identifier ending in R (e.g. FACTOR"...")
+        j = i + 1
+        delim = []
+        while (
+            j < len(text)
+            and text[j] not in '()\\ \t\n"'
+            and len(delim) <= 16
+        ):
+            delim.append(text[j])
+            j += 1
+        if j < len(text) and text[j] == "(":
+            return "".join(delim), j + 1
+        return None  # R"... without '(' — malformed; scan normally
+    return None
+
+
 def blank_comments_and_strings(text):
     """Replace comment and literal bodies with spaces, preserving
-    line structure so reported line numbers stay meaningful."""
+    line structure so reported line numbers stay meaningful. Handles
+    line/block comments, character literals, ordinary strings with
+    escapes, and raw string literals (``R"delim(...)delim"``) — a
+    ``//`` or ``"`` inside a raw string must not derail the scan."""
     out = []
     i, n = 0, len(text)
     state = "code"  # code | line_comment | block_comment | str | chr
@@ -73,6 +124,19 @@ def blank_comments_and_strings(text):
                 i += 2
                 continue
             if c == '"':
+                raw = _raw_string_start(text, i)
+                if raw is not None:
+                    delim, content = raw
+                    closer = ')' + delim + '"'
+                    end = text.find(closer, content)
+                    if end < 0:
+                        end = n  # unterminated; blank to EOF
+                    else:
+                        end += len(closer)
+                    for k in range(i, end):
+                        out.append("\n" if text[k] == "\n" else " ")
+                    i = end
+                    continue
                 state = "str"
                 out.append(" ")
                 i += 1
@@ -188,9 +252,9 @@ class Rule:
 
     # -- helpers shared by subclasses --------------------------------
 
-    def suppression_reason(self, source, idx):
-        """An allow(<rule>) marker on this or the preceding raw line,
-        or None. ``idx`` is 0-based."""
+    def suppression_at(self, source, idx):
+        """(reason, marker_idx) for an allow(<rule>) marker on this or
+        the preceding raw line, or None. Both indices are 0-based."""
         for look in (idx, idx - 1):
             if 0 <= look < len(source.raw_lines):
                 m = ALLOW_RE.search(source.raw_lines[look])
@@ -199,8 +263,29 @@ class Rule:
                         n.strip() for n in m.group(1).split(",")
                     ]
                     if self.name in names:
-                        return f"pcon-lint: allow({self.name})"
+                        return (
+                            f"pcon-lint: allow({self.name})",
+                            look,
+                        )
         return None
+
+    def suppression_reason(self, source, idx):
+        """An allow(<rule>) marker on this or the preceding raw line,
+        or None. ``idx`` is 0-based."""
+        hit = self.suppression_at(source, idx)
+        return hit[0] if hit else None
+
+    def suppression_markers(self, source):
+        """0-based line indices of every suppression marker naming
+        this rule in the file (for stale detection)."""
+        out = []
+        for idx, line in enumerate(source.raw_lines):
+            m = ALLOW_RE.search(line)
+            if m:
+                names = [n.strip() for n in m.group(1).split(",")]
+                if self.name in names:
+                    out.append(idx)
+        return out
 
     def project_from_texts(self, texts):
         """Build an in-memory Project for selftests.
@@ -213,17 +298,21 @@ class Rule:
         return Project(pathlib.Path("."), files)
 
 
-def split_suppressed(rule, project, findings):
+def split_suppressed(rule, project, findings, used=None):
     """Partition raw findings into (kept, suppressed) using the
-    shared allow() comment convention."""
+    shared allow() comment convention. When ``used`` (a set) is given,
+    record each consumed marker as (path, marker_line_1based)."""
     kept, suppressed = [], []
     by_rel = {f.rel: f for f in project.files}
     for finding in findings:
         source = by_rel.get(finding.path)
-        reason = None
+        hit = None
         if source is not None:
-            reason = rule.suppression_reason(source, finding.line - 1)
-        if reason:
+            hit = rule.suppression_at(source, finding.line - 1)
+        if hit:
+            reason, marker_idx = hit
+            if used is not None:
+                used.add((finding.path, marker_idx + 1))
             suppressed.append(
                 Suppression(
                     finding.rule, finding.path, finding.line, reason
@@ -234,41 +323,78 @@ def split_suppressed(rule, project, findings):
     return kept, suppressed
 
 
-def run_rules(project, rules):
-    """Run every rule; returns (findings, suppressions) sorted by
-    path, line, rule."""
-    findings, suppressions = [], []
+def stale_suppressions(rule, project, used):
+    """Markers naming this rule (within its scope) that silenced
+    nothing. ``used`` holds (path, marker_line_1based) pairs."""
+    stale = []
+    for source in project.files_under(rule.scope):
+        for idx in rule.suppression_markers(source):
+            if (source.rel, idx + 1) not in used:
+                stale.append(
+                    StaleSuppression(rule.name, source.rel, idx + 1)
+                )
+    return stale
+
+
+def run_rules_with_stale(project, rules):
+    """Run every rule; returns (findings, suppressions, stale), each
+    sorted by path, line, rule."""
+    findings, suppressions, stale = [], [], []
     for rule in rules:
         raw = rule.run(project)
-        kept, suppressed = split_suppressed(rule, project, raw)
+        used = set()
+        kept, suppressed = split_suppressed(rule, project, raw, used)
         findings.extend(kept)
         suppressions.extend(suppressed)
+        stale.extend(stale_suppressions(rule, project, used))
     key = lambda f: (f.path, f.line, f.rule)  # noqa: E731
-    return sorted(findings, key=key), sorted(suppressions, key=key)
+    return (
+        sorted(findings, key=key),
+        sorted(suppressions, key=key),
+        sorted(stale, key=lambda s: (s.path, s.line, s.rule)),
+    )
 
 
-def report_human(rules, project, findings, suppressions, out=sys.stdout):
+def run_rules(project, rules):
+    """Run every rule; returns (findings, suppressions) sorted by
+    path, line, rule. Thin wrapper kept for the lint_determinism
+    shim and older callers that do not consume stale markers."""
+    findings, suppressions, _ = run_rules_with_stale(project, rules)
+    return findings, suppressions
+
+
+def report_human(rules, project, findings, suppressions,
+                 out=sys.stdout, stale=(), strict=False):
     for s in suppressions:
         out.write(s.render() + "\n")
+    for s in stale:
+        prefix = "" if strict else "note: "
+        out.write(prefix + s.render() + "\n")
+    failed = bool(findings) or (strict and stale)
     if findings:
         for f in findings:
             out.write(f.render() + "\n")
+    if failed:
         out.write(
-            f"\npcon-lint: {len(findings)} finding(s) from "
+            f"\npcon-lint: {len(findings)} finding(s) and "
+            f"{len(stale)} stale suppression(s) from "
             f"{len(rules)} rule(s) over {len(project.files)} "
             f"file(s). Silence a deliberate use with "
             f"`// pcon-lint: allow(<rule>)` on the offending line "
-            f"or the line above it.\n"
+            f"or the line above it; delete suppressions that no "
+            f"longer fire.\n"
         )
     else:
         names = ", ".join(r.name for r in rules)
         out.write(
             f"pcon-lint: clean ({names}; {len(project.files)} files, "
-            f"{len(suppressions)} suppression(s))\n"
+            f"{len(suppressions)} suppression(s), "
+            f"{len(stale)} stale)\n"
         )
 
 
-def report_json(rules, project, findings, suppressions, out=sys.stdout):
+def report_json(rules, project, findings, suppressions,
+                out=sys.stdout, stale=(), strict=False):
     doc = {
         "tool": "pcon-lint",
         "rules": [
@@ -278,7 +404,95 @@ def report_json(rules, project, findings, suppressions, out=sys.stdout):
         "files_scanned": len(project.files),
         "findings": [dataclasses.asdict(f) for f in findings],
         "suppressions": [dataclasses.asdict(s) for s in suppressions],
-        "clean": not findings,
+        "stale_suppressions": [
+            dataclasses.asdict(s) for s in stale
+        ],
+        "strict": bool(strict),
+        "clean": not findings and not (strict and stale),
     }
     json.dump(doc, out, indent=2, sort_keys=True)
     out.write("\n")
+
+
+def engine_selftest():
+    """Exercise the shared scanner against tricky inputs. Returns a
+    list of error strings; empty means pass."""
+    errors = []
+
+    # Raw string literals: '//' and '"' inside the body must not open
+    # a comment or string state, and line structure must survive.
+    text = (
+        'const char *q = R"(no // comment "quote\n'
+        'still raw)" ;\n'
+        "int after = 1; // real comment\n"
+    )
+    blanked = blank_comments_and_strings(text)
+    lines = blanked.splitlines()
+    if len(lines) != 3:
+        errors.append(
+            f"engine selftest: raw string broke line structure "
+            f"({len(lines)} lines, want 3)"
+        )
+    else:
+        if "//" in lines[0] or "quote" in lines[0]:
+            errors.append(
+                "engine selftest: raw string body leaked into the "
+                "blanked text"
+            )
+        if ";" not in lines[1]:
+            errors.append(
+                "engine selftest: code after the raw string "
+                "terminator was blanked"
+            )
+        if "int after = 1;" not in lines[2]:
+            errors.append(
+                "engine selftest: code after a raw string was "
+                "corrupted"
+            )
+        if "real comment" in lines[2]:
+            errors.append(
+                "engine selftest: comment after a raw string "
+                "survived blanking"
+            )
+
+    # Custom delimiters, encoding prefixes, and an identifier that
+    # merely ends in R (not a raw string prefix).
+    text = (
+        'auto a = u8R"x(body " )x" + 1;\n'
+        'auto b = LR"(multi\n'
+        'line)" ;\n'
+        'int FACTOR = 2; const char *s = "FACTOR";\n'
+    )
+    blanked = blank_comments_and_strings(text)
+    lines = blanked.splitlines()
+    if len(lines) != 4 or "+ 1;" not in lines[0]:
+        errors.append(
+            "engine selftest: custom-delimiter raw string mishandled"
+        )
+    elif ";" not in lines[2]:
+        errors.append(
+            "engine selftest: multi-line raw string terminator missed"
+        )
+    elif "int FACTOR = 2;" not in lines[3] or '"FACTOR"' in lines[3]:
+        errors.append(
+            "engine selftest: identifier ending in R confused the "
+            "raw-string detector"
+        )
+
+    # An unterminated raw string blanks to EOF without crashing.
+    blanked = blank_comments_and_strings('auto c = R"(never ends\nx')
+    if "never" in blanked or "x" in blanked.splitlines()[-1]:
+        errors.append(
+            "engine selftest: unterminated raw string not blanked "
+            "to EOF"
+        )
+
+    # Ordinary escapes still work next to raw strings.
+    blanked = blank_comments_and_strings(
+        'const char *e = "a\\"b"; int live = 3;\n'
+    )
+    if "int live = 3;" not in blanked:
+        errors.append(
+            "engine selftest: escaped quote handling regressed"
+        )
+    return errors

@@ -1,0 +1,144 @@
+"""Concurrency-primitives rule: one synchronization vocabulary.
+
+The shard-safety contract (DESIGN.md) requires every lock and atomic
+in the simulator to carry Clang thread-safety annotations so the
+``-Wthread-safety`` analysis can see it. Raw ``std::mutex``,
+``std::thread``, ``std::atomic``, and ``volatile`` used for
+synchronization are invisible to the analysis, so this rule bans them
+everywhere in ``src/`` except the one annotated wrapper header,
+``src/util/sync.h``. Tests and benches may use raw primitives (the
+stress tests hammer the wrappers *with* ``std::thread`` on purpose).
+
+Suppress a deliberate use with ``// pcon-lint: allow(concurrency-
+primitives)`` on the line or the line above.
+"""
+
+import re
+
+from engine import Finding, Rule
+
+#: The only file allowed to touch raw primitives: it wraps them.
+WRAPPER_HEADER = "src/util/sync.h"
+
+BANNED = [
+    (
+        re.compile(
+            r"std\s*::\s*(?:recursive_|timed_|recursive_timed_|"
+            r"shared_timed_|shared_)?mutex\b"
+        ),
+        "raw standard mutex is invisible to thread-safety analysis; "
+        "use util::Mutex / util::SharedMutex (src/util/sync.h)",
+    ),
+    (
+        re.compile(
+            r"std\s*::\s*(?:lock_guard|unique_lock|scoped_lock|"
+            r"shared_lock)\b"
+        ),
+        "raw standard lock guard carries no acquire/release "
+        "annotations; use util::LockGuard / util::ReadLockGuard / "
+        "util::WriteLockGuard",
+    ),
+    (
+        re.compile(r"std\s*::\s*(?:jthread|thread)\b"),
+        "raw std::thread inside the simulator core; shard execution "
+        "is owned by the engine, components must stay passive",
+    ),
+    (
+        re.compile(r"std\s*::\s*(?:atomic\b|atomic_flag\b|atomic_)"),
+        "raw std::atomic hides its memory-order contract; use "
+        "util::Atomic (relaxed tally semantics) or a guarded member",
+    ),
+    (
+        re.compile(r"std\s*::\s*condition_variable\b"),
+        "condition variables need annotated lock pairing; none is "
+        "wrapped yet — coordinate via the shard barrier instead",
+    ),
+    (
+        re.compile(r"(?<![\w:])volatile\b"),
+        "volatile is not a synchronization primitive; use "
+        "util::Atomic or a guarded member",
+    ),
+]
+
+
+class ConcurrencyPrimitivesRule(Rule):
+    name = "concurrency-primitives"
+    description = (
+        "raw std::mutex/std::thread/std::atomic/volatile are banned "
+        "in src/ outside util/sync.h; use the annotated wrappers"
+    )
+    scope = ("src",)
+
+    def run(self, project):
+        findings = []
+        for source in project.files_under(self.scope):
+            if source.rel == WRAPPER_HEADER:
+                continue
+            for idx, line in enumerate(source.blanked_lines):
+                for regex, why in BANNED:
+                    if regex.search(line):
+                        findings.append(
+                            Finding(
+                                self.name, source.rel, idx + 1, why
+                            )
+                        )
+        return findings
+
+    def selftest(self):
+        errors = []
+        rule = ConcurrencyPrimitivesRule()
+        project = rule.project_from_texts(
+            {
+                "src/core/bad.cc": (
+                    "#include <mutex>\n"
+                    "std::mutex m;\n"
+                    "std::lock_guard<std::mutex> g(m);\n"
+                    "std::atomic<int> n{0};\n"
+                    "volatile int flag = 0;\n"
+                    "std::thread worker;\n"
+                ),
+                "src/core/suppressed.cc": (
+                    "// pcon-lint: allow(concurrency-primitives)\n"
+                    "std::atomic_flag once;\n"
+                ),
+                "src/util/sync.h": (
+                    "#include <mutex>\n"
+                    "class Mutex { std::mutex m_; };\n"
+                ),
+                "src/core/clean.cc": (
+                    '#include "util/sync.h"\n'
+                    "util::Mutex mu;\n"
+                    "util::Atomic<int> count;\n"
+                    "// a comment saying std::mutex is fine here\n"
+                    'const char *s = "std::thread in a string";\n'
+                ),
+            }
+        )
+        from engine import run_rules_with_stale
+
+        kept, suppressed, stale = run_rules_with_stale(
+            project, [rule]
+        )
+        bad = [f for f in kept if f.path == "src/core/bad.cc"]
+        # line 3 carries two hits (lock_guard + the mutex type arg)
+        if sorted({f.line for f in bad}) != [2, 3, 4, 5, 6]:
+            errors.append(
+                f"concurrency selftest: expected hits on bad.cc "
+                f"lines 2-6, got {[f.render() for f in bad]}"
+            )
+        if any(f.path != "src/core/bad.cc" for f in kept):
+            errors.append(
+                f"concurrency selftest: false positive(s): "
+                f"{[f.render() for f in kept if f.path != 'src/core/bad.cc']}"
+            )
+        if [s.path for s in suppressed] != ["src/core/suppressed.cc"]:
+            errors.append(
+                "concurrency selftest: allow() comment did not "
+                "suppress"
+            )
+        if stale:
+            errors.append(
+                f"concurrency selftest: spurious stale report: "
+                f"{[s.render() for s in stale]}"
+            )
+        return errors

@@ -174,15 +174,24 @@ class DeterminismRule(Rule):
                     )
         return findings
 
-    def suppression_reason(self, source, idx):
+    def suppression_at(self, source, idx):
         """Accept the legacy NOLINT-DETERMINISM(reason) marker in
         addition to the framework-wide allow(determinism)."""
         for look in (idx, idx - 1):
             if 0 <= look < len(source.raw_lines):
                 m = LEGACY_SUPPRESS_RE.search(source.raw_lines[look])
                 if m:
-                    return m.group(1).strip()
-        return super().suppression_reason(source, idx)
+                    return m.group(1).strip(), look
+        return super().suppression_at(source, idx)
+
+    def suppression_markers(self, source):
+        """Legacy NOLINT-DETERMINISM markers are also subject to
+        stale detection, so retired exemptions cannot linger."""
+        out = set(super().suppression_markers(source))
+        for idx, line in enumerate(source.raw_lines):
+            if LEGACY_SUPPRESS_RE.search(line):
+                out.add(idx)
+        return sorted(out)
 
     def selftest(self):
         errors = []
@@ -200,17 +209,15 @@ class DeterminismRule(Rule):
                     'reg.counter("Bad Name");\n'
                     'reg.counter("good.name");\n'
                 ),
+                "src/core/stale.cc": (
+                    "// NOLINT-DETERMINISM(no longer needed)\n"
+                    "int fine = 0;\n"
+                ),
             }
         )
-        raw = rule.run(project)
-        by_rel = {f.rel: f for f in project.files}
-        kept = [
-            f
-            for f in raw
-            if not rule.suppression_reason(
-                by_rel[f.path], f.line - 1
-            )
-        ]
+        from engine import run_rules_with_stale
+
+        kept, _, stale = run_rules_with_stale(project, [rule])
         got = sorted((f.path, f.line) for f in kept)
         want = [
             ("src/core/metrics.cc", 1),
@@ -221,5 +228,12 @@ class DeterminismRule(Rule):
             errors.append(
                 f"determinism selftest: expected findings at "
                 f"{want}, got {[f.render() for f in kept]}"
+            )
+        got_stale = [(s.path, s.line) for s in stale]
+        if got_stale != [("src/core/stale.cc", 1)]:
+            errors.append(
+                f"determinism selftest: expected one stale legacy "
+                f"suppression at src/core/stale.cc:1, got "
+                f"{got_stale}"
             )
         return errors

@@ -1,0 +1,255 @@
+"""Guarded-members rule: shared types must annotate every member.
+
+``shared_types.toml`` names the types that cross shard boundaries
+(the registry, the span collector, the event queue, ...). For each
+one, every mutable data member must either
+
+  * carry ``PCON_GUARDED_BY(<mutex>)`` / ``PCON_PT_GUARDED_BY``, so
+    Clang's thread-safety analysis enforces its lock, or
+  * be explicitly marked ``// pcon-lint: shard-local(<reason>)`` on
+    its line or the line above — an auditable claim that no
+    cross-shard access exists (e.g. wiring-phase state written only
+    while the harness is single-threaded).
+
+``util::Mutex`` / ``util::SharedMutex`` / ``util::Atomic`` members
+and ``const`` / ``constexpr`` members are safe by construction and
+exempt. A type listed in the TOML that cannot be found in its
+declared header is itself an error: the work list must not rot.
+"""
+
+import pathlib
+import re
+import tomllib
+
+from cpp_scan import enclosing_class, scan_statements
+from engine import Finding, Rule
+
+DEFAULT_SHARED_TYPES = (
+    pathlib.Path(__file__).resolve().parent / "shared_types.toml"
+)
+
+GUARDED_RE = re.compile(r"\bPCON(?:_PT)?_GUARDED_BY\s*\([^)]*\)")
+SHARD_LOCAL_RE = re.compile(r"pcon-lint:\s*shard-local\(([^)]+)\)")
+ACCESS_LABEL_RE = re.compile(
+    r"^(?:(?:public|private|protected)\s*:\s*)+"
+)
+SAFE_TYPE_RE = re.compile(r"\b(?:Mutex|SharedMutex|Atomic)\b")
+MEMBER_NAME_RE = re.compile(
+    r"([A-Za-z_]\w*)\s*(?:=[^;]*|\{.*\})?$"
+)
+NON_MEMBER_HEADS = {
+    "using", "typedef", "friend", "template", "static_assert",
+    "enum", "class", "struct", "union", "operator", "explicit",
+    "virtual", "return",
+}
+
+
+def load_shared_types(path):
+    """Parse shared_types.toml → ({name: header}, {name: line})."""
+    text = pathlib.Path(path).read_text(encoding="utf-8")
+    doc = tomllib.loads(text)
+    types = doc.get("types", {})
+    if not isinstance(types, dict) or not types:
+        raise ValueError(
+            f"{path}: expected a non-empty [types] table mapping "
+            f"type names to their defining headers"
+        )
+    lines = {}
+    for idx, line in enumerate(text.splitlines()):
+        m = re.match(r"\s*([A-Za-z_]\w*)\s*=", line)
+        if m and m.group(1) in types:
+            lines.setdefault(m.group(1), idx + 1)
+    return types, lines
+
+
+def member_name(text):
+    """Declared member name if the statement is a data member."""
+    text = ACCESS_LABEL_RE.sub("", text).strip()
+    head = re.match(r"[A-Za-z_]\w*", text)
+    if not head or head.group(0) in NON_MEMBER_HEADS:
+        return None
+    stripped = GUARDED_RE.sub("", text).strip()
+    if "(" in stripped:
+        return None  # function declaration (or paren-init: skipped)
+    if re.search(r"\b(?:const|constexpr)\b", stripped):
+        return None  # immutable member
+    if SAFE_TYPE_RE.search(stripped):
+        return None  # annotated wrapper type, safe by construction
+    m = MEMBER_NAME_RE.search(stripped)
+    if not m or " " not in stripped:
+        return None  # no 'Type name' shape
+    return m.group(1)
+
+
+class GuardedMembersRule(Rule):
+    name = "guarded-members"
+    description = (
+        "every mutable member of a type in shared_types.toml must be "
+        "PCON_GUARDED_BY(...) or marked shard-local(<reason>)"
+    )
+    scope = ("src",)
+
+    def __init__(self, shared_types_path=None, shared_types=None):
+        self.shared_types_path = str(
+            shared_types_path or DEFAULT_SHARED_TYPES
+        )
+        self._inline_types = shared_types  # selftests inject a dict
+
+    def _load(self):
+        if self._inline_types is not None:
+            return dict(self._inline_types), {}
+        return load_shared_types(self.shared_types_path)
+
+    def _toml_rel(self, project):
+        p = pathlib.Path(self.shared_types_path).resolve()
+        try:
+            return p.relative_to(project.root.resolve()).as_posix()
+        except ValueError:
+            return p.as_posix()
+
+    def _shard_local_reason(self, source, stmt):
+        """shard-local(reason) on the statement's first line or the
+        line directly above it (same placement as allow())."""
+        first = stmt.line - 1
+        for idx in (first - 1, first):
+            if 0 <= idx < len(source.raw_lines):
+                m = SHARD_LOCAL_RE.search(source.raw_lines[idx])
+                if m and m.group(1).strip():
+                    return m.group(1).strip()
+        return None
+
+    def run(self, project):
+        try:
+            types, toml_lines = self._load()
+        except (OSError, ValueError, tomllib.TOMLDecodeError) as err:
+            return [
+                Finding(
+                    self.name,
+                    self._toml_rel(project),
+                    1,
+                    f"cannot load shared-types list: {err}",
+                )
+            ]
+        findings = []
+        by_rel = {f.rel: f for f in project.files}
+        found_types = set()
+        for source in project.files:
+            wanted = {
+                t for t, header in types.items()
+                if header == source.rel
+            }
+            if not wanted:
+                continue
+            for stmt in scan_statements(source.blanked):
+                if stmt.scope != "class":
+                    continue
+                cls = enclosing_class(stmt)
+                if cls not in wanted:
+                    continue
+                found_types.add(cls)
+                if GUARDED_RE.search(stmt.text):
+                    continue  # annotated: the analysis owns it now
+                name = member_name(stmt.text)
+                if name is None:
+                    continue
+                if self._shard_local_reason(source, stmt):
+                    continue
+                findings.append(
+                    Finding(
+                        self.name,
+                        source.rel,
+                        stmt.line,
+                        f"mutable member '{name}' of shared type "
+                        f"'{cls}' is neither PCON_GUARDED_BY(...) "
+                        f"nor marked '// pcon-lint: "
+                        f"shard-local(<reason>)'",
+                    )
+                )
+        for t in sorted(set(types) - found_types):
+            header = types[t]
+            why = (
+                f"not a scanned file"
+                if header not in by_rel
+                else f"no class/struct '{t}' with members found there"
+            )
+            findings.append(
+                Finding(
+                    self.name,
+                    self._toml_rel(project),
+                    toml_lines.get(t, 1),
+                    f"shared type '{t}' not found in its declared "
+                    f"header '{header}' ({why}); fix or remove the "
+                    f"entry — the work list must not rot",
+                )
+            )
+        return findings
+
+    def selftest(self):
+        errors = []
+        header = (
+            "namespace pcon {\n"
+            "class Store {\n"
+            "  public:\n"
+            "    void put(int v);\n"
+            "    int get() const { return cache_; }\n"
+            "  private:\n"
+            "    mutable util::Mutex mu_;\n"
+            "    std::vector<int> items_ PCON_GUARDED_BY(mu_);\n"
+            "    int cache_ = 0;\n"
+            "    util::Atomic<int> hits_;\n"
+            "    static constexpr int kMax = 8;\n"
+            "    // pcon-lint: shard-local(wiring-phase only)\n"
+            "    Config *config_ = nullptr;\n"
+            "};\n"
+            "class Unlisted { int free_ = 0; };\n"
+            "} // namespace pcon\n"
+        )
+        rule = GuardedMembersRule(
+            shared_types={"Store": "src/core/store.h"}
+        )
+        project = rule.project_from_texts(
+            {"src/core/store.h": header}
+        )
+        from engine import run_rules_with_stale
+
+        kept, _, _ = run_rules_with_stale(project, [rule])
+        got = sorted((f.path, f.line) for f in kept)
+        if got != [("src/core/store.h", 9)]:  # cache_ only
+            errors.append(
+                f"guarded-members selftest: expected exactly the "
+                f"unguarded 'cache_' member at store.h:9, got "
+                f"{[f.render() for f in kept]}"
+            )
+
+        # Suppression: the framework-wide allow() comment works too.
+        suppressed_header = header.replace(
+            "    int cache_ = 0;\n",
+            "    // pcon-lint: allow(guarded-members)\n"
+            "    int cache_ = 0;\n",
+        )
+        project = rule.project_from_texts(
+            {"src/core/store.h": suppressed_header}
+        )
+        kept, suppressed, _ = run_rules_with_stale(project, [rule])
+        if kept or len(suppressed) != 1:
+            errors.append(
+                f"guarded-members selftest: allow() comment did not "
+                f"suppress cache_: kept="
+                f"{[f.render() for f in kept]}"
+            )
+
+        # Unknown type: a listed name missing from its header must
+        # itself be reported so the TOML cannot rot.
+        rule = GuardedMembersRule(
+            shared_types={"Ghost": "src/core/store.h"}
+        )
+        project = rule.project_from_texts(
+            {"src/core/store.h": header}
+        )
+        kept, _, _ = run_rules_with_stale(project, [rule])
+        if len(kept) != 1 or "Ghost" not in kept[0].message:
+            errors.append(
+                f"guarded-members selftest: missing unknown-type "
+                f"error, got {[f.render() for f in kept]}"
+            )
+        return errors
