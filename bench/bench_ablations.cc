@@ -15,6 +15,7 @@
 #include <memory>
 
 #include "bench_util.h"
+#include "pcon_bench.h"
 #include "core/conditioning.h"
 #include "core/profiles.h"
 #include "workloads/apps.h"
@@ -305,8 +306,8 @@ runActuator(core::Actuator actuator, double target_w)
 
 } // namespace
 
-int
-main()
+static int
+runScenario()
 {
     bench::header("Ablations of power-container design choices");
 
@@ -383,4 +384,10 @@ main()
                {bench::pct(dvfs.busyGcycles / duty.busyGcycles -
                            1.0)});
     return 0;
+}
+
+int
+main()
+{
+    return pcon::bench::scenarioMain("ablations", runScenario);
 }

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "pcon_bench.h"
 #include "os/kernel.h"
 #include "workloads/experiment.h"
 
@@ -73,8 +74,8 @@ runMachine(const hw::MachineConfig &cfg, bench::CsvSink &csv)
 
 } // namespace
 
-int
-main()
+static int
+runScenario()
 {
     bench::header("Figure 1: incremental per-core power (Watts)",
                   "CPU-spin microbenchmark; increments of measured "
@@ -89,4 +90,10 @@ main()
                 "shared chip maintenance power switches on with the "
                 "first core of each\nsocket.\n");
     return 0;
+}
+
+int
+main()
+{
+    return pcon::bench::scenarioMain("fig01_incremental_power", runScenario);
 }

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "pcon_bench.h"
 #include "core/alignment.h"
 #include "core/recalibration.h"
 #include "os/kernel.h"
@@ -57,8 +58,8 @@ printCurve(const std::vector<double> &corr, long min_delay,
 
 } // namespace
 
-int
-main()
+static int
+runScenario()
 {
     bench::header("Figure 2: alignment cross-correlation",
                   "Workload: GAE-Vosao at half load on SandyBridge");
@@ -146,4 +147,10 @@ main()
                 sim::toMillis(
                     hw::sandyBridgeConfig().wattsupMeter.delay));
     return 0;
+}
+
+int
+main()
+{
+    return pcon::bench::scenarioMain("fig02_alignment_xcorr", runScenario);
 }

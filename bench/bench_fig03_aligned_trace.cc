@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "pcon_bench.h"
 #include "core/alignment.h"
 #include "core/recalibration.h"
 #include "workloads/apps.h"
@@ -25,8 +26,8 @@ using sim::sec;
 
 } // namespace
 
-int
-main()
+static int
+runScenario()
 {
     bench::header("Figure 3: aligned measured vs modeled power trace",
                   "SandyBridge on-chip meter; GAE-Vosao at half load");
@@ -97,4 +98,10 @@ main()
                 "%.2f W (%d samples)\n",
                 count ? sum_abs_err / count : 0.0, count);
     return 0;
+}
+
+int
+main()
+{
+    return pcon::bench::scenarioMain("fig03_aligned_trace", runScenario);
 }

@@ -12,6 +12,7 @@
 #include <memory>
 
 #include "bench_util.h"
+#include "pcon_bench.h"
 #include "workloads/apps.h"
 #include "workloads/client.h"
 #include "workloads/experiment.h"
@@ -44,8 +45,8 @@ measureWorkload(const hw::MachineConfig &cfg, const std::string &name,
 
 } // namespace
 
-int
-main()
+static int
+runScenario()
 {
     bench::header("Figure 5: measured active power (Watts)",
                   "Six workloads x {peak, half} load x three machines");
@@ -65,4 +66,10 @@ main()
         }
     }
     return 0;
+}
+
+int
+main()
+{
+    return pcon::bench::scenarioMain("fig05_workload_power", runScenario);
 }

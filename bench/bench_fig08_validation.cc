@@ -19,6 +19,7 @@
 #include <memory>
 
 #include "bench_util.h"
+#include "pcon_bench.h"
 #include "workloads/apps.h"
 #include "workloads/client.h"
 #include "workloads/experiment.h"
@@ -80,8 +81,8 @@ runValidation(const MachineSetup &setup, const std::string &workload,
 
 } // namespace
 
-int
-main()
+static int
+runScenario()
 {
     bench::header(
         "Figure 8: validation error of aggregate request power",
@@ -123,4 +124,10 @@ main()
     std::printf("\nPaper worst cases: Woodcrest 29/18/8%%, Westmere "
                 "41/35/9%%, SandyBridge 20/13/6%%.\n");
     return 0;
+}
+
+int
+main()
+{
+    return pcon::bench::scenarioMain("fig08_validation", runScenario);
 }

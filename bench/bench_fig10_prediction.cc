@@ -21,6 +21,7 @@
 #include <memory>
 
 #include "bench_util.h"
+#include "pcon_bench.h"
 #include "core/prediction.h"
 #include "workloads/apps.h"
 #include "workloads/client.h"
@@ -158,8 +159,8 @@ runExperiment(const AppExperiment &exp,
 
 } // namespace
 
-int
-main()
+static int
+runScenario()
 {
     bench::header(
         "Figure 10: power prediction at new request compositions",
@@ -184,4 +185,10 @@ main()
                 "CPU-utilization-proportional <= ~19%%;\n"
                 "request-rate-proportional up to ~56%%.\n");
     return 0;
+}
+
+int
+main()
+{
+    return pcon::bench::scenarioMain("fig10_prediction", runScenario);
 }

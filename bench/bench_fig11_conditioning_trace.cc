@@ -12,6 +12,7 @@
  */
 
 #include "bench_util.h"
+#include "pcon_bench.h"
 #include "conditioning_common.h"
 
 namespace {
@@ -43,8 +44,8 @@ printTrace(const bench::ConditioningRun &run, double target_package_w)
 
 } // namespace
 
-int
-main()
+static int
+runScenario()
 {
     double target_package =
         bench::kConditioningTargetW +
@@ -64,4 +65,10 @@ main()
         bench::runConditioningExperiment(true);
     printTrace(conditioned, target_package);
     return 0;
+}
+
+int
+main()
+{
+    return pcon::bench::scenarioMain("fig11_conditioning_trace", runScenario);
 }

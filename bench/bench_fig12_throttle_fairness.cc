@@ -12,11 +12,12 @@
  */
 
 #include "bench_util.h"
+#include "pcon_bench.h"
 #include "conditioning_common.h"
 #include "util/stats.h"
 
-int
-main()
+static int
+runScenario()
 {
     using namespace pcon;
     bench::header(
@@ -74,4 +75,10 @@ main()
                 "viruses ~33%%; indiscriminate\nfull-machine "
                 "throttling would slow every request instead.\n");
     return 0;
+}
+
+int
+main()
+{
+    return pcon::bench::scenarioMain("fig12_throttle_fairness", runScenario);
 }

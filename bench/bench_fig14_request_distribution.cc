@@ -15,6 +15,7 @@
 #include <memory>
 
 #include "bench_util.h"
+#include "pcon_bench.h"
 #include "workloads/cluster.h"
 #include "workloads/microbench.h"
 
@@ -24,8 +25,8 @@ using namespace pcon;
 
 } // namespace
 
-int
-main()
+static int
+runScenario()
 {
     bench::header(
         "Figure 14 + Table 1: request distribution on a "
@@ -109,4 +110,10 @@ main()
                 "balance suffers far\nworse response times because "
                 "it overloads the slower machine.\n");
     return 0;
+}
+
+int
+main()
+{
+    return pcon::bench::scenarioMain("fig14_request_distribution", runScenario);
 }

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Section 3.5 overhead suite under the pcon-bench protocol
+ * (BENCH_overhead.json): the paper's three headline costs —
+ * container maintenance operation, duty-cycle actuation, and NNLS
+ * model recalibration — plus the profiled accounting path with the
+ * OverheadProfiler's perf.* cost counters exported as aux values.
+ * This runs the same scenarios as bench_sec35_overhead (the
+ * google-benchmark build used for the paper comparison) but emits
+ * the machine-readable trajectory format the CI bench-gate consumes.
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/container_manager.h"
+#include "core/power_model.h"
+#include "linalg/least_squares.h"
+#include "linalg/matrix.h"
+#include "os/kernel.h"
+#include "pcon_bench.h"
+#include "sim/rng.h"
+#include "telemetry/overhead.h"
+#include "telemetry/registry.h"
+#include "workloads/experiment.h"
+
+namespace {
+
+using namespace pcon;
+
+std::shared_ptr<core::LinearPowerModel>
+makeModel()
+{
+    auto model = std::make_shared<core::LinearPowerModel>();
+    model->setIdleW(26.1);
+    model->setCoefficient(core::Metric::Core, 8.0);
+    model->setCoefficient(core::Metric::Ins, 1.5);
+    model->setCoefficient(core::Metric::Cache, 70.0);
+    model->setCoefficient(core::Metric::Mem, 205.0);
+    model->setCoefficient(core::Metric::ChipShare, 5.6);
+    return model;
+}
+
+/** One busy pinned task so maintenance samples see real deltas. */
+struct OverheadWorld
+{
+    wl::ServerWorld world;
+    os::RequestId request;
+
+    OverheadWorld() : world(hw::sandyBridgeConfig(), makeModel())
+    {
+        request =
+            world.requests().create("bench", world.sim().now());
+        auto logic = std::make_shared<os::ScriptedLogic>(
+            std::vector<os::ScriptedLogic::Step>{
+                [](os::Kernel &, os::Task &,
+                   const os::OpResult &) -> os::Op {
+                    return os::ComputeOp{
+                        hw::ActivityVector{1.5, 0.1, 0.02, 0.004},
+                        1e15};
+                }},
+            true);
+        world.kernel().spawn(logic, "subject", request, 0);
+        world.run(sim::msec(1));
+    }
+};
+
+/**
+ * Container manager decorated by the OverheadProfiler, two busy
+ * tasks sharing core 0 so every simulated slice forces real context
+ * switches through the profiled path.
+ */
+struct ProfiledWorld
+{
+    sim::Simulation sim;
+    hw::Machine machine;
+    os::RequestContextManager requests;
+    os::Kernel kernel;
+    std::shared_ptr<core::LinearPowerModel> model;
+    core::ContainerManager manager;
+    telemetry::Registry registry;
+    telemetry::OverheadProfiler profiler;
+
+    ProfiledWorld()
+        : machine(sim, hw::sandyBridgeConfig()),
+          kernel(machine, requests),
+          model(makeModel()),
+          manager(kernel, model, {}),
+          profiler(registry, hw::sandyBridgeConfig().freqGhz * 1e9)
+    {
+        profiler.wrap(&manager);
+        kernel.addHooks(&profiler);
+        for (int i = 0; i < 2; ++i) {
+            os::RequestId req = requests.create("profiled",
+                                                sim.now());
+            auto logic = std::make_shared<os::ScriptedLogic>(
+                std::vector<os::ScriptedLogic::Step>{
+                    [](os::Kernel &, os::Task &,
+                       const os::OpResult &) -> os::Op {
+                        return os::ComputeOp{
+                            hw::ActivityVector{1.2, 0.1, 0.01,
+                                               0.002},
+                            1e5};
+                    }},
+                true);
+            kernel.spawn(logic, i == 0 ? "ping" : "pong", req, 0);
+        }
+    }
+
+    double
+    counterValue(const std::string &name) const
+    {
+        for (const auto &e : registry.entries())
+            if (e.name == name && e.counter != nullptr)
+                return static_cast<double>(e.counter->value());
+        return 0;
+    }
+};
+
+} // namespace
+
+int
+main()
+{
+    bench::Suite suite("overhead");
+
+    {
+        OverheadWorld w;
+        sim::SimTime t = w.world.sim().now();
+        suite.add("container.maintenance_op", 20000,
+                  [&w, &t](std::uint64_t iters) {
+                      for (std::uint64_t i = 0; i < iters; ++i) {
+                          t += sim::usec(10);
+                          w.world.sim().run(t);
+                          w.world.manager().sampleNow(0);
+                      }
+                  });
+        suite.aux("maintenance_ops",
+                  static_cast<double>(
+                      w.world.manager().maintenanceOps()));
+    }
+
+    {
+        OverheadWorld w;
+        int level = 8;
+        suite.add("actuation.duty_cycle_adjust", 100000,
+                  [&w, &level](std::uint64_t iters) {
+                      for (std::uint64_t i = 0; i < iters; ++i) {
+                          volatile int current =
+                              w.world.machine().dutyLevel(0);
+                          (void)current;
+                          level = level == 8 ? 7 : 8;
+                          w.world.kernel().setDutyLevel(0, level);
+                      }
+                  });
+    }
+
+    {
+        // Calibration-sized NNLS: 576 offline + 128 online samples,
+        // 8 features — the recalibrator's per-refit cost.
+        sim::Rng rng(77);
+        linalg::Matrix design;
+        linalg::Vector target;
+        for (int i = 0; i < 704; ++i) {
+            linalg::Vector row;
+            for (int f = 0; f < 8; ++f)
+                row.push_back(rng.uniform(0.0, f < 2 ? 4.0 : 0.1));
+            design.appendRow(row);
+            target.push_back(rng.uniform(5.0, 60.0));
+        }
+        suite.add("recalibration.nnls_fit_704x8", 50,
+                  [&design, &target](std::uint64_t iters) {
+                      for (std::uint64_t i = 0; i < iters; ++i) {
+                          linalg::LsqResult fit =
+                              linalg::solveNonNegativeLeastSquares(
+                                  design, target);
+                          volatile double sink =
+                              fit.coefficients.empty()
+                                  ? 0.0
+                                  : fit.coefficients[0];
+                          (void)sink;
+                      }
+                  });
+    }
+
+    {
+        // The profiled accounting path: host ns per 200 us simulated
+        // slice on the two-task world, with the perf.* cost counters
+        // the profiler maintained along the way attached as aux.
+        ProfiledWorld w;
+        sim::SimTime t = w.sim.now();
+        suite.add("profiled.accounting_slice", 2000,
+                  [&w, &t](std::uint64_t iters) {
+                      for (std::uint64_t i = 0; i < iters; ++i) {
+                          t += sim::usec(200);
+                          w.sim.run(t);
+                      }
+                  });
+        suite.aux("perf.context_switch.calls",
+                  w.counterValue("perf.context_switch.calls"));
+        suite.aux("perf.context_switch.cycles",
+                  w.counterValue("perf.context_switch.cycles"));
+        suite.aux("perf.sampling_window.calls",
+                  w.counterValue("perf.sampling_window.calls"));
+        suite.aux("perf.sampling_window.cycles",
+                  w.counterValue("perf.sampling_window.cycles"));
+        suite.aux("overhead.hook_calls",
+                  w.counterValue("overhead.hook_calls"));
+
+        // Deterministic hook pressure on the profiled path: hook
+        // invocations per 200 us slice over a fixed window, exact in
+        // steady state regardless of the timing protocol.
+        const std::uint64_t window = 200;
+        double calls_before = w.counterValue("overhead.hook_calls");
+        for (std::uint64_t i = 0; i < window; ++i) {
+            t += sim::usec(200);
+            w.sim.run(t);
+        }
+        suite.addCount(
+            "profiled.hook_calls_per_slice", "calls/slice",
+            (w.counterValue("overhead.hook_calls") - calls_before) /
+                static_cast<double>(window));
+    }
+
+    suite.writeJson();
+    return 0;
+}

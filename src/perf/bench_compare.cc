@@ -1,0 +1,177 @@
+#include "bench_compare.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace pcon {
+namespace perf {
+
+namespace {
+
+std::string
+fmt(const char *format, double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), format, v);
+    return buf;
+}
+
+/** Signed % change, positive = regression. */
+double
+regressionPct(const BenchEntry &base, const BenchEntry &current)
+{
+    if (base.medianValue == 0)
+        return 0;
+    double change =
+        (current.medianValue - base.medianValue) / base.medianValue;
+    if (!base.lowerIsBetter)
+        change = -change;
+    return change * 100.0;
+}
+
+} // namespace
+
+double
+Comparison::worstRegressionPct() const
+{
+    double worst = 0;
+    for (const EntryDelta &d : entries)
+        if (!d.baseOnly && !d.currentOnly)
+            worst = std::max(worst, d.regressionPct);
+    return worst;
+}
+
+std::vector<EntryDelta>
+Comparison::regressionsOver(double threshold_pct,
+                            bool include_wall) const
+{
+    std::vector<EntryDelta> out;
+    for (const EntryDelta &d : entries)
+        if (!d.baseOnly && !d.currentOnly &&
+            (include_wall || d.deterministic()) &&
+            d.regressionPct > threshold_pct)
+            out.push_back(d);
+    return out;
+}
+
+Comparison
+compareBenchReports(const BenchReport &base,
+                    const BenchReport &current)
+{
+    Comparison cmp;
+    cmp.topic = base.topic;
+    cmp.baseSha = base.gitSha;
+    cmp.currentSha = current.gitSha;
+    cmp.baseFlavor = base.buildFlavor;
+    cmp.currentFlavor = current.buildFlavor;
+    cmp.flavorMismatch = base.buildFlavor != current.buildFlavor ||
+        base.quick != current.quick;
+
+    for (const BenchEntry &b : base.entries) {
+        EntryDelta d;
+        d.name = b.name;
+        d.unit = b.unit;
+        d.lowerIsBetter = b.lowerIsBetter;
+        d.timebase = b.timebase;
+        d.baseValue = b.medianValue;
+        const BenchEntry *c = current.find(b.name);
+        if (c == nullptr) {
+            d.baseOnly = true;
+        } else {
+            d.currentValue = c->medianValue;
+            d.regressionPct = regressionPct(b, *c);
+        }
+        cmp.entries.push_back(d);
+    }
+    for (const BenchEntry &c : current.entries) {
+        if (base.find(c.name) != nullptr)
+            continue;
+        EntryDelta d;
+        d.name = c.name;
+        d.unit = c.unit;
+        d.lowerIsBetter = c.lowerIsBetter;
+        d.timebase = c.timebase;
+        d.currentValue = c.medianValue;
+        d.currentOnly = true;
+        cmp.entries.push_back(d);
+    }
+    return cmp;
+}
+
+std::string
+renderComparisonTable(const Comparison &cmp)
+{
+    std::ostringstream out;
+    out << "topic " << cmp.topic << ": " << cmp.baseSha << " ("
+        << cmp.baseFlavor << ") -> " << cmp.currentSha << " ("
+        << cmp.currentFlavor << ")\n";
+    if (cmp.flavorMismatch)
+        out << "warning: build flavor or protocol differ; deltas "
+               "are not comparable\n";
+    char line[160];
+    std::snprintf(line, sizeof(line), "%-36s %14s %14s %9s  %s\n",
+                  "entry", "base", "current", "delta", "unit");
+    out << line;
+    for (const EntryDelta &d : cmp.entries) {
+        if (d.baseOnly) {
+            std::snprintf(line, sizeof(line),
+                          "%-36s %14s %14s %9s  %s (removed)\n",
+                          d.name.c_str(),
+                          fmt("%.2f", d.baseValue).c_str(), "-", "-",
+                          d.unit.c_str());
+        } else if (d.currentOnly) {
+            std::snprintf(line, sizeof(line),
+                          "%-36s %14s %14s %9s  %s (new)\n",
+                          d.name.c_str(), "-",
+                          fmt("%.2f", d.currentValue).c_str(), "-",
+                          d.unit.c_str());
+        } else {
+            std::snprintf(line, sizeof(line),
+                          "%-36s %14s %14s %8s%%  %s%s\n",
+                          d.name.c_str(),
+                          fmt("%.2f", d.baseValue).c_str(),
+                          fmt("%.2f", d.currentValue).c_str(),
+                          fmt("%+.2f", d.regressionPct).c_str(),
+                          d.unit.c_str(),
+                          d.deterministic() ? "" : " [wall]");
+        }
+        out << line;
+    }
+    out << "worst regression: "
+        << fmt("%+.2f", cmp.worstRegressionPct()) << "%\n";
+    return out.str();
+}
+
+std::string
+renderComparisonJson(const Comparison &cmp)
+{
+    std::ostringstream out;
+    out << "{\n\"schema\":\"pcon-bench-compare-v1\",\n"
+        << "\"topic\":\"" << cmp.topic << "\",\n"
+        << "\"base_sha\":\"" << cmp.baseSha << "\",\n"
+        << "\"current_sha\":\"" << cmp.currentSha << "\",\n"
+        << "\"flavor_mismatch\":"
+        << (cmp.flavorMismatch ? "true" : "false") << ",\n"
+        << "\"worst_regression_pct\":"
+        << fmt("%.4f", cmp.worstRegressionPct()) << ",\n"
+        << "\"entries\":[";
+    for (std::size_t i = 0; i < cmp.entries.size(); ++i) {
+        const EntryDelta &d = cmp.entries[i];
+        out << (i == 0 ? "\n" : ",\n");
+        out << "{\"name\":\"" << d.name << "\",\"unit\":\"" << d.unit
+            << "\",\"timebase\":\"" << d.timebase
+            << "\",\"base\":" << fmt("%.6f", d.baseValue)
+            << ",\"current\":" << fmt("%.6f", d.currentValue)
+            << ",\"regression_pct\":"
+            << fmt("%.4f", d.regressionPct) << ",\"status\":\""
+            << (d.baseOnly ? "removed"
+                           : d.currentOnly ? "new" : "matched")
+            << "\"}";
+    }
+    out << "\n]\n}\n";
+    return out.str();
+}
+
+} // namespace perf
+} // namespace pcon

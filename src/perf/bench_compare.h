@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Comparison of two BenchReports (the regression-gate math behind
+ * `tools/bench_report`). Entries are matched by name; the compared
+ * statistic is the median (robust against a single noisy repeat),
+ * and the signed delta is normalized so that positive always means
+ * "got worse" regardless of the entry's unit direction.
+ *
+ * Gate semantics: only "count"-timebase entries (deterministic
+ * workload costs — byte-reproducible for a fixed seed) are gated by
+ * default. "wall"-timebase entries are host measurements whose
+ * run-to-run spread on a shared machine routinely exceeds any useful
+ * threshold (we measured 25–100% cross-process level shifts on a
+ * single-core CI host), so they are reported but excluded from
+ * regressionsOver() unless the caller opts in (bench_report
+ * --gate-wall, for dedicated quiet machines).
+ */
+
+#ifndef PCON_PERF_BENCH_COMPARE_H
+#define PCON_PERF_BENCH_COMPARE_H
+
+#include <string>
+#include <vector>
+
+#include "perf/bench_schema.h"
+
+namespace pcon {
+namespace perf {
+
+/** One matched (or unmatched) entry pair. */
+struct EntryDelta
+{
+    std::string name;
+    std::string unit;
+    bool lowerIsBetter = true;
+
+    /** Entry timebase ("wall" host-clock / "count" deterministic). */
+    std::string timebase = "wall";
+
+    /** True for deterministic (strictly gated) entries. */
+    bool deterministic() const { return timebase == "count"; }
+
+    /** Median in the baseline / current report (0 when absent). */
+    double baseValue = 0;
+    double currentValue = 0;
+
+    /**
+     * Signed percentage change, positive = regression (slower /
+     * less throughput). 0 when the entry is unmatched or the
+     * baseline median is 0.
+     */
+    double regressionPct = 0;
+
+    /** Present only in the baseline (entry was removed). */
+    bool baseOnly = false;
+
+    /** Present only in the current report (entry is new). */
+    bool currentOnly = false;
+};
+
+/** Result of comparing two reports of the same topic. */
+struct Comparison
+{
+    std::string topic;
+    std::string baseSha;
+    std::string currentSha;
+    std::string baseFlavor;
+    std::string currentFlavor;
+
+    /** True when flavor or quick-mode differ (comparison is noisy). */
+    bool flavorMismatch = false;
+
+    std::vector<EntryDelta> entries;
+
+    /** Largest regressionPct across matched entries (0 when none). */
+    double worstRegressionPct() const;
+
+    /**
+     * Matched entries with regressionPct > threshold_pct. Only
+     * deterministic ("count") entries gate by default; pass
+     * include_wall to also gate host-clock measurements.
+     */
+    std::vector<EntryDelta>
+    regressionsOver(double threshold_pct,
+                    bool include_wall = false) const;
+};
+
+/**
+ * Compare `current` against `base`. Topics may differ (the caller
+ * decides whether that is an error); entries are matched by name in
+ * the baseline's order, with current-only entries appended.
+ */
+Comparison compareBenchReports(const BenchReport &base,
+                               const BenchReport &current);
+
+/** Human-readable comparison table (one line per entry). */
+std::string renderComparisonTable(const Comparison &cmp);
+
+/** Machine-readable comparison document. */
+std::string renderComparisonJson(const Comparison &cmp);
+
+} // namespace perf
+} // namespace pcon
+
+#endif // PCON_PERF_BENCH_COMPARE_H

@@ -1,0 +1,471 @@
+#include "bench_schema.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace pcon {
+namespace perf {
+
+namespace {
+
+/** Shortest round-trippable decimal rendering of a double. */
+std::string
+numJson(double v)
+{
+    char buf[40];
+    if (v == static_cast<double>(static_cast<long long>(v)) &&
+        v > -1e15 && v < 1e15) {
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+        return buf;
+    }
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    for (int prec = 1; prec < 17; ++prec) {
+        char probe[40];
+        std::snprintf(probe, sizeof(probe), "%.*g", prec, v);
+        if (std::strtod(probe, nullptr) == v)
+            return probe;
+    }
+    return buf;
+}
+
+/** JSON string escape (quotes, backslashes, control characters). */
+std::string
+escapeJson(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+renderEntry(std::ostringstream &out, const BenchEntry &e)
+{
+    out << "{\"name\":\"" << escapeJson(e.name) << "\""
+        << ",\"unit\":\"" << escapeJson(e.unit) << "\""
+        << ",\"lower_is_better\":"
+        << (e.lowerIsBetter ? "true" : "false")
+        << ",\"timebase\":\"" << escapeJson(e.timebase) << "\""
+        << ",\"iters_per_rep\":" << e.itersPerRep
+        << ",\"warmup\":" << e.warmupReps << ",\"reps\":" << e.reps
+        << ",\"min\":" << numJson(e.minValue)
+        << ",\"median\":" << numJson(e.medianValue)
+        << ",\"p99\":" << numJson(e.p99Value)
+        << ",\"mean\":" << numJson(e.meanValue) << ",\"aux\":{";
+    std::vector<std::pair<std::string, double>> aux = e.aux;
+    std::sort(aux.begin(), aux.end());
+    for (std::size_t i = 0; i < aux.size(); ++i) {
+        if (i != 0)
+            out << ",";
+        out << "\"" << escapeJson(aux[i].first)
+            << "\":" << numJson(aux[i].second);
+    }
+    out << "}}";
+}
+
+/**
+ * Minimal recursive-descent parser over exactly the schema
+ * renderBenchJson writes (any field order, unknown keys rejected).
+ * Errors surface as ParseError and become BenchParseResult
+ * diagnostics, so the CLI can print `file: error` instead of
+ * aborting.
+ */
+class Parser
+{
+  public:
+    struct ParseError
+    {
+        std::string what;
+    };
+
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    BenchReport
+    parse()
+    {
+        BenchReport out;
+        bool sawSchema = false;
+        bool sawTopic = false;
+        expect('{');
+        while (true) {
+            std::string key = parseString();
+            expect(':');
+            if (key == "schema") {
+                out.schema = parseString();
+                failIf(out.schema != kBenchSchema,
+                       "unsupported schema (want pcon-bench-v1)");
+                sawSchema = true;
+            } else if (key == "topic") {
+                out.topic = parseString();
+                sawTopic = true;
+            } else if (key == "build_flavor") {
+                out.buildFlavor = parseString();
+            } else if (key == "git_sha") {
+                out.gitSha = parseString();
+            } else if (key == "quick") {
+                out.quick = parseBool();
+            } else if (key == "peak_rss_bytes") {
+                out.peakRssBytes =
+                    static_cast<std::uint64_t>(parseNumber());
+            } else if (key == "entries") {
+                parseEntries(out);
+            } else {
+                fail("unknown top-level key");
+            }
+            skipWs();
+            char c = next();
+            if (c == '}')
+                break;
+            failIf(c != ',', "expected ',' or '}'");
+        }
+        skipWs();
+        failIf(pos_ != text_.size(), "trailing data after report");
+        failIf(!sawSchema, "missing \"schema\" field");
+        failIf(!sawTopic, "missing \"topic\" field");
+        return out;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const char *why)
+    {
+        std::ostringstream msg;
+        msg << "bench json parse error at byte " << pos_ << ": "
+            << why;
+        throw ParseError{msg.str()};
+    }
+
+    void
+    failIf(bool cond, const char *why)
+    {
+        if (cond)
+            fail(why);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        failIf(pos_ >= text_.size(), "unexpected end of input");
+        return text_[pos_];
+    }
+
+    char
+    next()
+    {
+        char c = peek();
+        ++pos_;
+        return c;
+    }
+
+    void
+    expect(char c)
+    {
+        skipWs();
+        failIf(next() != c, "unexpected character");
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            char c = next();
+            if (c == '"')
+                return out;
+            if (c == '\\') {
+                char esc = next();
+                switch (esc) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case 'n': out += '\n'; break;
+                  case 't': out += '\t'; break;
+                  case 'r': out += '\r'; break;
+                  case 'u': {
+                      failIf(pos_ + 4 > text_.size(),
+                             "truncated \\u escape");
+                      unsigned code = 0;
+                      for (int i = 0; i < 4; ++i) {
+                          char h = next();
+                          code <<= 4;
+                          if (h >= '0' && h <= '9')
+                              code += static_cast<unsigned>(h - '0');
+                          else if (h >= 'a' && h <= 'f')
+                              code += static_cast<unsigned>(
+                                  h - 'a' + 10);
+                          else if (h >= 'A' && h <= 'F')
+                              code += static_cast<unsigned>(
+                                  h - 'A' + 10);
+                          else
+                              fail("bad \\u escape digit");
+                      }
+                      failIf(code > 0x7f,
+                             "non-ASCII \\u escape unsupported");
+                      out += static_cast<char>(code);
+                      break;
+                  }
+                  default: fail("unknown string escape");
+                }
+            } else {
+                out += c;
+            }
+        }
+    }
+
+    double
+    parseNumber()
+    {
+        skipWs();
+        std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(
+                    static_cast<unsigned char>(text_[pos_])) ||
+                std::strchr("+-.eE", text_[pos_]) != nullptr))
+            ++pos_;
+        failIf(pos_ == start, "expected a number");
+        std::string token = text_.substr(start, pos_ - start);
+        char *end = nullptr;
+        double v = std::strtod(token.c_str(), &end);
+        failIf(end == nullptr || *end != '\0', "malformed number");
+        return v;
+    }
+
+    bool
+    parseBool()
+    {
+        skipWs();
+        if (text_.compare(pos_, 4, "true") == 0) {
+            pos_ += 4;
+            return true;
+        }
+        if (text_.compare(pos_, 5, "false") == 0) {
+            pos_ += 5;
+            return false;
+        }
+        fail("expected true or false");
+    }
+
+    void
+    parseEntries(BenchReport &out)
+    {
+        expect('[');
+        if (consume(']'))
+            return;
+        while (true) {
+            out.entries.push_back(parseEntry());
+            skipWs();
+            char c = next();
+            if (c == ']')
+                return;
+            failIf(c != ',', "expected ',' or ']' in entries");
+        }
+    }
+
+    BenchEntry
+    parseEntry()
+    {
+        BenchEntry e;
+        bool sawName = false;
+        expect('{');
+        while (true) {
+            std::string key = parseString();
+            expect(':');
+            if (key == "name") {
+                e.name = parseString();
+                sawName = true;
+            } else if (key == "unit") {
+                e.unit = parseString();
+            } else if (key == "lower_is_better") {
+                e.lowerIsBetter = parseBool();
+            } else if (key == "timebase") {
+                e.timebase = parseString();
+                failIf(e.timebase != kTimebaseWall &&
+                           e.timebase != kTimebaseCount,
+                       "timebase must be \"wall\" or \"count\"");
+            } else if (key == "iters_per_rep") {
+                e.itersPerRep =
+                    static_cast<std::uint64_t>(parseNumber());
+            } else if (key == "warmup") {
+                e.warmupReps =
+                    static_cast<std::uint64_t>(parseNumber());
+            } else if (key == "reps") {
+                e.reps = static_cast<std::uint64_t>(parseNumber());
+            } else if (key == "min") {
+                e.minValue = parseNumber();
+            } else if (key == "median") {
+                e.medianValue = parseNumber();
+            } else if (key == "p99") {
+                e.p99Value = parseNumber();
+            } else if (key == "mean") {
+                e.meanValue = parseNumber();
+            } else if (key == "aux") {
+                parseAux(e);
+            } else {
+                fail("unknown entry key");
+            }
+            skipWs();
+            char c = next();
+            if (c == '}')
+                break;
+            failIf(c != ',', "expected ',' or '}' in entry");
+        }
+        failIf(!sawName, "entry missing \"name\"");
+        return e;
+    }
+
+    void
+    parseAux(BenchEntry &e)
+    {
+        expect('{');
+        if (consume('}'))
+            return;
+        while (true) {
+            std::string key = parseString();
+            expect(':');
+            e.aux.emplace_back(key, parseNumber());
+            skipWs();
+            char c = next();
+            if (c == '}')
+                return;
+            failIf(c != ',', "expected ',' or '}' in aux");
+        }
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+const double *
+BenchEntry::findAux(const std::string &key) const
+{
+    for (const auto &kv : aux)
+        if (kv.first == key)
+            return &kv.second;
+    return nullptr;
+}
+
+const BenchEntry *
+BenchReport::find(const std::string &name) const
+{
+    for (const BenchEntry &e : entries)
+        if (e.name == name)
+            return &e;
+    return nullptr;
+}
+
+std::string
+renderBenchJson(const BenchReport &report)
+{
+    std::ostringstream out;
+    out << "{\n";
+    out << "\"schema\":\"" << escapeJson(report.schema) << "\",\n";
+    out << "\"topic\":\"" << escapeJson(report.topic) << "\",\n";
+    out << "\"build_flavor\":\"" << escapeJson(report.buildFlavor)
+        << "\",\n";
+    out << "\"git_sha\":\"" << escapeJson(report.gitSha) << "\",\n";
+    out << "\"quick\":" << (report.quick ? "true" : "false") << ",\n";
+    out << "\"peak_rss_bytes\":" << report.peakRssBytes << ",\n";
+    out << "\"entries\":[";
+    for (std::size_t i = 0; i < report.entries.size(); ++i) {
+        out << (i == 0 ? "\n" : ",\n");
+        renderEntry(out, report.entries[i]);
+    }
+    out << "\n]\n}\n";
+    return out.str();
+}
+
+void
+writeBenchJson(const BenchReport &report, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    util::fatalIf(!out.good(), "cannot open for writing: ", path);
+    out << renderBenchJson(report);
+    out.flush();
+    util::fatalIf(!out.good(), "write failed: ", path);
+}
+
+BenchParseResult
+tryParseBenchJson(const std::string &json)
+{
+    BenchParseResult result;
+    try {
+        result.report = Parser(json).parse();
+        result.ok = true;
+    } catch (const Parser::ParseError &err) {
+        result.error = err.what;
+    }
+    return result;
+}
+
+BenchReport
+parseBenchJson(const std::string &json)
+{
+    BenchParseResult result = tryParseBenchJson(json);
+    util::fatalIf(!result.ok, result.error);
+    return result.report;
+}
+
+BenchReport
+loadBenchJson(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    util::fatalIf(!in.good(), "cannot open: ", path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    BenchParseResult result = tryParseBenchJson(buf.str());
+    util::fatalIf(!result.ok, path, ": ", result.error);
+    return result.report;
+}
+
+std::string
+canonicalBenchJson(const std::string &json)
+{
+    return renderBenchJson(parseBenchJson(json));
+}
+
+} // namespace perf
+} // namespace pcon

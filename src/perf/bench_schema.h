@@ -1,0 +1,154 @@
+/**
+ * @file
+ * The machine-readable benchmark trajectory schema ("pcon-bench-v1").
+ * A BenchReport is what one benchmark binary measured in one run:
+ * the topic (`BENCH_<topic>.json`), the build flavor and git sha it
+ * ran under, peak RSS, and one BenchEntry per benchmark with the
+ * warmup/repeat protocol parameters and the min/median/p99/mean of
+ * the per-repeat values.
+ *
+ * Rendering is deterministic: fields appear in a fixed order, aux
+ * counters are name-sorted, and doubles use the shortest
+ * round-trippable decimal — so for a fixed seed and protocol the file
+ * is byte-stable except for the measured-value fields (min, median,
+ * p99, mean, aux values, peak_rss_bytes). parse(render(r)) == r, and
+ * render(parse(s)) is the canonical form of s.
+ *
+ * Entries carry a `timebase` that tells downstream tooling how
+ * trustworthy their values are: "wall" entries are host-clock
+ * measurements (noisy on shared machines; trajectory data, not gate
+ * data), while "count" entries are deterministic workload costs —
+ * simulator events, hook invocations, spans — that are
+ * byte-reproducible for a fixed seed and therefore safe to gate
+ * strictly (perf/bench_compare gates only these by default).
+ *
+ * This layer is pure data (no clocks, no I/O besides the file
+ * helpers): the timers live in bench/pcon_bench, the comparison logic
+ * in perf/bench_compare, and the CLI in tools/bench_report.
+ */
+
+#ifndef PCON_PERF_BENCH_SCHEMA_H
+#define PCON_PERF_BENCH_SCHEMA_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pcon {
+namespace perf {
+
+/** Schema identifier accepted by the parser. */
+inline constexpr const char *kBenchSchema = "pcon-bench-v1";
+
+/** Host-clock entry timebase (noisy; informational in the gate). */
+inline constexpr const char *kTimebaseWall = "wall";
+
+/** Deterministic-count entry timebase (strictly gated). */
+inline constexpr const char *kTimebaseCount = "count";
+
+/** One benchmark's aggregated measurement. */
+struct BenchEntry
+{
+    /** Stable key ([a-z0-9_.]+ by convention), e.g.
+     * "event_queue.schedule_pop". */
+    std::string name;
+
+    /** Unit of the aggregated values ("ns/op", "events/sec", "ms"). */
+    std::string unit = "ns/op";
+
+    /** False for throughput-style entries where larger is faster. */
+    bool lowerIsBetter = true;
+
+    /**
+     * kTimebaseWall for host-clock measurements (informational in
+     * the regression gate), kTimebaseCount for deterministic
+     * workload-cost metrics (gated strictly — any drift is a real
+     * algorithmic change, not noise).
+     */
+    std::string timebase = "wall";
+
+    /** True for deterministic (strictly gated) entries. */
+    bool deterministic() const { return timebase == "count"; }
+
+    /** Operations executed per measured repeat. */
+    std::uint64_t itersPerRep = 1;
+
+    /** Untimed warmup repeats run before measuring. */
+    std::uint64_t warmupReps = 0;
+
+    /** Measured repeats aggregated below. */
+    std::uint64_t reps = 0;
+
+    // Measured-value fields (the only fields expected to vary run to
+    // run for a fixed seed):
+    double minValue = 0;
+    double medianValue = 0;
+    double p99Value = 0;
+    double meanValue = 0;
+
+    /** Auxiliary measured counters, name-sorted at render time. */
+    std::vector<std::pair<std::string, double>> aux;
+
+    /** Aux value by name; nullptr when absent. */
+    const double *findAux(const std::string &key) const;
+};
+
+/** One benchmark binary's run: `BENCH_<topic>.json`. */
+struct BenchReport
+{
+    /** Always kBenchSchema for files this library writes. */
+    std::string schema = kBenchSchema;
+
+    /** File topic: BENCH_<topic>.json. */
+    std::string topic;
+
+    /** Build flavor string (e.g. "RelWithDebInfo-audit1"). */
+    std::string buildFlavor = "unknown";
+
+    /** Git commit the binary was configured from. */
+    std::string gitSha = "unknown";
+
+    /** True when the quick (CI) protocol produced this report. */
+    bool quick = false;
+
+    /** Peak resident set size of the benchmark process, bytes. */
+    std::uint64_t peakRssBytes = 0;
+
+    std::vector<BenchEntry> entries;
+
+    /** Entry by name; nullptr when absent. */
+    const BenchEntry *find(const std::string &name) const;
+};
+
+/** Render the canonical JSON form (one line per entry). */
+std::string renderBenchJson(const BenchReport &report);
+
+/** Write renderBenchJson() to `path`; util::fatal on I/O errors. */
+void writeBenchJson(const BenchReport &report, const std::string &path);
+
+/** Outcome of a non-fatal parse. */
+struct BenchParseResult
+{
+    bool ok = false;
+    /** Diagnostic when !ok. */
+    std::string error;
+    BenchReport report;
+};
+
+/** Parse a pcon-bench-v1 document; diagnostics instead of fatal(). */
+BenchParseResult tryParseBenchJson(const std::string &json);
+
+/** Parse a pcon-bench-v1 document; util::fatal on any error. */
+BenchReport parseBenchJson(const std::string &json);
+
+/** Read a file and parseBenchJson() it; util::fatal on I/O errors. */
+BenchReport loadBenchJson(const std::string &path);
+
+/** parse + render: the canonical byte form of a valid document. */
+std::string canonicalBenchJson(const std::string &json);
+
+} // namespace perf
+} // namespace pcon
+
+#endif // PCON_PERF_BENCH_SCHEMA_H

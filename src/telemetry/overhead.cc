@@ -4,6 +4,8 @@
 // telemetry histograms only, never simulation state)
 #include <chrono>
 
+#include <string>
+
 #include "linalg/least_squares.h"
 #include "linalg/matrix.h"
 #include "util/logging.h"
@@ -23,24 +25,49 @@ cycleBounds()
 
 } // namespace
 
+OverheadProfiler::HookCost
+OverheadProfiler::makeCost(Registry &registry, const char *cls,
+                           Histogram *hist)
+{
+    HookCost cost;
+    std::string base = std::string("perf.") + cls;
+    cost.calls = &registry.counter(base + ".calls");
+    cost.cycles = &registry.counter(base + ".cycles");
+    cost.hist = hist;
+    return cost;
+}
+
 OverheadProfiler::OverheadProfiler(Registry &registry,
                                    double cpu_freq_hz)
     : cyclesPerNs_(cpu_freq_hz * 1e-9)
 {
     util::fatalIf(cpu_freq_hz <= 0, "cpu frequency must be positive");
     calls_ = &registry.counter("overhead.hook_calls");
-    switchCycles_ = &registry.histogram(
-        "overhead.context_switch_cycles", cycleBounds());
-    windowCycles_ = &registry.histogram(
-        "overhead.sampling_window_cycles", cycleBounds());
-    rebindCycles_ =
-        &registry.histogram("overhead.rebind_cycles", cycleBounds());
-    ioCycles_ = &registry.histogram("overhead.io_complete_cycles",
-                                    cycleBounds());
-    actuationCycles_ = &registry.histogram(
-        "overhead.actuation_cycles", cycleBounds());
-    refitCycles_ =
-        &registry.histogram("overhead.refit_cycles", cycleBounds());
+    switchCost_ = makeCost(
+        registry, "context_switch",
+        &registry.histogram("overhead.context_switch_cycles",
+                            cycleBounds()));
+    windowCost_ = makeCost(
+        registry, "sampling_window",
+        &registry.histogram("overhead.sampling_window_cycles",
+                            cycleBounds()));
+    rebindCost_ = makeCost(
+        registry, "context_rebind",
+        &registry.histogram("overhead.rebind_cycles", cycleBounds()));
+    ioCost_ = makeCost(
+        registry, "io_complete",
+        &registry.histogram("overhead.io_complete_cycles",
+                            cycleBounds()));
+    taskExitCost_ = makeCost(registry, "task_exit", nullptr);
+    forkCost_ = makeCost(registry, "fork", nullptr);
+    segmentCost_ = makeCost(registry, "segment_received", nullptr);
+    actuationCost_ = makeCost(
+        registry, "actuation",
+        &registry.histogram("overhead.actuation_cycles",
+                            cycleBounds()));
+    refitCost_ = makeCost(
+        registry, "refit",
+        &registry.histogram("overhead.refit_cycles", cycleBounds()));
 }
 
 void
@@ -53,10 +80,12 @@ OverheadProfiler::wrap(os::KernelHooks *inner)
 
 template <typename F>
 void
-OverheadProfiler::timed(Histogram &hist, F &&fn)
+OverheadProfiler::timed(HookCost &cost, F &&fn)
 {
     // Measures this implementation's bookkeeping cost only; the
     // result never alters simulation state.
+    calls_->add();
+    cost.calls->add();
     // NOLINT-DETERMINISM(host monotonic clock; telemetry-only)
     auto start = std::chrono::steady_clock::now();
     fn();
@@ -66,15 +95,18 @@ OverheadProfiler::timed(Histogram &hist, F &&fn)
         std::chrono::duration_cast<std::chrono::nanoseconds>(end -
                                                              start)
             .count());
-    hist.observe(ns * cyclesPerNs_);
+    double cycles = ns * cyclesPerNs_;
+    cost.cycles->add(
+        static_cast<std::uint64_t>(cycles < 0 ? 0 : cycles));
+    if (cost.hist != nullptr)
+        cost.hist->observe(cycles);
 }
 
 void
 OverheadProfiler::onContextSwitch(int core, os::Task *prev,
                                   os::Task *next)
 {
-    calls_->add();
-    timed(*switchCycles_, [&] {
+    timed(switchCost_, [&] {
         for (os::KernelHooks *h : inner_)
             h->onContextSwitch(core, prev, next);
     });
@@ -85,8 +117,7 @@ OverheadProfiler::onContextRebind(os::Task &task,
                                   os::RequestId old_ctx,
                                   os::RequestId new_ctx)
 {
-    calls_->add();
-    timed(*rebindCycles_, [&] {
+    timed(rebindCost_, [&] {
         for (os::KernelHooks *h : inner_)
             h->onContextRebind(task, old_ctx, new_ctx);
     });
@@ -95,8 +126,7 @@ OverheadProfiler::onContextRebind(os::Task &task,
 void
 OverheadProfiler::onSamplingInterrupt(int core)
 {
-    calls_->add();
-    timed(*windowCycles_, [&] {
+    timed(windowCost_, [&] {
         for (os::KernelHooks *h : inner_)
             h->onSamplingInterrupt(core);
     });
@@ -107,8 +137,7 @@ OverheadProfiler::onIoComplete(hw::DeviceKind device,
                                os::RequestId context,
                                sim::SimTime busy_time, double bytes)
 {
-    calls_->add();
-    timed(*ioCycles_, [&] {
+    timed(ioCost_, [&] {
         for (os::KernelHooks *h : inner_)
             h->onIoComplete(device, context, busy_time, bytes);
     });
@@ -117,33 +146,35 @@ OverheadProfiler::onIoComplete(hw::DeviceKind device,
 void
 OverheadProfiler::onTaskExit(os::Task &task)
 {
-    calls_->add();
-    for (os::KernelHooks *h : inner_)
-        h->onTaskExit(task);
+    timed(taskExitCost_, [&] {
+        for (os::KernelHooks *h : inner_)
+            h->onTaskExit(task);
+    });
 }
 
 void
 OverheadProfiler::onFork(os::Task &parent, os::Task &child)
 {
-    calls_->add();
-    for (os::KernelHooks *h : inner_)
-        h->onFork(parent, child);
+    timed(forkCost_, [&] {
+        for (os::KernelHooks *h : inner_)
+            h->onFork(parent, child);
+    });
 }
 
 void
 OverheadProfiler::onSegmentReceived(os::Task &task,
                                     const os::Segment &segment)
 {
-    calls_->add();
-    for (os::KernelHooks *h : inner_)
-        h->onSegmentReceived(task, segment);
+    timed(segmentCost_, [&] {
+        for (os::KernelHooks *h : inner_)
+            h->onSegmentReceived(task, segment);
+    });
 }
 
 void
 OverheadProfiler::onActuation(int core, int duty_level, int pstate)
 {
-    calls_->add();
-    timed(*actuationCycles_, [&] {
+    timed(actuationCost_, [&] {
         for (os::KernelHooks *h : inner_)
             h->onActuation(core, duty_level, pstate);
     });
@@ -173,7 +204,7 @@ OverheadProfiler::profileRefit(std::size_t rows, std::size_t features,
         target.push_back(acc);
     }
     for (int i = 0; i < repetitions; ++i) {
-        timed(*refitCycles_, [&] {
+        timed(refitCost_, [&] {
             linalg::LsqResult fit =
                 linalg::solveNonNegativeLeastSquares(design, target);
             (void)fit;

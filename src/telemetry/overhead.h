@@ -15,6 +15,20 @@
  *   overhead.actuation_cycles        per actuator write observed
  *   overhead.refit_cycles            per NNLS model refit
  *
+ * Alongside the histograms, every hook class also maintains an
+ * always-on pair of cost counters — the hot-path cost layer the
+ * perf observability plane (docs/BENCHMARKING.md) compares across
+ * commits:
+ *
+ *   perf.<class>.calls    invocations forwarded through the profiler
+ *   perf.<class>.cycles   cumulative modeled cycles spent inside
+ *
+ * for <class> in context_switch, context_rebind, sampling_window,
+ * io_complete, task_exit, fork, segment_received, actuation, refit.
+ * Call counts are a pure function of the (deterministic) simulated
+ * workload, so tests assert them exactly; cycle totals are host
+ * measurements and vary run to run.
+ *
  * Host timings are telemetry about this implementation, not simulated
  * physics: they never feed back into simulation state, so runs remain
  * bit-identical while the overhead metrics vary with the host.
@@ -80,20 +94,39 @@ class OverheadProfiler : public os::KernelHooks
     std::uint64_t forwardedCalls() const { return calls_->value(); }
 
   private:
+    /**
+     * One hook class's cost instruments: the always-on perf.* pair
+     * plus — for the classes that had one before the perf layer —
+     * the overhead.* distribution histogram.
+     */
+    struct HookCost
+    {
+        Counter *calls = nullptr;
+        Counter *cycles = nullptr;
+        Histogram *hist = nullptr;
+    };
+
+    /** Register perf.<cls>.{calls,cycles} beside `hist` (nullable). */
+    HookCost makeCost(Registry &registry, const char *cls,
+                      Histogram *hist);
+
     /** Host nanoseconds -> modeled cycles. */
     double cyclesPerNs_;
 
-    /** Run `fn` and record its host cost in `hist` as cycles. */
-    template <typename F> void timed(Histogram &hist, F &&fn);
+    /** Run `fn`, charge its host cost to `cost`'s instruments. */
+    template <typename F> void timed(HookCost &cost, F &&fn);
 
     std::vector<os::KernelHooks *> inner_;
     Counter *calls_;
-    Histogram *switchCycles_;
-    Histogram *windowCycles_;
-    Histogram *rebindCycles_;
-    Histogram *ioCycles_;
-    Histogram *actuationCycles_;
-    Histogram *refitCycles_;
+    HookCost switchCost_;
+    HookCost rebindCost_;
+    HookCost windowCost_;
+    HookCost ioCost_;
+    HookCost taskExitCost_;
+    HookCost forkCost_;
+    HookCost segmentCost_;
+    HookCost actuationCost_;
+    HookCost refitCost_;
 };
 
 } // namespace telemetry

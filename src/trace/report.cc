@@ -54,6 +54,39 @@ rootName(const SpanCollector &collector, os::RequestId request)
     return root != NoSpan ? collector.span(root).name : "?";
 }
 
+/** JSON string escaping for span/root names. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
 sim::SimTime
 requestWall(const SpanCollector &collector, os::RequestId request)
 {
@@ -194,6 +227,109 @@ fullReport(const SpanCollector &collector, const ReportOptions &opts)
     }
     if (opts.machineImbalance)
         out << "\n" << reportMachineImbalance(collector);
+    return out.str();
+}
+
+std::string
+reportJson(const SpanCollector &collector, const ReportOptions &opts)
+{
+    std::ostringstream out;
+    out << "{\"schema\":\"pcon-trace-report-v1\",\"requests\":[";
+    std::vector<os::RequestId> ids = rankedRequests(collector);
+    if (ids.size() > opts.topN)
+        ids.resize(opts.topN);
+    bool first_req = true;
+    for (os::RequestId id : ids) {
+        if (!first_req)
+            out << ",";
+        first_req = false;
+        std::vector<SpanId> spans = collector.requestSpans(id);
+        std::vector<int> machines;
+        for (SpanId sp : spans) {
+            int m = collector.span(sp).machine;
+            if (std::find(machines.begin(), machines.end(), m) ==
+                machines.end())
+                machines.push_back(m);
+        }
+        out << "{\"request\":" << id << ",\"root\":\""
+            << jsonEscape(rootName(collector, id)) << "\",\"spans\":"
+            << spans.size() << ",\"machines\":" << machines.size()
+            << ",\"energy_j\":"
+            << joules(collector.requestEnergyJ(id).value())
+            << ",\"wall_ms\":" << millis(requestWall(collector, id));
+        if (opts.stageBreakdown) {
+            out << ",\"stages\":[";
+            bool first = true;
+            for (SpanId sp : spans) {
+                const Span &s = collector.span(sp);
+                if (!first)
+                    out << ",";
+                first = false;
+                out << "{\"span\":" << s.id << ",\"parent\":"
+                    << s.parent << ",\"kind\":\""
+                    << spanKindName(s.kind) << "\",\"machine\":"
+                    << s.machine << ",\"name\":\""
+                    << jsonEscape(s.name) << "\",\"energy_j\":"
+                    << joules(s.energyJ.value())
+                    << ",\"avg_power_w\":"
+                    << fmt("%.3f", s.avgPowerW().value())
+                    << ",\"cpu_ms\":"
+                    << fmt("%.3f", s.cpuTimeNs * 1e-6)
+                    << ",\"io_bytes\":" << fmt("%.0f", s.ioBytes)
+                    << "}";
+            }
+            out << "]";
+        }
+        if (opts.criticalPath) {
+            out << ",\"critical_path\":[";
+            bool first = true;
+            for (SpanId sp : collector.criticalPath(id)) {
+                const Span &s = collector.span(sp);
+                if (!first)
+                    out << ",";
+                first = false;
+                out << "{\"span\":" << s.id << ",\"kind\":\""
+                    << spanKindName(s.kind) << "\",\"machine\":"
+                    << s.machine << ",\"name\":\""
+                    << jsonEscape(s.name) << "\",\"open_ms\":"
+                    << millis(s.openedAt) << ",\"close_ms\":"
+                    << millis(s.closedAt) << ",\"energy_j\":"
+                    << joules(s.energyJ.value()) << "}";
+            }
+            out << "]";
+        }
+        out << "}";
+    }
+    out << "]";
+    if (opts.machineImbalance) {
+        out << ",\"machine_imbalance\":[";
+        std::vector<int> machines = collector.machines();
+        bool first = true;
+        for (os::RequestId id : collector.requests()) {
+            if (!first)
+                out << ",";
+            first = false;
+            double total = collector.requestEnergyJ(id).value();
+            double peak = 0;
+            out << "{\"request\":" << id << ",\"root\":\""
+                << jsonEscape(rootName(collector, id))
+                << "\",\"per_machine_j\":{";
+            bool first_m = true;
+            for (int m : machines) {
+                double e = collector.machineEnergyJ(id, m).value();
+                peak = std::max(peak, e);
+                if (!first_m)
+                    out << ",";
+                first_m = false;
+                out << "\"m" << m << "\":" << joules(e);
+            }
+            out << "},\"dominant_share\":"
+                << fmt("%.3f", total > 0 ? peak / total : 0.0)
+                << "}";
+        }
+        out << "]";
+    }
+    out << "}";
     return out.str();
 }
 

@@ -61,6 +61,18 @@ std::string reportMachineImbalance(const SpanCollector &collector);
 std::string fullReport(const SpanCollector &collector,
                        const ReportOptions &opts = {});
 
+/**
+ * The full report as a machine-readable JSON document (schema
+ * "pcon-trace-report-v1"): per-request summaries in energy rank
+ * order with stage breakdowns and critical paths, plus the machine
+ * imbalance table, honoring the same `opts` toggles as fullReport().
+ * Numeric fields use the text report's fixed precisions (energy
+ * 1e-6 J, times 1e-3 ms, power 1e-3 W), so the document is
+ * deterministic for a given dump.
+ */
+std::string reportJson(const SpanCollector &collector,
+                       const ReportOptions &opts = {});
+
 } // namespace trace
 } // namespace pcon
 

@@ -1,0 +1,324 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "perf/bench_compare.h"
+#include "perf/bench_schema.h"
+#include "util/logging.h"
+
+namespace pcon::perf {
+namespace {
+
+BenchReport
+sampleReport()
+{
+    BenchReport report;
+    report.topic = "hotpath";
+    report.buildFlavor = "release-audit1";
+    report.gitSha = "abcdef123456";
+    report.quick = true;
+    report.peakRssBytes = 8 * 1024 * 1024;
+
+    BenchEntry a;
+    a.name = "event_queue.schedule_pop";
+    a.unit = "ns/op";
+    a.lowerIsBetter = true;
+    a.itersPerRep = 25000;
+    a.warmupReps = 1;
+    a.reps = 5;
+    a.minValue = 195.5;
+    a.medianValue = 275.25;
+    a.p99Value = 304.125;
+    a.meanValue = 267.0625;
+    a.aux.emplace_back("cycles_per_op", 743.5);
+    report.entries.push_back(a);
+
+    BenchEntry b;
+    b.name = "webwork.accounting_only";
+    b.unit = "events/sec";
+    b.lowerIsBetter = false;
+    b.itersPerRep = 1;
+    b.warmupReps = 1;
+    b.reps = 5;
+    b.minValue = 95000;
+    b.medianValue = 99000;
+    b.p99Value = 101000;
+    b.meanValue = 98000;
+    // Deliberately unsorted: render must sort by key.
+    b.aux.emplace_back("work_units", 483000);
+    b.aux.emplace_back("sim_events", 483000);
+    report.entries.push_back(b);
+
+    BenchEntry c;
+    c.name = "webwork.sim_events_per_request";
+    c.unit = "events/req";
+    c.lowerIsBetter = true;
+    c.timebase = kTimebaseCount;
+    c.itersPerRep = 1;
+    c.warmupReps = 1;
+    c.reps = 1;
+    c.minValue = 7550;
+    c.medianValue = 7550;
+    c.p99Value = 7550;
+    c.meanValue = 7550;
+    report.entries.push_back(c);
+    return report;
+}
+
+TEST(BenchSchema, RenderParseRenderIsByteStable)
+{
+    BenchReport report = sampleReport();
+    std::string once = renderBenchJson(report);
+    BenchParseResult parsed = tryParseBenchJson(once);
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    std::string twice = renderBenchJson(parsed.report);
+    EXPECT_EQ(once, twice);
+}
+
+TEST(BenchSchema, ParsePreservesEveryField)
+{
+    BenchReport report = sampleReport();
+    BenchReport back = parseBenchJson(renderBenchJson(report));
+    EXPECT_EQ(back.schema, std::string(kBenchSchema));
+    EXPECT_EQ(back.topic, "hotpath");
+    EXPECT_EQ(back.buildFlavor, "release-audit1");
+    EXPECT_EQ(back.gitSha, "abcdef123456");
+    EXPECT_TRUE(back.quick);
+    EXPECT_EQ(back.peakRssBytes, 8u * 1024 * 1024);
+    ASSERT_EQ(back.entries.size(), 3u);
+
+    const BenchEntry *a = back.find("event_queue.schedule_pop");
+    ASSERT_NE(a, nullptr);
+    EXPECT_EQ(a->unit, "ns/op");
+    EXPECT_TRUE(a->lowerIsBetter);
+    EXPECT_EQ(a->timebase, std::string(kTimebaseWall));
+    EXPECT_FALSE(a->deterministic());
+    EXPECT_EQ(a->itersPerRep, 25000u);
+    EXPECT_EQ(a->warmupReps, 1u);
+    EXPECT_EQ(a->reps, 5u);
+    EXPECT_DOUBLE_EQ(a->minValue, 195.5);
+    EXPECT_DOUBLE_EQ(a->medianValue, 275.25);
+    EXPECT_DOUBLE_EQ(a->p99Value, 304.125);
+    EXPECT_DOUBLE_EQ(a->meanValue, 267.0625);
+    const double *cycles = a->findAux("cycles_per_op");
+    ASSERT_NE(cycles, nullptr);
+    EXPECT_DOUBLE_EQ(*cycles, 743.5);
+
+    const BenchEntry *b = back.find("webwork.accounting_only");
+    ASSERT_NE(b, nullptr);
+    EXPECT_FALSE(b->lowerIsBetter);
+    EXPECT_EQ(b->unit, "events/sec");
+
+    const BenchEntry *c =
+        back.find("webwork.sim_events_per_request");
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->timebase, std::string(kTimebaseCount));
+    EXPECT_TRUE(c->deterministic());
+    EXPECT_DOUBLE_EQ(c->medianValue, 7550);
+}
+
+TEST(BenchSchema, AuxKeysAreNameSortedInRenderedForm)
+{
+    std::string json = renderBenchJson(sampleReport());
+    std::size_t sim_at = json.find("sim_events");
+    std::size_t work_at = json.find("work_units");
+    ASSERT_NE(sim_at, std::string::npos);
+    ASSERT_NE(work_at, std::string::npos);
+    EXPECT_LT(sim_at, work_at);
+}
+
+TEST(BenchSchema, CanonicalFormIsIdempotent)
+{
+    std::string canon =
+        canonicalBenchJson(renderBenchJson(sampleReport()));
+    EXPECT_EQ(canon, canonicalBenchJson(canon));
+}
+
+TEST(BenchSchema, DoublesRoundTripExactly)
+{
+    BenchReport report;
+    report.topic = "t";
+    BenchEntry e;
+    e.name = "x";
+    e.minValue = 1.0 / 3.0;
+    e.medianValue = 1e-9;
+    e.p99Value = 123456789.123456789;
+    e.meanValue = 0.1;
+    report.entries.push_back(e);
+    BenchReport back = parseBenchJson(renderBenchJson(report));
+    ASSERT_EQ(back.entries.size(), 1u);
+    EXPECT_EQ(back.entries[0].minValue, 1.0 / 3.0);
+    EXPECT_EQ(back.entries[0].medianValue, 1e-9);
+    EXPECT_EQ(back.entries[0].p99Value, 123456789.123456789);
+    EXPECT_EQ(back.entries[0].meanValue, 0.1);
+}
+
+TEST(BenchSchema, RejectsWrongSchema)
+{
+    std::string json = renderBenchJson(sampleReport());
+    std::string bad = json;
+    bad.replace(bad.find("pcon-bench-v1"),
+                std::string("pcon-bench-v1").size(), "pcon-bench-v9");
+    BenchParseResult parsed = tryParseBenchJson(bad);
+    EXPECT_FALSE(parsed.ok);
+    EXPECT_NE(parsed.error.find("schema"), std::string::npos);
+}
+
+TEST(BenchSchema, RejectsMalformedDocuments)
+{
+    for (const char *bad :
+         {"", "{", "[]", "{\"schema\":\"pcon-bench-v1\"}",
+          "{\"schema\":\"pcon-bench-v1\",\"topic\":\"t\","
+          "\"unknown_key\":1,\"entries\":[]}",
+          "{\"schema\":\"pcon-bench-v1\",\"topic\":\"t\","
+          "\"entries\":[{\"unit\":\"ns/op\"}]}",
+          "{\"schema\":\"pcon-bench-v1\",\"topic\":\"t\","
+          "\"entries\":[{\"name\":\"x\",\"timebase\":\"cpu\"}]}"}) {
+        BenchParseResult parsed = tryParseBenchJson(bad);
+        EXPECT_FALSE(parsed.ok) << bad;
+        EXPECT_FALSE(parsed.error.empty()) << bad;
+    }
+}
+
+TEST(BenchSchema, FatalParseThrowsOnGarbage)
+{
+    EXPECT_THROW(parseBenchJson("not json"), util::FatalError);
+}
+
+TEST(BenchSchema, WriteAndLoadRoundTrip)
+{
+    BenchReport report = sampleReport();
+    std::string path = ::testing::TempDir() + "BENCH_roundtrip.json";
+    writeBenchJson(report, path);
+    BenchReport back = loadBenchJson(path);
+    EXPECT_EQ(renderBenchJson(report), renderBenchJson(back));
+    std::remove(path.c_str());
+}
+
+TEST(BenchCompare, MatchesEntriesAndComputesSignedRegression)
+{
+    BenchReport base = sampleReport();
+    BenchReport current = sampleReport();
+    // ns/op up 10% => regression +10; events/sec down 10% =>
+    // regression +10 after the sign flip for higher-is-better.
+    current.entries[0].medianValue = 275.25 * 1.10;
+    current.entries[1].medianValue = 99000 * 0.90;
+    // Deterministic count up 8%.
+    current.entries[2].medianValue = 7550 * 1.08;
+
+    Comparison cmp = compareBenchReports(base, current);
+    ASSERT_EQ(cmp.entries.size(), 3u);
+    EXPECT_FALSE(cmp.flavorMismatch);
+    EXPECT_NEAR(cmp.entries[0].regressionPct, 10.0, 1e-9);
+    EXPECT_NEAR(cmp.entries[1].regressionPct, 10.0, 1e-9);
+    EXPECT_NEAR(cmp.entries[2].regressionPct, 8.0, 1e-9);
+    EXPECT_NEAR(cmp.worstRegressionPct(), 10.0, 1e-9);
+    // Default gate: only the deterministic count entry fires.
+    ASSERT_EQ(cmp.regressionsOver(5.0).size(), 1u);
+    EXPECT_EQ(cmp.regressionsOver(5.0)[0].name,
+              "webwork.sim_events_per_request");
+    EXPECT_EQ(cmp.regressionsOver(8.5).size(), 0u);
+    // Opting wall entries in gates all three.
+    EXPECT_EQ(cmp.regressionsOver(5.0, true).size(), 3u);
+    EXPECT_EQ(cmp.regressionsOver(10.5, true).size(), 0u);
+}
+
+TEST(BenchCompare, WallEntriesAreInformationalByDefault)
+{
+    BenchReport base = sampleReport();
+    BenchReport current = sampleReport();
+    // A huge wall-clock swing (host noise) must not gate...
+    current.entries[0].medianValue = 275.25 * 1.80;
+    Comparison cmp = compareBenchReports(base, current);
+    EXPECT_TRUE(cmp.regressionsOver(5.0).empty());
+    // ...but is still visible to callers that ask for wall gating.
+    ASSERT_EQ(cmp.regressionsOver(5.0, true).size(), 1u);
+    EXPECT_EQ(cmp.regressionsOver(5.0, true)[0].name,
+              "event_queue.schedule_pop");
+}
+
+TEST(BenchCompare, ImprovementsAreNegative)
+{
+    BenchReport base = sampleReport();
+    BenchReport current = sampleReport();
+    current.entries[0].medianValue = 275.25 * 0.80; // 20% faster
+    current.entries[1].medianValue = 99000 * 1.25;  // 25% more tput
+
+    Comparison cmp = compareBenchReports(base, current);
+    EXPECT_NEAR(cmp.entries[0].regressionPct, -20.0, 1e-9);
+    EXPECT_NEAR(cmp.entries[1].regressionPct, -25.0, 1e-9);
+    EXPECT_TRUE(cmp.regressionsOver(5.0).empty());
+    EXPECT_LE(cmp.worstRegressionPct(), 0.0);
+}
+
+TEST(BenchCompare, UnmatchedEntriesAreFlaggedNotGated)
+{
+    BenchReport base = sampleReport();
+    BenchReport current = sampleReport();
+    current.entries.erase(current.entries.begin());
+    BenchEntry fresh;
+    fresh.name = "span.charge";
+    fresh.medianValue = 9.5;
+    current.entries.push_back(fresh);
+
+    Comparison cmp = compareBenchReports(base, current);
+    ASSERT_EQ(cmp.entries.size(), 4u);
+    const EntryDelta *removed = nullptr;
+    const EntryDelta *added = nullptr;
+    for (const EntryDelta &d : cmp.entries) {
+        if (d.name == "event_queue.schedule_pop")
+            removed = &d;
+        if (d.name == "span.charge")
+            added = &d;
+    }
+    ASSERT_NE(removed, nullptr);
+    ASSERT_NE(added, nullptr);
+    EXPECT_TRUE(removed->baseOnly);
+    EXPECT_TRUE(added->currentOnly);
+    EXPECT_EQ(removed->regressionPct, 0.0);
+    EXPECT_EQ(added->regressionPct, 0.0);
+    EXPECT_TRUE(cmp.regressionsOver(0.0).empty());
+}
+
+TEST(BenchCompare, FlavorMismatchIsReported)
+{
+    BenchReport base = sampleReport();
+    BenchReport current = sampleReport();
+    current.buildFlavor = "debug-audit2";
+    Comparison cmp = compareBenchReports(base, current);
+    EXPECT_TRUE(cmp.flavorMismatch);
+    std::string table = renderComparisonTable(cmp);
+    EXPECT_NE(table.find("warning"), std::string::npos);
+
+    BenchReport quick = sampleReport();
+    quick.quick = false;
+    EXPECT_TRUE(
+        compareBenchReports(base, quick).flavorMismatch);
+}
+
+TEST(BenchCompare, ZeroBaselineMedianDoesNotDivide)
+{
+    BenchReport base = sampleReport();
+    BenchReport current = sampleReport();
+    base.entries[0].medianValue = 0;
+    current.entries[0].medianValue = 100;
+    Comparison cmp = compareBenchReports(base, current);
+    EXPECT_EQ(cmp.entries[0].regressionPct, 0.0);
+}
+
+TEST(BenchCompare, JsonOutputParsesAndNamesSchema)
+{
+    Comparison cmp = compareBenchReports(sampleReport(),
+                                         sampleReport());
+    std::string json = renderComparisonJson(cmp);
+    EXPECT_NE(json.find("pcon-bench-compare-v1"),
+              std::string::npos);
+    EXPECT_NE(json.find("event_queue.schedule_pop"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"timebase\":\"count\""),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace pcon::perf

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <string>
+
 #include "os/hooks.h"
 #include "os/socket.h"
 #include "os/task.h"
@@ -145,6 +148,123 @@ TEST(OverheadProfiler, ProfileRefitRecordsFits)
         return;
     }
     FAIL() << "overhead.refit_cycles not registered";
+}
+
+/** Counter value by name, or ~0 when absent. */
+std::uint64_t
+counterValue(const Registry &reg, const std::string &name)
+{
+    for (const auto &entry : reg.entries())
+        if (entry.name == name && entry.counter != nullptr)
+            return entry.counter->value();
+    return static_cast<std::uint64_t>(-1);
+}
+
+TEST(OverheadProfiler, PerfCountersRegisteredPerHookClass)
+{
+    Registry reg;
+    OverheadProfiler profiler(reg, 1e9);
+    for (const char *cls :
+         {"context_switch", "context_rebind", "sampling_window",
+          "io_complete", "task_exit", "fork", "segment_received",
+          "actuation", "refit"}) {
+        std::string base = std::string("perf.") + cls;
+        ASSERT_TRUE(reg.has(base + ".calls")) << base;
+        ASSERT_TRUE(reg.has(base + ".cycles")) << base;
+        EXPECT_EQ(reg.kindOf(base + ".calls"),
+                  InstrumentKind::Counter);
+        EXPECT_EQ(reg.kindOf(base + ".cycles"),
+                  InstrumentKind::Counter);
+    }
+}
+
+TEST(OverheadProfiler, PerfCallCountsAreExactUnderFixedWorkload)
+{
+    Registry reg;
+    OverheadProfiler profiler(reg, 1e9);
+    RecordingHooks inner;
+    profiler.wrap(&inner);
+
+    os::Task task;
+    os::Task child;
+    os::Segment segment;
+    segment.context = os::RequestId(1);
+    for (int i = 0; i < 7; ++i)
+        profiler.onContextSwitch(0, &task, &task);
+    for (int i = 0; i < 5; ++i)
+        profiler.onSamplingInterrupt(0);
+    for (int i = 0; i < 3; ++i)
+        profiler.onIoComplete(hw::DeviceKind::Disk, os::RequestId(1),
+                              sim::usec(5), 512);
+    profiler.onContextRebind(task, os::NoRequest, os::RequestId(2));
+    profiler.onTaskExit(task);
+    profiler.onFork(task, child);
+    profiler.onSegmentReceived(task, segment);
+    profiler.onActuation(0, 6, 1);
+    profiler.profileRefit(32, 4, 2);
+
+    EXPECT_EQ(counterValue(reg, "perf.context_switch.calls"), 7u);
+    EXPECT_EQ(counterValue(reg, "perf.sampling_window.calls"), 5u);
+    EXPECT_EQ(counterValue(reg, "perf.io_complete.calls"), 3u);
+    EXPECT_EQ(counterValue(reg, "perf.context_rebind.calls"), 1u);
+    EXPECT_EQ(counterValue(reg, "perf.task_exit.calls"), 1u);
+    EXPECT_EQ(counterValue(reg, "perf.fork.calls"), 1u);
+    EXPECT_EQ(counterValue(reg, "perf.segment_received.calls"), 1u);
+    EXPECT_EQ(counterValue(reg, "perf.actuation.calls"), 1u);
+    EXPECT_EQ(counterValue(reg, "perf.refit.calls"), 2u);
+    // The aggregate counter is the sum of the per-class calls.
+    EXPECT_EQ(profiler.forwardedCalls(), 7u + 5 + 3 + 1 + 1 + 1 + 1 +
+                  1 + 2);
+    // A refit does real work: its cycle counter must have advanced.
+    EXPECT_GT(counterValue(reg, "perf.refit.cycles"), 0u);
+}
+
+TEST(OverheadProfiler, PerfCallsMatchHistogramCounts)
+{
+    Registry reg;
+    OverheadProfiler profiler(reg, 1e9);
+    RecordingHooks inner;
+    profiler.wrap(&inner);
+    os::Task task;
+    for (int i = 0; i < 13; ++i)
+        profiler.onContextSwitch(0, &task, &task);
+
+    std::uint64_t calls =
+        counterValue(reg, "perf.context_switch.calls");
+    EXPECT_EQ(calls, 13u);
+    for (const auto &entry : reg.entries()) {
+        if (entry.name != "overhead.context_switch_cycles")
+            continue;
+        EXPECT_EQ(entry.histogram->count(), calls);
+        return;
+    }
+    FAIL() << "overhead.context_switch_cycles not registered";
+}
+
+TEST(OverheadProfiler,
+     IdenticalWorkloadsProduceIdenticalPerfCallCounts)
+{
+    // Call counts are a pure function of the workload: two profilers
+    // driven by the same deterministic sequence agree exactly even
+    // though their (host-timed) cycle totals may differ.
+    Registry regA;
+    Registry regB;
+    OverheadProfiler profA(regA, 1e9);
+    OverheadProfiler profB(regB, 1e9);
+    os::Task task;
+    for (OverheadProfiler *p : {&profA, &profB}) {
+        for (int i = 0; i < 9; ++i)
+            p->onContextSwitch(i % 2, &task, &task);
+        for (int i = 0; i < 4; ++i)
+            p->onSamplingInterrupt(0);
+        p->onActuation(0, 3, 0);
+    }
+    for (const char *name :
+         {"perf.context_switch.calls", "perf.sampling_window.calls",
+          "perf.actuation.calls", "perf.io_complete.calls"}) {
+        EXPECT_EQ(counterValue(regA, name), counterValue(regB, name))
+            << name;
+    }
 }
 
 TEST(OverheadProfiler, WorksWithNoInnerHooks)

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "trace/report.h"
+#include "trace/span_json.h"
+
+#ifndef PCON_TEST_DATA_DIR
+#define PCON_TEST_DATA_DIR "tests/data"
+#endif
+
+namespace pcon::trace {
+namespace {
+
+SpanCollector
+golden()
+{
+    return loadSpanJson(std::string(PCON_TEST_DATA_DIR) +
+                        "/golden_span_dump.json");
+}
+
+/** Minimal structural validity: balanced {} and [] outside strings. */
+bool
+balanced(const std::string &json)
+{
+    int braces = 0;
+    int brackets = 0;
+    bool in_string = false;
+    for (std::size_t i = 0; i < json.size(); ++i) {
+        char c = json[i];
+        if (in_string) {
+            if (c == '\\')
+                ++i;
+            else if (c == '"')
+                in_string = false;
+            continue;
+        }
+        switch (c) {
+        case '"':
+            in_string = true;
+            break;
+        case '{':
+            ++braces;
+            break;
+        case '}':
+            --braces;
+            break;
+        case '[':
+            ++brackets;
+            break;
+        case ']':
+            --brackets;
+            break;
+        default:
+            break;
+        }
+        if (braces < 0 || brackets < 0)
+            return false;
+    }
+    return braces == 0 && brackets == 0 && !in_string;
+}
+
+TEST(ReportJson, NamesSchemaAndCoversGoldenDump)
+{
+    SpanCollector spans = golden();
+    std::string json = reportJson(spans);
+    EXPECT_EQ(json.rfind("{\"schema\":\"pcon-trace-report-v1\"", 0),
+              0u);
+    EXPECT_TRUE(balanced(json));
+    EXPECT_NE(json.find("\"requests\":["), std::string::npos);
+    EXPECT_NE(json.find("\"stages\":["), std::string::npos);
+    EXPECT_NE(json.find("\"critical_path\":["), std::string::npos);
+    EXPECT_NE(json.find("\"machine_imbalance\":["),
+              std::string::npos);
+    // The golden request's root shows up with its energy.
+    EXPECT_NE(json.find("\"root\":\"golden\""), std::string::npos);
+    EXPECT_NE(json.find("\"energy_j\":0.157500"), std::string::npos);
+}
+
+TEST(ReportJson, DeterministicAcrossCalls)
+{
+    SpanCollector spans = golden();
+    EXPECT_EQ(reportJson(spans), reportJson(spans));
+}
+
+TEST(ReportJson, OptionsToggleSections)
+{
+    SpanCollector spans = golden();
+    ReportOptions opts;
+    opts.stageBreakdown = false;
+    opts.criticalPath = false;
+    opts.machineImbalance = false;
+    std::string json = reportJson(spans, opts);
+    EXPECT_TRUE(balanced(json));
+    EXPECT_EQ(json.find("\"stages\":["), std::string::npos);
+    EXPECT_EQ(json.find("\"critical_path\":["), std::string::npos);
+    EXPECT_EQ(json.find("\"machine_imbalance\":["),
+              std::string::npos);
+    EXPECT_NE(json.find("\"requests\":["), std::string::npos);
+}
+
+TEST(ReportJson, TopNLimitsRequests)
+{
+    SpanCollector spans = golden();
+    ReportOptions opts;
+    opts.topN = 0;
+    opts.machineImbalance = false;
+    std::string json = reportJson(spans, opts);
+    EXPECT_NE(json.find("\"requests\":[]"), std::string::npos);
+}
+
+TEST(ReportJson, EmptyCollectorYieldsEmptyDocument)
+{
+    SpanCollector spans;
+    std::string json = reportJson(spans);
+    EXPECT_TRUE(balanced(json));
+    EXPECT_NE(json.find("\"requests\":[]"), std::string::npos);
+    EXPECT_NE(json.find("\"machine_imbalance\":[]"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace pcon::trace

@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Benchmark trajectory CLI: compares pcon-bench-v1 BENCH_*.json
+ * documents (see docs/BENCHMARKING.md) and gates on regressions.
+ *
+ *   bench_report <base.json> <current.json> [options]
+ *   bench_report <base_dir> <current_dir>   [options]
+ *   bench_report <dir>                      [options]
+ *
+ * Two files: compare current against base entry by entry. Two
+ * directories: match every BENCH_*.json by filename and compare each
+ * pair. One directory: trajectory mode — list every BENCH_*.json in
+ * sorted order with its provenance and per-entry medians.
+ *
+ * Options:
+ *   --check          exit 1 when any gated entry regresses by more
+ *                    than the threshold. Only deterministic "count"
+ *                    entries gate by default; wall-clock entries are
+ *                    informational (noted on stderr, never fatal)
+ *                    because their run-to-run spread on shared
+ *                    machines dwarfs any useful threshold.
+ *   --gate-wall      also gate wall-clock entries (dedicated quiet
+ *                    machines only)
+ *   --threshold N    regression gate percentage (default 5)
+ *   --json           machine-readable output instead of the table
+ *
+ * Exit codes: 0 ok, 1 regression over threshold (with --check),
+ * 2 usage or I/O error.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include "perf/bench_compare.h"
+#include "perf/bench_schema.h"
+
+namespace {
+
+using pcon::perf::BenchParseResult;
+using pcon::perf::BenchReport;
+using pcon::perf::Comparison;
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s <base.json> <current.json> [--check] "
+        "[--gate-wall] [--threshold N] [--json]\n"
+        "       %s <base_dir> <current_dir>   [--check] "
+        "[--gate-wall] [--threshold N] [--json]\n"
+        "       %s <dir>                      [--json]\n",
+        argv0, argv0, argv0);
+    return 2;
+}
+
+bool
+isDirectory(const std::string &path)
+{
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+bool
+exists(const std::string &path)
+{
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+}
+
+/** BENCH_*.json filenames in `dir`, sorted. */
+std::vector<std::string>
+benchFiles(const std::string &dir)
+{
+    std::vector<std::string> out;
+    DIR *d = ::opendir(dir.c_str());
+    if (d == nullptr)
+        return out;
+    while (dirent *e = ::readdir(d)) {
+        std::string name = e->d_name;
+        if (name.rfind("BENCH_", 0) == 0 && name.size() > 5 &&
+            name.size() >= 11 &&
+            name.compare(name.size() - 5, 5, ".json") == 0)
+            out.push_back(name);
+    }
+    ::closedir(d);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+/** Load one report; on failure print the error and return false. */
+bool
+load(const std::string &path, BenchReport &out)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+        std::fprintf(stderr, "bench_report: cannot open %s\n",
+                     path.c_str());
+        return false;
+    }
+    std::string text;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+    BenchParseResult parsed = pcon::perf::tryParseBenchJson(text);
+    if (!parsed.ok) {
+        std::fprintf(stderr, "bench_report: %s: %s\n", path.c_str(),
+                     parsed.error.c_str());
+        return false;
+    }
+    out = parsed.report;
+    return true;
+}
+
+struct Options
+{
+    bool check = false;
+    bool gateWall = false;
+    bool json = false;
+    double thresholdPct = 5.0;
+};
+
+/**
+ * Render one comparison and fold its gate verdict into `failed`.
+ */
+void
+emit(const Comparison &cmp, const Options &opts, bool first,
+     bool &failed)
+{
+    if (opts.json) {
+        if (!first)
+            std::printf("\n");
+        std::printf("%s\n",
+                    pcon::perf::renderComparisonJson(cmp).c_str());
+    } else {
+        std::printf(
+            "%s",
+            pcon::perf::renderComparisonTable(cmp).c_str());
+    }
+    if (opts.check) {
+        std::vector<pcon::perf::EntryDelta> over =
+            cmp.regressionsOver(opts.thresholdPct, opts.gateWall);
+        for (const pcon::perf::EntryDelta &d : over) {
+            std::fprintf(stderr,
+                         "bench_report: REGRESSION %s/%s %+.2f%% "
+                         "(threshold %.2f%%)\n",
+                         cmp.topic.c_str(), d.name.c_str(),
+                         d.regressionPct, opts.thresholdPct);
+            failed = true;
+        }
+        if (!opts.gateWall) {
+            // Wall-clock deltas over the threshold are host noise
+            // until proven otherwise: note them, don't gate.
+            for (const pcon::perf::EntryDelta &d :
+                 cmp.regressionsOver(opts.thresholdPct, true)) {
+                if (d.deterministic())
+                    continue;
+                std::fprintf(
+                    stderr,
+                    "bench_report: note: wall-clock delta %s/%s "
+                    "%+.2f%% (informational; --gate-wall to gate)\n",
+                    cmp.topic.c_str(), d.name.c_str(),
+                    d.regressionPct);
+            }
+        }
+    }
+}
+
+/** Summarize a directory of reports (no comparison). */
+int
+trajectory(const std::string &dir, const Options &opts)
+{
+    std::vector<std::string> files = benchFiles(dir);
+    if (files.empty()) {
+        std::fprintf(stderr,
+                     "bench_report: no BENCH_*.json under %s\n",
+                     dir.c_str());
+        return 2;
+    }
+    bool first = true;
+    for (const std::string &name : files) {
+        BenchReport report;
+        if (!load(dir + "/" + name, report))
+            return 2;
+        if (opts.json) {
+            if (!first)
+                std::printf("\n");
+            std::printf(
+                "%s\n",
+                pcon::perf::renderBenchJson(report).c_str());
+        } else {
+            std::printf("%s  topic %-18s %s %s%s  %zu entries\n",
+                        name.c_str(), report.topic.c_str(),
+                        report.gitSha.c_str(),
+                        report.buildFlavor.c_str(),
+                        report.quick ? " (quick)" : "",
+                        report.entries.size());
+            for (const pcon::perf::BenchEntry &e : report.entries)
+                std::printf("  %-36s median %14.2f %s\n",
+                            e.name.c_str(), e.medianValue,
+                            e.unit.c_str());
+        }
+        first = false;
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> paths;
+    Options opts;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--check") == 0) {
+            opts.check = true;
+        } else if (std::strcmp(argv[i], "--gate-wall") == 0) {
+            opts.gateWall = true;
+        } else if (std::strcmp(argv[i], "--threshold") == 0) {
+            if (i + 1 >= argc)
+                return usage(argv[0]);
+            opts.thresholdPct = std::strtod(argv[++i], nullptr);
+        } else if (std::strcmp(argv[i], "--json") == 0) {
+            opts.json = true;
+        } else if (argv[i][0] == '-') {
+            return usage(argv[0]);
+        } else {
+            paths.push_back(argv[i]);
+        }
+    }
+    if (paths.empty() || paths.size() > 2)
+        return usage(argv[0]);
+    for (const std::string &p : paths)
+        if (!exists(p)) {
+            std::fprintf(stderr, "bench_report: no such path %s\n",
+                         p.c_str());
+            return 2;
+        }
+
+    if (paths.size() == 1) {
+        if (!isDirectory(paths[0]))
+            return usage(argv[0]);
+        return trajectory(paths[0], opts);
+    }
+
+    bool failed = false;
+    if (isDirectory(paths[0]) != isDirectory(paths[1]))
+        return usage(argv[0]);
+    if (!isDirectory(paths[0])) {
+        BenchReport base, current;
+        if (!load(paths[0], base) || !load(paths[1], current))
+            return 2;
+        emit(pcon::perf::compareBenchReports(base, current), opts,
+             true, failed);
+    } else {
+        std::vector<std::string> base_files = benchFiles(paths[0]);
+        std::vector<std::string> current_files =
+            benchFiles(paths[1]);
+        bool first = true;
+        std::size_t matched = 0;
+        for (const std::string &name : base_files) {
+            if (std::find(current_files.begin(),
+                          current_files.end(),
+                          name) == current_files.end()) {
+                std::fprintf(stderr,
+                             "bench_report: %s only in %s\n",
+                             name.c_str(), paths[0].c_str());
+                continue;
+            }
+            BenchReport base, current;
+            if (!load(paths[0] + "/" + name, base) ||
+                !load(paths[1] + "/" + name, current))
+                return 2;
+            emit(pcon::perf::compareBenchReports(base, current),
+                 opts, first, failed);
+            first = false;
+            ++matched;
+        }
+        for (const std::string &name : current_files)
+            if (std::find(base_files.begin(), base_files.end(),
+                          name) == base_files.end())
+                std::fprintf(stderr,
+                             "bench_report: %s only in %s\n",
+                             name.c_str(), paths[1].c_str());
+        if (matched == 0) {
+            std::fprintf(stderr,
+                         "bench_report: no matching BENCH_*.json "
+                         "pairs\n");
+            return 2;
+        }
+    }
+    return failed ? 1 : 0;
+}

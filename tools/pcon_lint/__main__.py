@@ -7,7 +7,7 @@ Usage:
 
 Runs the project's static-analysis rules (layering, units,
 hook-order, determinism, concurrency-primitives, shared-state,
-guarded-members) over the repository and reports findings as
+guarded-members, bench-timing) over the repository and reports findings as
 ``path:line: [rule] message`` lines, or as a JSON document with
 ``--json`` (used by CI to upload an artifact). ``--selftest`` first
 exercises the shared engine (comment/string/raw-string blanking, the
@@ -41,6 +41,7 @@ from engine import (
     report_json,
     run_rules_with_stale,
 )
+from rules_bench_timing import BenchTimingRule
 from rules_concurrency import ConcurrencyPrimitivesRule
 from rules_determinism import DeterminismRule
 from rules_guarded_members import GuardedMembersRule
@@ -59,6 +60,7 @@ def default_rules(shared_types_path=None):
         ConcurrencyPrimitivesRule(),
         SharedStateRule(),
         GuardedMembersRule(shared_types_path=shared_types_path),
+        BenchTimingRule(),
     ]
 
 

@@ -5,10 +5,11 @@
  * energy, per-stage breakdowns, critical paths, and the
  * cross-machine imbalance table.
  *
- *   trace_report spans.json [--top N] [--request ID]
+ *   trace_report spans.json [--top N] [--request ID] [--json]
  *
  * With --request only that request's breakdown and critical path are
- * printed. Exit codes: 0 ok, 2 usage error; parse/IO failures abort
+ * printed. --json emits the same report as one machine-readable
+ * pcon-trace-report-v1 document (reportJson) instead of text. Exit codes: 0 ok, 2 usage error; parse/IO failures abort
  * with a diagnostic (util::fatal).
  */
 
@@ -26,7 +27,7 @@ int
 usage(const char *argv0)
 {
     std::fprintf(stderr,
-                 "usage: %s <spans.json> [--top N] [--request ID]\n",
+                 "usage: %s <spans.json> [--top N] [--request ID] [--json]\n",
                  argv0);
     return 2;
 }
@@ -38,6 +39,7 @@ main(int argc, char **argv)
 {
     std::string path;
     std::size_t top_n = 5;
+    bool json = false;
     pcon::os::RequestId request = pcon::os::NoRequest;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--top") == 0) {
@@ -50,6 +52,8 @@ main(int argc, char **argv)
                 return usage(argv[0]);
             request = static_cast<pcon::os::RequestId>(
                 std::strtoull(argv[++i], nullptr, 10));
+        } else if (std::strcmp(argv[i], "--json") == 0) {
+            json = true;
         } else if (argv[i][0] == '-' || !path.empty()) {
             return usage(argv[0]);
         } else {
@@ -61,7 +65,7 @@ main(int argc, char **argv)
 
     pcon::trace::SpanCollector spans =
         pcon::trace::loadSpanJson(path);
-    if (request != pcon::os::NoRequest) {
+    if (request != pcon::os::NoRequest && !json) {
         std::fputs(
             pcon::trace::reportStageBreakdown(spans, request).c_str(),
             stdout);
@@ -73,6 +77,12 @@ main(int argc, char **argv)
     }
     pcon::trace::ReportOptions opts;
     opts.topN = top_n;
+    if (json) {
+        std::fputs(pcon::trace::reportJson(spans, opts).c_str(),
+                   stdout);
+        std::fputs("\n", stdout);
+        return 0;
+    }
     std::fputs(pcon::trace::fullReport(spans, opts).c_str(), stdout);
     return 0;
 }
