@@ -189,7 +189,7 @@ taggingExperiment(bool per_segment)
     for (const core::RequestRecord &r : manager.records())
         tally(r.type, r.totalEnergyJ().value());
     for (const auto &[id, container] : manager.live())
-        tally(container->type, container->totalEnergyJ().value());
+        tally(container->type(), container->totalEnergyJ().value());
     return {light_total / light_n, heavy_total / heavy_n};
 }
 

@@ -40,16 +40,16 @@ runLoad(double utilization, const char *label)
     world.run(sec(2));
     world.beginWindow();
     double background_before =
-        world.manager().background().cpuEnergyJ.value() +
-        world.manager().background().ioEnergyJ.value();
+        world.manager().background().cpuEnergyJ().value() +
+        world.manager().background().ioEnergyJ().value();
     sim::SimTime t0 = world.sim().now();
     world.run(sec(20));
     client.stop();
 
     double span_s = sim::toSeconds(world.sim().now() - t0);
     double background_w =
-        (world.manager().background().cpuEnergyJ.value() +
-         world.manager().background().ioEnergyJ.value() - background_before) /
+        (world.manager().background().cpuEnergyJ().value() +
+         world.manager().background().ioEnergyJ().value() - background_before) /
         span_s;
     double total_accounted_w = world.accountedActiveW();
     double requests_w = total_accounted_w - background_w;

@@ -226,19 +226,19 @@ InvariantAuditor::checkManager(ManagerState &state)
               accounted, " J");
 
     auto check_container = [](const core::PowerContainer &c) {
-        if (!finite(c.cpuEnergyJ.value()) ||
-            c.cpuEnergyJ.value() < 0.0 ||
-            !finite(c.ioEnergyJ.value()) ||
-            c.ioEnergyJ.value() < 0.0)
+        if (!finite(c.cpuEnergyJ().value()) ||
+            c.cpuEnergyJ().value() < 0.0 ||
+            !finite(c.ioEnergyJ().value()) ||
+            c.ioEnergyJ().value() < 0.0)
             panic("invariant 'container-energy-nonnegative' "
                   "violated: container ",
-                  c.id, " (", c.type.empty() ? "request" : c.type,
-                  ") holds cpu=", c.cpuEnergyJ, " J io=", c.ioEnergyJ,
+                  c.id(), " (", c.type().empty() ? "request" : c.type(),
+                  ") holds cpu=", c.cpuEnergyJ(), " J io=", c.ioEnergyJ(),
                   " J");
-        if (!finite(c.cpuTimeNs) || c.cpuTimeNs < 0.0)
+        if (!finite(c.cpuTimeNs()) || c.cpuTimeNs() < 0.0)
             panic("invariant 'container-cputime-nonnegative' "
                   "violated: container ",
-                  c.id, " cpu time is ", c.cpuTimeNs, " ns");
+                  c.id(), " cpu time is ", c.cpuTimeNs(), " ns");
     };
     check_container(manager.background());
     double live_j = manager.background().totalEnergyJ().value();

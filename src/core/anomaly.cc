@@ -57,13 +57,13 @@ PowerAnomalyDetector::scan()
 
     // Live requests: catch a virus while it still runs.
     for (const auto &[id, container] : manager_.live()) {
-        if (container->cpuTimeNs < cfg_.minCpuTimeNs)
+        if (container->cpuTimeNs() < cfg_.minCpuTimeNs)
             continue;
         util::Watts mean = container->meanPowerW();
         if (overThreshold(mean) && reported_.insert(id).second) {
             PowerAnomaly anomaly;
             anomaly.id = id;
-            anomaly.type = container->type;
+            anomaly.type = container->type();
             anomaly.meanPowerW = mean;
             anomaly.fleetMeanW = fleet_.mean();
             anomaly.fleetStddevW = fleet_.stddev();

@@ -78,7 +78,7 @@ PowerConditioner::adjust(int core)
         return;
     PowerContainer &container =
         manager_.containerOrBackground(task->context);
-    if (container.sampleCount == 0)
+    if (container.sampleCount() == 0)
         return;
 
     hw::Machine &machine = kernel_.machine();
@@ -90,7 +90,7 @@ PowerConditioner::adjust(int core)
     // predicting the effect of a candidate P-state).
     double scale =
         machine.dutyFraction(core) * machine.pstateRatio(core);
-    double full_speed_w = container.lastPowerW.value() / scale;
+    double full_speed_w = container.lastPowerW().value() / scale;
 
     int busy = std::max(1, busyCores());
     double budget_w = cfg_.systemActiveTargetW / busy;

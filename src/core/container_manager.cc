@@ -16,14 +16,15 @@ ContainerManager::ContainerManager(
       cores_(static_cast<std::size_t>(kernel.machine().totalCores()))
 {
     util::fatalIf(!model_, "ContainerManager needs a model");
-    background_ = std::make_shared<PowerContainer>();
-    background_->id = os::NoRequest;
-    background_->type = "background";
-    background_->createdAt = kernel_.simulation().now();
+    background_ = std::make_shared<PowerContainer>(
+        ledgers_, os::NoRequest, "background",
+        kernel_.simulation().now());
 
     sim::SimTime now = kernel_.simulation().now();
+    // One batched read seeds every core's window boundary.
+    kernel_.machine().readCountersBatch(batchSnapshots_);
     for (int c = 0; c < kernel_.machine().totalCores(); ++c) {
-        cores_[c].lastSnapshot = kernel_.machine().readCounters(c);
+        cores_[c].lastSnapshot = batchSnapshots_[c];
         cores_[c].windowStart = now;
         cores_[c].recentUtilTime = now;
     }
@@ -50,9 +51,9 @@ ContainerManager::ContainerManager(
                 sampleCore(core);
         }
         tag.present = true;
-        tag.cpuTimeNs = c->cpuTimeNs;
+        tag.cpuTimeNs = c->cpuTimeNs();
         tag.energyJ = c->totalEnergyJ();
-        tag.lastPowerW = c->lastPowerW;
+        tag.lastPowerW = c->lastPowerW();
         return tag;
     });
 }
@@ -110,7 +111,7 @@ ContainerManager::onIoComplete(hw::DeviceKind device,
                    "device attribution charged ", energy, " J over ",
                    busy_time, " ns of busy time");
     PowerContainer &target = containerOrBackground(context);
-    target.ioEnergyJ += energy;
+    target.chargeIo(energy);
     accountedEnergyJ_ += energy;
 }
 
@@ -172,13 +173,11 @@ ContainerManager::sampleCore(int core)
                            "attribution window on core ", core,
                            " charged ", energy, " J over ", window_s,
                            " s");
-            ca.active->cpuEnergyJ += energy;
             accountedEnergyJ_ += energy;
-            ca.active->cpuTimeNs += delta.nonhaltCycles /
-                machine.config().freqGhz;
-            ca.active->events.accumulate(delta);
-            ca.active->lastPowerW = power_w;
-            ++ca.active->sampleCount;
+            ca.active->chargeCpuWindow(energy,
+                                       delta.nonhaltCycles /
+                                           machine.config().freqGhz,
+                                       delta, power_w);
         }
 
         // Publish this window's utilization for siblings' Equation 3.
@@ -223,11 +222,10 @@ ContainerManager::chipShare(int core, double my_util)
 void
 ContainerManager::requestCreated(const os::RequestInfo &info)
 {
-    auto container = std::make_shared<PowerContainer>();
-    container->id = info.id;
-    container->type = info.type;
-    container->createdAt = info.created;
-    containers_.emplace(info.id, std::move(container));
+    containers_.emplace(info.id,
+                        std::make_shared<PowerContainer>(
+                            ledgers_, info.id, info.type,
+                            info.created));
 }
 
 void
@@ -244,14 +242,14 @@ ContainerManager::requestCompleted(const os::RequestInfo &info)
             sampleCore(core);
     const PowerContainer &c = *it->second;
     RequestRecord record;
-    record.id = c.id;
-    record.type = c.type;
+    record.id = c.id();
+    record.type = c.type();
     record.created = info.created;
     record.completed = info.completed;
-    record.events = c.events;
-    record.cpuEnergyJ = c.cpuEnergyJ;
-    record.ioEnergyJ = c.ioEnergyJ;
-    record.cpuTimeNs = c.cpuTimeNs;
+    record.events = c.events();
+    record.cpuEnergyJ = c.cpuEnergyJ();
+    record.ioEnergyJ = c.ioEnergyJ();
+    record.cpuTimeNs = c.cpuTimeNs();
     record.meanPowerW = c.meanPowerW();
     records_.push_back(record);
     // Release the container state; any core still mid-window holds a

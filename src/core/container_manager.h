@@ -165,6 +165,14 @@ class ContainerManager : public os::KernelHooks
     os::Kernel &kernel_;
     std::shared_ptr<LinearPowerModel> model_;
     ContainerManagerConfig cfg_;
+    /**
+     * SoA ledger columns for every container this manager owns.
+     * Declared before any shared_ptr<PowerContainer> member so the
+     * store outlives all handles during destruction.
+     */
+    LedgerStore ledgers_;
+    /** Scratch for Machine::readCountersBatch (avoids reallocs). */
+    std::vector<hw::CounterSnapshot> batchSnapshots_;
     std::vector<CoreAccounting> cores_;
     std::unordered_map<os::RequestId, std::shared_ptr<PowerContainer>>
         containers_;

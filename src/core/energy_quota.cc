@@ -54,7 +54,7 @@ EnergyQuotaPolicy::onSamplingInterrupt(int core)
     PowerContainer *container = manager_.container(task->context);
     if (container == nullptr)
         return;
-    double budget = budgetFor(container->type);
+    double budget = budgetFor(container->type());
     if (budget <= 0 || container->totalEnergyJ().value() <= budget)
         return;
     auto [it, inserted] = throttled_.emplace(task->context, true);

@@ -80,7 +80,7 @@ RequestTracer::annotate(os::RequestId id, TraceEvent &event)
     PowerContainer *c = manager_.container(id);
     if (c == nullptr)
         return;
-    event.powerW = c->lastPowerW;
+    event.powerW = c->lastPowerW();
     event.cumulativeEnergyJ = c->totalEnergyJ();
 }
 

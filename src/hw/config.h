@@ -61,6 +61,8 @@ struct GroundTruthParams
     double diskActiveW = 0;
     /** NIC power while transferring (Watts). */
     double netActiveW = 0;
+
+    bool operator==(const GroundTruthParams &) const = default;
 };
 
 /** Characteristics of one power measurement instrument. */
@@ -78,6 +80,8 @@ struct MeterConfig
     double noiseStddevW = 0;
     /** Seed of the meter's private noise generator. */
     std::uint64_t noiseSeed = 0x7e7e7;
+
+    bool operator==(const MeterConfig &) const = default;
 };
 
 /**
@@ -115,6 +119,8 @@ struct MachineConfig
     MeterConfig wattsupMeter{sim::sec(1), sim::msec(1200)};
     /** Hidden physical parameters. */
     GroundTruthParams truth;
+
+    bool operator==(const MachineConfig &) const = default;
 
     /** Total core count. */
     int totalCores() const { return chips * coresPerChip; }

@@ -14,6 +14,9 @@ using util::panicIf;
 Machine::Machine(sim::Simulation &simulation, const MachineConfig &cfg)
     : sim_(simulation), cfg_(cfg),
       cores_(static_cast<std::size_t>(cfg.totalCores())),
+      chipActiveCacheW_(static_cast<std::size_t>(cfg.chips), 0.0),
+      chipActiveCacheValid_(static_cast<std::size_t>(cfg.chips),
+                            false),
       packageEnergyJ_(static_cast<std::size_t>(cfg.chips),
                       util::Joules(0)),
       lastSync_(simulation.now())
@@ -27,8 +30,10 @@ Machine::Machine(sim::Simulation &simulation, const MachineConfig &cfg)
     for (double ratio : cfg.pstates)
         fatalIf(ratio <= 0.0 || ratio > 1.0,
                 "P-state ratio out of (0, 1]: ", ratio);
-    for (auto &core : cores_)
+    for (auto &core : cores_) {
         core.dutyLevel = cfg.dutyDenom;
+        core.dutyFrac = 1.0;
+    }
 }
 
 void
@@ -52,6 +57,7 @@ Machine::setRunning(int core, const ActivityVector &activity)
     sync();
     cores_[core].busy = true;
     cores_[core].activity = activity;
+    invalidateChipPower(core);
 }
 
 void
@@ -60,6 +66,7 @@ Machine::setIdle(int core)
     checkCore(core);
     sync();
     cores_[core].busy = false;
+    invalidateChipPower(core);
 }
 
 bool
@@ -85,6 +92,9 @@ Machine::setDutyLevel(int core, int level)
             "duty level ", level, " out of 1..", cfg_.dutyDenom);
     sync();
     cores_[core].dutyLevel = level;
+    cores_[core].dutyFrac = static_cast<double>(level) /
+        static_cast<double>(cfg_.dutyDenom);
+    invalidateChipPower(core);
 }
 
 int
@@ -98,8 +108,7 @@ double
 Machine::dutyFraction(int core) const
 {
     checkCore(core);
-    return static_cast<double>(cores_[core].dutyLevel) /
-        static_cast<double>(cfg_.dutyDenom);
+    return cores_[core].dutyFrac;
 }
 
 double
@@ -120,6 +129,7 @@ Machine::setPState(int core, int pstate)
             cfg_.pstates.size() - 1);
     sync();
     cores_[core].pstate = pstate;
+    invalidateChipPower(core);
 }
 
 int
@@ -152,6 +162,18 @@ Machine::readCounters(int core)
     if (counterFaultHook_)
         counterFaultHook_(core, snapshot);
     return snapshot;
+}
+
+void
+Machine::readCountersBatch(std::vector<CounterSnapshot> &out)
+{
+    sync();
+    out.resize(cores_.size());
+    for (std::size_t core = 0; core < cores_.size(); ++core) {
+        out[core] = cores_[core].counters;
+        if (counterFaultHook_)
+            counterFaultHook_(static_cast<int>(core), out[core]);
+    }
 }
 
 void
@@ -190,8 +212,7 @@ Machine::coreActiveW(const CoreState &core) const
         return 0.0;
     const GroundTruthParams &t = cfg_.truth;
     const ActivityVector &a = core.activity;
-    double duty = static_cast<double>(core.dutyLevel) /
-        static_cast<double>(cfg_.dutyDenom);
+    double duty = core.dutyFrac;
     double linear = t.coreBusyW + a.ipc * t.insW +
         a.flopsPerCycle * t.flopW + a.llcPerCycle * t.llcW +
         a.memPerCycle * t.memW;
@@ -201,9 +222,20 @@ Machine::coreActiveW(const CoreState &core) const
     return (linear + interaction) * duty * dvfs;
 }
 
+void
+Machine::invalidateChipPower(int core)
+{
+    chipActiveCacheValid_[static_cast<std::size_t>(
+        core / cfg_.coresPerChip)] = false;
+}
+
 double
 Machine::chipActiveW(int chip) const
 {
+    if (chipActiveCacheValid_[chip])
+        return chipActiveCacheW_[chip];
+    // Recompute with the exact full-sum loop (never incrementally),
+    // so the memoized value is bit-identical to an unmemoized one.
     // pcon-lint: allow(units) ground-truth internal; callers wrap in Watts
     double power = 0.0;
     bool any_busy = false;
@@ -215,6 +247,8 @@ Machine::chipActiveW(int chip) const
     }
     if (any_busy)
         power += cfg_.truth.chipMaintenanceW;
+    chipActiveCacheW_[chip] = power;
+    chipActiveCacheValid_[chip] = true;
     return power;
 }
 
@@ -274,7 +308,7 @@ Machine::deviceEnergyJ(DeviceKind kind)
 }
 
 void
-Machine::sync()
+Machine::syncSlow()
 {
     sim::SimTime now = sim_.now();
     panicIf(now < lastSync_, "machine clock went backwards");
@@ -291,10 +325,8 @@ Machine::sync()
         core.counters.elapsedCycles += elapsed_cycles;
         if (!core.busy)
             continue;
-        double duty = static_cast<double>(core.dutyLevel) /
-            static_cast<double>(cfg_.dutyDenom);
-        double cycles =
-            elapsed_cycles * duty * cfg_.pstates[core.pstate];
+        double cycles = elapsed_cycles * core.dutyFrac *
+            cfg_.pstates[core.pstate];
         core.counters.nonhaltCycles += cycles;
         core.counters.instructions += cycles * core.activity.ipc;
         core.counters.flops += cycles * core.activity.flopsPerCycle;

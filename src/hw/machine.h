@@ -113,6 +113,15 @@ class Machine
     CounterSnapshot readCounters(int core);
 
     /**
+     * Read every core's counters in one pass: a single sync, then
+     * one snapshot (and one fault-hook application, exactly as
+     * readCounters would) per core. `out` is resized to totalCores().
+     * The per-slice sampling path in core/container_manager uses
+     * this so one synchronization services all containers.
+     */
+    void readCountersBatch(std::vector<CounterSnapshot> &out);
+
+    /**
      * Rewrites the snapshot readCounters() reports for a core (fault
      * injection: stuck-at or saturated counters). Operates on the
      * returned copy only — ground-truth counters and energy are
@@ -167,17 +176,49 @@ class Machine
         ActivityVector activity{};
         int dutyLevel = 0;          // set to denom in ctor
         int pstate = 0;             // P0 = nominal frequency
+        /**
+         * dutyLevel / dutyDenom, cached when the level is written:
+         * the integration and power paths used to redo this division
+         * per core per sync (millions per second). The cached value
+         * is the very same quotient, so results are bit-identical.
+         */
+        double dutyFrac = 0.0;
         CounterSnapshot counters{};
     };
 
-    /** Integrate counters and energy up to now. */
-    void sync();
+    /**
+     * Integrate counters and energy up to now. Inline fast path:
+     * most calls happen repeatedly within one event timestamp, where
+     * there is nothing to integrate.
+     */
+    void
+    sync()
+    {
+        if (sim_.now() != lastSync_)
+            syncSlow();
+    }
+
+    /** The actual integration step; called once per distinct time. */
+    void syncSlow();
 
     /** Ground-truth active power of one core right now. */
     double coreActiveW(const CoreState &core) const;
 
-    /** Ground-truth active power of one chip (cores+maintenance). */
+    /**
+     * Ground-truth active power of one chip (cores+maintenance),
+     * memoized: the per-core sum only changes when a core on the
+     * chip flips busy/idle, changes activity, duty level, or
+     * P-state, so mutators drop the cached value and this recomputes
+     * it from scratch — the identical full-sum loop, preserving
+     * floating-point accumulation order bit for bit — on the next
+     * read. sync() reads it twice per chip per interval (machine and
+     * package integration), which made the old recompute-every-time
+     * loop ~25% of the simulator's hot-path profile.
+     */
     double chipActiveW(int chip) const;
+
+    /** Drop the memoized chip power for the chip owning `core`. */
+    void invalidateChipPower(int core);
 
     /** Device power right now. */
     util::Watts devicePowerW() const;
@@ -188,6 +229,9 @@ class Machine
     sim::Simulation &sim_;
     MachineConfig cfg_;
     std::vector<CoreState> cores_;
+    /** Memoized chipActiveW values; NaN-free only when valid. */
+    mutable std::vector<double> chipActiveCacheW_;
+    mutable std::vector<bool> chipActiveCacheValid_;
     std::vector<util::Joules> packageEnergyJ_;
     util::Joules machineEnergyJ_{0};
     util::Joules diskEnergyJ_{0};

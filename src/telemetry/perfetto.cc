@@ -232,21 +232,21 @@ PerfettoExporter::samplePower(core::ContainerManager &manager)
     // (live() is an unordered map).
     std::vector<os::RequestId> ids;
     ids.reserve(manager.live().size() + 1);
-    ids.push_back(manager.background().id);
+    ids.push_back(manager.background().id());
     for (const auto &kv : manager.live())
         ids.push_back(kv.first);
     std::sort(ids.begin(), ids.end());
     for (os::RequestId id : ids) {
         core::PowerContainer &c = manager.containerOrBackground(id);
         std::string base = "container." + std::to_string(id);
-        containersSeen_.emplace(id, c.type);
+        containersSeen_.emplace(id, c.type());
         Event power;
         power.phase = Event::Phase::Counter;
         power.ts = now;
         power.pid = kPidContainers;
         power.name = base + ".power_w";
         power.argName = "w";
-        power.argValue = c.lastPowerW.value();
+        power.argValue = c.lastPowerW().value();
         power.hasArg = true;
         counterTracks_.emplace(power.name, true);
         push(std::move(power));

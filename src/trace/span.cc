@@ -170,7 +170,7 @@ SpanCollector::spanLocked(SpanId id) const
     return spans_[static_cast<std::size_t>(id) - 1];
 }
 
-const std::vector<Span> &
+const util::ChunkedVector<Span> &
 SpanCollector::spans() const
 {
     util::LockGuard lock(mu_);

@@ -20,6 +20,7 @@
 
 #include "os/request_context.h"
 #include "sim/time.h"
+#include "util/slab_arena.h"
 #include "util/sync.h"
 #include "util/units.h"
 
@@ -111,9 +112,12 @@ struct Span
  * collector is exactly the kind of cross-shard shared state the
  * parallel engine introduces — every machine's SpanTracer opens,
  * charges, and closes spans on it. All state is guarded by one
- * annotated util::Mutex. Methods returning references (span(),
- * spans()) synchronize the lookup itself, but the referenced storage
- * may be reallocated by a concurrent open(); exports and queries over
+ * annotated util::Mutex. Span nodes live in an arena-backed
+ * util::ChunkedVector (ISSUE 8 hot-path pass): growth appends whole
+ * chunks and never moves existing nodes, so a reference returned by
+ * span() stays valid for the collector's lifetime even across
+ * concurrent open()s. Reading a span's *fields* concurrently with a
+ * charge() on the same span is still a race; exports and queries over
  * returned references run at shard barriers, when no tracer is
  * mutating.
  */
@@ -163,8 +167,9 @@ class SpanCollector
     /** Look up a span; panics on invalid ids. */
     const Span &span(SpanId id) const;
 
-    /** All spans, id order (id = index + 1). */
-    const std::vector<Span> &spans() const;
+    /** All spans, id order (id = index + 1). Chunked storage:
+     * iterate with range-for; element addresses are stable. */
+    const util::ChunkedVector<Span> &spans() const;
 
     /** Recorded span count. */
     std::size_t size() const;
@@ -214,7 +219,8 @@ class SpanCollector
     std::size_t depthLocked(SpanId id) const PCON_REQUIRES(mu_);
 
     mutable util::Mutex mu_;
-    std::vector<Span> spans_ PCON_GUARDED_BY(mu_);
+    /** Arena-chunked so node addresses never move (see class doc). */
+    util::ChunkedVector<Span> spans_ PCON_GUARDED_BY(mu_);
     std::map<os::RequestId, SpanId> roots_ PCON_GUARDED_BY(mu_);
     std::size_t openCount_ PCON_GUARDED_BY(mu_) = 0;
 };

@@ -133,9 +133,9 @@ SpanTracer::chargeDelta(RequestState &st, os::RequestId id,
     if (c == nullptr)
         return;
     util::Joules energy = c->totalEnergyJ();
-    double cpu_ns = c->cpuTimeNs;
-    util::Cycles cycles{c->events.nonhaltCycles};
-    double instructions = c->events.instructions;
+    double cpu_ns = c->cpuTimeNs();
+    util::Cycles cycles{c->events().nonhaltCycles};
+    double instructions = c->events().instructions;
     collector_.charge(span, energy - st.seenEnergyJ,
                       cpu_ns - st.seenCpuNs, cycles - st.seenCycles,
                       instructions - st.seenInstructions);

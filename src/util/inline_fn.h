@@ -1,0 +1,164 @@
+/**
+ * @file
+ * A move-only, small-buffer-optimized callable wrapper for hot
+ * paths: util::InlineFunction<R(Args...), N>.
+ *
+ * std::function is the wrong tool inside the event queue: every
+ * move and destruction goes through an indirect "manager" call, and
+ * a scheduled event's closure is moved several times between
+ * schedule() and fire. InlineFunction stores trivially copyable
+ * callables up to N bytes directly in the object, so moves are a
+ * flat memcpy and destruction is free — no indirect calls at all.
+ * Larger or non-trivial callables (e.g. lambdas capturing a
+ * shared_ptr) fall back to one heap allocation and keep working;
+ * only their destruction needs an indirect call.
+ *
+ * Differences from std::function, on purpose:
+ *  - move-only (copying a closure in a hot loop is a bug, not a
+ *    convenience);
+ *  - invoking an empty InlineFunction is undefined (the event queue
+ *    never stores empty callbacks; check operator bool first when
+ *    in doubt).
+ */
+
+#ifndef PCON_UTIL_INLINE_FN_H
+#define PCON_UTIL_INLINE_FN_H
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace pcon {
+namespace util {
+
+template <typename Signature, std::size_t N = 32>
+class InlineFunction;
+
+template <typename R, typename... Args, std::size_t N>
+class InlineFunction<R(Args...), N>
+{
+  public:
+    InlineFunction() = default;
+
+    InlineFunction(std::nullptr_t) {}
+
+    /** Wrap any callable; lvalues are copied, rvalues moved. */
+    template <typename F,
+              typename D = std::decay_t<F>,
+              typename = std::enable_if_t<
+                  !std::is_same_v<D, InlineFunction> &&
+                  std::is_invocable_r_v<R, D &, Args...>>>
+    InlineFunction(F &&f)
+    {
+        if constexpr (fitsInline<D>()) {
+            ::new (static_cast<void *>(buf_)) D(std::forward<F>(f));
+            invoke_ = [](void *b, Args... args) -> R {
+                return (*std::launder(reinterpret_cast<D *>(b)))(
+                    std::forward<Args>(args)...);
+            };
+        } else {
+            D *p = new D(std::forward<F>(f));
+            std::memcpy(buf_, &p, sizeof(p));
+            invoke_ = [](void *b, Args... args) -> R {
+                D *q;
+                std::memcpy(&q, b, sizeof(q));
+                return (*q)(std::forward<Args>(args)...);
+            };
+            destroy_ = [](void *b) {
+                D *q;
+                std::memcpy(&q, b, sizeof(q));
+                delete q;
+            };
+        }
+    }
+
+    InlineFunction(InlineFunction &&other) noexcept { steal(other); }
+
+    InlineFunction &
+    operator=(InlineFunction &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            steal(other);
+        }
+        return *this;
+    }
+
+    InlineFunction &
+    operator=(std::nullptr_t) noexcept
+    {
+        reset();
+        return *this;
+    }
+
+    InlineFunction(const InlineFunction &) = delete;
+    InlineFunction &operator=(const InlineFunction &) = delete;
+
+    ~InlineFunction() { reset(); }
+
+    /** True when a callable is held. */
+    explicit operator bool() const { return invoke_ != nullptr; }
+
+    friend bool
+    operator==(const InlineFunction &f, std::nullptr_t)
+    {
+        return f.invoke_ == nullptr;
+    }
+    friend bool
+    operator!=(const InlineFunction &f, std::nullptr_t)
+    {
+        return f.invoke_ != nullptr;
+    }
+
+    /** Invoke; undefined when empty. */
+    R
+    operator()(Args... args)
+    {
+        return invoke_(buf_, std::forward<Args>(args)...);
+    }
+
+  private:
+    /** Inline iff moves can be a memcpy and destruction a no-op. */
+    template <typename D>
+    static constexpr bool
+    fitsInline()
+    {
+        return sizeof(D) <= N &&
+            alignof(D) <= alignof(std::max_align_t) &&
+            std::is_trivially_copyable_v<D> &&
+            std::is_trivially_destructible_v<D>;
+    }
+
+    void
+    reset()
+    {
+        if (destroy_ != nullptr)
+            destroy_(buf_);
+        invoke_ = nullptr;
+        destroy_ = nullptr;
+    }
+
+    /** Take `other`'s state; self must be empty. Works for both the
+     *  inline case (trivially copyable payload) and the heap case
+     *  (the buffer holds a plain pointer). */
+    void
+    steal(InlineFunction &other) noexcept
+    {
+        std::memcpy(buf_, other.buf_, N);
+        invoke_ = other.invoke_;
+        destroy_ = other.destroy_;
+        other.invoke_ = nullptr;
+        other.destroy_ = nullptr;
+    }
+
+    R (*invoke_)(void *, Args...) = nullptr;
+    void (*destroy_)(void *) = nullptr;
+    alignas(std::max_align_t) unsigned char buf_[N];
+};
+
+} // namespace util
+} // namespace pcon
+
+#endif // PCON_UTIL_INLINE_FN_H

@@ -1,0 +1,98 @@
+#include "slab_arena.h"
+
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace pcon {
+namespace util {
+
+namespace {
+
+/** Hard alignment ceiling; covers every node type we pool. */
+constexpr std::size_t kMaxAlign = 64;
+
+bool
+isPowerOfTwo(std::size_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+SlabArena::SlabArena(std::size_t chunk_bytes)
+    : chunkBytes_(chunk_bytes)
+{
+    fatalIf(chunk_bytes == 0, "SlabArena chunk size must be > 0");
+}
+
+SlabArena::~SlabArena()
+{
+    for (Chunk &chunk : chunks_) {
+        // ASan refuses to free poisoned regions; lift the poison
+        // before handing the chunk back.
+        PCON_UNPOISON(chunk.data, chunk.size);
+        ::operator delete(chunk.data,
+                          std::align_val_t(kMaxAlign));
+    }
+}
+
+void
+SlabArena::activateNextChunk(std::size_t min_bytes)
+{
+    // Reuse the next retained chunk that is big enough (after
+    // reset() every chunk is retained); otherwise grow by one.
+    std::size_t want = min_bytes > chunkBytes_ ? min_bytes : chunkBytes_;
+    std::size_t idx = activeChunk_ == kNoChunk ? 0 : activeChunk_ + 1;
+    while (idx < chunks_.size() && chunks_[idx].size < want)
+        ++idx;
+    if (idx == chunks_.size()) {
+        Chunk chunk;
+        chunk.size = want;
+        chunk.data = static_cast<unsigned char *>(::operator new(
+            want, std::align_val_t(kMaxAlign)));
+        PCON_POISON(chunk.data, chunk.size);
+        bytesReserved_ += want;
+        chunks_.push_back(chunk);
+    }
+    activeChunk_ = idx;
+    offset_ = 0;
+}
+
+void *
+SlabArena::allocate(std::size_t bytes, std::size_t align)
+{
+    panicIf(!isPowerOfTwo(align) || align > kMaxAlign,
+            "SlabArena alignment must be a power of two <= ", kMaxAlign,
+            ", got ", align);
+    if (bytes == 0)
+        bytes = align; // keep zero-byte allocations distinct
+    if (activeChunk_ == kNoChunk)
+        activateNextChunk(bytes);
+
+    std::size_t aligned = (offset_ + align - 1) & ~(align - 1);
+    if (aligned + bytes > chunks_[activeChunk_].size) {
+        activateNextChunk(bytes);
+        aligned = 0;
+    }
+    unsigned char *out = chunks_[activeChunk_].data + aligned;
+    offset_ = aligned + bytes;
+    bytesAllocated_ += bytes;
+    ++allocationCount_;
+    PCON_UNPOISON(out, bytes);
+    return out;
+}
+
+void
+SlabArena::reset()
+{
+    for (Chunk &chunk : chunks_)
+        PCON_POISON(chunk.data, chunk.size);
+    activeChunk_ = kNoChunk;
+    offset_ = 0;
+    bytesAllocated_ = 0;
+    allocationCount_ = 0;
+}
+
+} // namespace util
+} // namespace pcon

@@ -113,6 +113,61 @@ class PCON_CAPABILITY("mutex") Mutex
 };
 
 /**
+ * An annotated test-and-set spinlock for very short, almost always
+ * uncontended critical sections on hot paths (the event queue's
+ * per-operation lock). An uncontended acquire/release pair is a
+ * single exchange plus a store — several times cheaper than the
+ * futex round trip of std::mutex — and the acquire/release atomics
+ * are fully visible to TSan. Do NOT use it around anything that can
+ * block or take more than a few hundred nanoseconds: waiters burn
+ * CPU instead of sleeping.
+ */
+class PCON_CAPABILITY("mutex") SpinLock
+{
+  public:
+    SpinLock() = default;
+    SpinLock(const SpinLock &) = delete;
+    SpinLock &operator=(const SpinLock &) = delete;
+
+    void
+    lock() PCON_ACQUIRE()
+    {
+        while (locked_.exchange(true, std::memory_order_acquire)) {
+            // Spin on a plain load so contending cores fight over a
+            // shared cache line only when it might be free.
+            while (locked_.load(std::memory_order_relaxed)) {
+            }
+        }
+    }
+
+    void
+    unlock() PCON_RELEASE()
+    {
+        locked_.store(false, std::memory_order_release);
+    }
+
+  private:
+    std::atomic<bool> locked_{false};
+};
+
+/** RAII lock over a util::SpinLock. */
+class PCON_SCOPED_CAPABILITY SpinGuard
+{
+  public:
+    explicit SpinGuard(SpinLock &m) PCON_ACQUIRE(m) : m_(m)
+    {
+        m_.lock();
+    }
+    ~SpinGuard() PCON_RELEASE() { m_.unlock(); }
+
+    SpinGuard(const SpinGuard &) = delete;
+    SpinGuard &operator=(const SpinGuard &) = delete;
+
+  private:
+    SpinLock &m_;
+};
+
+/**
  * An annotated reader/writer mutex for read-mostly shared state
  * (lockShared for concurrent readers, lock for exclusive writers).
  */

@@ -49,6 +49,8 @@ struct CalibrationRunConfig
     int warmupSamples = 2;
     /** Seed for task phase jitter. */
     std::uint64_t seed = 17;
+
+    bool operator==(const CalibrationRunConfig &) const = default;
 };
 
 /**

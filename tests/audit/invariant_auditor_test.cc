@@ -137,7 +137,9 @@ TEST(InvariantAuditorTest, InjectedConservationBugIsCaught)
 
     // Corrupt the books: energy appears in a container that was
     // never drawn from the chip.
-    rig.manager.background().cpuEnergyJ += util::Joules(50.0);
+    rig.manager.background().chargeCpuWindow(
+        util::Joules(50.0), 0.0, hw::CounterSnapshot{},
+        rig.manager.background().lastPowerW());
 
     std::string what = panicMessage([&] { auditor.checkNow(); });
     EXPECT_NE(what.find("container-energy-conservation"),

@@ -89,6 +89,46 @@ TEST(ConcurrencyStress, RegistryCountersGaugesHistograms)
     EXPECT_EQ(registry.entries().size(), registry.size());
 }
 
+TEST(ConcurrencyStress, ShardedCounterReadDuringMergeIsMonotone)
+{
+    // The sharded Counter's read-during-merge contract (class doc in
+    // telemetry/registry.h): while writers hammer their shards, a
+    // reader's successive value() merges must be non-decreasing and
+    // never overshoot the true total; after the storm the merge is
+    // exact.
+    telemetry::Registry registry;
+    telemetry::Counter &counter =
+        registry.counter("stress.sharded");
+    std::atomic<std::uint64_t> added{0};
+    std::atomic<bool> done{false};
+
+    std::thread reader([&counter, &added, &done] {
+        std::uint64_t prev = 0;
+        while (!done.load()) {
+            std::uint64_t floor = added.load();
+            std::uint64_t seen = counter.value();
+            EXPECT_GE(seen, prev);
+            // Everything the writers finished (and published via
+            // `added`) before this merge started must be included.
+            EXPECT_GE(seen, floor);
+            prev = seen;
+        }
+        EXPECT_EQ(counter.value(), added.load());
+    });
+
+    runThreads([&counter, &added](int) {
+        for (int i = 0; i < kIters; ++i) {
+            counter.add(1);
+            added.fetch_add(1);
+        }
+    });
+    done.store(true);
+    reader.join();
+
+    EXPECT_EQ(counter.value(),
+              static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
 TEST(ConcurrencyStress, LoggingCountsAndThresholdFlips)
 {
     util::resetLogCounts();

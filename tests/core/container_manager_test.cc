@@ -162,7 +162,7 @@ TEST(ContainerManager, UnboundTasksChargeBackground)
     ActivityVector act{1.0, 0.0, 0.0, 0.0};
     w.kernel.spawn(computeOnce(5e6, act), "daemon", NoRequest);
     w.sim.run(msec(10));
-    EXPECT_NEAR(w.manager.background().cpuEnergyJ.value(), 0.06,
+    EXPECT_NEAR(w.manager.background().cpuEnergyJ().value(), 0.06,
                 0.06 * 0.02);
     EXPECT_EQ(w.manager.records().size(), 0u);
 }
@@ -182,8 +182,8 @@ TEST(ContainerManager, IoEnergyAttributedViaInterruptContext)
     ASSERT_NE(c, nullptr);
     // Service time: 0.5 ms latency + 10e6/100e6 s = 100.5 ms at the
     // modeled 3 W disk coefficient.
-    EXPECT_NEAR(c->ioEnergyJ.value(), 3.0 * 0.1005, 1e-6);
-    EXPECT_NEAR(c->cpuEnergyJ.value(), 0.0, 1e-9);
+    EXPECT_NEAR(c->ioEnergyJ().value(), 3.0 * 0.1005, 1e-6);
+    EXPECT_NEAR(c->cpuEnergyJ().value(), 0.0, 1e-9);
 }
 
 TEST(ContainerManager, ObserverEffectCompensationKeepsAccountingClean)
@@ -253,7 +253,7 @@ TEST(ContainerManager, LateActivityAfterCompletionGoesToBackground)
     // A task still bound to the stale id: charges background.
     w.kernel.spawn(computeOnce(2e6, act), "straggler", req);
     w.sim.run(msec(5));
-    EXPECT_GT(w.manager.background().cpuEnergyJ.value(), 0.0);
+    EXPECT_GT(w.manager.background().cpuEnergyJ().value(), 0.0);
 }
 
 TEST(ContainerManager, MaintenanceOpsCountGrowsWithSampling)

@@ -8,11 +8,17 @@
  * the invariant auditor must stay clean throughout.
  */
 
+#include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
 
 #include <gtest/gtest.h>
+
+#ifndef PCON_TEST_DATA_DIR
+#error "PCON_TEST_DATA_DIR must point at the committed fixtures"
+#endif
 
 #include "audit/invariant_auditor.h"
 #include "fault/fault_injector.h"
@@ -132,6 +138,48 @@ TEST_P(SeedSweep, LedgersAreReproducibleWithAndWithoutFaults)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
                          ::testing::Values(401, 402, 403));
+
+/**
+ * Cross-build regression: the seeds-401..403 fingerprints are pinned
+ * byte-for-byte against a committed fixture, so a hot-path rewrite
+ * (event queue, SoA ledgers, sharded counters, arenas) can never
+ * silently drift attribution. Together with the golden trace /
+ * flamegraph / span-dump fixtures this locks the observable output
+ * of the whole pipeline across optimization PRs. Regenerate with
+ * PCON_UPDATE_GOLDEN=1 only for a deliberate accounting change.
+ */
+TEST(SeedSweepGolden, FingerprintsMatchCommittedFixture)
+{
+    std::ostringstream all;
+    for (std::uint64_t seed : {401u, 402u, 403u}) {
+        all << "# seed " << seed << " clean\n"
+            << runFingerprint(seed, false);
+        all << "# seed " << seed << " faulted\n"
+            << runFingerprint(seed, true);
+    }
+    std::string fingerprints = all.str();
+    ASSERT_GT(fingerprints.size(), 300u);
+
+    std::string path = std::string(PCON_TEST_DATA_DIR) +
+        "/golden_ledger_fingerprints.txt";
+    if (std::getenv("PCON_UPDATE_GOLDEN") != nullptr) {  // NOLINT(concurrency-mt-unsafe): single-threaded test main
+        std::ofstream out(path, std::ios::trunc);
+        ASSERT_TRUE(out) << "cannot write " << path;
+        out << fingerprints;
+        GTEST_SKIP() << "fixture regenerated at " << path;
+    }
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in) << "missing fixture " << path
+                    << " — regenerate with PCON_UPDATE_GOLDEN=1";
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    ASSERT_EQ(fingerprints, buf.str())
+        << "ledger fingerprints drifted from the committed fixture; "
+           "an optimization changed attribution. If the change is "
+           "intentional, regenerate with PCON_UPDATE_GOLDEN=1 and "
+           "commit the diff";
+}
 
 } // namespace
 } // namespace pcon

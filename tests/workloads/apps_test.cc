@@ -119,7 +119,7 @@ TEST(Workloads, GaeVosaoBackgroundActivityIsAccounted)
     world.run(sec(3));
     client.stop();
     // GAE platform background tasks charge the background container.
-    EXPECT_GT(world.manager().background().cpuEnergyJ.value(), 0.0);
+    EXPECT_GT(world.manager().background().cpuEnergyJ().value(), 0.0);
 }
 
 TEST(Workloads, GaeHybridVirusDrawsMorePowerThanVosao)

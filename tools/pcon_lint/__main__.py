@@ -41,6 +41,7 @@ from engine import (
     report_json,
     run_rules_with_stale,
 )
+from rules_arena import ArenaNodesRule
 from rules_bench_timing import BenchTimingRule
 from rules_concurrency import ConcurrencyPrimitivesRule
 from rules_determinism import DeterminismRule
@@ -61,6 +62,7 @@ def default_rules(shared_types_path=None):
         SharedStateRule(),
         GuardedMembersRule(shared_types_path=shared_types_path),
         BenchTimingRule(),
+        ArenaNodesRule(),
     ]
 
 

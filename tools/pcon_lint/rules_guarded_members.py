@@ -11,7 +11,8 @@ one, every mutable data member must either
     cross-shard access exists (e.g. wiring-phase state written only
     while the harness is single-threaded).
 
-``util::Mutex`` / ``util::SharedMutex`` / ``util::Atomic`` members
+``util::Mutex`` / ``util::SharedMutex`` / ``util::SpinLock`` /
+``util::Atomic`` members
 and ``const`` / ``constexpr`` members are safe by construction and
 exempt. A type listed in the TOML that cannot be found in its
 declared header is itself an error: the work list must not rot.
@@ -33,7 +34,7 @@ SHARD_LOCAL_RE = re.compile(r"pcon-lint:\s*shard-local\(([^)]+)\)")
 ACCESS_LABEL_RE = re.compile(
     r"^(?:(?:public|private|protected)\s*:\s*)+"
 )
-SAFE_TYPE_RE = re.compile(r"\b(?:Mutex|SharedMutex|Atomic)\b")
+SAFE_TYPE_RE = re.compile(r"\b(?:Mutex|SharedMutex|SpinLock|Atomic)\b")
 MEMBER_NAME_RE = re.compile(
     r"([A-Za-z_]\w*)\s*(?:=[^;]*|\{.*\})?$"
 )
