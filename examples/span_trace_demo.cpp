@@ -318,7 +318,10 @@ main()
     check(readMetric(registry, "trace.open_spans") == 0,
           "trace.open_spans gauge drained");
 
-    std::fputs(trace::fullReport(spans).c_str(), stdout);
+    obs::EnergyIndex index;
+    index.attach(spans);
+    std::fputs(obs::fullReport(index).c_str(), stdout);
+    index.detach();
     if (failures == 0)
         std::puts("\nspan_trace_demo: all checks passed");
     return failures == 0 ? 0 : 1;

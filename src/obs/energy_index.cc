@@ -1,0 +1,369 @@
+#include "energy_index.h"
+
+#include <algorithm>
+
+namespace pcon {
+namespace obs {
+
+EnergyIndex::~EnergyIndex()
+{
+    detach();
+}
+
+void
+EnergyIndex::attach(trace::SpanCollector &collector)
+{
+    detach();
+    {
+        util::LockGuard lock(mu_);
+        collector_ = &collector;
+        // Absorb already-recorded spans in id order — the same
+        // floating-point addition sequence the collector's own
+        // O(trace) scans perform, so rebuilt rollups match them
+        // bit-for-bit (the byte-identity contract of obs/report.h).
+        for (const trace::Span &s : collector.spans()) {
+            absorbOpen(s);
+            if (!s.open)
+                absorbClose(s);
+        }
+    }
+    // Install the hook after absorbing: attach() runs at wiring or
+    // reload time, when no tracer is mutating the collector (the
+    // same single-threaded contract as SpanCollector moves).
+    collector.setObserver(this);
+}
+
+void
+EnergyIndex::detach()
+{
+    trace::SpanCollector *old = nullptr;
+    {
+        util::LockGuard lock(mu_);
+        old = collector_;
+        collector_ = nullptr;
+        requests_.clear();
+        ranking_.clear();
+        machineEnergy_.clear();
+        totalEnergyJ_ = util::Joules{0};
+        spanCount_ = 0;
+        openSpans_ = 0;
+    }
+    // Outside mu_: the collector lock is acquired before the index
+    // lock on the callback path, never after.
+    if (old != nullptr)
+        old->setObserver(nullptr);
+}
+
+const trace::SpanCollector *
+EnergyIndex::collector() const
+{
+    util::LockGuard lock(mu_);
+    return collector_;
+}
+
+EnergyIndex::PerRequest &
+EnergyIndex::entryFor(os::RequestId request)
+{
+    auto it = requests_.find(request);
+    if (it != requests_.end())
+        return it->second;
+    PerRequest &entry = requests_[request];
+    entry.rootName = "?";
+    ranking_.insert(RankKey{util::Joules{0}, request});
+    return entry;
+}
+
+const EnergyIndex::PerRequest *
+EnergyIndex::find(os::RequestId request) const
+{
+    auto it = requests_.find(request);
+    return it == requests_.end() ? nullptr : &it->second;
+}
+
+void
+EnergyIndex::reRank(os::RequestId request, util::Joules old_energy,
+                    util::Joules new_energy)
+{
+    if (old_energy == new_energy)
+        return;
+    ranking_.erase(RankKey{old_energy, request});
+    ranking_.insert(RankKey{new_energy, request});
+}
+
+void
+EnergyIndex::absorbOpen(const trace::Span &span)
+{
+    PerRequest &entry = entryFor(span.request);
+    util::Joules before = entry.energyJ;
+    entry.spans.push_back(span.id);
+    ++entry.open;
+    ++openSpans_;
+    ++spanCount_;
+    if (span.kind == trace::SpanKind::Root)
+        entry.rootName = span.name;
+    // The reload path delivers fully-formed spans: fold their
+    // accumulated totals here (zeros on the live path, where open
+    // precedes every charge).
+    entry.energyJ += span.energyJ;
+    entry.cpuTimeNs += span.cpuTimeNs;
+    auto slot = std::find_if(
+        entry.machineEnergy.begin(), entry.machineEnergy.end(),
+        [&span](const std::pair<int, util::Joules> &p) {
+            return p.first == span.machine;
+        });
+    if (slot == entry.machineEnergy.end()) {
+        entry.machineEnergy.emplace_back(span.machine, span.energyJ);
+        std::sort(entry.machineEnergy.begin(),
+                  entry.machineEnergy.end(),
+                  [](const std::pair<int, util::Joules> &a,
+                     const std::pair<int, util::Joules> &b) {
+                      return a.first < b.first;
+                  });
+    } else {
+        slot->second += span.energyJ;
+    }
+    machineEnergy_[span.machine] += span.energyJ;
+    totalEnergyJ_ += span.energyJ;
+    reRank(span.request, before, entry.energyJ);
+}
+
+void
+EnergyIndex::absorbClose(const trace::Span &span)
+{
+    PerRequest &entry = entryFor(span.request);
+    if (entry.open > 0)
+        --entry.open;
+    if (openSpans_ > 0)
+        --openSpans_;
+    if (!entry.anyClosed || span.openedAt < entry.firstOpen)
+        entry.firstOpen = span.openedAt;
+    if (!entry.anyClosed || span.closedAt > entry.lastClose)
+        entry.lastClose = span.closedAt;
+    entry.anyClosed = true;
+}
+
+void
+EnergyIndex::onSpanOpened(const trace::Span &span)
+{
+    util::LockGuard lock(mu_);
+    absorbOpen(span);
+}
+
+void
+EnergyIndex::onSpanClosed(const trace::Span &span)
+{
+    util::LockGuard lock(mu_);
+    absorbClose(span);
+}
+
+void
+EnergyIndex::onSpanCharged(const trace::Span &span,
+                           util::Joules energy_delta,
+                           double cpu_delta_ns)
+{
+    util::LockGuard lock(mu_);
+    PerRequest &entry = entryFor(span.request);
+    util::Joules before = entry.energyJ;
+    entry.energyJ += energy_delta;
+    entry.cpuTimeNs += cpu_delta_ns;
+    auto slot = std::find_if(
+        entry.machineEnergy.begin(), entry.machineEnergy.end(),
+        [&span](const std::pair<int, util::Joules> &p) {
+            return p.first == span.machine;
+        });
+    if (slot != entry.machineEnergy.end())
+        slot->second += energy_delta;
+    machineEnergy_[span.machine] += energy_delta;
+    totalEnergyJ_ += energy_delta;
+    reRank(span.request, before, entry.energyJ);
+}
+
+std::vector<os::RequestId>
+EnergyIndex::requests() const
+{
+    util::LockGuard lock(mu_);
+    std::vector<os::RequestId> out;
+    out.reserve(requests_.size());
+    for (const auto &kv : requests_)
+        out.push_back(kv.first);
+    return out;
+}
+
+std::vector<os::RequestId>
+EnergyIndex::ranked() const
+{
+    util::LockGuard lock(mu_);
+    std::vector<os::RequestId> out;
+    out.reserve(ranking_.size());
+    for (const RankKey &key : ranking_)
+        out.push_back(key.id);
+    return out;
+}
+
+std::vector<os::RequestId>
+EnergyIndex::topRequests(std::size_t n) const
+{
+    util::LockGuard lock(mu_);
+    std::vector<os::RequestId> out;
+    for (const RankKey &key : ranking_) {
+        if (out.size() >= n)
+            break;
+        out.push_back(key.id);
+    }
+    return out;
+}
+
+bool
+EnergyIndex::known(os::RequestId request) const
+{
+    util::LockGuard lock(mu_);
+    return find(request) != nullptr;
+}
+
+RequestRollup
+EnergyIndex::rollup(os::RequestId request) const
+{
+    util::LockGuard lock(mu_);
+    RequestRollup out;
+    out.id = request;
+    const PerRequest *entry = find(request);
+    if (entry == nullptr)
+        return out;
+    out.rootName = entry->rootName;
+    out.spanCount = entry->spans.size();
+    out.openSpans = entry->open;
+    out.energyJ = entry->energyJ;
+    out.cpuTimeNs = entry->cpuTimeNs;
+    out.machineCount = entry->machineEnergy.size();
+    out.wall = entry->anyClosed ? entry->lastClose - entry->firstOpen
+                                : 0;
+    return out;
+}
+
+util::Joules
+EnergyIndex::requestEnergyJ(os::RequestId request) const
+{
+    util::LockGuard lock(mu_);
+    const PerRequest *entry = find(request);
+    return entry != nullptr ? entry->energyJ : util::Joules{0};
+}
+
+util::Watts
+EnergyIndex::requestAvgPowerW(os::RequestId request) const
+{
+    util::LockGuard lock(mu_);
+    const PerRequest *entry = find(request);
+    if (entry == nullptr || entry->cpuTimeNs <= 0)
+        return util::Watts{0};
+    return entry->energyJ / util::SimSeconds(entry->cpuTimeNs * 1e-9);
+}
+
+sim::SimTime
+EnergyIndex::requestWall(os::RequestId request) const
+{
+    util::LockGuard lock(mu_);
+    const PerRequest *entry = find(request);
+    if (entry == nullptr || !entry->anyClosed)
+        return 0;
+    return entry->lastClose - entry->firstOpen;
+}
+
+std::vector<trace::SpanId>
+EnergyIndex::requestSpans(os::RequestId request) const
+{
+    util::LockGuard lock(mu_);
+    const PerRequest *entry = find(request);
+    return entry != nullptr ? entry->spans
+                            : std::vector<trace::SpanId>{};
+}
+
+std::string
+EnergyIndex::rootName(os::RequestId request) const
+{
+    util::LockGuard lock(mu_);
+    const PerRequest *entry = find(request);
+    return entry != nullptr ? entry->rootName : "?";
+}
+
+util::Joules
+EnergyIndex::machineEnergyJ(os::RequestId request, int machine) const
+{
+    util::LockGuard lock(mu_);
+    const PerRequest *entry = find(request);
+    if (entry == nullptr)
+        return util::Joules{0};
+    for (const auto &slot : entry->machineEnergy)
+        if (slot.first == machine)
+            return slot.second;
+    return util::Joules{0};
+}
+
+std::vector<int>
+EnergyIndex::machines() const
+{
+    util::LockGuard lock(mu_);
+    std::vector<int> out;
+    out.reserve(machineEnergy_.size());
+    for (const auto &kv : machineEnergy_)
+        out.push_back(kv.first);
+    return out;
+}
+
+util::Joules
+EnergyIndex::machineTotalEnergyJ(int machine) const
+{
+    util::LockGuard lock(mu_);
+    auto it = machineEnergy_.find(machine);
+    return it == machineEnergy_.end() ? util::Joules{0} : it->second;
+}
+
+util::Joules
+EnergyIndex::totalEnergyJ() const
+{
+    util::LockGuard lock(mu_);
+    return totalEnergyJ_;
+}
+
+std::size_t
+EnergyIndex::spanCount() const
+{
+    util::LockGuard lock(mu_);
+    return spanCount_;
+}
+
+std::size_t
+EnergyIndex::openSpanCount() const
+{
+    util::LockGuard lock(mu_);
+    return openSpans_;
+}
+
+std::vector<QuotaHeadroom>
+EnergyIndex::quotaHeadroom(
+    const std::map<std::string, double> &budget_j_by_type,
+    double default_budget_j) const
+{
+    util::LockGuard lock(mu_);
+    std::vector<QuotaHeadroom> out;
+    out.reserve(requests_.size());
+    for (const auto &kv : requests_) {
+        QuotaHeadroom row;
+        row.id = kv.first;
+        row.type = kv.second.rootName;
+        row.usedJ = kv.second.energyJ;
+        auto it = budget_j_by_type.find(row.type);
+        double budget = it != budget_j_by_type.end()
+                            ? it->second
+                            : default_budget_j;
+        row.budgetJ = util::Joules(budget);
+        if (budget > 0) {
+            row.headroomJ = row.budgetJ - row.usedJ;
+            row.overBudget = row.usedJ > row.budgetJ;
+        }
+        out.push_back(row);
+    }
+    return out;
+}
+
+} // namespace obs
+} // namespace pcon

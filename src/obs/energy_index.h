@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Incremental energy-query indices — the live half of the trace
+ * analysis that used to run only at exit. An EnergyIndex subscribes
+ * to a trace::SpanCollector as its SpanObserver and folds every
+ * open/charge/close into per-request and per-machine rollups, a
+ * ranking ordered by attributed energy, and quota-headroom views, so
+ * any query is O(answer) at any simulated time instead of O(trace)
+ * after the run. tools/trace_report is a thin CLI over this library
+ * (obs/report.h); the same index answers the same questions online.
+ *
+ * Rebuild parity: attach() absorbs already-recorded spans in id
+ * order, which performs the exact floating-point additions the
+ * collector's own O(trace) queries perform — so a report rendered
+ * over a freshly attached index is byte-identical to one computed
+ * from the collector directly (pinned by the golden fixtures).
+ */
+
+#ifndef PCON_OBS_ENERGY_INDEX_H
+#define PCON_OBS_ENERGY_INDEX_H
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "os/request_context.h"
+#include "sim/time.h"
+#include "trace/span.h"
+#include "util/sync.h"
+#include "util/units.h"
+
+namespace pcon {
+namespace obs {
+
+/** Per-request rollup snapshot (values at query time). */
+struct RequestRollup
+{
+    os::RequestId id = os::NoRequest;
+    /** Root span name; "?" until a root span is recorded. */
+    std::string rootName = "?";
+    /** Spans recorded for the request (open + closed). */
+    std::size_t spanCount = 0;
+    /** Spans still open. */
+    std::size_t openSpans = 0;
+    /** Total attributed energy. */
+    util::Joules energyJ{0};
+    /** Total attributed on-CPU time, nanoseconds. */
+    double cpuTimeNs = 0;
+    /** Distinct machines the request's spans executed on. */
+    std::size_t machineCount = 0;
+    /** First-open to last-close envelope over closed spans. */
+    sim::SimTime wall = 0;
+};
+
+/** One row of the quota-headroom view. */
+struct QuotaHeadroom
+{
+    os::RequestId id = os::NoRequest;
+    /** Request type (root span name). */
+    std::string type;
+    util::Joules usedJ{0};
+    /** Budget applied (<= 0 means unlimited). */
+    util::Joules budgetJ{0};
+    /** budget - used; 0 when unlimited. */
+    util::Joules headroomJ{0};
+    bool overBudget = false;
+};
+
+/**
+ * The incremental index. Attach to one collector (live tracing or a
+ * reloaded dump); every query then reads maintained rollups under the
+ * index's own mutex. Maintenance is O(log R) per span event (ranking
+ * reinsertion), R = requests seen.
+ *
+ * Thread safety: observer callbacks arrive under the collector's
+ * lock from whichever shard mutates a span; all index state is
+ * guarded by mu_. The index never calls back into the collector from
+ * a callback, so the only lock order is collector -> index.
+ */
+class EnergyIndex : public trace::SpanObserver
+{
+  public:
+    EnergyIndex() = default;
+    ~EnergyIndex() override;
+
+    EnergyIndex(const EnergyIndex &) = delete;
+    EnergyIndex &operator=(const EnergyIndex &) = delete;
+
+    /**
+     * Subscribe to `collector` and absorb its already-recorded spans
+     * (id order — see the rebuild-parity note above). Detaches from
+     * any previous collector first.
+     */
+    void attach(trace::SpanCollector &collector);
+
+    /** Unsubscribe and drop all rollups. */
+    void detach();
+
+    /** The attached collector (nullptr when detached). Span detail
+     * queries (stage fields, critical paths) read through it. */
+    const trace::SpanCollector *collector() const;
+
+    // --- queries (all O(answer), plus O(log R) lookups) ------------
+
+    /** Requests with at least one span, ascending id. */
+    std::vector<os::RequestId> requests() const;
+
+    /** Requests ranked by energy desc, ties to the smaller id. */
+    std::vector<os::RequestId> ranked() const;
+
+    /** First `n` of ranked(). */
+    std::vector<os::RequestId> topRequests(std::size_t n) const;
+
+    /** True when the request has at least one span. */
+    bool known(os::RequestId request) const;
+
+    /** Full rollup of one request (zeros when unknown). */
+    RequestRollup rollup(os::RequestId request) const;
+
+    /** Total attributed energy of a request. */
+    util::Joules requestEnergyJ(os::RequestId request) const;
+
+    /** Energy over attributed on-CPU time (0 before any CPU time). */
+    util::Watts requestAvgPowerW(os::RequestId request) const;
+
+    /** Closed-span first-open to last-close envelope. */
+    sim::SimTime requestWall(os::RequestId request) const;
+
+    /** Span ids of a request, ascending. */
+    std::vector<trace::SpanId> requestSpans(os::RequestId request) const;
+
+    /** Root span name ("?" when the request has no root span). */
+    std::string rootName(os::RequestId request) const;
+
+    /** Energy of a request's spans on one machine. */
+    util::Joules machineEnergyJ(os::RequestId request,
+                                int machine) const;
+
+    /** Machine indices seen across all spans, ascending. */
+    std::vector<int> machines() const;
+
+    /** Total attributed energy on one machine (all requests). */
+    util::Joules machineTotalEnergyJ(int machine) const;
+
+    /** Total attributed energy across every span. */
+    util::Joules totalEnergyJ() const;
+
+    /** Spans indexed so far. */
+    std::size_t spanCount() const;
+
+    /** Spans currently open. */
+    std::size_t openSpanCount() const;
+
+    /**
+     * Energy-quota headroom of every known request, ascending id:
+     * each request's attributed energy against its type's budget
+     * (`budget_j_by_type`, falling back to `default_budget_j`;
+     * <= 0 means unlimited). O(requests) — the "who is close to the
+     * cap" view a conditioning policy polls online.
+     */
+    std::vector<QuotaHeadroom>
+    quotaHeadroom(const std::map<std::string, double> &budget_j_by_type,
+                  double default_budget_j = 0) const;
+
+    // --- trace::SpanObserver ---------------------------------------
+    void onSpanOpened(const trace::Span &span) override;
+    void onSpanClosed(const trace::Span &span) override;
+    void onSpanCharged(const trace::Span &span,
+                       util::Joules energy_delta,
+                       double cpu_delta_ns) override;
+
+  private:
+    struct PerRequest
+    {
+        std::string rootName;
+        std::vector<trace::SpanId> spans;
+        std::size_t open = 0;
+        util::Joules energyJ{0};
+        double cpuTimeNs = 0;
+        /** (machine, energy), sorted by machine; small in practice. */
+        std::vector<std::pair<int, util::Joules>> machineEnergy;
+        bool anyClosed = false;
+        sim::SimTime firstOpen = 0;
+        sim::SimTime lastClose = 0;
+    };
+
+    /** Ranking key: energy desc, id asc. */
+    struct RankKey
+    {
+        util::Joules energyJ{0};
+        os::RequestId id = os::NoRequest;
+
+        bool
+        operator<(const RankKey &other) const
+        {
+            if (energyJ != other.energyJ)
+                return energyJ > other.energyJ;
+            return id < other.id;
+        }
+    };
+
+    PerRequest &entryFor(os::RequestId request) PCON_REQUIRES(mu_);
+    const PerRequest *find(os::RequestId request) const
+        PCON_REQUIRES(mu_);
+    void reRank(os::RequestId request, util::Joules old_energy,
+                util::Joules new_energy) PCON_REQUIRES(mu_);
+    void absorbOpen(const trace::Span &span) PCON_REQUIRES(mu_);
+    void absorbClose(const trace::Span &span) PCON_REQUIRES(mu_);
+
+    mutable util::Mutex mu_;
+    trace::SpanCollector *collector_ PCON_GUARDED_BY(mu_) = nullptr;
+    std::map<os::RequestId, PerRequest> requests_ PCON_GUARDED_BY(mu_);
+    std::set<RankKey> ranking_ PCON_GUARDED_BY(mu_);
+    std::map<int, util::Joules> machineEnergy_ PCON_GUARDED_BY(mu_);
+    util::Joules totalEnergyJ_ PCON_GUARDED_BY(mu_){0};
+    std::size_t spanCount_ PCON_GUARDED_BY(mu_) = 0;
+    std::size_t openSpans_ PCON_GUARDED_BY(mu_) = 0;
+};
+
+} // namespace obs
+} // namespace pcon
+
+#endif // PCON_OBS_ENERGY_INDEX_H

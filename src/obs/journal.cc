@@ -1,0 +1,203 @@
+#include "journal.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace pcon {
+namespace obs {
+
+namespace {
+
+/** JSON string escaping for what/detail fields. */
+std::string
+jsonEscape(const char *s)
+{
+    std::string out;
+    for (const char *p = s; *p != '\0'; ++p) {
+        char c = *p;
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+fmt(const char *format, double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), format, v);
+    return buf;
+}
+
+void
+copyTruncated(char *dst, std::size_t cap, const std::string &src)
+{
+    std::size_t n = src.size() < cap - 1 ? src.size() : cap - 1;
+    std::memcpy(dst, src.data(), n);
+    dst[n] = '\0';
+}
+
+} // namespace
+
+const char *
+severityName(Severity severity)
+{
+    switch (severity) {
+      case Severity::Info: return "info";
+      case Severity::Warn: return "warn";
+      case Severity::Error: return "error";
+    }
+    return "info";
+}
+
+const char *
+recordKindName(RecordKind kind)
+{
+    switch (kind) {
+      case RecordKind::Throttle: return "throttle";
+      case RecordKind::Rebind: return "rebind";
+      case RecordKind::Refit: return "refit";
+      case RecordKind::Fault: return "fault";
+      case RecordKind::Alert: return "alert";
+    }
+    return "alert";
+}
+
+Journal::Journal(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity)
+{
+    util::LockGuard lock(mu_);
+    ring_ = static_cast<JournalRecord *>(arena_.allocate(
+        capacity_ * sizeof(JournalRecord), alignof(JournalRecord)));
+    for (std::size_t i = 0; i < capacity_; ++i)
+        ::new (static_cast<void *>(ring_ + i)) JournalRecord();
+}
+
+void
+Journal::append(RecordKind kind, Severity severity, sim::SimTime at,
+                os::RequestId container, os::RequestId request,
+                const std::string &what, const std::string &detail,
+                double value)
+{
+    util::LockGuard lock(mu_);
+    JournalRecord &slot = ring_[total_ % capacity_];
+    slot.seq = total_;
+    slot.at = at;
+    slot.kind = kind;
+    slot.severity = severity;
+    slot.container = container;
+    slot.request = request;
+    slot.value = value;
+    copyTruncated(slot.what, sizeof(slot.what), what);
+    copyTruncated(slot.detail, sizeof(slot.detail), detail);
+    ++total_;
+    if (live_ < capacity_)
+        ++live_;
+    ++bySeverity_[static_cast<std::size_t>(severity)];
+    ++byKind_[static_cast<std::size_t>(kind)];
+}
+
+std::vector<JournalRecord>
+Journal::snapshot() const
+{
+    util::LockGuard lock(mu_);
+    std::vector<JournalRecord> out;
+    out.reserve(live_);
+    for (std::uint64_t seq = total_ - live_; seq < total_; ++seq)
+        out.push_back(ring_[seq % capacity_]);
+    return out;
+}
+
+std::string
+Journal::jsonl() const
+{
+    std::ostringstream out;
+    for (const JournalRecord &r : snapshot()) {
+        out << "{\"seq\":" << r.seq << ",\"t_ms\":"
+            << fmt("%.3f", static_cast<double>(r.at) * 1e-6)
+            << ",\"kind\":\"" << recordKindName(r.kind)
+            << "\",\"severity\":\"" << severityName(r.severity)
+            << "\",\"container\":" << r.container << ",\"request\":"
+            << r.request << ",\"what\":\"" << jsonEscape(r.what)
+            << "\",\"detail\":\"" << jsonEscape(r.detail)
+            << "\",\"value\":" << fmt("%.6f", r.value) << "}\n";
+    }
+    return out.str();
+}
+
+void
+Journal::writeJsonl(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::trunc);
+    util::fatalIf(!out, "cannot open '", path, "' for writing");
+    out << jsonl();
+}
+
+std::size_t
+Journal::size() const
+{
+    util::LockGuard lock(mu_);
+    return live_;
+}
+
+std::uint64_t
+Journal::totalAppended() const
+{
+    util::LockGuard lock(mu_);
+    return total_;
+}
+
+std::uint64_t
+Journal::dropped() const
+{
+    util::LockGuard lock(mu_);
+    return total_ > capacity_ ? total_ - capacity_ : 0;
+}
+
+std::uint64_t
+Journal::countBySeverity(Severity severity) const
+{
+    util::LockGuard lock(mu_);
+    return bySeverity_[static_cast<std::size_t>(severity)];
+}
+
+std::uint64_t
+Journal::countByKind(RecordKind kind) const
+{
+    util::LockGuard lock(mu_);
+    return byKind_[static_cast<std::size_t>(kind)];
+}
+
+void
+Journal::clear()
+{
+    util::LockGuard lock(mu_);
+    live_ = 0;
+}
+
+} // namespace obs
+} // namespace pcon

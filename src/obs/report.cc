@@ -5,8 +5,10 @@
 #include <sstream>
 #include <vector>
 
+#include "util/logging.h"
+
 namespace pcon {
-namespace trace {
+namespace obs {
 
 namespace {
 
@@ -29,29 +31,6 @@ std::string
 millis(sim::SimTime t)
 {
     return fmt("%.3f", static_cast<double>(t) * 1e-6);
-}
-
-/** Requests ordered by energy desc, id asc on ties. */
-std::vector<os::RequestId>
-rankedRequests(const SpanCollector &collector)
-{
-    std::vector<os::RequestId> ids = collector.requests();
-    std::sort(ids.begin(), ids.end(),
-              [&collector](os::RequestId a, os::RequestId b) {
-                  util::Joules ea = collector.requestEnergyJ(a);
-                  util::Joules eb = collector.requestEnergyJ(b);
-                  if (ea != eb)
-                      return ea > eb;
-                  return a < b;
-              });
-    return ids;
-}
-
-std::string
-rootName(const SpanCollector &collector, os::RequestId request)
-{
-    SpanId root = collector.rootOf(request);
-    return root != NoSpan ? collector.span(root).name : "?";
 }
 
 /** JSON string escaping for span/root names. */
@@ -87,52 +66,34 @@ jsonEscape(const std::string &s)
     return out;
 }
 
-sim::SimTime
-requestWall(const SpanCollector &collector, os::RequestId request)
+const trace::SpanCollector &
+detail(const EnergyIndex &index)
 {
-    sim::SimTime first = 0;
-    sim::SimTime last = 0;
-    bool any = false;
-    for (SpanId id : collector.requestSpans(request)) {
-        const Span &s = collector.span(id);
-        if (s.open)
-            continue;
-        if (!any || s.openedAt < first)
-            first = s.openedAt;
-        if (!any || s.closedAt > last)
-            last = s.closedAt;
-        any = true;
-    }
-    return any ? last - first : 0;
+    const trace::SpanCollector *collector = index.collector();
+    util::panicIf(collector == nullptr,
+                  "span-detail report on a detached EnergyIndex");
+    return *collector;
 }
 
 } // namespace
 
 std::string
-reportTopRequests(const SpanCollector &collector, std::size_t top_n)
+reportTopRequests(const EnergyIndex &index, std::size_t top_n)
 {
     std::ostringstream out;
     out << "top requests by energy\n"
         << "rank request name spans machines energy_j wall_ms\n";
-    std::vector<os::RequestId> ids = rankedRequests(collector);
+    std::vector<os::RequestId> ids = index.ranked();
     std::size_t shown = 0;
     for (os::RequestId id : ids) {
         if (shown >= top_n)
             break;
         ++shown;
-        std::vector<SpanId> spans = collector.requestSpans(id);
-        std::vector<int> machines;
-        for (SpanId sp : spans) {
-            int m = collector.span(sp).machine;
-            if (std::find(machines.begin(), machines.end(), m) ==
-                machines.end())
-                machines.push_back(m);
-        }
-        out << shown << " " << id << " "
-            << rootName(collector, id) << " " << spans.size() << " "
-            << machines.size() << " "
-            << joules(collector.requestEnergyJ(id).value()) << " "
-            << millis(requestWall(collector, id)) << "\n";
+        RequestRollup r = index.rollup(id);
+        out << shown << " " << id << " " << r.rootName << " "
+            << r.spanCount << " " << r.machineCount << " "
+            << joules(r.energyJ.value()) << " " << millis(r.wall)
+            << "\n";
     }
     if (shown == 0)
         out << "(no spans)\n";
@@ -140,22 +101,22 @@ reportTopRequests(const SpanCollector &collector, std::size_t top_n)
 }
 
 std::string
-reportStageBreakdown(const SpanCollector &collector,
-                     os::RequestId request)
+reportStageBreakdown(const EnergyIndex &index, os::RequestId request)
 {
+    const trace::SpanCollector &collector = detail(index);
     std::ostringstream out;
     out << "stages of request " << request << " ("
-        << rootName(collector, request) << ")\n"
+        << index.rootName(request) << ")\n"
         << "span parent kind machine name energy_j avg_power_w"
         << " cpu_ms io_bytes\n";
     util::Joules total{0};
-    for (SpanId id : collector.requestSpans(request)) {
-        const Span &s = collector.span(id);
-        out << s.id << " " << s.parent << " " << spanKindName(s.kind)
-            << " m" << s.machine << " " << s.name << " "
-            << joules(s.energyJ.value()) << " "
-            << fmt("%.3f", s.avgPowerW().value())
-            << " " << fmt("%.3f", s.cpuTimeNs * 1e-6) << " "
+    for (trace::SpanId id : index.requestSpans(request)) {
+        const trace::Span &s = collector.span(id);
+        out << s.id << " " << s.parent << " "
+            << trace::spanKindName(s.kind) << " m" << s.machine << " "
+            << s.name << " " << joules(s.energyJ.value()) << " "
+            << fmt("%.3f", s.avgPowerW().value()) << " "
+            << fmt("%.3f", s.cpuTimeNs * 1e-6) << " "
             << fmt("%.0f", s.ioBytes) << "\n";
         total += s.energyJ;
     }
@@ -164,16 +125,16 @@ reportStageBreakdown(const SpanCollector &collector,
 }
 
 std::string
-reportCriticalPath(const SpanCollector &collector,
-                   os::RequestId request)
+reportCriticalPath(const EnergyIndex &index, os::RequestId request)
 {
+    const trace::SpanCollector &collector = detail(index);
     std::ostringstream out;
     out << "critical path of request " << request << "\n"
         << "span kind machine name open_ms close_ms energy_j\n";
-    std::vector<SpanId> path = collector.criticalPath(request);
-    for (SpanId id : path) {
-        const Span &s = collector.span(id);
-        out << s.id << " " << spanKindName(s.kind) << " m"
+    std::vector<trace::SpanId> path = collector.criticalPath(request);
+    for (trace::SpanId id : path) {
+        const trace::Span &s = collector.span(id);
+        out << s.id << " " << trace::spanKindName(s.kind) << " m"
             << s.machine << " " << s.name << " " << millis(s.openedAt)
             << " " << millis(s.closedAt) << " "
             << joules(s.energyJ.value())
@@ -185,89 +146,79 @@ reportCriticalPath(const SpanCollector &collector,
 }
 
 std::string
-reportMachineImbalance(const SpanCollector &collector)
+reportMachineImbalance(const EnergyIndex &index)
 {
     std::ostringstream out;
     out << "cross-machine energy imbalance\n"
         << "request name";
-    std::vector<int> machines = collector.machines();
+    std::vector<int> machines = index.machines();
     for (int m : machines)
         out << " m" << m << "_j";
     out << " dominant_share\n";
-    for (os::RequestId id : collector.requests()) {
-        double total = collector.requestEnergyJ(id).value();
+    std::vector<os::RequestId> ids = index.requests();
+    for (os::RequestId id : ids) {
+        double total = index.requestEnergyJ(id).value();
         double peak = 0;
-        out << id << " " << rootName(collector, id);
+        out << id << " " << index.rootName(id);
         for (int m : machines) {
-            double e = collector.machineEnergyJ(id, m).value();
+            double e = index.machineEnergyJ(id, m).value();
             peak = std::max(peak, e);
             out << " " << joules(e);
         }
         out << " " << fmt("%.3f", total > 0 ? peak / total : 0.0)
             << "\n";
     }
-    if (collector.requests().empty())
+    if (ids.empty())
         out << "(no spans)\n";
     return out.str();
 }
 
 std::string
-fullReport(const SpanCollector &collector, const ReportOptions &opts)
+fullReport(const EnergyIndex &index, const ReportOptions &opts)
 {
     std::ostringstream out;
-    out << reportTopRequests(collector, opts.topN);
-    std::vector<os::RequestId> ids = rankedRequests(collector);
-    if (ids.size() > opts.topN)
-        ids.resize(opts.topN);
+    out << reportTopRequests(index, opts.topN);
+    std::vector<os::RequestId> ids = index.topRequests(opts.topN);
     for (os::RequestId id : ids) {
         if (opts.stageBreakdown)
-            out << "\n" << reportStageBreakdown(collector, id);
+            out << "\n" << reportStageBreakdown(index, id);
         if (opts.criticalPath)
-            out << "\n" << reportCriticalPath(collector, id);
+            out << "\n" << reportCriticalPath(index, id);
     }
     if (opts.machineImbalance)
-        out << "\n" << reportMachineImbalance(collector);
+        out << "\n" << reportMachineImbalance(index);
     return out.str();
 }
 
 std::string
-reportJson(const SpanCollector &collector, const ReportOptions &opts)
+reportJson(const EnergyIndex &index, const ReportOptions &opts)
 {
     std::ostringstream out;
     out << "{\"schema\":\"pcon-trace-report-v1\",\"requests\":[";
-    std::vector<os::RequestId> ids = rankedRequests(collector);
-    if (ids.size() > opts.topN)
-        ids.resize(opts.topN);
+    std::vector<os::RequestId> ids = index.topRequests(opts.topN);
     bool first_req = true;
     for (os::RequestId id : ids) {
         if (!first_req)
             out << ",";
         first_req = false;
-        std::vector<SpanId> spans = collector.requestSpans(id);
-        std::vector<int> machines;
-        for (SpanId sp : spans) {
-            int m = collector.span(sp).machine;
-            if (std::find(machines.begin(), machines.end(), m) ==
-                machines.end())
-                machines.push_back(m);
-        }
+        RequestRollup r = index.rollup(id);
         out << "{\"request\":" << id << ",\"root\":\""
-            << jsonEscape(rootName(collector, id)) << "\",\"spans\":"
-            << spans.size() << ",\"machines\":" << machines.size()
-            << ",\"energy_j\":"
-            << joules(collector.requestEnergyJ(id).value())
-            << ",\"wall_ms\":" << millis(requestWall(collector, id));
+            << jsonEscape(r.rootName) << "\",\"spans\":"
+            << r.spanCount << ",\"machines\":" << r.machineCount
+            << ",\"energy_j\":" << joules(r.energyJ.value())
+            << ",\"wall_ms\":" << millis(r.wall);
         if (opts.stageBreakdown) {
+            const trace::SpanCollector &collector = detail(index);
             out << ",\"stages\":[";
             bool first = true;
-            for (SpanId sp : spans) {
-                const Span &s = collector.span(sp);
+            for (trace::SpanId sp : index.requestSpans(id)) {
+                const trace::Span &s = collector.span(sp);
                 if (!first)
                     out << ",";
                 first = false;
                 out << "{\"span\":" << s.id << ",\"parent\":"
                     << s.parent << ",\"kind\":\""
-                    << spanKindName(s.kind) << "\",\"machine\":"
+                    << trace::spanKindName(s.kind) << "\",\"machine\":"
                     << s.machine << ",\"name\":\""
                     << jsonEscape(s.name) << "\",\"energy_j\":"
                     << joules(s.energyJ.value())
@@ -281,15 +232,16 @@ reportJson(const SpanCollector &collector, const ReportOptions &opts)
             out << "]";
         }
         if (opts.criticalPath) {
+            const trace::SpanCollector &collector = detail(index);
             out << ",\"critical_path\":[";
             bool first = true;
-            for (SpanId sp : collector.criticalPath(id)) {
-                const Span &s = collector.span(sp);
+            for (trace::SpanId sp : collector.criticalPath(id)) {
+                const trace::Span &s = collector.span(sp);
                 if (!first)
                     out << ",";
                 first = false;
                 out << "{\"span\":" << s.id << ",\"kind\":\""
-                    << spanKindName(s.kind) << "\",\"machine\":"
+                    << trace::spanKindName(s.kind) << "\",\"machine\":"
                     << s.machine << ",\"name\":\""
                     << jsonEscape(s.name) << "\",\"open_ms\":"
                     << millis(s.openedAt) << ",\"close_ms\":"
@@ -303,20 +255,20 @@ reportJson(const SpanCollector &collector, const ReportOptions &opts)
     out << "]";
     if (opts.machineImbalance) {
         out << ",\"machine_imbalance\":[";
-        std::vector<int> machines = collector.machines();
+        std::vector<int> machines = index.machines();
         bool first = true;
-        for (os::RequestId id : collector.requests()) {
+        for (os::RequestId id : index.requests()) {
             if (!first)
                 out << ",";
             first = false;
-            double total = collector.requestEnergyJ(id).value();
+            double total = index.requestEnergyJ(id).value();
             double peak = 0;
             out << "{\"request\":" << id << ",\"root\":\""
-                << jsonEscape(rootName(collector, id))
+                << jsonEscape(index.rootName(id))
                 << "\",\"per_machine_j\":{";
             bool first_m = true;
             for (int m : machines) {
-                double e = collector.machineEnergyJ(id, m).value();
+                double e = index.machineEnergyJ(id, m).value();
                 peak = std::max(peak, e);
                 if (!first_m)
                     out << ",";
@@ -333,5 +285,5 @@ reportJson(const SpanCollector &collector, const ReportOptions &opts)
     return out.str();
 }
 
-} // namespace trace
+} // namespace obs
 } // namespace pcon

@@ -1,21 +1,25 @@
 /**
  * @file
- * Offline span-tree analysis: the rendering behind `tools/trace_report`.
- * All functions are pure over a SpanCollector (typically reloaded
- * from a renderSpanJson dump) and return deterministic text, so the
- * CLI is a thin wrapper and tests pin the exact output.
+ * Energy-report rendering over an obs::EnergyIndex — the library
+ * behind `tools/trace_report`, relocated from src/trace/report.cc so
+ * the same queries are answerable online. Ranking, rollups, and
+ * machine splits come from the index's incrementally maintained
+ * state; per-span detail (stage rows, critical paths) reads through
+ * the attached collector. All output is deterministic text; over a
+ * freshly attached index the bytes are identical to what the old
+ * collector-scanning report produced (pinned by golden fixtures).
  */
 
-#ifndef PCON_TRACE_REPORT_H
-#define PCON_TRACE_REPORT_H
+#ifndef PCON_OBS_REPORT_H
+#define PCON_OBS_REPORT_H
 
 #include <cstddef>
 #include <string>
 
-#include "trace/span.h"
+#include "obs/energy_index.h"
 
 namespace pcon {
-namespace trace {
+namespace obs {
 
 /** What fullReport() prints. */
 struct ReportOptions
@@ -33,32 +37,35 @@ struct ReportOptions
 /**
  * Requests ranked by attributed energy, descending (ties to the
  * smaller id): rank, request id, root name, span count, machine
- * count, total energy, wall time.
+ * count, total energy, wall time. Pure over the index rollups —
+ * works detached.
  */
-std::string reportTopRequests(const SpanCollector &collector,
+std::string reportTopRequests(const EnergyIndex &index,
                               std::size_t top_n);
 
 /**
  * Per-span table of one request (id order): kind, machine, name,
  * energy, average power, on-CPU time, I/O bytes, plus a totals row
- * that reproduces the request's ledger sum.
+ * that reproduces the request's ledger sum. Needs the attached
+ * collector for span fields (panics when detached).
  */
-std::string reportStageBreakdown(const SpanCollector &collector,
+std::string reportStageBreakdown(const EnergyIndex &index,
                                  os::RequestId request);
 
-/** Root-to-last-close chain of one request with per-hop timing. */
-std::string reportCriticalPath(const SpanCollector &collector,
+/** Root-to-last-close chain of one request with per-hop timing.
+ * Needs the attached collector (panics when detached). */
+std::string reportCriticalPath(const EnergyIndex &index,
                                os::RequestId request);
 
 /**
  * Per-request energy split across machines with the dominant
  * machine's share — the cross-machine imbalance view for the
- * heterogeneous-cluster workload.
+ * heterogeneous-cluster workload. Pure over the index rollups.
  */
-std::string reportMachineImbalance(const SpanCollector &collector);
+std::string reportMachineImbalance(const EnergyIndex &index);
 
 /** The full report per `opts`. */
-std::string fullReport(const SpanCollector &collector,
+std::string fullReport(const EnergyIndex &index,
                        const ReportOptions &opts = {});
 
 /**
@@ -70,10 +77,10 @@ std::string fullReport(const SpanCollector &collector,
  * 1e-6 J, times 1e-3 ms, power 1e-3 W), so the document is
  * deterministic for a given dump.
  */
-std::string reportJson(const SpanCollector &collector,
+std::string reportJson(const EnergyIndex &index,
                        const ReportOptions &opts = {});
 
-} // namespace trace
+} // namespace obs
 } // namespace pcon
 
-#endif // PCON_TRACE_REPORT_H
+#endif // PCON_OBS_REPORT_H

@@ -64,10 +64,17 @@
 
 // Causal request-span tracing with per-span energy attribution.
 #include "trace/export.h"
-#include "trace/report.h"
 #include "trace/span.h"
 #include "trace/span_json.h"
 #include "trace/span_tracer.h"
+
+// Live introspection plane: incremental energy indices, trace
+// reports, the structured event journal, and SLO/anomaly watchdogs.
+#include "obs/energy_index.h"
+#include "obs/feeds.h"
+#include "obs/journal.h"
+#include "obs/report.h"
+#include "obs/watchdog.h"
 
 // Workloads and experiment harnesses.
 #include "workloads/app.h"

@@ -267,6 +267,37 @@ SystemTelemetry::watch(audit::InvariantAuditor &auditor)
 }
 
 void
+SystemTelemetry::watch(core::PowerAnomalyDetector &detector)
+{
+    registry_.counter("anomaly.scans_total");
+    registry_.counter("anomaly.flagged_total");
+    registry_.counter("anomaly.flagged_live_total");
+    registry_.addCollector([this, &detector] {
+        std::vector<core::PowerAnomaly> found = detector.scan();
+        registry_.counter("anomaly.scans_total").add();
+        std::size_t live = 0;
+        for (const core::PowerAnomaly &a : found)
+            if (a.live)
+                ++live;
+        if (!found.empty()) {
+            registry_.counter("anomaly.flagged_total")
+                .add(found.size());
+            if (live > 0)
+                registry_.counter("anomaly.flagged_live_total")
+                    .add(live);
+        }
+        registry_.gauge("anomaly.flagged")
+            .set(static_cast<double>(detector.flagged().size()));
+        registry_.gauge("anomaly.baseline_samples")
+            .set(static_cast<double>(detector.fleet().count()));
+        registry_.gauge("anomaly.fleet_mean_w")
+            .set(detector.fleet().mean());
+        registry_.gauge("anomaly.fleet_stddev_w")
+            .set(detector.fleet().stddev());
+    });
+}
+
+void
 SystemTelemetry::attachPerfetto(PerfettoExporter &exporter)
 {
     perfetto_ = &exporter;

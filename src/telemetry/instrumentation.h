@@ -16,6 +16,7 @@
 #define PCON_TELEMETRY_INSTRUMENTATION_H
 
 #include "audit/invariant_auditor.h"
+#include "core/anomaly.h"
 #include "core/conditioning.h"
 #include "core/container_manager.h"
 #include "core/recalibration.h"
@@ -59,6 +60,15 @@ class SystemTelemetry : public os::KernelHooks
 
     /** Auditor: sweeps run and violations detected. */
     void watch(audit::InvariantAuditor &auditor);
+
+    /**
+     * Anomaly detector: scan() on every snapshot, publishing the
+     * anomaly.* counters and fleet-statistics gauges. scan()
+     * consumes detections (each request is reported once), so give
+     * the detector one driver: watch it here or poll it yourself,
+     * not both.
+     */
+    void watch(core::PowerAnomalyDetector &detector);
 
     /**
      * Forward per-container power samples (on each collect) and

@@ -76,6 +76,7 @@ constexpr std::int32_t kPidContainers = 2;
 constexpr std::int32_t kPidDevices = 3;
 constexpr std::int32_t kPidRecal = 4;
 constexpr std::int32_t kPidFaults = 5;
+constexpr std::int32_t kPidJournal = 6;
 /** Span process for machine M is pid kPidSpansBase + M. */
 constexpr std::int32_t kPidSpansBase = 10;
 
@@ -299,6 +300,24 @@ PerfettoExporter::noteFault(const std::string &kind, double magnitude)
 }
 
 void
+PerfettoExporter::noteJournal(sim::SimTime ts,
+                              const std::string &label, double value)
+{
+    Event e;
+    e.phase = Event::Phase::Instant;
+    e.ts = ts;
+    e.pid = kPidJournal;
+    e.tid = 0;
+    e.name = label;
+    e.argName = "value";
+    e.argValue = value;
+    e.hasArg = true;
+    push(std::move(e));
+    ++instants_;
+    ++journal_;
+}
+
+void
 PerfettoExporter::addSpanSlice(int machine, int lane,
                                sim::SimTime start, sim::SimTime dur,
                                const std::string &name,
@@ -352,14 +371,14 @@ std::size_t
 PerfettoExporter::trackCount() const
 {
     // Cores + disk + net + recalibration thread tracks, plus the
-    // faults track when faults were injected, plus one counter track
+    // faults and journal tracks when used, plus one counter track
     // per distinct counter name, plus one lane track per span
     // machine when spans were exported.
     std::size_t span_lanes = 0;
     for (const auto &kv : spanLanes_)
         span_lanes += static_cast<std::size_t>(kv.second);
     return open_.size() + 2 + 1 + (faults_ > 0 ? 1 : 0) +
-        counterTracks_.size() + span_lanes;
+        (journal_ > 0 ? 1 : 0) + counterTracks_.size() + span_lanes;
 }
 
 std::string
@@ -401,6 +420,10 @@ PerfettoExporter::json() const
     if (faults_ > 0) {
         meta("process_name", kPidFaults, 0, false, "faults");
         meta("thread_name", kPidFaults, 0, true, "injected");
+    }
+    if (journal_ > 0) {
+        meta("process_name", kPidJournal, 0, false, "journal");
+        meta("thread_name", kPidJournal, 0, true, "records");
     }
     for (const auto &kv : spanLanes_) {
         std::int32_t pid = kPidSpansBase + kv.first;

@@ -20,6 +20,9 @@
  *   pid 4 "recalibration"  tid 0; "i" instants per model refit.
  *   pid 5 "faults"         tid 0; "i" instants per injected fault
  *                          (only when faults fired).
+ *   pid 6 "journal"        tid 0; "i" instants per obs::Journal
+ *                          record (only when the journal was
+ *                          exported — see obs/feeds.h).
  *   pid 10+M "machineM.spans"  one thread per overlap lane; "X"
  *                          slices per request span and "s"/"f" flow
  *                          events stitching cross-machine spans
@@ -99,6 +102,17 @@ class PerfettoExporter : public os::KernelHooks
     void noteFault(const std::string &kind, double magnitude);
 
     /**
+     * Record one journal-record marker at an explicit timestamp
+     * (obs::exportJournalToPerfetto drives this after the run, so
+     * the record's own sim time is used, not the current time). The
+     * "journal" process track (pid 6) appears in the rendered trace
+     * only when at least one record was noted, keeping journal-free
+     * traces byte-identical to earlier ones.
+     */
+    void noteJournal(sim::SimTime ts, const std::string &label,
+                     double value);
+
+    /**
      * Append one request-span slice on the span process of `machine`
      * (pid 10+machine, tid = overlap lane). The span tracks and their
      * metadata appear only when at least one slice or flow was added,
@@ -135,6 +149,9 @@ class PerfettoExporter : public os::KernelHooks
 
     /** Fault-injection instants recorded. */
     std::size_t faultCount() const { return faults_; }
+
+    /** Journal-record instants recorded. */
+    std::size_t journalCount() const { return journal_; }
 
     /** Counter samples recorded (actuations + container power). */
     std::size_t counterCount() const { return counters_; }
@@ -210,6 +227,7 @@ class PerfettoExporter : public os::KernelHooks
     std::size_t instants_ = 0;
     std::size_t counters_ = 0;
     std::size_t faults_ = 0;
+    std::size_t journal_ = 0;
     std::size_t flows_ = 0;
     std::size_t spanSlices_ = 0;
 };

@@ -44,9 +44,11 @@ SpanCollector::SpanCollector(SpanCollector &&other)
     spans_ = std::move(other.spans_);
     roots_ = std::move(other.roots_);
     openCount_ = other.openCount_;
+    observer_ = other.observer_;
     other.spans_.clear();
     other.roots_.clear();
     other.openCount_ = 0;
+    other.observer_ = nullptr;
 }
 
 SpanCollector &
@@ -62,9 +64,11 @@ SpanCollector::operator=(SpanCollector &&other)
     spans_ = std::move(other.spans_);
     roots_ = std::move(other.roots_);
     openCount_ = other.openCount_;
+    observer_ = other.observer_;
     other.spans_.clear();
     other.roots_.clear();
     other.openCount_ = 0;
+    other.observer_ = nullptr;
     return *this;
 }
 
@@ -93,6 +97,8 @@ SpanCollector::open(os::RequestId request, int machine,
     }
     spans_.push_back(std::move(s));
     ++openCount_;
+    if (observer_ != nullptr)
+        observer_->onSpanOpened(spans_.back());
     return spans_.back().id;
 }
 
@@ -106,6 +112,8 @@ SpanCollector::close(SpanId id, sim::SimTime now)
     s.open = false;
     s.closedAt = now < s.openedAt ? s.openedAt : now;
     --openCount_;
+    if (observer_ != nullptr)
+        observer_->onSpanClosed(s);
 }
 
 void
@@ -134,6 +142,8 @@ SpanCollector::charge(SpanId id, util::Joules energy,
     s.cpuTimeNs += cpu_time_ns;
     s.cycles += cycles;
     s.instructions += instructions;
+    if (observer_ != nullptr)
+        observer_->onSpanCharged(s, energy, cpu_time_ns);
 }
 
 void
@@ -334,6 +344,20 @@ SpanCollector::addSpan(const Span &span)
     spans_.push_back(span);
     if (span.open)
         ++openCount_;
+    if (observer_ != nullptr) {
+        // Reload parity with the live path: opened (totals included),
+        // then closed when the dump recorded a finished span.
+        observer_->onSpanOpened(spans_.back());
+        if (!span.open)
+            observer_->onSpanClosed(spans_.back());
+    }
+}
+
+void
+SpanCollector::setObserver(SpanObserver *observer)
+{
+    util::LockGuard lock(mu_);
+    observer_ = observer;
 }
 
 } // namespace trace

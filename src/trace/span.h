@@ -54,6 +54,43 @@ const char *spanKindName(SpanKind kind);
 /** Parse spanKindName output; panics on unknown names. */
 SpanKind spanKindFromName(const std::string &name);
 
+struct Span;
+
+/**
+ * Incremental span-stream observer (the feed behind obs::EnergyIndex).
+ * A SpanCollector notifies its observer at every mutation so live
+ * indices can maintain rollups in O(1) per event instead of scanning
+ * the whole trace per query. Callbacks run with the collector's lock
+ * held: implementations must not call back into the collector (read
+ * the passed Span reference instead) and must be cheap.
+ *
+ * The addSpan() reload path (JSON dumps) fires onSpanOpened with the
+ * fully-formed span (its accumulated totals included) followed by
+ * onSpanClosed when the span arrived closed, so an index attached
+ * before a reload sees the same totals as one attached live.
+ */
+class SpanObserver
+{
+  public:
+    virtual ~SpanObserver() = default;
+
+    /** A span was opened (or reloaded via addSpan). `span.energyJ`
+     * and friends may be nonzero on the reload path. */
+    virtual void onSpanOpened(const Span &span) { (void)span; }
+
+    /** A span was closed; `span.closedAt` is final. */
+    virtual void onSpanClosed(const Span &span) { (void)span; }
+
+    /** Activity was charged to a span; deltas are the increments
+     * just applied (already folded into `span`). */
+    virtual void
+    onSpanCharged(const Span &span, util::Joules energy_delta,
+                  double cpu_delta_ns)
+    {
+        (void)span; (void)energy_delta; (void)cpu_delta_ns;
+    }
+};
+
 /** One node of a request's causal span tree. */
 struct Span
 {
@@ -212,6 +249,14 @@ class SpanCollector
      */
     void addSpan(const Span &span);
 
+    /**
+     * Install (or clear, with nullptr) the incremental observer. At
+     * most one is active; obs::EnergyIndex owns this hook. Install
+     * before spans are recorded (or rebuild the index afterwards) —
+     * the observer is only told about mutations from now on.
+     */
+    void setObserver(SpanObserver *observer);
+
   private:
     bool validLocked(SpanId id) const PCON_REQUIRES(mu_);
     const Span &spanLocked(SpanId id) const PCON_REQUIRES(mu_);
@@ -223,6 +268,8 @@ class SpanCollector
     util::ChunkedVector<Span> spans_ PCON_GUARDED_BY(mu_);
     std::map<os::RequestId, SpanId> roots_ PCON_GUARDED_BY(mu_);
     std::size_t openCount_ PCON_GUARDED_BY(mu_) = 0;
+    /** Notified under mu_; see SpanObserver's contract. */
+    SpanObserver *observer_ PCON_GUARDED_BY(mu_) = nullptr;
 };
 
 } // namespace trace

@@ -2,21 +2,31 @@
 
 #include <string>
 
-#include "trace/report.h"
+#include "obs/energy_index.h"
+#include "obs/report.h"
 #include "trace/span_json.h"
 
 #ifndef PCON_TEST_DATA_DIR
 #define PCON_TEST_DATA_DIR "tests/data"
 #endif
 
-namespace pcon::trace {
+namespace pcon::obs {
 namespace {
 
-SpanCollector
+trace::SpanCollector
 golden()
 {
-    return loadSpanJson(std::string(PCON_TEST_DATA_DIR) +
-                        "/golden_span_dump.json");
+    return trace::loadSpanJson(std::string(PCON_TEST_DATA_DIR) +
+                               "/golden_span_dump.json");
+}
+
+std::string
+goldenJson(const ReportOptions &opts = {})
+{
+    trace::SpanCollector spans = golden();
+    EnergyIndex index;
+    index.attach(spans);
+    return reportJson(index, opts);
 }
 
 /** Minimal structural validity: balanced {} and [] outside strings. */
@@ -62,8 +72,7 @@ balanced(const std::string &json)
 
 TEST(ReportJson, NamesSchemaAndCoversGoldenDump)
 {
-    SpanCollector spans = golden();
-    std::string json = reportJson(spans);
+    std::string json = goldenJson();
     EXPECT_EQ(json.rfind("{\"schema\":\"pcon-trace-report-v1\"", 0),
               0u);
     EXPECT_TRUE(balanced(json));
@@ -79,18 +88,19 @@ TEST(ReportJson, NamesSchemaAndCoversGoldenDump)
 
 TEST(ReportJson, DeterministicAcrossCalls)
 {
-    SpanCollector spans = golden();
-    EXPECT_EQ(reportJson(spans), reportJson(spans));
+    trace::SpanCollector spans = golden();
+    EnergyIndex index;
+    index.attach(spans);
+    EXPECT_EQ(reportJson(index), reportJson(index));
 }
 
 TEST(ReportJson, OptionsToggleSections)
 {
-    SpanCollector spans = golden();
     ReportOptions opts;
     opts.stageBreakdown = false;
     opts.criticalPath = false;
     opts.machineImbalance = false;
-    std::string json = reportJson(spans, opts);
+    std::string json = goldenJson(opts);
     EXPECT_TRUE(balanced(json));
     EXPECT_EQ(json.find("\"stages\":["), std::string::npos);
     EXPECT_EQ(json.find("\"critical_path\":["), std::string::npos);
@@ -101,18 +111,19 @@ TEST(ReportJson, OptionsToggleSections)
 
 TEST(ReportJson, TopNLimitsRequests)
 {
-    SpanCollector spans = golden();
     ReportOptions opts;
     opts.topN = 0;
     opts.machineImbalance = false;
-    std::string json = reportJson(spans, opts);
+    std::string json = goldenJson(opts);
     EXPECT_NE(json.find("\"requests\":[]"), std::string::npos);
 }
 
 TEST(ReportJson, EmptyCollectorYieldsEmptyDocument)
 {
-    SpanCollector spans;
-    std::string json = reportJson(spans);
+    trace::SpanCollector spans;
+    EnergyIndex index;
+    index.attach(spans);
+    std::string json = reportJson(index);
     EXPECT_TRUE(balanced(json));
     EXPECT_NE(json.find("\"requests\":[]"), std::string::npos);
     EXPECT_NE(json.find("\"machine_imbalance\":[]"),
@@ -120,4 +131,4 @@ TEST(ReportJson, EmptyCollectorYieldsEmptyDocument)
 }
 
 } // namespace
-} // namespace pcon::trace
+} // namespace pcon::obs

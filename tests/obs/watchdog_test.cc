@@ -1,0 +1,282 @@
+/**
+ * @file
+ * WatchdogSet unit tests: evaluation bookkeeping, stuck-counter
+ * probes, cap-violation episodes, fault-counter visibility, anomaly
+ * journaling, and the registry-collector wiring that makes sampler
+ * ticks drive evaluation. The full canonical-fault-plan proof lives
+ * in watchdog_fault_test.cc.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/anomaly.h"
+#include "obs/watchdog.h"
+#include "os/kernel.h"
+#include "sim/rng.h"
+#include "sim/simulation.h"
+#include "telemetry/sampler.h"
+
+namespace pcon::obs {
+namespace {
+
+using hw::ActivityVector;
+using os::ComputeOp;
+using os::Op;
+using os::OpResult;
+using os::RequestId;
+using os::ScriptedLogic;
+using os::Task;
+using sim::msec;
+using sim::sec;
+
+struct WatchdogWorld
+{
+    sim::Simulation sim;
+    hw::Machine machine;
+    os::RequestContextManager requests;
+    os::Kernel kernel;
+    std::shared_ptr<core::LinearPowerModel> model;
+    core::ContainerManager manager;
+    telemetry::Registry registry;
+    Journal journal;
+
+    WatchdogWorld()
+        : machine(sim, config()), kernel(machine, requests),
+          model(makeModel()), manager(kernel, model, {})
+    {
+        kernel.addHooks(&manager);
+    }
+
+    static hw::MachineConfig
+    config()
+    {
+        hw::MachineConfig cfg;
+        cfg.name = "watchdog";
+        cfg.chips = 1;
+        cfg.coresPerChip = 2;
+        cfg.freqGhz = 1.0;
+        cfg.truth.machineIdleW = 10.0;
+        cfg.truth.chipMaintenanceW = 4.0;
+        cfg.truth.coreBusyW = 6.0;
+        cfg.truth.insW = 2.0;
+        cfg.truth.llcW = 50.0;
+        cfg.truth.memW = 200.0;
+        return cfg;
+    }
+
+    static std::shared_ptr<core::LinearPowerModel>
+    makeModel()
+    {
+        auto model = std::make_shared<core::LinearPowerModel>();
+        model->setCoefficient(core::Metric::Core, 6.0);
+        model->setCoefficient(core::Metric::Ins, 2.0);
+        model->setCoefficient(core::Metric::Cache, 50.0);
+        model->setCoefficient(core::Metric::Mem, 200.0);
+        model->setCoefficient(core::Metric::ChipShare, 4.0);
+        return model;
+    }
+
+    /** Run one request to completion on core 0 and return its id. */
+    RequestId
+    runRequest(const std::string &type, const ActivityVector &act,
+               double cycles)
+    {
+        RequestId id = requests.create(type, sim.now());
+        auto logic = std::make_shared<ScriptedLogic>(
+            std::vector<ScriptedLogic::Step>{
+                [=](os::Kernel &, Task &, const OpResult &) -> Op {
+                    return ComputeOp{act, cycles};
+                }});
+        kernel.spawn(logic, type, id, 0);
+        sim.run(sim.now() + sec(1));
+        requests.complete(id, sim.now());
+        return id;
+    }
+
+    double
+    metric(const std::string &name)
+    {
+        for (const auto &e : registry.entries()) {
+            if (e.name != name)
+                continue;
+            if (e.kind == telemetry::InstrumentKind::Counter)
+                return static_cast<double>(e.counter->value());
+            if (e.kind == telemetry::InstrumentKind::Gauge)
+                return e.gauge->value();
+        }
+        ADD_FAILURE() << "metric not registered: " << name;
+        return -1;
+    }
+};
+
+TEST(WatchdogSet, EvaluationIsSilentWithNothingWatched)
+{
+    WatchdogWorld w;
+    WatchdogSet dogs(w.journal, w.registry, w.kernel);
+    dogs.evaluate();
+    dogs.evaluate();
+    EXPECT_EQ(dogs.evaluations(), 2u);
+    EXPECT_EQ(dogs.alertsFired(), 0u);
+    EXPECT_EQ(w.journal.size(), 0u);
+    EXPECT_EQ(w.metric("obs.watchdog.evaluations_total"), 2.0);
+    EXPECT_EQ(w.metric("obs.watchdog.alerts_total"), 0.0);
+}
+
+TEST(WatchdogSet, InstallCollectorDrivesEvaluationFromSnapshots)
+{
+    WatchdogWorld w;
+    WatchdogSet dogs(w.journal, w.registry, w.kernel);
+    dogs.installCollector();
+    w.registry.collect();
+    w.registry.collect();
+    EXPECT_EQ(dogs.evaluations(), 2u);
+}
+
+TEST(WatchdogSet, StuckProbeAlertsOnceThenRearmsOnProgress)
+{
+    WatchdogWorld w;
+    WatchdogConfig cfg;
+    cfg.stuckAfterTicks = 3;
+    WatchdogSet dogs(w.journal, w.registry, w.kernel, cfg);
+    std::uint64_t counter = 0;
+    dogs.addProgressProbe("probe", [&counter]() { return counter; });
+
+    // Arm the probe: it has to move once before a stall can alert.
+    counter = 1;
+    dogs.evaluate();
+    EXPECT_EQ(dogs.alertsFired(), 0u);
+
+    // Three static ticks: exactly one alert, not one per tick.
+    for (int i = 0; i < 5; ++i)
+        dogs.evaluate();
+    EXPECT_EQ(dogs.alertsFired(), 1u);
+    EXPECT_EQ(w.metric("obs.watchdog.stuck_alerts_total"), 1.0);
+    EXPECT_NE(w.journal.jsonl().find("\"what\":\"stuck_counter\""),
+              std::string::npos);
+    EXPECT_NE(w.journal.jsonl().find("probe static for"),
+              std::string::npos);
+
+    // Progress rearms; a second stall alerts again.
+    counter = 2;
+    dogs.evaluate();
+    for (int i = 0; i < 3; ++i)
+        dogs.evaluate();
+    EXPECT_EQ(dogs.alertsFired(), 2u);
+}
+
+TEST(WatchdogSet, ProbeThatNeverMovedStaysSilent)
+{
+    WatchdogWorld w;
+    WatchdogConfig cfg;
+    cfg.stuckAfterTicks = 2;
+    WatchdogSet dogs(w.journal, w.registry, w.kernel, cfg);
+    dogs.addProgressProbe("idle", []() { return 0ull; });
+    for (int i = 0; i < 10; ++i)
+        dogs.evaluate();
+    EXPECT_EQ(dogs.alertsFired(), 0u);
+    EXPECT_EQ(w.journal.size(), 0u);
+}
+
+TEST(WatchdogSet, FaultCounterMovementIsJournaledAsFaultNotAlert)
+{
+    WatchdogWorld w;
+    telemetry::Counter &injected =
+        w.registry.counter("fault.test_injected");
+    WatchdogSet dogs(w.journal, w.registry, w.kernel);
+    dogs.evaluate(); // takes the baseline
+    injected.add(3);
+    dogs.evaluate();
+    EXPECT_EQ(w.journal.countByKind(RecordKind::Fault), 1u);
+    EXPECT_EQ(w.journal.countByKind(RecordKind::Alert), 0u);
+    EXPECT_EQ(dogs.alertsFired(), 0u);
+    EXPECT_EQ(w.metric("obs.journal.fault_records_total"), 1.0);
+    EXPECT_NE(
+        w.journal.jsonl().find("fault.* counters advanced by 3"),
+        std::string::npos);
+    // No further movement, no further records.
+    dogs.evaluate();
+    EXPECT_EQ(w.journal.countByKind(RecordKind::Fault), 1u);
+}
+
+TEST(WatchdogSet, CapViolationAlertsAfterTheGraceWindow)
+{
+    WatchdogWorld w;
+    WatchdogConfig cfg;
+    cfg.powerCapW = util::Watts(1.0); // any busy container exceeds
+    cfg.capViolationAfter = msec(20);
+    WatchdogSet dogs(w.journal, w.registry, w.kernel, cfg);
+    dogs.watchContainers(w.manager);
+    dogs.installCollector();
+    telemetry::Sampler sampler(w.sim, w.registry,
+                               {msec(10), 1u << 10});
+    sampler.start();
+
+    RequestId id = w.requests.create("hog", w.sim.now());
+    auto logic = std::make_shared<ScriptedLogic>(
+        std::vector<ScriptedLogic::Step>{
+            [](os::Kernel &, Task &, const OpResult &) -> Op {
+                return ComputeOp{ActivityVector{1, 0, 0, 0}, 5e8};
+            }});
+    w.kernel.spawn(logic, "hog", id, 0);
+    w.sim.run(msec(200));
+
+    EXPECT_GE(dogs.alertsFired(), 1u);
+    EXPECT_GE(w.metric("obs.watchdog.cap_alerts_total"), 1.0);
+    EXPECT_GE(w.metric("obs.watchdog.cap_over_containers"), 1.0);
+    EXPECT_NE(w.journal.jsonl().find("\"what\":\"power_cap\""),
+              std::string::npos);
+    // One sustained episode per container: no alert storm.
+    EXPECT_LE(w.metric("obs.watchdog.cap_alerts_total"), 3.0);
+}
+
+TEST(WatchdogSet, AnomalyDetectionsAreJournaledAsWarnings)
+{
+    WatchdogWorld w;
+    core::AnomalyDetectorConfig acfg;
+    acfg.minBaselineSamples = 20;
+    core::PowerAnomalyDetector detector(w.manager, acfg);
+    WatchdogSet dogs(w.journal, w.registry, w.kernel);
+    dogs.watchAnomalies(detector);
+
+    const ActivityVector normal{1.0, 0.0, 0.0, 0.0};
+    const ActivityVector virus{2.0, 0.0, 0.06, 0.014};
+    sim::Rng rng(3);
+    for (int i = 0; i < 30; ++i) {
+        ActivityVector act = normal;
+        act.ipc = rng.uniform(0.9, 1.1);
+        w.runRequest("normal", act, 3e6);
+    }
+    dogs.evaluate();
+    EXPECT_EQ(dogs.alertsFired(), 0u);
+
+    w.runRequest("virus", virus, 3e6);
+    dogs.evaluate();
+    EXPECT_EQ(dogs.alertsFired(), 1u);
+    EXPECT_EQ(w.metric("obs.watchdog.anomaly_alerts_total"), 1.0);
+    EXPECT_EQ(w.journal.countBySeverity(Severity::Warn), 1u);
+    EXPECT_NE(w.journal.jsonl().find("\"what\":\"power_anomaly\""),
+              std::string::npos);
+}
+
+TEST(WatchdogSet, DriftStaysQuietWhenAccountingIsHealthy)
+{
+    WatchdogWorld w;
+    WatchdogConfig cfg;
+    cfg.driftWarmup = msec(100);
+    WatchdogSet dogs(w.journal, w.registry, w.kernel, cfg);
+    dogs.watchGroundTruth(w.manager, w.machine);
+    w.runRequest("steady", ActivityVector{1, 0, 0, 0}, 5e7);
+    dogs.evaluate();
+    // The model matches the truth coefficients, so accounted energy
+    // tracks ground truth and the drift fraction stays small.
+    EXPECT_EQ(dogs.alertsFired(), 0u);
+    EXPECT_LT(w.metric("obs.watchdog.drift_fraction"), 0.25);
+}
+
+} // namespace
+} // namespace pcon::obs

@@ -234,5 +234,53 @@ TEST(AttachLogMetrics, CountsBelowTheThresholdStillAccumulate)
     FAIL() << "log.warn_total not registered";
 }
 
+TEST(SystemTelemetry, WatchedAnomalyDetectorPublishesCounters)
+{
+    TelemetryWorld w;
+    core::AnomalyDetectorConfig acfg;
+    acfg.minBaselineSamples = 10;
+    acfg.minStddevW = 0.25;
+    core::PowerAnomalyDetector detector(w.manager, acfg);
+    w.telemetry.watch(detector);
+
+    // A uniform fleet builds the baseline without flagging anyone.
+    for (int i = 0; i < 12; ++i) {
+        RequestId id = w.requests.create("normal", w.sim.now());
+        auto logic = std::make_shared<ScriptedLogic>(
+            std::vector<ScriptedLogic::Step>{
+                [](os::Kernel &, Task &, const OpResult &) -> Op {
+                    return ComputeOp{ActivityVector{1, 0, 0, 0},
+                                     3e6};
+                }});
+        w.kernel.spawn(logic, "normal", id, 0);
+        w.sim.run(w.sim.now() + msec(100));
+        w.requests.complete(id, w.sim.now());
+    }
+    w.registry.collect();
+    EXPECT_GE(w.metric("anomaly.scans_total"), 1.0);
+    EXPECT_EQ(w.metric("anomaly.flagged_total"), 0.0);
+    EXPECT_EQ(w.metric("anomaly.baseline_samples"), 12.0);
+    EXPECT_GT(w.metric("anomaly.fleet_mean_w"), 0.0);
+
+    // A power virus (cache+memory heavy) crosses the threshold and
+    // lands in the counters on the next snapshot.
+    RequestId virus = w.requests.create("virus", w.sim.now());
+    auto hot = std::make_shared<ScriptedLogic>(
+        std::vector<ScriptedLogic::Step>{
+            [](os::Kernel &, Task &, const OpResult &) -> Op {
+                return ComputeOp{
+                    ActivityVector{2.0, 0.0, 0.06, 0.014}, 3e6};
+            }});
+    w.kernel.spawn(hot, "virus", virus, 0);
+    w.sim.run(w.sim.now() + msec(100));
+    w.requests.complete(virus, w.sim.now());
+    w.registry.collect();
+    EXPECT_EQ(w.metric("anomaly.flagged_total"), 1.0);
+    EXPECT_EQ(w.metric("anomaly.flagged"), 1.0);
+    // Re-collecting does not double count: scan() reports once.
+    w.registry.collect();
+    EXPECT_EQ(w.metric("anomaly.flagged_total"), 1.0);
+}
+
 } // namespace
 } // namespace pcon::telemetry

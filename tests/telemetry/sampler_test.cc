@@ -6,6 +6,7 @@
 #include "sim/simulation.h"
 #include "telemetry/registry.h"
 #include "telemetry/sampler.h"
+#include "util/logging.h"
 
 namespace pcon::telemetry {
 namespace {
@@ -154,6 +155,59 @@ TEST(Sampler, JsonExportRoundsTripStructure)
     std::string path = testing::TempDir() + "/sampler.json";
     sampler.writeJson(path);
     EXPECT_EQ(readFile(path), json + "\n");
+}
+
+TEST(Sampler, ZeroPeriodIsRejectedAtConstruction)
+{
+    sim::Simulation sim;
+    Registry registry;
+    // A zero (or negative) period would busy-loop the event queue;
+    // the constructor refuses it as a caller error.
+    EXPECT_THROW(Sampler(sim, registry, {sim::SimTime{0}, 16}),
+                 util::FatalError);
+    EXPECT_THROW(Sampler(sim, registry, {sim::nsec(-1), 16}),
+                 util::FatalError);
+}
+
+TEST(Sampler, ZeroCapacityIsRejectedAtConstruction)
+{
+    sim::Simulation sim;
+    Registry registry;
+    EXPECT_THROW(Sampler(sim, registry, {msec(10), 0}),
+                 util::FatalError);
+}
+
+TEST(Sampler, EmptyRegistrySnapshotsHaveNoValues)
+{
+    sim::Simulation sim;
+    Registry registry;
+    Sampler sampler(sim, registry, {msec(10), 16});
+    sampler.snapshotNow();
+    ASSERT_EQ(sampler.snapshots().size(), 1u);
+    EXPECT_TRUE(sampler.snapshots().front().values.empty());
+    // The CSV degenerates to the time column: header plus one row.
+    std::string path = testing::TempDir() + "/sampler_empty_reg.csv";
+    sampler.writeCsv(path);
+    EXPECT_EQ(readFile(path), "time_ms\n0\n");
+}
+
+TEST(Sampler, ExportsAreWellFormedWithZeroSnapshots)
+{
+    sim::Simulation sim;
+    Registry registry;
+    registry.counter("some.counter").add(7);
+    Sampler sampler(sim, registry, {msec(10), 16});
+    // Never started, never ticked: exports must still be valid.
+    std::string csv_path = testing::TempDir() + "/sampler_no_ticks.csv";
+    sampler.writeCsv(csv_path);
+    EXPECT_EQ(readFile(csv_path), "time_ms\n");
+    std::string json = sampler.json();
+    EXPECT_NE(json.find("\"snapshots\""), std::string::npos);
+    EXPECT_EQ(json.find("some.counter"), std::string::npos);
+    std::string json_path =
+        testing::TempDir() + "/sampler_no_ticks.json";
+    sampler.writeJson(json_path);
+    EXPECT_EQ(readFile(json_path), json + "\n");
 }
 
 } // namespace

@@ -3,7 +3,6 @@
 #include "os/kernel.h"
 #include "sim/simulation.h"
 #include "trace/export.h"
-#include "trace/report.h"
 
 namespace pcon::trace {
 namespace {
@@ -113,56 +112,6 @@ TEST(PerfettoSpans, NoSpansMeansNoSpanTracks)
     exportSpansToPerfetto(empty, exporter);
     EXPECT_EQ(exporter.spanSliceCount(), 0u);
     EXPECT_EQ(exporter.json().find(".spans"), std::string::npos);
-}
-
-TEST(Report, StageBreakdownTotalsReproduceTheLedger)
-{
-    SpanCollector c = sampleTree();
-    std::string breakdown = reportStageBreakdown(c, 7);
-    EXPECT_NE(breakdown.find("total 0.187530"), std::string::npos);
-    EXPECT_NE(breakdown.find("frontend"), std::string::npos);
-    EXPECT_NE(breakdown.find("remote"), std::string::npos);
-    EXPECT_NE(breakdown.find("disk"), std::string::npos);
-}
-
-TEST(Report, TopRequestsRanksByEnergy)
-{
-    SpanCollector c;
-    SpanId r1 = c.open(1, 0, "cheap", SpanKind::Root, NoSpan, 0);
-    SpanId r2 = c.open(2, 0, "hot", SpanKind::Root, NoSpan, 0);
-    c.charge(r1, util::Joules(0.25), 0, util::Cycles(0), 0);
-    c.charge(r2, util::Joules(0.75), 0, util::Cycles(0), 0);
-    c.close(r1, msec(1));
-    c.close(r2, msec(2));
-    std::string top = reportTopRequests(c, 5);
-    std::size_t hot = top.find("hot");
-    std::size_t cheap = top.find("cheap");
-    ASSERT_NE(hot, std::string::npos);
-    ASSERT_NE(cheap, std::string::npos);
-    EXPECT_LT(hot, cheap);
-    // topN truncates the ranking.
-    std::string only_one = reportTopRequests(c, 1);
-    EXPECT_NE(only_one.find("hot"), std::string::npos);
-    EXPECT_EQ(only_one.find("cheap"), std::string::npos);
-}
-
-TEST(Report, MachineImbalanceBlamesTheDominantMachine)
-{
-    SpanCollector c = sampleTree();
-    std::string imbalance = reportMachineImbalance(c);
-    EXPECT_NE(imbalance.find("m0_j"), std::string::npos);
-    EXPECT_NE(imbalance.find("0.125000"), std::string::npos);
-    EXPECT_NE(imbalance.find("0.062530"), std::string::npos);
-}
-
-TEST(Report, EmptyCollectorYieldsHeadersOnly)
-{
-    SpanCollector empty;
-    std::string report = fullReport(empty);
-    EXPECT_NE(report.find("top requests by energy"),
-              std::string::npos);
-    std::string path = reportCriticalPath(empty, 42);
-    EXPECT_FALSE(path.empty());
 }
 
 } // namespace

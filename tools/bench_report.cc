@@ -175,22 +175,44 @@ emit(const Comparison &cmp, const Options &opts, bool first,
     }
 }
 
-/** Summarize a directory of reports (no comparison). */
+/**
+ * Summarize a directory of reports (no comparison). With --check the
+ * listing doubles as a health gate: an empty directory, an
+ * unparsable document, or a report with zero entries exits 1 — so CI
+ * catches a bench suite that silently stopped emitting before a
+ * two-directory comparison would mask it as "nothing to compare".
+ */
 int
 trajectory(const std::string &dir, const Options &opts)
 {
     std::vector<std::string> files = benchFiles(dir);
     if (files.empty()) {
         std::fprintf(stderr,
-                     "bench_report: no BENCH_*.json under %s\n",
-                     dir.c_str());
-        return 2;
+                     "bench_report: no BENCH_*.json under %s\n"
+                     "  (run the bench_* suites with "
+                     "PCON_BENCH_JSON_DIR=%s to generate them)\n",
+                     dir.c_str(), dir.c_str());
+        // Plain listings treat this as an I/O-level error; --check
+        // treats it as the gate tripping.
+        return opts.check ? 1 : 2;
     }
+    bool failed = false;
     bool first = true;
     for (const std::string &name : files) {
         BenchReport report;
-        if (!load(dir + "/" + name, report))
-            return 2;
+        if (!load(dir + "/" + name, report)) {
+            if (!opts.check)
+                return 2;
+            failed = true;
+            continue;
+        }
+        if (opts.check && report.entries.empty()) {
+            std::fprintf(stderr,
+                         "bench_report: CHECK %s: report has no "
+                         "entries\n",
+                         name.c_str());
+            failed = true;
+        }
         if (opts.json) {
             if (!first)
                 std::printf("\n");
@@ -211,7 +233,7 @@ trajectory(const std::string &dir, const Options &opts)
         }
         first = false;
     }
-    return 0;
+    return failed ? 1 : 0;
 }
 
 } // namespace

@@ -28,6 +28,7 @@ CORE_SCOPE = (
     "src/sim",
     "src/core",
     "src/hw",
+    "src/obs",
     "src/perf",
     "src/telemetry",
     "src/trace",

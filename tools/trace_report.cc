@@ -11,6 +11,12 @@
  * printed. --json emits the same report as one machine-readable
  * pcon-trace-report-v1 document (reportJson) instead of text. Exit codes: 0 ok, 2 usage error; parse/IO failures abort
  * with a diagnostic (util::fatal).
+ *
+ * The CLI is a thin wrapper over obs::EnergyIndex (docs/QUERIES.md):
+ * it attaches an index to the reloaded collector and renders the
+ * obs/report.h views. Attaching absorbs spans in id order, so the
+ * output is byte-identical to the historical collector-scanning
+ * report (pinned by tests/data/golden_trace_report.*).
  */
 
 #include <cstdio>
@@ -18,7 +24,7 @@
 #include <cstring>
 #include <string>
 
-#include "trace/report.h"
+#include "obs/report.h"
 #include "trace/span_json.h"
 
 namespace {
@@ -65,24 +71,26 @@ main(int argc, char **argv)
 
     pcon::trace::SpanCollector spans =
         pcon::trace::loadSpanJson(path);
+    pcon::obs::EnergyIndex index;
+    index.attach(spans);
     if (request != pcon::os::NoRequest && !json) {
         std::fputs(
-            pcon::trace::reportStageBreakdown(spans, request).c_str(),
+            pcon::obs::reportStageBreakdown(index, request).c_str(),
             stdout);
         std::fputs("\n", stdout);
         std::fputs(
-            pcon::trace::reportCriticalPath(spans, request).c_str(),
+            pcon::obs::reportCriticalPath(index, request).c_str(),
             stdout);
         return 0;
     }
-    pcon::trace::ReportOptions opts;
+    pcon::obs::ReportOptions opts;
     opts.topN = top_n;
     if (json) {
-        std::fputs(pcon::trace::reportJson(spans, opts).c_str(),
+        std::fputs(pcon::obs::reportJson(index, opts).c_str(),
                    stdout);
         std::fputs("\n", stdout);
         return 0;
     }
-    std::fputs(pcon::trace::fullReport(spans, opts).c_str(), stdout);
+    std::fputs(pcon::obs::fullReport(index, opts).c_str(), stdout);
     return 0;
 }
