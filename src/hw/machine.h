@@ -21,6 +21,7 @@
 #include "hw/config.h"
 #include "hw/counters.h"
 #include "sim/simulation.h"
+#include "util/sync.h"
 #include "util/units.h"
 
 namespace pcon {
@@ -38,7 +39,7 @@ enum class DeviceKind {
  * time first, so power is integrated exactly over piecewise-constant
  * activity intervals.
  */
-class Machine
+class PCON_SHARD_OWNED Machine
 {
   public:
     /**

@@ -36,6 +36,7 @@ enum class MeterScope {
  * average power over the elapsed interval from cumulative ground-truth
  * energy, then delivers the sample to subscribers `delay` later.
  */
+// pcon-lint: shard-owned
 class PowerMeter
 {
   public:

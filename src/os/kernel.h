@@ -23,6 +23,7 @@
 #include "os/socket.h"
 #include "os/task.h"
 #include "sim/simulation.h"
+#include "util/sync.h"
 
 namespace pcon {
 namespace os {
@@ -62,7 +63,7 @@ struct KernelConfig
  * hw::Machine; multiplexes the per-core sampling timers; invokes
  * KernelHooks at accounting boundaries.
  */
-class Kernel
+class PCON_SHARD_OWNED Kernel
 {
   public:
     /**

@@ -72,7 +72,7 @@ constexpr EventId InvalidEventId = 0;
  * equal times fire in scheduling order. Cancellation is exact and
  * O(1) via generation-checked handles.
  */
-class EventQueue
+class PCON_CROSS_SHARD EventQueue
 {
   public:
     /**

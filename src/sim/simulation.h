@@ -25,6 +25,7 @@ namespace sim {
  * configurable event cadence so violations surface near their cause
  * instead of at end-of-run assertions.
  */
+// pcon-lint: host-global
 class Auditor
 {
   public:
@@ -39,6 +40,7 @@ class Auditor
  * order. Single-threaded by design: the whole machine cluster is one
  * deterministic event stream.
  */
+// pcon-lint: host-global
 class Simulation
 {
   public:

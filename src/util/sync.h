@@ -90,6 +90,28 @@
 #define PCON_NO_THREAD_SAFETY_ANALYSIS \
     PCON_THREAD_ANNOTATION(no_thread_safety_analysis)
 
+// --- Shard-ownership tag macros -------------------------------------
+//
+// Read by the pcon-lint shard-isolation analysis (cpp_model.py), not
+// by the compiler: each expands to nothing and sits between the
+// class keyword and the name, classifying the type for the
+// shard-escape rule. The comment form `// pcon-lint: shard-owned`
+// (on the class head or the line above) is equivalent; the bulk of
+// the tree is classified in tools/pcon_lint/ownership.toml instead.
+// A tag that contradicts the manifest is itself a lint finding.
+
+/** Lives inside exactly one simulated machine's shard. */
+#define PCON_SHARD_OWNED
+
+/** Crosses shards through a synchronized, sanctioned surface. */
+#define PCON_CROSS_SHARD
+
+/** Harness/observability state outside the simulated world. */
+#define PCON_HOST_GLOBAL
+
+/** Passive copyable data with no shard affinity. */
+#define PCON_VALUE_TYPE
+
 namespace pcon {
 namespace util {
 

@@ -1,0 +1,9 @@
+namespace pcon::os {
+
+// pcon-lint: shard-owned
+class Torn
+{
+    int halves_ = 2;
+};
+
+}  // namespace pcon::os

@@ -1,0 +1,8 @@
+namespace pcon::os {
+
+class Torn
+{
+    int halves_ = 2;
+};
+
+}  // namespace pcon::os

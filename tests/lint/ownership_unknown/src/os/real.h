@@ -1,0 +1,8 @@
+namespace pcon::os {
+
+class Real
+{
+    int present_ = 1;
+};
+
+}  // namespace pcon::os

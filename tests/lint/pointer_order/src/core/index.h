@@ -1,0 +1,15 @@
+// Ordering by raw pointer value: iteration order is the
+// allocator's. Must be reported (dense ids exist for this).
+#include <map>
+
+namespace pcon::core {
+
+class Task;
+
+class TaskIndex
+{
+  private:
+    std::map<Task *, int> order_;
+};
+
+}  // namespace pcon::core

@@ -1,0 +1,17 @@
+#include "os/widget.h"
+
+namespace pcon::obs {
+
+// pcon-lint: host-global
+class Board
+{
+  public:
+    // Const view: not a mutable window, no finding.
+    const os::Widget &peek() const;
+
+  private:
+    // pcon-lint: allow(shard-escape) fixture seam: read only between runs
+    os::Widget *widget_ = nullptr;
+};
+
+}  // namespace pcon::obs

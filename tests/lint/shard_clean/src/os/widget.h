@@ -1,0 +1,31 @@
+// The clean twin of shard_escape/: shard state reaches the host
+// only through a sanctioned channel or a justified seam.
+namespace pcon::os {
+
+class PCON_SHARD_OWNED Widget
+{
+  public:
+    void spin();
+
+  private:
+    int spins_ = 0;
+};
+
+// Sanctioned carrier (ownership.toml [channels]): may hold the
+// shard-owned pointer.
+class Pipe
+{
+  public:
+    void push(Widget *w);
+
+  private:
+    Widget *inflight_ = nullptr;
+};
+
+// Plain data (classified by the [files] default): no findings.
+struct WidgetStats
+{
+    int totalSpins = 0;
+};
+
+}  // namespace pcon::os

@@ -1,0 +1,18 @@
+#include "os/widget.h"
+
+namespace pcon::obs {
+
+// pcon-lint: host-global
+class Board
+{
+  public:
+    // A mutable window into the shard. Must be reported.
+    os::Widget &widget();
+
+  private:
+    // Host-global storage of shard state outside any channel.
+    // Must be reported.
+    os::Widget *widget_ = nullptr;
+};
+
+}  // namespace pcon::obs

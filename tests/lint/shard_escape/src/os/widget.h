@@ -1,0 +1,17 @@
+// A shard-owned type: lives inside one simulated machine.
+namespace pcon::os {
+
+class PCON_SHARD_OWNED Widget
+{
+  public:
+    void spin();
+
+  private:
+    int spins_ = 0;
+};
+
+// A namespace-scope instance escapes the shard: every shard (and
+// the host) can reach it. Must be reported.
+Widget gWidget;
+
+}  // namespace pcon::os

@@ -1,0 +1,14 @@
+// A host clock outside bench/ and the OverheadProfiler: a latent
+// determinism bug under the sharded engine. Must be reported.
+#include <chrono>
+
+namespace pcon::os {
+
+double hostSeconds()
+{
+    auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now.time_since_epoch())
+        .count();
+}
+
+}  // namespace pcon::os

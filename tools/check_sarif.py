@@ -1,0 +1,239 @@
+#!/usr/bin/env python3
+"""Structural validator for pcon-lint's SARIF 2.1.0 output.
+
+Usage:
+  python3 tools/check_sarif.py FILE.sarif
+  python3 tools/check_sarif.py --from-lint ROOT [--strict]
+
+The first form validates an existing SARIF file. The second runs
+pcon-lint in-process against ROOT with ``--sarif`` pointed at a
+temporary file, then validates what it wrote — the ctest leg
+``pcon_lint_sarif_schema`` uses this so the checked document is the
+one CI would upload, not a canned sample.
+
+This intentionally implements the SARIF 2.1.0 *structural* subset
+the GitHub code-scanning ingester requires (the container must not
+depend on a JSON-Schema package): version string, runs array,
+tool.driver with name and well-formed rule descriptors, and for
+every result a known ruleId, an in-range ruleIndex, a message.text,
+locations with artifactLocation.uri + a positive integer startLine,
+a valid level, and well-formed suppression objects. Exits 0 when the
+document conforms, 1 with a list of violations.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+VALID_LEVELS = {"none", "note", "warning", "error"}
+VALID_SUPPRESSION_KINDS = {"inSource", "external"}
+
+
+def validate(doc):
+    """Return a list of violation strings (empty: conforms)."""
+    errs = []
+
+    def need(cond, msg):
+        if not cond:
+            errs.append(msg)
+        return cond
+
+    if not need(isinstance(doc, dict), "document is not an object"):
+        return errs
+    need(
+        doc.get("version") == "2.1.0",
+        f"version must be '2.1.0', got {doc.get('version')!r}",
+    )
+    runs = doc.get("runs")
+    if not need(
+        isinstance(runs, list) and runs, "runs must be a non-empty array"
+    ):
+        return errs
+    for ri, run in enumerate(runs):
+        where = f"runs[{ri}]"
+        if not need(isinstance(run, dict), f"{where} is not an object"):
+            continue
+        driver = run.get("tool", {}).get("driver")
+        if not need(
+            isinstance(driver, dict), f"{where}.tool.driver missing"
+        ):
+            continue
+        need(
+            isinstance(driver.get("name"), str) and driver["name"],
+            f"{where}.tool.driver.name must be a non-empty string",
+        )
+        rules = driver.get("rules", [])
+        need(
+            isinstance(rules, list),
+            f"{where}.tool.driver.rules must be an array",
+        )
+        rule_ids = []
+        for qi, rule in enumerate(rules):
+            rwhere = f"{where}.tool.driver.rules[{qi}]"
+            if not need(
+                isinstance(rule, dict) and isinstance(
+                    rule.get("id"), str
+                ),
+                f"{rwhere}.id must be a string",
+            ):
+                continue
+            rule_ids.append(rule["id"])
+            short = rule.get("shortDescription")
+            if short is not None:
+                need(
+                    isinstance(short, dict)
+                    and isinstance(short.get("text"), str),
+                    f"{rwhere}.shortDescription.text must be a "
+                    f"string",
+                )
+        need(
+            len(rule_ids) == len(set(rule_ids)),
+            f"{where}: duplicate rule ids",
+        )
+        results = run.get("results", [])
+        if not need(
+            isinstance(results, list),
+            f"{where}.results must be an array",
+        ):
+            continue
+        for si, result in enumerate(results):
+            swhere = f"{where}.results[{si}]"
+            if not need(
+                isinstance(result, dict), f"{swhere} not an object"
+            ):
+                continue
+            rid = result.get("ruleId")
+            need(
+                isinstance(rid, str) and rid in rule_ids,
+                f"{swhere}.ruleId {rid!r} not declared in "
+                f"tool.driver.rules",
+            )
+            idx = result.get("ruleIndex")
+            if idx is not None:
+                need(
+                    isinstance(idx, int)
+                    and 0 <= idx < len(rule_ids)
+                    and rule_ids[idx] == rid,
+                    f"{swhere}.ruleIndex {idx!r} does not point at "
+                    f"ruleId {rid!r}",
+                )
+            need(
+                isinstance(
+                    result.get("message", {}).get("text"), str
+                ),
+                f"{swhere}.message.text must be a string",
+            )
+            level = result.get("level")
+            if level is not None:
+                need(
+                    level in VALID_LEVELS,
+                    f"{swhere}.level {level!r} invalid",
+                )
+            locations = result.get("locations", [])
+            need(
+                isinstance(locations, list) and locations,
+                f"{swhere}.locations must be a non-empty array",
+            )
+            for li, loc in enumerate(locations or []):
+                lwhere = f"{swhere}.locations[{li}]"
+                phys = loc.get("physicalLocation", {})
+                art = phys.get("artifactLocation", {})
+                need(
+                    isinstance(art.get("uri"), str) and art["uri"],
+                    f"{lwhere}: artifactLocation.uri missing",
+                )
+                need(
+                    "\\" not in art.get("uri", ""),
+                    f"{lwhere}: uri must use forward slashes",
+                )
+                region = phys.get("region", {})
+                start = region.get("startLine")
+                need(
+                    isinstance(start, int) and start >= 1,
+                    f"{lwhere}: region.startLine must be a "
+                    f"positive integer, got {start!r}",
+                )
+            for pi, sup in enumerate(result.get("suppressions", [])):
+                need(
+                    isinstance(sup, dict)
+                    and sup.get("kind") in VALID_SUPPRESSION_KINDS,
+                    f"{swhere}.suppressions[{pi}].kind invalid",
+                )
+    return errs
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "sarif_file", nargs="?", help="SARIF file to validate"
+    )
+    parser.add_argument(
+        "--from-lint",
+        metavar="ROOT",
+        help="run pcon-lint against ROOT and validate its --sarif "
+        "output instead of reading a file",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="with --from-lint: pass --strict to pcon-lint (stale "
+        "suppressions become SARIF results too)",
+    )
+    args = parser.parse_args(argv)
+
+    if bool(args.sarif_file) == bool(args.from_lint):
+        parser.error("give exactly one of FILE or --from-lint ROOT")
+
+    if args.from_lint:
+        import subprocess
+        import tempfile
+
+        lint_pkg = pathlib.Path(__file__).resolve().parent / "pcon_lint"
+        with tempfile.NamedTemporaryFile(
+            suffix=".sarif", delete=False
+        ) as fh:
+            out = fh.name
+        try:
+            cmd = [
+                sys.executable,
+                str(lint_pkg),
+                "--root",
+                args.from_lint,
+                "--sarif",
+                out,
+            ]
+            if args.strict:
+                cmd.append("--strict")
+            proc = subprocess.run(cmd)
+            sys.stderr.write(
+                f"check_sarif: pcon-lint exited {proc.returncode}; "
+                f"validating its SARIF output\n"
+            )
+            doc = json.loads(pathlib.Path(out).read_text())
+        finally:
+            pathlib.Path(out).unlink(missing_ok=True)
+    else:
+        doc = json.loads(
+            pathlib.Path(args.sarif_file).read_text(encoding="utf-8")
+        )
+
+    errs = validate(doc)
+    if errs:
+        for e in errs:
+            sys.stderr.write(f"check_sarif: {e}\n")
+        sys.stderr.write(
+            f"check_sarif: {len(errs)} violation(s) of the SARIF "
+            f"2.1.0 structural subset\n"
+        )
+        return 1
+    runs = doc["runs"]
+    n = sum(len(r.get("results", [])) for r in runs)
+    sys.stderr.write(
+        f"check_sarif: OK ({len(runs)} run(s), {n} result(s))\n"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,23 +3,31 @@
 Usage:
   python3 tools/pcon_lint [--root REPO] [--rules a,b] [--json]
                           [--selftest] [--list-rules] [--strict]
-                          [--shared-types FILE]
+                          [--shared-types FILE] [--ownership FILE]
+                          [--sarif FILE] [--check-inventory FILE]
 
 Runs the project's static-analysis rules (layering, units,
 hook-order, determinism, concurrency-primitives, shared-state,
-guarded-members, bench-timing) over the repository and reports findings as
-``path:line: [rule] message`` lines, or as a JSON document with
-``--json`` (used by CI to upload an artifact). ``--selftest`` first
-exercises the shared engine (comment/string/raw-string blanking, the
-scope scanner) and every selected rule against its embedded synthetic
-violations — proving each rule still fails where it must — and then
-scans the real tree.
+guarded-members, bench-timing, arena-nodes, plus the shard-isolation
+family: ownership, ownership-coverage, shard-escape,
+unordered-iteration, pointer-order, wall-clock) over the repository
+and reports findings as ``path:line: [rule] message`` lines, as a
+JSON document with ``--json`` (used by CI to upload an artifact), or
+as SARIF 2.1.0 with ``--sarif FILE`` (uploaded to GitHub code
+scanning). ``--selftest`` first exercises the shared engine
+(comment/string/raw-string blanking, the scope scanner) and every
+selected rule against its embedded synthetic violations — proving
+each rule still fails where it must — and then scans the real tree.
 
-Suppressions that no longer silence anything are reported as *stale*;
+Suppressions that no longer silence anything — including markers
+naming rules that do not exist — are reported as *stale*;
 ``--strict`` (the CI mode) turns them into failures so dead
 exemptions cannot accumulate. ``--shared-types`` points the
-guarded-members rule at an alternate type list (used by the fixture
-tests).
+guarded-members rule at an alternate type list and ``--ownership``
+points the shard-isolation rules at an alternate ownership manifest
+(both used by the fixture tests). ``--check-inventory FILE``
+compares the registered rule names against a pinned list and exits
+non-zero on drift, so a silently unregistered rule module fails CI.
 
 Exits 0 when clean, 1 with findings, selftest failures, or (under
 --strict) stale suppressions, 2 on usage errors. See
@@ -34,6 +42,7 @@ import sys
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 
 from cpp_scan import scan_selftest
+from cpp_model import model_selftest
 from engine import (
     Project,
     engine_selftest,
@@ -48,11 +57,17 @@ from rules_determinism import DeterminismRule
 from rules_guarded_members import GuardedMembersRule
 from rules_hook_order import HookOrderRule
 from rules_layering import LayeringRule
+from rules_ownership import OwnershipCoverageRule, OwnershipRule
+from rules_pointer_order import PointerOrderRule
+from rules_shard_escape import ShardEscapeRule
 from rules_shared_state import SharedStateRule
 from rules_units import UnitsRule
+from rules_unordered_iteration import UnorderedIterationRule
+from rules_wall_clock import WallClockRule
+from sarif import sarif_selftest, write_sarif
 
 
-def default_rules(shared_types_path=None):
+def default_rules(shared_types_path=None, ownership_path=None):
     return [
         LayeringRule(),
         UnitsRule(),
@@ -63,6 +78,15 @@ def default_rules(shared_types_path=None):
         GuardedMembersRule(shared_types_path=shared_types_path),
         BenchTimingRule(),
         ArenaNodesRule(),
+        OwnershipRule(
+            ownership_path=ownership_path,
+            shared_types_path=shared_types_path,
+        ),
+        OwnershipCoverageRule(ownership_path=ownership_path),
+        ShardEscapeRule(ownership_path=ownership_path),
+        UnorderedIterationRule(),
+        PointerOrderRule(),
+        WallClockRule(),
     ]
 
 
@@ -109,13 +133,68 @@ def main(argv=None):
         "rule (default: tools/pcon_lint/shared_types.toml)",
     )
     parser.add_argument(
+        "--ownership",
+        default=None,
+        metavar="FILE",
+        help="alternate ownership.toml for the shard-isolation "
+        "rules (default: tools/pcon_lint/ownership.toml)",
+    )
+    parser.add_argument(
+        "--sarif",
+        default=None,
+        metavar="FILE",
+        help="also write the report as SARIF 2.1.0 to FILE (for "
+        "GitHub code scanning)",
+    )
+    parser.add_argument(
+        "--check-inventory",
+        default=None,
+        metavar="FILE",
+        help="compare the registered rule names against the pinned "
+        "list in FILE (one name per line) and exit non-zero on "
+        "drift",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule catalogue and exit",
     )
     args = parser.parse_args(argv)
 
-    rules = default_rules(shared_types_path=args.shared_types)
+    rules = default_rules(
+        shared_types_path=args.shared_types,
+        ownership_path=args.ownership,
+    )
+    inventory = [r.name for r in rules]
+
+    if args.check_inventory:
+        pinned = [
+            line.strip()
+            for line in pathlib.Path(args.check_inventory)
+            .read_text(encoding="utf-8")
+            .splitlines()
+            if line.strip() and not line.lstrip().startswith("#")
+        ]
+        if sorted(pinned) != sorted(inventory):
+            missing = sorted(set(pinned) - set(inventory))
+            extra = sorted(set(inventory) - set(pinned))
+            sys.stderr.write(
+                f"pcon-lint: rule inventory drift — pinned list "
+                f"{args.check_inventory} disagrees with the "
+                f"registered rules.\n"
+                f"  pinned but not registered: "
+                f"{', '.join(missing) or '(none)'}\n"
+                f"  registered but not pinned: "
+                f"{', '.join(extra) or '(none)'}\n"
+                f"Update the pin (or register the module in "
+                f"default_rules).\n"
+            )
+            return 1
+        sys.stderr.write(
+            f"pcon-lint: rule inventory matches "
+            f"({len(inventory)} rules)\n"
+        )
+        return 0
     if args.rules != "all":
         wanted = {r.strip() for r in args.rules.split(",")}
         known = {r.name for r in rules}
@@ -133,7 +212,12 @@ def main(argv=None):
         return 0
 
     if args.selftest:
-        failures = engine_selftest() + scan_selftest()
+        failures = (
+            engine_selftest()
+            + scan_selftest()
+            + model_selftest()
+            + sarif_selftest()
+        )
         for rule in rules:
             failures.extend(rule.selftest())
         if failures:
@@ -153,11 +237,14 @@ def main(argv=None):
         return 2
 
     findings, suppressions, stale = run_rules_with_stale(
-        project, rules
+        project, rules, known_rule_names=inventory
     )
     report = report_json if args.json else report_human
     report(rules, project, findings, suppressions,
            stale=stale, strict=args.strict)
+    if args.sarif:
+        write_sarif(args.sarif, rules, project, findings,
+                    suppressions, stale, args.strict)
     return 1 if findings or (args.strict and stale) else 0
 
 

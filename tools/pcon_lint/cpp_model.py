@@ -1,0 +1,555 @@
+"""Cross-TU project model for the shard-isolation analysis.
+
+Builds, from the heuristic scanner (cpp_scan.py), a whole-program
+view of the tree that the ownership/escape rules share:
+
+  * per-TU symbol tables — every class/struct/union defined in a
+    file, with its head text, line range, data members, and method
+    signatures;
+  * the include graph — ``#include "..."`` edges resolved against
+    the repository layout (project headers are included by their
+    src/-relative path, e.g. ``#include "os/kernel.h"``), plus the
+    transitive closure per file, so a type reference can be checked
+    against what the TU can actually see;
+  * the ownership classification — every type resolves to one of
+    ``shard-owned`` (lives inside one simulated machine),
+    ``cross-shard`` (crosses machine shards through a synchronized
+    surface), ``host-global`` (harness/observability state outside
+    the simulated world), or ``value`` (passive copyable data), via
+    in-source markers, the ownership.toml manifest, or a per-file
+    default — in that priority order.
+
+In-source markers come in two equivalent forms:
+
+  * a tag macro in the class head (defined in src/util/sync.h):
+    ``class PCON_SHARD_OWNED SegmentQueue { ... };``
+  * a comment on the head line or the line above:
+    ``// pcon-lint: shard-owned``
+
+A marker that contradicts the manifest is a conflict; the ownership
+rule reports it (and every other manifest integrity failure) as a
+finding rather than crashing, so a rotten manifest fails CI loudly.
+
+This is still a heuristic model, not a compiler: name resolution is
+by unqualified type name (the codebase keeps those unique — the
+layering DAG forbids the duplication that would break this), and the
+rules built on top accept justified ``allow()`` suppressions for
+the residue.
+"""
+
+import pathlib
+import re
+import tomllib
+
+from cpp_scan import CLASS_NAME_RE, scan_all
+
+#: The four ownership classes, in manifest-table order.
+OWNERSHIP_CLASSES = (
+    "shard-owned",
+    "cross-shard",
+    "host-global",
+    "value",
+)
+
+#: Tag macros (src/util/sync.h) → ownership class.
+MARKER_MACROS = {
+    "PCON_SHARD_OWNED": "shard-owned",
+    "PCON_CROSS_SHARD": "cross-shard",
+    "PCON_HOST_GLOBAL": "host-global",
+    "PCON_VALUE_TYPE": "value",
+}
+
+#: Comment-form marker. Word-bounded so ``shard-local(...)`` (the
+#: guarded-members annotation) can never match.
+MARKER_COMMENT_RE = re.compile(
+    r"pcon-lint:\s*(shard-owned|cross-shard|host-global|value)"
+    r"(?![\w(-])"
+)
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
+
+CLASS_HEAD_RE = re.compile(r"\b(?:class|struct|union)\b")
+
+
+class TypeDef:
+    """One class/struct/union definition in one file."""
+
+    __slots__ = (
+        "name",
+        "rel",
+        "line",
+        "end_line",
+        "head",
+        "path",
+        "nested",
+        "members",
+        "methods",
+        "marker",
+        "marker_line",
+    )
+
+    def __init__(self, name, rel, scope):
+        self.name = name
+        self.rel = rel
+        self.line = scope.line
+        self.end_line = scope.end_line
+        self.head = scope.head
+        self.path = scope.path  # enclosing scope names
+        self.nested = False  # defined inside another class or block
+        self.members = []  # data-member Statements (class scope)
+        self.methods = []  # method-signature Statements
+        self.marker = None  # ownership class from an in-source tag
+        self.marker_line = 0
+
+    def base_names(self):
+        """Unqualified base-class names from the head text."""
+        if ":" not in self.head:
+            return []
+        # 'class X : public a::B, private C' → ['B', 'C']; template
+        # arguments are stripped so 'Base<T>' resolves to 'Base'.
+        tail = self.head.split(":", 1)[1]
+        names = []
+        for part in tail.split(","):
+            part = re.sub(r"<[^<>]*>", "", part)
+            ids = re.findall(r"[A-Za-z_]\w*", part)
+            ids = [
+                i
+                for i in ids
+                if i not in ("public", "private", "protected",
+                             "virtual", "final", "struct", "class")
+            ]
+            if ids:
+                names.append(ids[-1])
+        return names
+
+
+class TranslationUnit:
+    """One scanned file's symbol table."""
+
+    __slots__ = ("rel", "includes", "types")
+
+    def __init__(self, rel):
+        self.rel = rel
+        self.includes = []  # resolved repo-relative paths
+        self.types = []  # TypeDef, in definition order
+
+
+def _scope_key(scope):
+    return scope.path + ((scope.name,) if scope.name else ())
+
+
+def _marker_for(scope, source):
+    """(ownership class, 1-based line) from a tag macro in the head
+    or a comment marker on the head line / the line above."""
+    for macro, cls in MARKER_MACROS.items():
+        if re.search(rf"\b{macro}\b", scope.head):
+            return cls, scope.line
+    first = scope.line - 1  # 0-based head start
+    for idx in (first - 1, first):
+        if 0 <= idx < len(source.raw_lines):
+            m = MARKER_COMMENT_RE.search(source.raw_lines[idx])
+            if m:
+                return m.group(1), idx + 1
+    return None, 0
+
+
+def build_translation_unit(source):
+    """Scan one SourceFile into a TranslationUnit."""
+    tu = TranslationUnit(source.rel)
+    for line in source.text.splitlines():
+        m = INCLUDE_RE.match(line)
+        if m:
+            tu.includes.append(m.group(1))
+    statements, scopes = scan_all(source.blanked)
+    defs = {}
+    for scope in scopes:
+        if scope.kind != "class" or not scope.name:
+            continue
+        if not CLASS_HEAD_RE.search(scope.head):
+            continue  # enum body
+        t = TypeDef(scope.name, source.rel, scope)
+        t.marker, t.marker_line = _marker_for(scope, source)
+        defs[_scope_key(scope)] = t
+        tu.types.append(t)
+    by_key = defs
+    for t in tu.types:
+        # Nested = any enclosing scope path is itself a class here.
+        for j in range(1, len(t.path) + 1):
+            if t.path[:j] in by_key:
+                t.nested = True
+                break
+    for stmt in statements:
+        if stmt.scope != "class":
+            continue
+        t = by_key.get(stmt.path)
+        if t is None:
+            continue
+        if "(" in stmt.text:
+            t.methods.append(stmt)
+        else:
+            t.members.append(stmt)
+    return tu
+
+
+class ProjectModel:
+    """The whole-program model: TUs, include closure, type index."""
+
+    def __init__(self, project):
+        self.project = project
+        self.tus = {}  # rel -> TranslationUnit
+        self.defs = {}  # type name -> [TypeDef]
+        for source in project.files:
+            tu = build_translation_unit(source)
+            self.tus[source.rel] = tu
+            for t in tu.types:
+                self.defs.setdefault(t.name, []).append(t)
+        self._closures = {}
+
+    def resolve_include(self, inc):
+        """Resolve an include operand to a scanned repo path."""
+        for cand in (f"src/{inc}", inc):
+            if cand in self.tus:
+                return cand
+        return None
+
+    def include_closure(self, rel):
+        """Transitive includes of ``rel`` (including itself), as a
+        set of repo-relative paths limited to scanned files."""
+        cached = self._closures.get(rel)
+        if cached is not None:
+            return cached
+        closure = set()
+        stack = [rel]
+        while stack:
+            cur = stack.pop()
+            if cur in closure:
+                continue
+            closure.add(cur)
+            tu = self.tus.get(cur)
+            if tu is None:
+                continue
+            for inc in tu.includes:
+                resolved = self.resolve_include(inc)
+                if resolved is not None and resolved not in closure:
+                    stack.append(resolved)
+        # A foo.cc sees its own header's world even when the include
+        # spelling differs from the repo-relative path.
+        if rel.endswith(".cc"):
+            header = rel[:-3] + ".h"
+            if header in self.tus and header not in closure:
+                closure |= self.include_closure(header)
+                closure.add(header)
+        self._closures[rel] = closure
+        return closure
+
+    def visible(self, rel, type_name):
+        """Can ``rel`` see a definition of ``type_name``? Returns
+        the TypeDef it sees, or None."""
+        for t in self.defs.get(type_name, ()):
+            if t.rel in self.include_closure(rel):
+                return t
+        return None
+
+
+def model_for(project):
+    """The shared ProjectModel for a Project — built once, reused by
+    every rule that runs in the same invocation (scanning 200+ files
+    into symbol tables per rule would triple the lint runtime)."""
+    model = getattr(project, "_pcon_model", None)
+    if model is None or model.project is not project:
+        model = ProjectModel(project)
+        project._pcon_model = model
+    return model
+
+
+class OwnershipManifest:
+    """Parsed ownership.toml plus source line numbers for findings."""
+
+    def __init__(self):
+        self.classes = {}  # type name -> ownership class
+        self.headers = {}  # type name -> declared header
+        self.channels = {}  # type name -> reason
+        self.file_defaults = {}  # rel path -> ownership class
+        self.coverage_layers = []  # e.g. ["os", "core"]
+        self.lines = {}  # (table, key) -> 1-based line in the toml
+        self.duplicates = []  # (name, class_a, class_b)
+        self.errors = []  # load-time messages (malformed manifest)
+        self.rel = "ownership.toml"  # repo-relative path for reports
+
+    def line(self, table, key):
+        return self.lines.get((table, key), 1)
+
+
+def load_ownership(path):
+    """Parse an ownership.toml. Malformed input becomes entries in
+    ``manifest.errors`` — callers turn those into findings, never
+    exceptions, so a broken manifest fails CI as a lint result."""
+    manifest = OwnershipManifest()
+    p = pathlib.Path(path)
+    try:
+        text = p.read_text(encoding="utf-8")
+        doc = tomllib.loads(text)
+    except (OSError, tomllib.TOMLDecodeError) as err:
+        manifest.errors.append(f"cannot load ownership manifest: {err}")
+        return manifest
+
+    # Record the line of every `Key =` under its [table] heading so
+    # findings point into the manifest itself.
+    table = ""
+    for idx, line in enumerate(text.splitlines()):
+        m = re.match(r"\s*\[([A-Za-z0-9_.-]+)\]\s*$", line)
+        if m:
+            table = m.group(1)
+            continue
+        m = re.match(r'\s*(?:"([^"]+)"|([A-Za-z_]\w*))\s*=', line)
+        if m:
+            key = m.group(1) or m.group(2)
+            manifest.lines.setdefault((table, key), idx + 1)
+
+    known_tables = set(OWNERSHIP_CLASSES) | {
+        "channels",
+        "files",
+        "coverage",
+    }
+    for table_name in doc:
+        if table_name not in known_tables:
+            manifest.errors.append(
+                f"unknown table [{table_name}] (expected one of "
+                f"{', '.join(sorted(known_tables))})"
+            )
+    for cls in OWNERSHIP_CLASSES:
+        entries = doc.get(cls, {})
+        if not isinstance(entries, dict):
+            manifest.errors.append(
+                f"[{cls}] must map type names to headers"
+            )
+            continue
+        for name, header in entries.items():
+            if not isinstance(header, str):
+                manifest.errors.append(
+                    f"[{cls}] {name}: header must be a string"
+                )
+                continue
+            if name in manifest.classes:
+                manifest.duplicates.append(
+                    (name, manifest.classes[name], cls)
+                )
+                continue
+            manifest.classes[name] = cls
+            manifest.headers[name] = header
+    channels = doc.get("channels", {})
+    if isinstance(channels, dict):
+        for name, reason in channels.items():
+            manifest.channels[name] = str(reason)
+    else:
+        manifest.errors.append(
+            "[channels] must map type names to a justification"
+        )
+    files = doc.get("files", {})
+    if isinstance(files, dict):
+        for rel, cls in files.items():
+            if cls not in OWNERSHIP_CLASSES:
+                manifest.errors.append(
+                    f"[files] {rel}: unknown ownership class "
+                    f"'{cls}'"
+                )
+                continue
+            manifest.file_defaults[rel] = cls
+    else:
+        manifest.errors.append(
+            "[files] must map file paths to ownership classes"
+        )
+    coverage = doc.get("coverage", {})
+    layers = coverage.get("layers", []) if isinstance(
+        coverage, dict
+    ) else []
+    if isinstance(layers, list) and all(
+        isinstance(x, str) for x in layers
+    ):
+        manifest.coverage_layers = list(layers)
+    else:
+        manifest.errors.append(
+            "[coverage] layers must be a list of layer names"
+        )
+    return manifest
+
+
+class Classification:
+    """Resolved ownership for one TypeDef."""
+
+    __slots__ = ("cls", "origin", "rel", "line")
+
+    def __init__(self, cls, origin, rel, line):
+        self.cls = cls
+        self.origin = origin  # 'marker' | 'manifest' | 'file-default'
+        self.rel = rel
+        self.line = line
+
+
+def classify(model, manifest):
+    """Resolve every TypeDef against markers and the manifest.
+
+    Returns (classes, conflicts):
+      classes — {id(TypeDef): Classification} for every resolved
+      type (nested types inherit their innermost classified
+      enclosing type at query time, see ``resolve_context``);
+      conflicts — [(TypeDef, marker_cls, manifest_cls)] where an
+      in-source marker contradicts the manifest.
+    """
+    classes = {}
+    conflicts = []
+    for name, defs in model.defs.items():
+        manifest_cls = manifest.classes.get(name)
+        for t in defs:
+            cls = None
+            if t.marker is not None:
+                cls = t.marker
+                origin = "marker"
+                line = t.marker_line
+                if (
+                    manifest_cls is not None
+                    and manifest_cls != t.marker
+                    and manifest.headers.get(name) == t.rel
+                ):
+                    conflicts.append((t, t.marker, manifest_cls))
+            elif (
+                manifest_cls is not None
+                and manifest.headers.get(name) == t.rel
+            ):
+                cls = manifest_cls
+                origin = "manifest"
+                line = t.line
+            elif t.rel in manifest.file_defaults:
+                cls = manifest.file_defaults[t.rel]
+                origin = "file-default"
+                line = t.line
+            if cls is not None:
+                classes[id(t)] = Classification(
+                    cls, origin, t.rel, line
+                )
+    return classes, conflicts
+
+
+def class_of_name(model, classes, type_name):
+    """The ownership class of a type name, or None. When several
+    definitions share the name they must agree; disagreement means
+    the model cannot be trusted for this name, so None."""
+    seen = set()
+    for t in model.defs.get(type_name, ()):
+        c = classes.get(id(t))
+        if c is not None:
+            seen.add(c.cls)
+    if len(seen) == 1:
+        return next(iter(seen))
+    return None
+
+
+def resolve_context(model, classes, type_def):
+    """Ownership class governing ``type_def``'s members: its own
+    classification, else the innermost classified enclosing type
+    (nested helper structs inherit their owner)."""
+    c = classes.get(id(type_def))
+    if c is not None:
+        return c.cls
+    # Walk outward: nearest enclosing class in the same file.
+    for name in reversed(type_def.path):
+        for t in model.defs.get(name, ()):
+            if t.rel == type_def.rel:
+                inner = classes.get(id(t))
+                if inner is not None:
+                    return inner.cls
+    return None
+
+
+def model_selftest():
+    """Exercise the model against a synthetic two-file project."""
+    import engine
+
+    errors = []
+    texts = {
+        "src/os/widget.h": (
+            "#include \"util/bits.h\"\n"
+            "namespace pcon {\n"
+            "class PCON_SHARD_OWNED Widget\n"
+            "{\n"
+            "  public:\n"
+            "    void tick();\n"
+            "  private:\n"
+            "    int spins_ = 0;\n"
+            "    struct Inner { int depth_ = 0; };\n"
+            "};\n"
+            "// pcon-lint: cross-shard\n"
+            "class Pipe\n"
+            "{\n"
+            "    int lanes_ = 0;\n"
+            "};\n"
+            "}\n"
+        ),
+        "src/util/bits.h": (
+            "namespace pcon {\n"
+            "struct Bits { int v_ = 0; };\n"
+            "}\n"
+        ),
+        "src/hub/hub.h": (
+            "namespace pcon {\n"
+            "class Hub { int n_ = 0; };\n"
+            "}\n"
+        ),
+    }
+    files = [
+        engine.SourceFile(rel, text)
+        for rel, text in sorted(texts.items())
+    ]
+    project = engine.Project(pathlib.Path("."), files)
+    model = ProjectModel(project)
+
+    widget = model.defs.get("Widget", [None])[0]
+    if widget is None or widget.marker != "shard-owned":
+        errors.append(
+            "model selftest: PCON_SHARD_OWNED macro marker missed"
+        )
+    elif [m.text for m in widget.members] != ["int spins_ = 0"]:
+        errors.append(
+            f"model selftest: Widget members wrong: "
+            f"{[m.text for m in widget.members]}"
+        )
+    pipe = model.defs.get("Pipe", [None])[0]
+    if pipe is None or pipe.marker != "cross-shard":
+        errors.append(
+            "model selftest: comment-form marker missed"
+        )
+    inner = model.defs.get("Inner", [None])[0]
+    if inner is None or not inner.nested:
+        errors.append("model selftest: nested Inner not flagged")
+
+    closure = model.include_closure("src/os/widget.h")
+    if "src/util/bits.h" not in closure:
+        errors.append(
+            "model selftest: include closure missed util/bits.h"
+        )
+    if model.visible("src/os/widget.h", "Hub") is not None:
+        errors.append(
+            "model selftest: Hub visible without an include edge"
+        )
+    if model.visible("src/os/widget.h", "Bits") is None:
+        errors.append(
+            "model selftest: Bits not visible through the include"
+        )
+
+    manifest = OwnershipManifest()
+    manifest.classes["Pipe"] = "host-global"
+    manifest.headers["Pipe"] = "src/os/widget.h"
+    classes, conflicts = classify(model, manifest)
+    if class_of_name(model, classes, "Widget") != "shard-owned":
+        errors.append("model selftest: Widget classification wrong")
+    if len(conflicts) != 1 or conflicts[0][0].name != "Pipe":
+        errors.append(
+            f"model selftest: expected a Pipe marker/manifest "
+            f"conflict, got {[(c[0].name, c[1], c[2]) for c in conflicts]}"
+        )
+    if resolve_context(model, classes, inner) != "shard-owned":
+        errors.append(
+            "model selftest: nested Inner did not inherit Widget's "
+            "class"
+        )
+    return errors

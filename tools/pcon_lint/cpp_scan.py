@@ -6,7 +6,16 @@ nesting and classifying every scope as ``namespace``, ``class``
 control flow, lambdas, ...). Statements — ``;``-terminated runs of
 text, with brace-initializers kept inline — are yielded with their
 enclosing scope, the scope's name path, and the 1-based line the
-statement starts on.
+statement starts on. ``scan_all`` additionally yields the scopes
+themselves (head text, start/end lines), which the cross-TU project
+model (cpp_model.py) uses to build per-type symbol tables.
+
+Template heads are understood well enough to not derail the scope
+classification: ``template <...>`` parameter lists (including
+defaults containing parentheses) and trailing ``requires`` clauses
+are stripped before a scope-opening statement is classified, so
+members of a templated class are attributed to the class, not to the
+enclosing namespace or a phantom block.
 
 This is a heuristic scanner, not a parser: it is precise enough for
 declaration-shaped checks (namespace-scope variables, class member
@@ -23,7 +32,8 @@ BLOCK_KEYWORDS = ("if", "else", "for", "while", "do", "switch", "try",
 CLASS_NAME_RE = re.compile(
     r"\b(?:class|struct|union)\s+"
     r"(?:alignas\s*\([^)]*\)\s*)?"
-    r"(?:[A-Z_][A-Z0-9_]*\s*\([^)]*\)\s*)?"  # attribute macro(...)
+    r"(?:[A-Z_][A-Z0-9_]*\s*\([^)]*\)\s*)*"  # attribute macro(...)
+    r"(?:PCON_[A-Z0-9_]+\s+)*"  # bare tag macros (PCON_SHARD_OWNED)
     r"([A-Za-z_]\w*)"
 )
 NAMESPACE_NAME_RE = re.compile(r"\bnamespace\s+([A-Za-z_][\w:]*)")
@@ -41,6 +51,34 @@ class Statement:
         self.text = text  # single-spaced statement text, no ';'
 
 
+def _strip_template_head(s):
+    """Drop leading ``template <...>`` parameter lists (balanced
+    angle brackets, so defaults like ``int N = f(3)`` survive) and a
+    trailing ``requires`` clause, returning the text from the first
+    class/struct/union/namespace keyword onward. Without this, a
+    constrained or defaulted template head containing parentheses
+    made the scope classifier call the class body a block and hand
+    its members to the enclosing namespace."""
+    s = s.strip()
+    while True:
+        m = re.match(r"template\s*<", s)
+        if not m:
+            break
+        depth, i = 1, m.end()
+        while i < len(s) and depth:
+            if s[i] == "<":
+                depth += 1
+            elif s[i] == ">":
+                depth -= 1
+            i += 1
+        s = s[i:].lstrip()
+    if re.match(r"requires\b", s):
+        m = re.search(r"\b(?:class|struct|union|namespace)\b", s)
+        if m:
+            s = s[m.start():]
+    return s
+
+
 def _classify_open(stmt):
     """What kind of scope does a '{' ending ``stmt`` open?
 
@@ -49,6 +87,8 @@ def _classify_open(stmt):
     statement (aggregate/brace init).
     """
     s = stmt.strip()
+    if s.startswith("template") or s.startswith("requires"):
+        s = _strip_template_head(s)
     if not s:
         return ("block", "")  # bare compound statement
     first = re.match(r"[A-Za-z_]\w*", s)
@@ -90,15 +130,37 @@ def _strip_preprocessor(text):
     return "\n".join(out)
 
 
-def scan_statements(blanked_text):
-    """Yield Statement objects for a blanked translation unit."""
+class Scope:
+    """One scanned scope (namespace/class/block) with its head."""
+
+    __slots__ = ("kind", "name", "path", "line", "end_line", "head")
+
+    def __init__(self, kind, name, path, line, head):
+        self.kind = kind  # 'namespace' | 'class' | 'block'
+        self.name = name  # '' for anonymous scopes
+        self.path = path  # tuple of *enclosing* scope names
+        self.line = line  # 1-based line the head statement starts on
+        self.end_line = line  # filled in when the scope closes
+        self.head = head  # single-spaced head text before the '{'
+
+
+def scan_all(blanked_text):
+    """Scan a blanked translation unit; returns (statements, scopes).
+
+    Statements are as in ``scan_statements``; scopes record every
+    namespace/class/block opened, with the head text that opened it
+    and the line range it spans (the project model reads class heads
+    for ownership tag macros and base-class lists).
+    """
     blanked_text = _strip_preprocessor(blanked_text)
     scope_stack = [("namespace", "<file>")]
+    open_scopes = [None]  # parallel: Scope object or None for root
     stmt = []
     stmt_line = 1
     line = 1
     init_depth = 0  # >0 while inside an initializer brace
     out = []
+    scopes = []
     for c in blanked_text:
         if c == "\n":
             line += 1
@@ -110,18 +172,29 @@ def scan_statements(blanked_text):
                 init_depth -= 1
             continue
         if c == "{":
+            head = " ".join("".join(stmt).split())
             opened = _classify_open("".join(stmt))
             if opened is None:
                 init_depth = 1
                 stmt.append(c)
                 continue
+            path = tuple(
+                name for k, name in scope_stack[1:] if name
+            )
+            record = Scope(opened[0], opened[1], path, stmt_line,
+                           head)
+            scopes.append(record)
             scope_stack.append(opened)
+            open_scopes.append(record)
             stmt = []
             stmt_line = line
             continue
         if c == "}":
             if len(scope_stack) > 1:
                 scope_stack.pop()
+                record = open_scopes.pop()
+                if record is not None:
+                    record.end_line = line
             stmt = []
             stmt_line = line
             continue
@@ -148,7 +221,13 @@ def scan_statements(blanked_text):
         if not stmt:
             stmt_line = line
         stmt.append(c)
-    return out
+    return out, scopes
+
+
+def scan_statements(blanked_text):
+    """Yield Statement objects for a blanked translation unit."""
+    statements, _ = scan_all(blanked_text)
+    return statements
 
 
 def enclosing_class(statement):
@@ -198,5 +277,78 @@ def scan_selftest():
     if cfg is None or cfg.scope != "namespace":
         errors.append(
             "scan selftest: aggregate-initialized global mishandled"
+        )
+
+    # Templated classes: a multi-line template head with a
+    # parenthesized default argument and a requires clause must not
+    # demote the class body to a block (members would then be
+    # attributed to the enclosing namespace).
+    src = (
+        "namespace tpl {\n"
+        "template <typename T,\n"
+        "          int N = probe(3)>\n"
+        "  requires (sizeof(T) > 1)\n"
+        "class Ring\n"
+        "{\n"
+        "  public:\n"
+        "    void push(T v);\n"
+        "  private:\n"
+        "    T slots_[N];\n"
+        "    int head_ = 0;\n"
+        "};\n"
+        "template <typename T> T clamp(T v, T lo) {\n"
+        "    return v < lo ? lo : v;\n"
+        "}\n"
+        "template <> struct Traits<int>\n"
+        "{\n"
+        "    int width_ = 32;\n"
+        "};\n"
+        "}\n"
+    )
+    stmts, scopes = scan_all(src)
+    by_text = {s.text: s for s in stmts}
+    head = by_text.get("int head_ = 0")
+    if head is None or head.scope != "class":
+        errors.append(
+            "scan selftest: templated-class member lost (template "
+            "head with parenthesized default / requires clause)"
+        )
+    elif enclosing_class(head) != "Ring":
+        errors.append(
+            f"scan selftest: templated-class member attributed to "
+            f"'{enclosing_class(head)}', want 'Ring'"
+        )
+    width = by_text.get("int width_ = 32")
+    if width is None or width.scope != "class":
+        errors.append(
+            "scan selftest: explicit-specialization member lost"
+        )
+    ring = next((s for s in scopes if s.name == "Ring"), None)
+    if ring is None or ring.kind != "class":
+        errors.append("scan selftest: no scope recorded for Ring")
+    elif ring.line != 2 or ring.end_line != 12:
+        errors.append(
+            f"scan selftest: Ring scope lines {ring.line}.."
+            f"{ring.end_line}, want 2..12"
+        )
+    elif "template" not in ring.head:
+        errors.append(
+            "scan selftest: Ring scope head lost its template text"
+        )
+
+    # Bare PCON_* tag macros in a class head must not be mistaken
+    # for the class name.
+    stmts = scan_statements(
+        "class PCON_SHARD_OWNED Widget {\n"
+        "    int spin_ = 0;\n"
+        "};\n"
+    )
+    member = next(
+        (s for s in stmts if s.text == "int spin_ = 0"), None
+    )
+    if member is None or enclosing_class(member) != "Widget":
+        errors.append(
+            "scan selftest: PCON_* tag macro swallowed the class "
+            "name"
         )
     return errors

@@ -65,13 +65,14 @@ class StaleSuppression:
     rule: str
     path: str
     line: int  # 1-based line of the marker itself
+    note: str = ""  # overrides the default explanation when set
 
     def render(self):
-        return (
-            f"{self.path}:{self.line}: [stale-suppression] "
+        why = self.note or (
             f"'{self.rule}' suppression no longer matches any "
             f"finding; delete it (suppressions must not rot)"
         )
+        return f"{self.path}:{self.line}: [stale-suppression] {why}"
 
 
 def _raw_string_start(text, i):
@@ -237,6 +238,9 @@ class Rule:
     description = ""
     #: directories (repo-relative) this rule scans
     scope = ("src",)
+    #: when True, a bare ``allow(<rule>)`` does not suppress — the
+    #: marker must carry justification text after the closing paren
+    require_justification = False
 
     def run(self, project):
         """Return a list of Finding for the given project."""
@@ -263,6 +267,19 @@ class Rule:
                         n.strip() for n in m.group(1).split(",")
                     ]
                     if self.name in names:
+                        tail = source.raw_lines[look][
+                            m.end():
+                        ].strip()
+                        if self.require_justification:
+                            if not tail:
+                                # A bare allow() records nothing;
+                                # the finding stands (and the dead
+                                # marker surfaces as stale).
+                                continue
+                            return (
+                                f"allow({self.name}): {tail}",
+                                look,
+                            )
                         return (
                             f"pcon-lint: allow({self.name})",
                             look,
@@ -336,17 +353,63 @@ def stale_suppressions(rule, project, used):
     return stale
 
 
-def run_rules_with_stale(project, rules):
+def unknown_rule_markers(project, known_rule_names):
+    """allow() markers naming rules that do not exist — usually a
+    typo, which would otherwise silence nothing forever without a
+    peep. Returned as StaleSuppression entries (fails --strict)."""
+    known = set(known_rule_names)
+    out = []
+    for source in project.files:
+        for idx, line in enumerate(source.raw_lines):
+            m = ALLOW_RE.search(line)
+            if not m:
+                continue
+            names = [n.strip() for n in m.group(1).split(",")]
+            for name in names:
+                if name and name not in known:
+                    out.append(
+                        StaleSuppression(
+                            name,
+                            source.rel,
+                            idx + 1,
+                            note=(
+                                f"allow({name}) names no known "
+                                f"rule; fix the rule name or "
+                                f"delete the marker"
+                            ),
+                        )
+                    )
+    return out
+
+
+def run_rules_with_stale(project, rules, known_rule_names=None):
     """Run every rule; returns (findings, suppressions, stale), each
-    sorted by path, line, rule."""
-    findings, suppressions, stale = [], [], []
+    sorted by path, line, rule.
+
+    The consumed-marker set is shared across rules so a combined
+    ``allow(a, b)`` marker used by either rule is stale under
+    neither; an unused marker is reported once, not once per rule it
+    names. When ``known_rule_names`` is given (the full inventory,
+    even when only a subset runs), markers naming nonexistent rules
+    are also reported as stale."""
+    findings, suppressions = [], []
+    used = set()
+    candidates = []
     for rule in rules:
         raw = rule.run(project)
-        used = set()
         kept, suppressed = split_suppressed(rule, project, raw, used)
         findings.extend(kept)
         suppressions.extend(suppressed)
-        stale.extend(stale_suppressions(rule, project, used))
+        candidates.append(rule)
+    stale, stale_seen = [], set()
+    for rule in candidates:
+        for entry in stale_suppressions(rule, project, used):
+            spot = (entry.path, entry.line)
+            if spot not in stale_seen:
+                stale_seen.add(spot)
+                stale.append(entry)
+    if known_rule_names is not None:
+        stale.extend(unknown_rule_markers(project, known_rule_names))
     key = lambda f: (f.path, f.line, f.rule)  # noqa: E731
     return (
         sorted(findings, key=key),
@@ -494,5 +557,111 @@ def engine_selftest():
     if "int live = 3;" not in blanked:
         errors.append(
             "engine selftest: escaped quote handling regressed"
+        )
+
+    # -- suppression machinery ----------------------------------------
+
+    class _NeedleRule(Rule):
+        """Flags every line containing NEEDLE."""
+
+        scope = ("src",)
+
+        def __init__(self, name, require_justification=False):
+            self.name = name
+            self.require_justification = require_justification
+
+        def run(self, project):
+            out = []
+            for f in project.files_under(self.scope):
+                for idx, line in enumerate(f.blanked_lines):
+                    if "NEEDLE" in line:
+                        out.append(
+                            Finding(self.name, f.rel, idx + 1,
+                                    "needle")
+                        )
+            return out
+
+    helper = Rule()
+    text = (
+        "int a = NEEDLE;  // pcon-lint: allow(na) same line\n"
+        "// pcon-lint: allow(na) line above\n"
+        "int b = NEEDLE;\n"
+        "int c = NEEDLE;\n"
+    )
+    project = helper.project_from_texts({"src/x.cc": text})
+    rule = _NeedleRule("na")
+    findings, sups, stale = run_rules_with_stale(project, [rule])
+    if len(sups) != 2 or len(findings) != 1 or findings[0].line != 4:
+        errors.append(
+            "engine selftest: same-line / line-above allow() "
+            "placement not both honoured"
+        )
+    if stale:
+        errors.append(
+            "engine selftest: consumed line-above marker reported "
+            "stale"
+        )
+
+    # A combined allow(a, b) marker consumed by rule 'a' must not be
+    # stale under rule 'b'; one that neither consumes is reported
+    # exactly once.
+    text = (
+        "int a = NEEDLE;  // pcon-lint: allow(na, nb)\n"
+        "int clean = 0;  // pcon-lint: allow(na, nb)\n"
+    )
+    project = helper.project_from_texts({"src/y.cc": text})
+    findings, sups, stale = run_rules_with_stale(
+        project, [_NeedleRule("na"), _NeedleRule("nb")]
+    )
+    if len(stale) != 1 or stale[0].line != 2:
+        errors.append(
+            f"engine selftest: shared-marker staleness wrong "
+            f"({len(stale)} stale, want 1 at line 2)"
+        )
+
+    # require_justification: a bare allow() does not suppress (the
+    # finding stands, the marker is stale); justified text does.
+    text = (
+        "int a = NEEDLE;  // pcon-lint: allow(nj)\n"
+        "int b = NEEDLE;  // pcon-lint: allow(nj) caller holds lock\n"
+    )
+    project = helper.project_from_texts({"src/z.cc": text})
+    findings, sups, stale = run_rules_with_stale(
+        project, [_NeedleRule("nj", require_justification=True)]
+    )
+    if len(findings) != 1 or findings[0].line != 1:
+        errors.append(
+            "engine selftest: bare allow() suppressed a "
+            "justification-requiring rule"
+        )
+    if len(sups) != 1 or "caller holds lock" not in sups[0].reason:
+        errors.append(
+            "engine selftest: justified allow() not honoured or "
+            "reason text lost"
+        )
+    if len(stale) != 1 or stale[0].line != 1:
+        errors.append(
+            "engine selftest: bare allow() on a justification-"
+            "requiring rule not reported stale"
+        )
+
+    # Markers naming nonexistent rules fail when the inventory is
+    # supplied, and pass through silently when it is not (selftest
+    # and single-rule callers).
+    text = "int ok = 0;  // pcon-lint: allow(no-such-rule)\n"
+    project = helper.project_from_texts({"src/w.cc": text})
+    _, _, stale = run_rules_with_stale(
+        project, [_NeedleRule("na")], known_rule_names=["na"]
+    )
+    if len(stale) != 1 or "names no known rule" not in stale[0].note:
+        errors.append(
+            "engine selftest: unknown-rule allow() marker not "
+            "reported"
+        )
+    _, _, stale = run_rules_with_stale(project, [_NeedleRule("na")])
+    if stale:
+        errors.append(
+            "engine selftest: unknown-rule check ran without an "
+            "inventory"
         )
     return errors

@@ -1,0 +1,190 @@
+"""SARIF 2.1.0 output for pcon-lint.
+
+Emits one run per invocation: the rule catalogue as
+``tool.driver.rules``, every live finding as an ``error``-level
+result, every suppressed finding as a result carrying an
+``inSource`` suppression (so code-scanning UIs show the audit trail
+instead of hiding it), and — under ``--strict`` — stale suppressions
+as ``warning``-level results under a synthetic ``stale-suppression``
+rule. URIs are repo-relative with a ``SRCROOT`` base id, which is
+what GitHub code scanning expects for checkout-relative paths.
+
+Kept intentionally free of third-party dependencies; the structural
+validator in tools/check_sarif.py pins the subset of the 2.1.0
+schema this writer must satisfy.
+"""
+
+import json
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+STALE_RULE = {
+    "id": "stale-suppression",
+    "shortDescription": {
+        "text": (
+            "a suppression marker that no longer silences any "
+            "finding (or names no known rule) must be deleted"
+        )
+    },
+}
+
+
+def _result(rule_index, rule_id, path, line, text, level):
+    return {
+        "ruleId": rule_id,
+        "ruleIndex": rule_index,
+        "level": level,
+        "message": {"text": text},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {"startLine": max(1, line)},
+                }
+            }
+        ],
+    }
+
+
+def sarif_document(rules, project, findings, suppressions, stale,
+                   strict):
+    driver_rules = [
+        {
+            "id": r.name,
+            "shortDescription": {
+                "text": r.description or r.name
+            },
+        }
+        for r in rules
+    ]
+    driver_rules.append(STALE_RULE)
+    index = {r.name: i for i, r in enumerate(rules)}
+    stale_index = len(driver_rules) - 1
+
+    results = []
+    for f in findings:
+        results.append(
+            _result(
+                index.get(f.rule, stale_index),
+                f.rule,
+                f.path,
+                f.line,
+                f.message,
+                "error",
+            )
+        )
+    for s in suppressions:
+        entry = _result(
+            index.get(s.rule, stale_index),
+            s.rule,
+            s.path,
+            s.line,
+            f"suppressed: {s.reason}",
+            "note",
+        )
+        entry["suppressions"] = [
+            {"kind": "inSource", "justification": s.reason}
+        ]
+        results.append(entry)
+    if strict:
+        for s in stale:
+            results.append(
+                _result(
+                    stale_index,
+                    "stale-suppression",
+                    s.path,
+                    s.line,
+                    s.render().split("[stale-suppression] ", 1)[-1],
+                    "warning",
+                )
+            )
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "pcon-lint",
+                        "informationUri": (
+                            "docs/STATIC_ANALYSIS.md"
+                        ),
+                        "rules": driver_rules,
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "originalUriBaseIds": {
+                    "SRCROOT": {
+                        "description": {
+                            "text": "repository checkout root"
+                        }
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def write_sarif(path, rules, project, findings, suppressions, stale,
+                strict):
+    doc = sarif_document(
+        rules, project, findings, suppressions, stale, strict
+    )
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def sarif_selftest():
+    """The writer's own invariants, checked without a schema."""
+    import engine
+
+    errors = []
+
+    class _R(engine.Rule):
+        name = "demo"
+        description = "demo rule"
+
+    rules = [_R()]
+    findings = [engine.Finding("demo", "src/a.cc", 3, "boom")]
+    sups = [engine.Suppression("demo", "src/b.cc", 7, "why not")]
+    stale = [engine.StaleSuppression("demo", "src/c.cc", 9)]
+    doc = sarif_document(rules, None, findings, sups, stale, True)
+    if doc["version"] != SARIF_VERSION:
+        errors.append("sarif selftest: wrong version")
+    run = doc["runs"][0]
+    ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+    if ids != ["demo", "stale-suppression"]:
+        errors.append(f"sarif selftest: rule ids wrong: {ids}")
+    levels = [r["level"] for r in run["results"]]
+    if levels != ["error", "note", "warning"]:
+        errors.append(f"sarif selftest: levels wrong: {levels}")
+    for r in run["results"]:
+        loc = r["locations"][0]["physicalLocation"]
+        if loc["artifactLocation"]["uriBaseId"] != "SRCROOT":
+            errors.append("sarif selftest: missing SRCROOT base")
+        if r["ruleIndex"] >= len(ids):
+            errors.append("sarif selftest: ruleIndex out of range")
+    suppressed = [r for r in run["results"] if "suppressions" in r]
+    if (
+        len(suppressed) != 1
+        or suppressed[0]["suppressions"][0]["kind"] != "inSource"
+    ):
+        errors.append(
+            "sarif selftest: suppression audit trail missing"
+        )
+    # Non-strict runs must not leak stale markers into results.
+    doc = sarif_document(rules, None, findings, sups, stale, False)
+    if len(doc["runs"][0]["results"]) != 2:
+        errors.append(
+            "sarif selftest: stale results emitted without --strict"
+        )
+    return errors
